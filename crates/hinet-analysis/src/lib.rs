@@ -1,0 +1,26 @@
+//! # hinet-analysis
+//!
+//! Experiment harness: regenerates every table of the paper's evaluation
+//! and the empirical sweeps that extend it.
+//!
+//! * [`report`] — plain-text/markdown/CSV table rendering for experiment
+//!   output (no serde; the tables are small and the formats trivial).
+//! * [`stats`] — summary statistics over repeated seeded runs.
+//! * [`sweep`] — a crossbeam-based parallel executor for parameter sweeps
+//!   (each cell of a sweep is an independent deterministic simulation).
+//! * [`scenarios`] — the four Table 2 rows as *executable* scenarios:
+//!   dynamics generator + algorithm + parameter plan, derived from one
+//!   [`hinet_core::analysis::ModelParams`].
+//! * [`experiments`] — the experiment registry E1–E15 (see DESIGN.md for
+//!   the experiment ↔ paper-artifact index).
+//! * [`artifacts`] — persist experiment tables as markdown/CSV files.
+
+pub mod artifacts;
+pub mod experiments;
+pub mod report;
+pub mod scenarios;
+pub mod stats;
+pub mod sweep;
+
+pub use experiments::{all_experiments, Experiment, ExperimentResult};
+pub use report::Table;

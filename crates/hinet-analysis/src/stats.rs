@@ -1,0 +1,112 @@
+//! Summary statistics over repeated seeded runs.
+//!
+//! Randomised dynamics mean one simulation is one sample; experiments
+//! report mean ± standard deviation over a handful of seeds.
+
+/// Mean, standard deviation and extremes of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n − 1` denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Summarise integer samples.
+    pub fn of_u64(samples: &[u64]) -> Self {
+        let as_f: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Self::of(&as_f)
+    }
+
+    /// `"mean ± std"` report cell.
+    pub fn cell(&self) -> String {
+        if self.std_dev == 0.0 {
+            crate::report::fmt_f64(self.mean)
+        } else {
+            format!(
+                "{} ± {}",
+                crate::report::fmt_f64(self.mean),
+                crate::report::fmt_f64(self.std_dev)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let s = Summary::of(&[4.0, 4.0, 4.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.cell(), "4");
+    }
+
+    #[test]
+    fn known_variance() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 32/7.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn single_sample_zero_std() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn u64_adapter() {
+        let s = Summary::of_u64(&[1, 2, 3]);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Parallel parameter-sweep executor.
+//!
+//! Each cell of a sweep is an independent, deterministic simulation, so the
+//! sweep is embarrassingly parallel. We fan cells out over a fixed pool of
+//! crossbeam scoped threads pulling from a shared atomic cursor (dynamic
+//! load balancing — simulation time varies wildly across parameter cells),
+//! and write results into a pre-sized slot vector so output order equals
+//! input order regardless of scheduling.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f` over every input, in parallel, preserving input order in the
+/// output.
+///
+/// `threads = 0` selects the available parallelism (capped by the number of
+/// inputs). `f` must be `Sync` because multiple workers call it
+/// concurrently; inputs are only read.
+pub fn run_sweep<I, O, F>(inputs: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let hw = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let threads = if threads == 0 { hw } else { threads }.min(inputs.len());
+    if threads <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let out = f(&inputs[i]);
+                *slots[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<usize> = (0..100).collect();
+        let out = run_sweep(&inputs, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let inputs = vec![1, 2, 3];
+        assert_eq!(run_sweep(&inputs, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_threads_uses_default() {
+        let inputs: Vec<u32> = (0..16).collect();
+        assert_eq!(run_sweep(&inputs, 0, |&x| x).len(), 16);
+    }
+
+    #[test]
+    fn empty_input() {
+        let inputs: Vec<u32> = vec![];
+        assert!(run_sweep(&inputs, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn every_input_processed_exactly_once() {
+        let inputs: Vec<usize> = (0..57).collect();
+        let counter = AtomicUsize::new(0);
+        let out = run_sweep(&inputs, 5, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 57);
+        assert_eq!(out.len(), 57);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Cells with very different costs still all complete correctly.
+        let inputs: Vec<u64> = (0..24).collect();
+        let out = run_sweep(&inputs, 4, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, inputs);
+    }
+}

@@ -1,0 +1,36 @@
+//! Bench: E11 — Remark 1 (∞-stable heads) vs plain Algorithm 1; the
+//! ablation table prints once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hinet_analysis::experiments::e11_remark1_ablation;
+use hinet_analysis::scenarios;
+use hinet_bench::{print_once, small_params};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINTED: Once = Once::new();
+
+fn bench_remark1(c: &mut Criterion) {
+    print_once(&PRINTED, || e11_remark1_ablation().to_text());
+    let p = small_params();
+    let mut group = c.benchmark_group("ablation_remark1");
+    group.sample_size(15);
+    group.bench_function("alg1_rotating_heads", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenarios::run_hinet_tl(&p, seed))
+        })
+    });
+    group.bench_function("remark1_stable_heads", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenarios::run_remark1(&p, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_remark1);
+criterion_main!(benches);

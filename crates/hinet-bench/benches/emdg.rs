@@ -1,0 +1,60 @@
+//! Bench: E12 — clusters over edge-Markovian dynamics (the paper's
+//! future-work direction); the comparison table prints once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hinet_analysis::experiments::e12_emdg_clusters;
+use hinet_bench::print_once;
+use hinet_cluster::clustering::ClusteringKind;
+use hinet_cluster::ctvg::FlatProvider;
+use hinet_cluster::generators::ClusteredMobilityGen;
+use hinet_core::runner::{run_algorithm, AlgorithmKind};
+use hinet_graph::generators::EdgeMarkovianGen;
+use hinet_sim::engine::RunConfig;
+use hinet_sim::token::round_robin_assignment;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINTED: Once = Once::new();
+
+fn bench_emdg(c: &mut Criterion) {
+    print_once(&PRINTED, || e12_emdg_clusters().to_text());
+    let n = 40;
+    let k = 6;
+    let assignment = round_robin_assignment(n, k);
+    let cfg = RunConfig::default();
+
+    let mut group = c.benchmark_group("emdg");
+    group.sample_size(10);
+    group.bench_function("alg2_over_lowest_id_clusters", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let emdg = EdgeMarkovianGen::new(n, 0.03, 0.25, 0.08, true, seed);
+            let mut provider = ClusteredMobilityGen::new(emdg, ClusteringKind::LowestId, true);
+            black_box(run_algorithm(
+                &AlgorithmKind::HiNetFullExchange { rounds: n - 1 },
+                &mut provider,
+                &assignment,
+                cfg,
+            ))
+        })
+    });
+    group.bench_function("klo_flood_flat", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let emdg = EdgeMarkovianGen::new(n, 0.03, 0.25, 0.08, true, seed);
+            let mut provider = FlatProvider::new(emdg);
+            black_box(run_algorithm(
+                &AlgorithmKind::KloFlood { rounds: n - 1 },
+                &mut provider,
+                &assignment,
+                cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_emdg);
+criterion_main!(benches);

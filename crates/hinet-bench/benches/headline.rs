@@ -1,0 +1,46 @@
+//! Bench: E10 — the headline reduction grid (analytic). The grid is cheap;
+//! the benchmark tracks the cost-model evaluation itself, and the grid
+//! table prints once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hinet_analysis::experiments::e10_headline;
+use hinet_bench::print_once;
+use hinet_core::analysis::{self, ModelParams};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINTED: Once = Once::new();
+
+fn bench_headline(c: &mut Criterion) {
+    print_once(&PRINTED, || e10_headline().to_text());
+    let mut group = c.benchmark_group("headline");
+    group.bench_function("cost_model_grid_16cells", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for n0 in [50u64, 100, 200, 400] {
+                for k in [2u64, 8, 32, 128] {
+                    let p = ModelParams {
+                        n0,
+                        theta: (3 * n0 / 10).max(2),
+                        n_m: 4 * n0 / 10,
+                        n_r: 3,
+                        k,
+                        alpha: 5,
+                        l: 2,
+                    };
+                    acc = acc
+                        .wrapping_add(analysis::hinet_tl_comm(&p))
+                        .wrapping_add(analysis::klo_t_interval_comm(&p));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("e10_full_experiment", |b| {
+        b.iter(|| black_box(e10_headline()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_headline);
+criterion_main!(benches);

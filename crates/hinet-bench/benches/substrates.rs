@@ -1,0 +1,100 @@
+//! Bench: substrate micro-benchmarks — the building blocks every
+//! experiment leans on (graph construction, BFS, window intersection,
+//! clustering, hierarchy generation, stability verification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinet_cluster::clustering::{cluster, ClusteringKind};
+use hinet_cluster::ctvg::CtvgTrace;
+use hinet_cluster::generators::{HiNetConfig, HiNetGen};
+use hinet_cluster::stability::is_t_l_hinet;
+use hinet_graph::generators::{BackboneKind, TIntervalGen};
+use hinet_graph::graph::{Graph, NodeId};
+use hinet_graph::trace::{TopologyProvider, TvgTrace};
+use hinet_graph::CsrGraph;
+use std::hint::black_box;
+
+fn random_graph(n: usize, avg_degree: usize, seed: u64) -> Graph {
+    let mut gen = TIntervalGen::new(n, 1, BackboneKind::Tree, n * avg_degree / 2, seed);
+    let g = gen.graph_at(0);
+    (*g).clone()
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_graph");
+    for &n in &[100usize, 400] {
+        let g = random_graph(n, 8, 1);
+        group.bench_with_input(BenchmarkId::new("csr_convert", n), &g, |b, g| {
+            b.iter(|| black_box(CsrGraph::from(g)))
+        });
+        let csr = CsrGraph::from(&g);
+        group.bench_with_input(BenchmarkId::new("bfs_full", n), &csr, |b, csr| {
+            let mut dist = vec![u32::MAX; csr.n()];
+            let mut queue = Vec::new();
+            b.iter(|| {
+                csr.bfs_into(NodeId(0), &mut dist, &mut queue);
+                black_box(dist[csr.n() - 1])
+            })
+        });
+        let g2 = random_graph(n, 8, 2);
+        group.bench_with_input(BenchmarkId::new("intersect", n), &(g.clone(), g2), |b, (a, c)| {
+            b.iter(|| black_box(a.intersect(c)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_clustering");
+    let g = random_graph(300, 10, 3);
+    for kind in [
+        ClusteringKind::LowestId,
+        ClusteringKind::HighestDegree,
+        ClusteringKind::GreedyDominating,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("cluster_n300", format!("{kind:?}")),
+            &kind,
+            |b, &kind| b.iter(|| black_box(cluster(kind, &g))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_generators_and_verifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_hinet");
+    let cfg = HiNetConfig {
+        n: 200,
+        num_heads: 20,
+        theta: 50,
+        l: 2,
+        t: 10,
+        reaffil_prob: 0.2,
+        rotate_heads: true,
+        noise_edges: 40,
+        seed: 5,
+    };
+    group.bench_function("hinet_gen_30_rounds_n200", |b| {
+        b.iter(|| {
+            let mut gen = HiNetGen::new(cfg);
+            black_box(CtvgTrace::capture(&mut gen, 30))
+        })
+    });
+    let mut gen = HiNetGen::new(cfg);
+    let trace = CtvgTrace::capture(&mut gen, 30);
+    group.bench_function("verify_t_l_hinet_n200", |b| {
+        b.iter(|| black_box(is_t_l_hinet(&trace, 10, 2)))
+    });
+    group.bench_function("window_intersection_n200", |b| {
+        let topo: &TvgTrace = trace.topology();
+        b.iter(|| black_box(topo.window_intersection(0, 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_ops,
+    bench_clustering,
+    bench_generators_and_verifiers
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench: E7 — cost vs progress coefficient α (the stability/time
+//! trade-off knob of Theorem 1); the sweep table prints once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinet_analysis::experiments::e7_sweep_alpha;
+use hinet_analysis::scenarios;
+use hinet_bench::{print_once, small_params};
+use hinet_core::analysis::ModelParams;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINTED: Once = Once::new();
+
+fn bench_sweep_alpha(c: &mut Criterion) {
+    print_once(&PRINTED, || e7_sweep_alpha().to_text());
+    let base = small_params();
+    let mut group = c.benchmark_group("sweep_alpha");
+    group.sample_size(10);
+    for alpha in [1u64, 2, 5] {
+        let p = ModelParams { alpha, ..base };
+        group.bench_with_input(BenchmarkId::new("alg1_vs_klo", alpha), &p, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box((
+                    scenarios::run_hinet_tl(p, seed),
+                    scenarios::run_klo_t_interval(p, seed),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_alpha);
+criterion_main!(benches);

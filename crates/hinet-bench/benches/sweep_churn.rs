@@ -1,0 +1,36 @@
+//! Bench: E9 — cost vs re-affiliation churn n_r, the axis along which the
+//! hierarchy's advantage erodes; the sweep table (with the analytic
+//! crossover note) prints once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinet_analysis::experiments::e9_sweep_churn;
+use hinet_analysis::scenarios;
+use hinet_bench::{print_once, small_params};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINTED: Once = Once::new();
+
+fn bench_sweep_churn(c: &mut Criterion) {
+    print_once(&PRINTED, || e9_sweep_churn().to_text());
+    let base = small_params();
+    let mut group = c.benchmark_group("sweep_churn");
+    group.sample_size(10);
+    for n_r in [0u64, 4, 16] {
+        let p = base.with_n_r(n_r);
+        group.bench_with_input(BenchmarkId::new("alg2_vs_flood", n_r), &p, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box((
+                    scenarios::run_hinet_1l(p, seed),
+                    scenarios::run_klo_1interval(p, seed),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_churn);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench: E6 — cost vs token count k. Simulates the (T, L) scenario pair
+//! per grid point; the sweep table prints once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinet_analysis::experiments::e6_sweep_k;
+use hinet_analysis::scenarios;
+use hinet_bench::{print_once, small_params};
+use hinet_core::analysis::ModelParams;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINTED: Once = Once::new();
+
+fn bench_sweep_k(c: &mut Criterion) {
+    print_once(&PRINTED, || e6_sweep_k().to_text());
+    let base = small_params();
+    let mut group = c.benchmark_group("sweep_k");
+    group.sample_size(10);
+    for k in [2u64, 8, 32] {
+        let p = ModelParams { k, ..base };
+        group.bench_with_input(BenchmarkId::new("alg1_vs_klo", k), &p, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box((
+                    scenarios::run_hinet_tl(p, seed),
+                    scenarios::run_klo_t_interval(p, seed),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_k);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench: E8 — cost vs hop bound L of cluster-head connectivity; the
+//! sweep table prints once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinet_analysis::experiments::e8_sweep_l;
+use hinet_analysis::scenarios;
+use hinet_bench::{print_once, small_params};
+use hinet_core::analysis::ModelParams;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINTED: Once = Once::new();
+
+fn bench_sweep_l(c: &mut Criterion) {
+    print_once(&PRINTED, || e8_sweep_l().to_text());
+    let base = small_params();
+    let mut group = c.benchmark_group("sweep_l");
+    group.sample_size(10);
+    for l in [1u64, 2, 3] {
+        let p = ModelParams { l, ..base };
+        group.bench_with_input(BenchmarkId::new("alg1_vs_klo", l), &p, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box((
+                    scenarios::run_hinet_tl(p, seed),
+                    scenarios::run_klo_t_interval(p, seed),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_l);
+criterion_main!(benches);

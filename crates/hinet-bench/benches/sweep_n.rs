@@ -1,0 +1,35 @@
+//! Bench: E5 — cost vs network size n₀. One parameterised benchmark per
+//! grid point (Algorithm 1 vs KLO at that size); the sweep table prints
+//! once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinet_analysis::experiments::{e5_sweep_n, params_for_n};
+use hinet_analysis::scenarios;
+use hinet_bench::print_once;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINTED: Once = Once::new();
+
+fn bench_sweep_n(c: &mut Criterion) {
+    print_once(&PRINTED, || e5_sweep_n().to_text());
+    let mut group = c.benchmark_group("sweep_n");
+    group.sample_size(10);
+    for n in [40u64, 80, 120] {
+        let p = params_for_n(n);
+        group.bench_with_input(BenchmarkId::new("alg1_vs_klo", n), &p, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box((
+                    scenarios::run_hinet_tl(p, seed),
+                    scenarios::run_klo_t_interval(p, seed),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_n);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench: Table 2 — one benchmark per algorithm × dynamics-model row.
+//!
+//! Each row's scenario (generator + algorithm at the paper's plan) is
+//! simulated end-to-end per iteration at the small parameter point; the
+//! analytic Table 2 itself is printed once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hinet_analysis::experiments::e1_table2;
+use hinet_analysis::scenarios;
+use hinet_bench::{print_once, small_params};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINTED: Once = Once::new();
+
+fn bench_table2(c: &mut Criterion) {
+    print_once(&PRINTED, || e1_table2().to_text());
+    let p = small_params();
+    let p_1l = p.with_n_r(6);
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    group.bench_function("row1_klo_t_interval", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenarios::run_klo_t_interval(&p, seed))
+        })
+    });
+    group.bench_function("row2_alg1_hinet_tl", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenarios::run_hinet_tl(&p, seed))
+        })
+    });
+    group.bench_function("row3_klo_1interval_flood", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenarios::run_klo_1interval(&p_1l, seed))
+        })
+    });
+    group.bench_function("row4_alg2_hinet_1l", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenarios::run_hinet_1l(&p_1l, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench: Table 3 at the paper's exact parameters (n₀ = 100), all four
+//! rows simulated per iteration; the measured-vs-analytic table (E3) is
+//! printed once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hinet_analysis::experiments::{e2_table3, e3_simulated_table3};
+use hinet_analysis::scenarios;
+use hinet_bench::{print_once, table3_params};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINTED: Once = Once::new();
+
+fn bench_table3(c: &mut Criterion) {
+    print_once(&PRINTED, || {
+        format!(
+            "{}\n{}",
+            e2_table3().to_text(),
+            e3_simulated_table3().to_text()
+        )
+    });
+    let p = table3_params();
+    let p_1l = p.with_n_r(10);
+
+    let mut group = c.benchmark_group("table3_simulated");
+    group.sample_size(10);
+    group.bench_function("all_four_rows_n100", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenarios::run_all_rows(&p, &p_1l, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

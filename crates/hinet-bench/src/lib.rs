@@ -1,0 +1,63 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target regenerates one artifact of the paper's evaluation
+//! (see DESIGN.md §4). Criterion measures the wall-clock of the
+//! regeneration; the artifact's *content* (the cost numbers) is printed
+//! once per target via [`print_once`] so `cargo bench` output doubles as
+//! the reproduction log captured in EXPERIMENTS.md.
+
+use hinet_core::analysis::ModelParams;
+use std::sync::Once;
+
+/// Print a reproduction artifact once per process (Criterion calls the
+/// benched closure many times; the table only needs to appear once).
+pub fn print_once(once: &Once, render: impl FnOnce() -> String) {
+    once.call_once(|| {
+        println!("\n{}", render());
+    });
+}
+
+/// The paper's Table 3 parameter point.
+pub fn table3_params() -> ModelParams {
+    ModelParams::table3()
+}
+
+/// A smaller parameter point for per-iteration simulation benches (keeps
+/// Criterion's sampling affordable while preserving the Table 3 ratios).
+pub fn small_params() -> ModelParams {
+    ModelParams {
+        n0: 50,
+        theta: 15,
+        n_m: 20,
+        n_r: 3,
+        k: 8,
+        alpha: 5,
+        l: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_once_only_prints_once() {
+        let once = Once::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            print_once(&once, || {
+                calls += 1;
+                String::new()
+            });
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn param_points_are_feasible() {
+        for p in [table3_params(), small_params()] {
+            assert!(p.theta <= p.n0);
+            assert!(p.n_m < p.n0);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! One-call stability audit of a CTVG trace.
+//!
+//! Pulls together the model predicates (Definitions 2–8), the flat-network
+//! baselines (per-round and T-interval connectivity), the churn statistics
+//! and the topology dynamics into a single report — what the
+//! `stability_audit` example and the CLI `audit` subcommand print.
+
+use crate::ctvg::CtvgTrace;
+use crate::reaffiliation::{churn_stats, ChurnStats};
+use crate::stability::{
+    is_head_set_forever_stable, max_hierarchy_stability_sliding, max_hinet_t, min_hinet_l,
+};
+use hinet_graph::metrics::{trace_stats, TraceStats};
+use hinet_graph::verify::{is_always_connected, max_interval_connectivity};
+
+/// The full audit result.
+#[derive(Clone, Debug)]
+pub struct StabilityReport {
+    /// Whether every snapshot is connected (1-interval connectivity).
+    pub always_connected: bool,
+    /// Largest flat T-interval connectivity (sliding windows), `None` if
+    /// some round is disconnected.
+    pub max_flat_t: Option<usize>,
+    /// Minimal per-round L-hop head connectivity, `None` if heads are
+    /// unreachable in some round.
+    pub min_l: Option<usize>,
+    /// Largest `T` such that the trace is a (T, min_l)-HiNet (aligned
+    /// windows), `None` when `min_l` is undefined or no `T` works.
+    pub max_hinet_t: Option<usize>,
+    /// Largest sliding-window hierarchy stability.
+    pub max_sliding_hierarchy_t: usize,
+    /// Whether the head set never changes (Remark 1's precondition).
+    pub heads_forever_stable: bool,
+    /// Churn statistics (`θ`, `n_m`, `n_r`, …).
+    pub churn: ChurnStats,
+    /// Topology dynamics (density, churn rate, edge persistence).
+    pub topology: TraceStats,
+}
+
+/// Audit a trace.
+///
+/// # Panics
+/// Panics if any round's hierarchy fails validation — an invalid CTVG has
+/// no meaningful stability properties to report.
+pub fn audit(trace: &CtvgTrace) -> StabilityReport {
+    if let Err((round, e)) = trace.validate() {
+        panic!("cannot audit an invalid CTVG: round {round}: {e}");
+    }
+    let min_l = min_hinet_l(trace, 1);
+    StabilityReport {
+        always_connected: is_always_connected(trace.topology()),
+        max_flat_t: max_interval_connectivity(trace.topology()),
+        min_l,
+        max_hinet_t: min_l.and_then(|l| max_hinet_t(trace, l)),
+        max_sliding_hierarchy_t: max_hierarchy_stability_sliding(trace),
+        heads_forever_stable: is_head_set_forever_stable(trace),
+        churn: churn_stats(trace),
+        topology: trace_stats(trace.topology()),
+    }
+}
+
+impl StabilityReport {
+    /// Render as indented plain text.
+    pub fn to_text(&self) -> String {
+        let opt = |v: Option<usize>| v.map_or("—".to_string(), |x| x.to_string());
+        format!(
+            "connectivity:\n\
+             \x20 1-interval connected: {}\n\
+             \x20 max flat T-interval (sliding): {}\n\
+             hierarchy:\n\
+             \x20 min L-hop head connectivity: {}\n\
+             \x20 max (T, L)-HiNet window (aligned): {}\n\
+             \x20 max hierarchy stability (sliding): {}\n\
+             \x20 head set ∞-stable: {}\n\
+             churn:\n\
+             \x20 θ measured (distinct heads): {}\n\
+             \x20 max concurrent heads: {}\n\
+             \x20 mean members/round (n_m): {:.1}\n\
+             \x20 re-affiliations/member (n_r): {:.2}\n\
+             \x20 head-set changes: {}\n\
+             topology:\n\
+             \x20 mean edges: {:.1} (density {:.3})\n\
+             \x20 edge persistence: {:.2}\n\
+             \x20 relative churn: {:.2}\n",
+            self.always_connected,
+            opt(self.max_flat_t),
+            opt(self.min_l),
+            opt(self.max_hinet_t),
+            self.max_sliding_hierarchy_t,
+            self.heads_forever_stable,
+            self.churn.distinct_heads,
+            self.churn.max_concurrent_heads,
+            self.churn.mean_members,
+            self.churn.mean_reaffiliations,
+            self.churn.head_set_changes,
+            self.topology.mean_edges,
+            self.topology.mean_density,
+            self.topology.edge_persistence,
+            self.topology.relative_churn,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{HiNetConfig, HiNetGen};
+
+    fn constructed(t: usize, rotate: bool, seed: u64) -> CtvgTrace {
+        let mut gen = HiNetGen::new(HiNetConfig {
+            n: 30,
+            num_heads: 4,
+            theta: 8,
+            l: 2,
+            t,
+            reaffil_prob: 0.1,
+            rotate_heads: rotate,
+            noise_edges: 5,
+            seed,
+        });
+        CtvgTrace::capture(&mut gen, 3 * t.max(2))
+    }
+
+    #[test]
+    fn audit_of_constructed_hinet_matches_declaration() {
+        let trace = constructed(4, true, 1);
+        let r = audit(&trace);
+        assert!(r.always_connected);
+        assert!(r.min_l.unwrap() <= 2);
+        assert!(r.max_hinet_t.unwrap() >= 4, "declared window honoured");
+        assert!(!r.heads_forever_stable, "rotation on");
+        assert_eq!(r.churn.max_concurrent_heads, 4);
+    }
+
+    #[test]
+    fn audit_detects_forever_stable_heads() {
+        let trace = constructed(3, false, 2);
+        let r = audit(&trace);
+        assert!(r.heads_forever_stable);
+        assert_eq!(r.churn.distinct_heads, 4);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let trace = constructed(2, true, 3);
+        let text = audit(&trace).to_text();
+        for needle in ["connectivity:", "hierarchy:", "churn:", "topology:", "n_m"] {
+            assert!(text.contains(needle), "missing '{needle}'");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot audit an invalid CTVG")]
+    fn audit_rejects_invalid_trace() {
+        use crate::hierarchy::single_cluster;
+        use hinet_graph::graph::NodeId;
+        use hinet_graph::trace::TvgTrace;
+        use hinet_graph::Graph;
+        use std::sync::Arc;
+        // Member 3 not adjacent to head 0 on a path.
+        let g = Arc::new(Graph::path(4));
+        let h = Arc::new(single_cluster(4, NodeId(0)));
+        let trace = CtvgTrace::new(TvgTrace::new(vec![g]), vec![h]);
+        let _ = audit(&trace);
+    }
+}

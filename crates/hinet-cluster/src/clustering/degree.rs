@@ -1,0 +1,92 @@
+//! Highest-degree clustering (Gerla & Tsai).
+
+use hinet_graph::graph::NodeId;
+use hinet_graph::Graph;
+
+/// Highest-degree clustering: sweep nodes in descending degree (ascending id
+/// as tie-break); every still-undecided node becomes a head and captures its
+/// undecided neighbors.
+///
+/// High-degree heads yield fewer clusters on dense graphs than lowest-ID,
+/// at the price of less stable head sets under mobility (degree fluctuates
+/// faster than identity) — the classic trade-off this family of protocols
+/// explores, and a useful contrast in the emergent-stability experiments.
+///
+/// Returns `(heads, assignment)` for [`super::assemble`].
+pub fn highest_degree(g: &Graph) -> (Vec<NodeId>, Vec<NodeId>) {
+    let n = g.n();
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|&u| (std::cmp::Reverse(g.degree(u)), u));
+    let mut assignment: Vec<Option<NodeId>> = vec![None; n];
+    let mut heads = Vec::new();
+    for u in order {
+        if assignment[u.index()].is_some() {
+            continue;
+        }
+        heads.push(u);
+        assignment[u.index()] = Some(u);
+        for &v in g.neighbors(u) {
+            if assignment[v.index()].is_none() {
+                assignment[v.index()] = Some(u);
+            }
+        }
+    }
+    heads.sort_unstable();
+    let assignment: Vec<NodeId> = assignment.into_iter().map(|a| a.expect("all decided")).collect();
+    (heads, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{cluster, ClusteringKind};
+    use super::*;
+
+    fn run(g: &Graph) -> crate::hierarchy::Hierarchy {
+        cluster(ClusteringKind::HighestDegree, g)
+    }
+
+    #[test]
+    fn hub_of_star_wins() {
+        // In a star with high-id hub the hub must still be elected.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            edges.push((u, 5));
+        }
+        let g = Graph::from_edges(6, edges);
+        let h = run(&g);
+        assert_eq!(h.heads(), &[NodeId(5)]);
+    }
+
+    #[test]
+    fn heads_form_independent_set() {
+        let g = Graph::cycle(10);
+        let h = run(&g);
+        for &a in h.heads() {
+            for &b in h.heads() {
+                if a != b {
+                    assert!(!g.has_edge(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_or_equal_heads_than_lowest_id_on_dense_core() {
+        // Two hubs covering many leaves; degree-based should find ≤ heads.
+        let mut edges = Vec::new();
+        for u in 2..12u32 {
+            edges.push((0, u));
+            edges.push((1, u));
+        }
+        let g = Graph::from_edges(12, edges);
+        let hd = run(&g);
+        let li = cluster(ClusteringKind::LowestId, &g);
+        assert!(hd.heads().len() <= li.heads().len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Graph::cycle(13);
+        assert_eq!(run(&g), run(&g));
+    }
+}

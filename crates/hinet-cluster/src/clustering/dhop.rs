@@ -1,0 +1,205 @@
+//! d-hop clustering — multi-hop clusters (the paper's §VI future work).
+
+use super::GatewayPolicy;
+use crate::hierarchy::{ClusterId, Hierarchy, Role};
+use hinet_graph::graph::NodeId;
+use hinet_graph::Graph;
+use std::collections::BTreeMap;
+
+/// Lowest-ID d-hop clustering: sweep nodes in ascending id; every
+/// still-uncovered node becomes a head and captures, wave by wave, all
+/// still-uncovered nodes within `d` hops **through other captured nodes**
+/// (the truncated BFS expands only via nodes joining this cluster, so
+/// every member's parent chain stays inside the cluster by construction).
+///
+/// `d = 1` degenerates to the classic lowest-ID clustering. Larger `d`
+/// yields far fewer heads — the trade the paper's future-work section
+/// raises: a thinner backbone at the price of multi-hop member–head
+/// paths, which the multi-hop dissemination variant
+/// (`hinet_core::algorithms::HiNetFullExchangeMH`) must then bridge.
+///
+/// Gateways: as in the 1-hop algorithms, per adjacent cluster pair the
+/// canonically smallest boundary edge's endpoints are designated
+/// ([`GatewayPolicy::MinimalPairwise`]); with `AllBoundary` every node with
+/// a foreign neighbor is promoted.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn dhop_lowest_id(g: &Graph, d: usize, policy: GatewayPolicy) -> Hierarchy {
+    assert!(d >= 1, "cluster radius must be at least 1");
+    let n = g.n();
+    let mut assignment: Vec<Option<NodeId>> = vec![None; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut heads = Vec::new();
+
+    for u in g.nodes() {
+        if assignment[u.index()].is_some() {
+            continue;
+        }
+        heads.push(u);
+        assignment[u.index()] = Some(u);
+        // Truncated BFS from u through freshly captured nodes only.
+        let mut frontier = vec![u];
+        for _depth in 0..d {
+            let mut next = Vec::new();
+            for &x in &frontier {
+                for &v in g.neighbors(x) {
+                    if assignment[v.index()].is_none() {
+                        assignment[v.index()] = Some(u);
+                        parent[v.index()] = Some(x);
+                        next.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+    }
+
+    let assignment: Vec<NodeId> = assignment
+        .into_iter()
+        .map(|a| a.expect("every node decided"))
+        .collect();
+
+    let mut roles = vec![Role::Member; n];
+    for &h in &heads {
+        roles[h.index()] = Role::Head;
+    }
+    match policy {
+        GatewayPolicy::AllBoundary => {
+            for u in g.nodes() {
+                if roles[u.index()] != Role::Member {
+                    continue;
+                }
+                let my = assignment[u.index()];
+                if g.neighbors(u).iter().any(|&v| assignment[v.index()] != my) {
+                    roles[u.index()] = Role::Gateway;
+                }
+            }
+        }
+        GatewayPolicy::MinimalPairwise => {
+            let mut designated: BTreeMap<(NodeId, NodeId), (NodeId, NodeId)> = BTreeMap::new();
+            for u in g.nodes() {
+                let cu = assignment[u.index()];
+                for &v in g.neighbors(u) {
+                    if u >= v {
+                        continue;
+                    }
+                    let cv = assignment[v.index()];
+                    if cu == cv {
+                        continue;
+                    }
+                    let pair = if cu < cv { (cu, cv) } else { (cv, cu) };
+                    designated.entry(pair).or_insert((u, v));
+                }
+            }
+            for (u, v) in designated.into_values() {
+                for node in [u, v] {
+                    if roles[node.index()] == Role::Member {
+                        roles[node.index()] = Role::Gateway;
+                    }
+                }
+            }
+        }
+    }
+
+    let cluster_of = assignment.iter().map(|&h| Some(ClusterId(h))).collect();
+    Hierarchy::with_parents(roles, cluster_of, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_matches_one_hop_semantics() {
+        let g = Graph::path(7);
+        let h = dhop_lowest_id(&g, 1, GatewayPolicy::MinimalPairwise);
+        assert_eq!(h.validate(&g), Ok(()));
+        // Same head set as classic lowest-ID on a path: {0, 2, 4, 6}.
+        assert_eq!(
+            h.heads(),
+            &[NodeId(0), NodeId(2), NodeId(4), NodeId(6)]
+        );
+        // d = 1 never produces a deeper-than-1 member.
+        for u in g.nodes() {
+            assert!(h.depth_of(u).unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn d2_on_path_uses_fewer_heads() {
+        let g = Graph::path(15);
+        let h1 = dhop_lowest_id(&g, 1, GatewayPolicy::MinimalPairwise);
+        let h2 = dhop_lowest_id(&g, 2, GatewayPolicy::MinimalPairwise);
+        let h3 = dhop_lowest_id(&g, 3, GatewayPolicy::MinimalPairwise);
+        assert!(h2.heads().len() < h1.heads().len());
+        assert!(h3.heads().len() <= h2.heads().len());
+        for h in [&h2, &h3] {
+            assert_eq!(h.validate(&g), Ok(()));
+        }
+    }
+
+    #[test]
+    fn depth_bounded_by_d() {
+        for d in 1..=4 {
+            let g = Graph::path(20);
+            let h = dhop_lowest_id(&g, d, GatewayPolicy::MinimalPairwise);
+            assert_eq!(h.validate(&g), Ok(()));
+            for u in g.nodes() {
+                let depth = h.depth_of(u).unwrap();
+                assert!(depth <= d, "d={d}: node {u} at depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn parent_chain_stays_in_cluster() {
+        let g = Graph::cycle(17);
+        let h = dhop_lowest_id(&g, 3, GatewayPolicy::AllBoundary);
+        assert_eq!(h.validate(&g), Ok(()));
+        for u in g.nodes() {
+            if !h.is_head(u) {
+                let p = h.parent_of(u).unwrap();
+                assert_eq!(h.cluster_of(p), h.cluster_of(u));
+                assert!(g.has_edge(u, p));
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_when_d_covers_graph() {
+        let g = Graph::path(5);
+        let h = dhop_lowest_id(&g, 4, GatewayPolicy::MinimalPairwise);
+        assert_eq!(h.heads(), &[NodeId(0)]);
+        assert_eq!(h.gateway_count(), 0);
+        assert_eq!(h.depth_of(NodeId(4)), Some(4));
+    }
+
+    #[test]
+    fn star_is_one_cluster_at_any_d() {
+        let g = Graph::star(9);
+        for d in 1..=3 {
+            let h = dhop_lowest_id(&g, d, GatewayPolicy::MinimalPairwise);
+            assert_eq!(h.heads().len(), 1);
+            assert_eq!(h.validate(&g), Ok(()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be at least 1")]
+    fn zero_radius_rejected() {
+        let _ = dhop_lowest_id(&Graph::path(3), 0, GatewayPolicy::MinimalPairwise);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Graph::cycle(23);
+        assert_eq!(
+            dhop_lowest_id(&g, 2, GatewayPolicy::MinimalPairwise),
+            dhop_lowest_id(&g, 2, GatewayPolicy::MinimalPairwise)
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Greedy dominating-set clustering (WCDS-style backbone).
+
+use hinet_graph::graph::NodeId;
+use hinet_graph::Graph;
+
+/// Greedy minimum-dominating-set clustering: repeatedly elect the node whose
+/// closed neighborhood covers the most still-uncovered nodes (ascending id
+/// as tie-break); stop when every node is covered; then assign every
+/// non-head to its lowest-id adjacent head.
+///
+/// This is the ln(n)-approximation greedy for dominating sets, the core of
+/// the weakly-connected-dominating-set (WCDS) clustering the paper cites
+/// ([12, 13]) as the way to "delicately control" `L`. Unlike the greedy-MIS
+/// sweeps, elected heads may be adjacent, so dense graphs get markedly fewer
+/// clusters.
+///
+/// Returns `(heads, assignment)` for [`super::assemble`].
+pub fn greedy_dominating(g: &Graph) -> (Vec<NodeId>, Vec<NodeId>) {
+    let n = g.n();
+    let mut covered = vec![false; n];
+    let mut uncovered_left = n;
+    let mut heads: Vec<NodeId> = Vec::new();
+    let mut is_head = vec![false; n];
+    while uncovered_left > 0 {
+        // Pick the node covering the most uncovered (closed neighborhood).
+        let mut best: Option<(usize, NodeId)> = None;
+        for u in g.nodes() {
+            if is_head[u.index()] {
+                continue;
+            }
+            let mut gain = usize::from(!covered[u.index()]);
+            for &v in g.neighbors(u) {
+                gain += usize::from(!covered[v.index()]);
+            }
+            if gain == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bg, bu)) => gain > bg || (gain == bg && u < bu),
+            };
+            if better {
+                best = Some((gain, u));
+            }
+        }
+        let (_, h) = best.expect("some node must cover the uncovered");
+        is_head[h.index()] = true;
+        heads.push(h);
+        if !covered[h.index()] {
+            covered[h.index()] = true;
+            uncovered_left -= 1;
+        }
+        for &v in g.neighbors(h) {
+            if !covered[v.index()] {
+                covered[v.index()] = true;
+                uncovered_left -= 1;
+            }
+        }
+    }
+    heads.sort_unstable();
+    // Assignment: each non-head joins its lowest-id adjacent head.
+    let mut assignment: Vec<NodeId> = Vec::with_capacity(n);
+    for u in g.nodes() {
+        if is_head[u.index()] {
+            assignment.push(u);
+        } else {
+            let head = g
+                .neighbors(u)
+                .iter()
+                .copied()
+                .find(|&v| is_head[v.index()])
+                .expect("dominating set covers every node");
+            assignment.push(head);
+        }
+    }
+    (heads, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{cluster, ClusteringKind};
+    use super::*;
+
+    fn run(g: &Graph) -> crate::hierarchy::Hierarchy {
+        cluster(ClusteringKind::GreedyDominating, g)
+    }
+
+    #[test]
+    fn dominating_property_holds() {
+        for g in [Graph::path(12), Graph::cycle(9), Graph::complete(7)] {
+            let h = run(&g);
+            for u in g.nodes() {
+                let head = h.head_of(u).unwrap();
+                assert!(u == head || g.has_edge(u, head));
+            }
+        }
+    }
+
+    #[test]
+    fn star_needs_one_head() {
+        let h = run(&Graph::star(20));
+        assert_eq!(h.heads(), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn path_uses_roughly_n_over_3_heads() {
+        let (heads, _) = greedy_dominating(&Graph::path(12));
+        // Optimal dominating set of P12 has 4 nodes; greedy stays close.
+        assert!(heads.len() <= 6, "got {} heads", heads.len());
+        assert!(heads.len() >= 4);
+    }
+
+    #[test]
+    fn double_star_two_heads() {
+        // Hubs 0 and 1 joined by an edge, each with 6 leaves.
+        let mut edges = vec![(0u32, 1u32)];
+        for u in 2..8u32 {
+            edges.push((0, u));
+        }
+        for u in 8..14u32 {
+            edges.push((1, u));
+        }
+        let g = Graph::from_edges(14, edges);
+        let h = run(&g);
+        assert_eq!(h.heads(), &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Graph::cycle(15);
+        assert_eq!(run(&g), run(&g));
+    }
+}

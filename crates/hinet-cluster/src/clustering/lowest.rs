@@ -1,0 +1,83 @@
+//! Lowest-ID clustering (Lin & Gerla).
+
+use hinet_graph::graph::NodeId;
+use hinet_graph::Graph;
+
+/// Lowest-ID clustering: sweep nodes in ascending id; every still-undecided
+/// node becomes a head and captures its undecided neighbors as members.
+///
+/// Because a node is only undecided when none of its smaller-id neighbors
+/// became a head, the resulting head set is a maximal independent set and
+/// every head has the lowest id in its cluster — the classic Lin–Gerla
+/// invariant. Decided nodes keep their first (lowest-id) head, modelling the
+/// "first heard claim wins" radio protocol.
+///
+/// Returns `(heads, assignment)` for [`super::assemble`].
+pub fn lowest_id(g: &Graph) -> (Vec<NodeId>, Vec<NodeId>) {
+    let n = g.n();
+    let mut assignment: Vec<Option<NodeId>> = vec![None; n];
+    let mut heads = Vec::new();
+    for u in g.nodes() {
+        if assignment[u.index()].is_some() {
+            continue;
+        }
+        heads.push(u);
+        assignment[u.index()] = Some(u);
+        for &v in g.neighbors(u) {
+            if assignment[v.index()].is_none() {
+                assignment[v.index()] = Some(u);
+            }
+        }
+    }
+    let assignment: Vec<NodeId> = assignment.into_iter().map(|a| a.expect("all decided")).collect();
+    (heads, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{cluster, ClusteringKind};
+    use super::*;
+    use crate::hierarchy::Role;
+
+    fn run(g: &Graph) -> crate::hierarchy::Hierarchy {
+        cluster(ClusteringKind::LowestId, g)
+    }
+
+    #[test]
+    fn heads_form_independent_set() {
+        let g = Graph::cycle(9);
+        let h = run(&g);
+        for &a in h.heads() {
+            for &b in h.heads() {
+                if a != b {
+                    assert!(!g.has_edge(a, b), "heads {a} and {b} adjacent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn head_has_lowest_id_in_cluster() {
+        let g = Graph::from_edges(6, [(0, 3), (3, 1), (1, 4), (4, 2), (2, 5)]);
+        let h = run(&g);
+        for u in g.nodes() {
+            let head = h.head_of(u).unwrap();
+            assert!(head <= u, "cluster head {head} should not exceed member {u}");
+        }
+    }
+
+    #[test]
+    fn star_clusters_around_hub() {
+        let g = Graph::star(6);
+        let h = run(&g);
+        assert_eq!(h.heads(), &[NodeId(0)]);
+        assert_eq!(h.member_count(), 5);
+        assert_eq!(h.role(NodeId(3)), Role::Member);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Graph::cycle(11);
+        assert_eq!(run(&g), run(&g));
+    }
+}

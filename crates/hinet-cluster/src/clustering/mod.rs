@@ -1,0 +1,357 @@
+//! Clustering algorithms: derive a [`Hierarchy`] from a topology snapshot.
+//!
+//! The paper leaves cluster construction to an external protocol; these are
+//! three classic such protocols, used by the emergent-stability scenarios
+//! (clustered mobility) and the examples. All produce **1-hop clusters**
+//! (every member adjacent to its head), matching the paper's system model,
+//! and mark as gateways the members with a neighbor in a different cluster.
+//!
+//! * [`lowest_id`] — Lin–Gerla lowest-ID clustering: heads are a maximal
+//!   independent set chosen greedily by ascending node id.
+//! * [`highest_degree`] — degree-based clustering (Gerla–Tsai): same greedy
+//!   sweep ordered by descending degree (id as tie-break).
+//! * [`greedy_dominating`] — greedy minimum-dominating-set approximation:
+//!   repeatedly pick the node covering the most uncovered nodes; heads may
+//!   be adjacent (a WCDS-style backbone with fewer heads on dense graphs).
+//! * [`dhop_lowest_id`] — multi-hop (d-hop) clusters with in-cluster
+//!   parent chains (the paper's §VI future work).
+//! * [`LccMaintainer`] / [`LccMobilityGen`] — Least-Cluster-Change
+//!   incremental maintenance: repair instead of re-cluster, massively
+//!   reducing hierarchy churn under the same physical dynamics.
+//!
+//! Gateway designation is policy-driven ([`GatewayPolicy`]): either every
+//! boundary member, or (default) only the canonically smallest boundary
+//! edge per adjacent cluster pair — the designated-gateway scheme that
+//! keeps members silent and the backbone thin.
+
+mod degree;
+mod dhop;
+mod dominating;
+mod lowest;
+mod maintenance;
+
+pub use degree::highest_degree;
+pub use dhop::dhop_lowest_id;
+pub use dominating::greedy_dominating;
+pub use lowest::lowest_id;
+pub use maintenance::{LccMaintainer, LccMobilityGen};
+
+use crate::hierarchy::{ClusterId, Hierarchy, Role};
+use hinet_graph::graph::NodeId;
+use hinet_graph::Graph;
+use std::collections::BTreeMap;
+
+/// Which clustering algorithm to run (dynamic selection in experiment
+/// configs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusteringKind {
+    /// [`lowest_id`].
+    LowestId,
+    /// [`highest_degree`].
+    HighestDegree,
+    /// [`greedy_dominating`].
+    GreedyDominating,
+}
+
+/// How boundary members are promoted to gateways.
+///
+/// In a 1-hop clustering every member sits one hop from its head, so a
+/// head-to-head relay path `head_A – g_A – g_B – head_B` needs at most two
+/// gateways per adjacent cluster pair (the paper: in 1-hop networks
+/// "the value of L is not more than three").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GatewayPolicy {
+    /// Every member with a neighbor in a different cluster becomes a
+    /// gateway. Simple and robust, but on dense graphs nearly all boundary
+    /// members are promoted and the hierarchy degenerates toward flooding.
+    AllBoundary,
+    /// Per adjacent cluster pair, only the endpoints of the canonically
+    /// smallest boundary edge are promoted — the designated-gateway scheme
+    /// real clustering protocols (e.g. CGSR) use. The head backbone stays
+    /// connected (see [`backbone_connects_heads`]) while almost all
+    /// boundary members remain silent members.
+    #[default]
+    MinimalPairwise,
+}
+
+/// A full clustering scheme: algorithm family plus gateway policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterScheme {
+    /// Classic 1-hop clustering (every member adjacent to its head).
+    OneHop(ClusteringKind, GatewayPolicy),
+    /// d-hop clustering via [`dhop_lowest_id`] — members up to `d` hops
+    /// from their head, reached through in-cluster parent chains.
+    DHop {
+        /// Cluster radius in hops (≥ 1).
+        d: usize,
+        /// Gateway designation policy.
+        policy: GatewayPolicy,
+    },
+}
+
+/// Run a full clustering scheme.
+pub fn cluster_scheme(scheme: ClusterScheme, g: &Graph) -> Hierarchy {
+    match scheme {
+        ClusterScheme::OneHop(kind, policy) => cluster_with_policy(kind, g, policy),
+        ClusterScheme::DHop { d, policy } => dhop_lowest_id(g, d, policy),
+    }
+}
+
+/// Run the selected algorithm with the default (minimal-pairwise) gateway
+/// policy.
+pub fn cluster(kind: ClusteringKind, g: &Graph) -> Hierarchy {
+    cluster_with_policy(kind, g, GatewayPolicy::default())
+}
+
+/// Run the selected algorithm with an explicit gateway policy.
+pub fn cluster_with_policy(kind: ClusteringKind, g: &Graph, policy: GatewayPolicy) -> Hierarchy {
+    let (heads, assignment) = match kind {
+        ClusteringKind::LowestId => lowest_id(g),
+        ClusteringKind::HighestDegree => highest_degree(g),
+        ClusteringKind::GreedyDominating => greedy_dominating(g),
+    };
+    assemble(g, &heads, &assignment, policy)
+}
+
+/// Shared tail of all algorithms: given the elected `heads` (sorted) and an
+/// assignment of every node to an adjacent head, build the hierarchy and
+/// promote boundary members to [`Role::Gateway`] per the policy.
+pub(crate) fn assemble(
+    g: &Graph,
+    heads: &[NodeId],
+    assignment: &[NodeId],
+    policy: GatewayPolicy,
+) -> Hierarchy {
+    let n = g.n();
+    debug_assert_eq!(assignment.len(), n);
+    let mut roles = vec![Role::Member; n];
+    for &h in heads {
+        roles[h.index()] = Role::Head;
+        debug_assert_eq!(assignment[h.index()], h, "head must be assigned to itself");
+    }
+    match policy {
+        GatewayPolicy::AllBoundary => {
+            for u in g.nodes() {
+                if roles[u.index()] != Role::Member {
+                    continue;
+                }
+                let my = assignment[u.index()];
+                if g.neighbors(u).iter().any(|&v| assignment[v.index()] != my) {
+                    roles[u.index()] = Role::Gateway;
+                }
+            }
+        }
+        GatewayPolicy::MinimalPairwise => {
+            // For each unordered cluster pair keep the lexicographically
+            // smallest boundary edge; promote its non-head endpoints.
+            let mut designated: BTreeMap<(NodeId, NodeId), (NodeId, NodeId)> = BTreeMap::new();
+            for u in g.nodes() {
+                let cu = assignment[u.index()];
+                for &v in g.neighbors(u) {
+                    if u >= v {
+                        continue;
+                    }
+                    let cv = assignment[v.index()];
+                    if cu == cv {
+                        continue;
+                    }
+                    let pair = if cu < cv { (cu, cv) } else { (cv, cu) };
+                    designated.entry(pair).or_insert((u, v));
+                }
+            }
+            for (u, v) in designated.into_values() {
+                for node in [u, v] {
+                    if roles[node.index()] == Role::Member {
+                        roles[node.index()] = Role::Gateway;
+                    }
+                }
+            }
+        }
+    }
+    let cluster_of = assignment
+        .iter()
+        .map(|&h| Some(ClusterId(h)))
+        .collect();
+    Hierarchy::new(roles, cluster_of)
+}
+
+/// Whether all heads are mutually reachable through the backbone alone
+/// (the subgraph induced by heads and gateways) — the structural property
+/// that lets HiNet algorithms keep members silent. Holds for
+/// [`GatewayPolicy::MinimalPairwise`] whenever `g` is connected: the
+/// cluster-adjacency graph of a connected graph is connected, and each
+/// adjacent pair is bridged by its designated gateway edge.
+pub fn backbone_connects_heads(g: &Graph, h: &Hierarchy) -> bool {
+    let heads = h.heads();
+    if heads.len() <= 1 {
+        return true;
+    }
+    let n = g.n();
+    let on_backbone =
+        |u: NodeId| -> bool { matches!(h.role(u), Role::Head | Role::Gateway) };
+    let mut seen = vec![false; n];
+    let mut queue = vec![heads[0]];
+    seen[heads[0].index()] = true;
+    let mut head_count = 1;
+    let mut cursor = 0;
+    while cursor < queue.len() {
+        let u = queue[cursor];
+        cursor += 1;
+        for &v in g.neighbors(u) {
+            if !seen[v.index()] && on_backbone(v) {
+                seen[v.index()] = true;
+                if h.is_head(v) {
+                    head_count += 1;
+                }
+                queue.push(v);
+            }
+        }
+    }
+    head_count == heads.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shared battery: every algorithm must produce a valid 1-hop hierarchy
+    /// on a range of shapes.
+    fn check_valid_on(kind: ClusteringKind, g: &Graph) {
+        let h = cluster(kind, g);
+        h.validate(g)
+            .unwrap_or_else(|e| panic!("{kind:?} on n={}: {e}", g.n()));
+        // 1-hop property: every non-head is adjacent to its head.
+        for u in g.nodes() {
+            if !h.is_head(u) {
+                let head = h.head_of(u).expect("clustered");
+                assert!(
+                    g.has_edge(u, head),
+                    "{kind:?}: node {u} not adjacent to head {head}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_valid_on_shapes() {
+        let shapes = [
+            Graph::complete(8),
+            Graph::path(9),
+            Graph::cycle(7),
+            Graph::star(10),
+            Graph::empty(5),
+            Graph::from_edges(6, [(0, 1), (2, 3), (4, 5)]),
+        ];
+        for g in &shapes {
+            for kind in [
+                ClusteringKind::LowestId,
+                ClusteringKind::HighestDegree,
+                ClusteringKind::GreedyDominating,
+            ] {
+                check_valid_on(kind, g);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_become_their_own_heads() {
+        let g = Graph::empty(4);
+        for kind in [
+            ClusteringKind::LowestId,
+            ClusteringKind::HighestDegree,
+            ClusteringKind::GreedyDominating,
+        ] {
+            let h = cluster(kind, &g);
+            assert_eq!(h.heads().len(), 4, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_single_cluster() {
+        let g = Graph::complete(6);
+        for kind in [
+            ClusteringKind::LowestId,
+            ClusteringKind::HighestDegree,
+            ClusteringKind::GreedyDominating,
+        ] {
+            let h = cluster(kind, &g);
+            assert_eq!(h.heads().len(), 1, "{kind:?}");
+            assert_eq!(h.gateway_count(), 0, "{kind:?}: one cluster, no gateways");
+        }
+    }
+
+    #[test]
+    fn gateways_appear_between_clusters() {
+        // Path of 7 under lowest-ID: heads {0, 2, 4, 6}; members 1, 3, 5
+        // sit on cluster boundaries and must be designated gateways.
+        let g = Graph::path(7);
+        let h = cluster(ClusteringKind::LowestId, &g);
+        assert!(h.gateway_count() > 0);
+    }
+
+    #[test]
+    fn minimal_policy_designates_fewer_gateways_than_all_boundary() {
+        // Dense-ish ring of rings: plenty of boundary members.
+        let mut edges = Vec::new();
+        let n = 24u32;
+        for u in 0..n {
+            edges.push((u, (u + 1) % n));
+            edges.push((u, (u + 2) % n));
+        }
+        let g = Graph::from_edges(n as usize, edges);
+        let all = cluster_with_policy(ClusteringKind::LowestId, &g, GatewayPolicy::AllBoundary);
+        let min =
+            cluster_with_policy(ClusteringKind::LowestId, &g, GatewayPolicy::MinimalPairwise);
+        assert!(
+            min.gateway_count() < all.gateway_count(),
+            "minimal {} vs all-boundary {}",
+            min.gateway_count(),
+            all.gateway_count()
+        );
+        assert!(min.member_count() > all.member_count());
+    }
+
+    #[test]
+    fn backbone_connected_under_both_policies() {
+        for g in [
+            Graph::path(13),
+            Graph::cycle(11),
+            Graph::complete(8),
+            Graph::star(9),
+        ] {
+            for policy in [GatewayPolicy::AllBoundary, GatewayPolicy::MinimalPairwise] {
+                for kind in [
+                    ClusteringKind::LowestId,
+                    ClusteringKind::HighestDegree,
+                    ClusteringKind::GreedyDominating,
+                ] {
+                    let h = cluster_with_policy(kind, &g, policy);
+                    assert!(
+                        backbone_connects_heads(&g, &h),
+                        "{kind:?}/{policy:?} on n={}",
+                        g.n()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backbone_check_detects_missing_gateways() {
+        // Two clusters with NO gateways: backbone disconnected.
+        use crate::hierarchy::Role;
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let roles = vec![Role::Head, Role::Member, Role::Member, Role::Head];
+        let c0 = Some(ClusterId(NodeId(0)));
+        let c3 = Some(ClusterId(NodeId(3)));
+        let h = Hierarchy::new(roles, vec![c0, c0, c3, c3]);
+        assert!(!backbone_connects_heads(&g, &h));
+    }
+
+    #[test]
+    fn backbone_trivially_connected_for_single_head() {
+        let g = Graph::star(5);
+        let h = cluster(ClusteringKind::LowestId, &g);
+        assert!(backbone_connects_heads(&g, &h));
+    }
+}

@@ -1,0 +1,18 @@
+//! CTVG trace generators.
+//!
+//! * [`HiNetGen`] — constructs hierarchies satisfying (T, L)-HiNet *by
+//!   construction*: per aligned window of `T` rounds the head set, gateway
+//!   backbone and member assignment are frozen; between windows members
+//!   re-affiliate (and heads optionally rotate). `T = 1` yields the
+//!   (1, L)-HiNet of Algorithm 2; `rotate_heads = false` yields the
+//!   ∞-interval stable head set of Remark 1.
+//! * [`ClusteredMobilityGen`] — derives the hierarchy per round by running a
+//!   clustering algorithm over any underlying topology provider: stability
+//!   becomes *emergent* rather than constructed, the realistic MANET/WSN
+//!   scenario from the paper's introduction.
+
+mod hinet;
+mod mobility;
+
+pub use hinet::{HiNetConfig, HiNetGen};
+pub use mobility::ClusteredMobilityGen;

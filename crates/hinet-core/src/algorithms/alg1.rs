@@ -1,0 +1,323 @@
+//! Algorithm 1: phase-based k-token dissemination in (T, L)-HiNet.
+
+use crate::params::PhasePlan;
+use hinet_cluster::hierarchy::Role;
+use hinet_graph::graph::NodeId;
+use hinet_sim::protocol::{Incoming, LocalView, Outgoing, Protocol};
+use hinet_sim::token::{max_not_in_either, min_not_in, TokenId, TokenSet};
+
+/// Algorithm 1 of the paper (Fig. 4): k-token dissemination in a
+/// (T, L)-HiNet, `M` phases of `T` rounds each.
+///
+/// Per-role behaviour, as in the pseudocode:
+///
+/// * **Member** — at each phase start, if its cluster head changed, it
+///   empties `TS` and `TR`. Each round it picks the *maximum-id* token in
+///   `TA \ (TS ∪ TR)` (a token the current head provably does not yet know
+///   via this member) and sends it to the head; tokens received from the
+///   head go into `TA` and `TR`.
+/// * **Head / gateway** — each round it picks the *minimum-id* token in
+///   `TA \ TS` and broadcasts it; at each phase end it empties `TS`.
+///
+/// With `assume_stable_heads = true` the Remark 1 variant is selected:
+/// members never reset `TS`/`TR` on re-affiliation (their collected tokens
+/// were already delivered to the stable backbone in the first phase), which
+/// removes the `n_m·n_r·k` re-send term from the communication cost.
+///
+/// Correct delivery is guaranteed by Theorem 1 when the plan uses
+/// `T ≥ k + α·L` and `M ≥ ⌈θ/α⌉ + 1` (see [`crate::params::alg1_plan`]).
+///
+/// Nodes whose role changes across phases (head rotation) reset their
+/// per-phase state at the phase boundary, which is exactly when a
+/// (T, L)-HiNet permits the hierarchy to change.
+#[derive(Clone, Debug)]
+pub struct HiNetPhased {
+    plan: PhasePlan,
+    assume_stable_heads: bool,
+    me: NodeId,
+    ta: TokenSet,
+    ts: TokenSet,
+    tr: TokenSet,
+    last_head: Option<NodeId>,
+    last_role: Option<Role>,
+    done: bool,
+}
+
+impl HiNetPhased {
+    /// Algorithm 1 with the given phase plan.
+    pub fn new(plan: PhasePlan) -> Self {
+        HiNetPhased {
+            plan,
+            assume_stable_heads: false,
+            me: NodeId(0),
+            ta: TokenSet::new(),
+            ts: TokenSet::new(),
+            tr: TokenSet::new(),
+            last_head: None,
+            last_role: None,
+            done: false,
+        }
+    }
+
+    /// The Remark 1 variant for ∞-interval stable head sets.
+    pub fn remark1(plan: PhasePlan) -> Self {
+        HiNetPhased {
+            assume_stable_heads: true,
+            ..Self::new(plan)
+        }
+    }
+
+    /// The phase plan in force.
+    pub fn plan(&self) -> PhasePlan {
+        self.plan
+    }
+
+    fn phase_start_bookkeeping(&mut self, view: &LocalView<'_>) {
+        if !self.plan.is_phase_start(view.round) {
+            return;
+        }
+        let role_changed = self.last_role.is_some_and(|r| r != view.role);
+        match view.role {
+            Role::Member => {
+                let head_changed = self.last_head != view.head;
+                let must_reset = role_changed || (head_changed && !self.assume_stable_heads);
+                if must_reset && view.round > 0 {
+                    self.ts.clear();
+                    self.tr.clear();
+                }
+            }
+            Role::Head | Role::Gateway => {
+                // A broadcaster starts each phase with a clean send-log; for
+                // continuing heads this matches the pseudocode's phase-end
+                // clear, and for freshly rotated-in heads it initialises it.
+                self.ts.clear();
+            }
+        }
+        self.last_head = view.head;
+        self.last_role = Some(view.role);
+    }
+}
+
+impl Protocol for HiNetPhased {
+    fn on_start(&mut self, me: NodeId, initial: &[TokenId]) {
+        self.me = me;
+        self.ta.extend(initial.iter().copied());
+    }
+
+    fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing> {
+        if self.plan.exhausted(view.round) {
+            self.done = true;
+            return vec![];
+        }
+        self.phase_start_bookkeeping(view);
+        match view.role {
+            Role::Member => {
+                let Some(head) = view.head else {
+                    return vec![];
+                };
+                debug_assert_ne!(head, self.me, "a member is not its own head");
+                match max_not_in_either(&self.ta, &self.ts, &self.tr) {
+                    Some(t) => {
+                        self.ts.insert(t);
+                        vec![Outgoing::unicast_one(head, t)]
+                    }
+                    None => vec![],
+                }
+            }
+            Role::Head | Role::Gateway => match min_not_in(&self.ta, &self.ts) {
+                Some(t) => {
+                    self.ts.insert(t);
+                    vec![Outgoing::broadcast_one(t)]
+                }
+                None => vec![],
+            },
+        }
+    }
+
+    fn receive(&mut self, view: &LocalView<'_>, inbox: &[Incoming]) {
+        for m in inbox {
+            self.ta.extend(m.tokens.iter().copied());
+            if view.role == Role::Member && Some(m.from) == view.head {
+                self.tr.extend(m.tokens.iter().copied());
+            }
+        }
+    }
+
+    fn known(&self) -> &TokenSet {
+        &self.ta
+    }
+
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::alg1_plan;
+    use hinet_cluster::hierarchy::ClusterId;
+
+    fn member_view<'a>(
+        round: usize,
+        head: NodeId,
+        neighbors: &'a [NodeId],
+    ) -> LocalView<'a> {
+        LocalView {
+            me: NodeId(5),
+            round,
+            role: Role::Member,
+            cluster: Some(ClusterId(head)),
+            head: Some(head),
+            parent: Some(head),
+            neighbors,
+        }
+    }
+
+    fn head_view<'a>(round: usize, me: NodeId, neighbors: &'a [NodeId]) -> LocalView<'a> {
+        LocalView {
+            me,
+            round,
+            role: Role::Head,
+            cluster: Some(ClusterId(me)),
+            head: Some(me),
+            parent: None,
+            neighbors,
+        }
+    }
+
+    #[test]
+    fn member_sends_max_id_unknown_token() {
+        let plan = alg1_plan(3, 1, 1, 2);
+        let mut p = HiNetPhased::new(plan);
+        p.on_start(NodeId(5), &[TokenId(1), TokenId(7), TokenId(3)]);
+        let head = NodeId(0);
+        let nbrs = [head];
+        let out = p.send(&member_view(0, head, &nbrs));
+        assert_eq!(out, vec![Outgoing::unicast_one(head, TokenId(7))]);
+        let out = p.send(&member_view(1, head, &nbrs));
+        assert_eq!(out, vec![Outgoing::unicast_one(head, TokenId(3))]);
+        let out = p.send(&member_view(2, head, &nbrs));
+        assert_eq!(out, vec![Outgoing::unicast_one(head, TokenId(1))]);
+        // Everything sent: silence.
+        assert!(p.send(&member_view(3, head, &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn member_skips_tokens_received_from_head() {
+        let plan = alg1_plan(4, 1, 1, 2);
+        let mut p = HiNetPhased::new(plan);
+        p.on_start(NodeId(5), &[TokenId(2)]);
+        let head = NodeId(0);
+        let nbrs = [head];
+        // Head broadcasts token 9 to us in round 0.
+        let view = member_view(0, head, &nbrs);
+        let _ = p.send(&view);
+        p.receive(
+            &view,
+            &[Incoming {
+                from: head,
+                directed: false,
+                tokens: vec![TokenId(9)],
+            }],
+        );
+        // Round 1: token 9 is in TR — head already knows it; nothing to send
+        // (2 already sent in round 0).
+        assert!(p.send(&member_view(1, head, &nbrs)).is_empty());
+        assert!(p.known().contains(&TokenId(9)));
+    }
+
+    #[test]
+    fn head_broadcasts_min_id_first() {
+        let plan = alg1_plan(3, 1, 1, 2);
+        let mut p = HiNetPhased::new(plan);
+        p.on_start(NodeId(0), &[TokenId(5), TokenId(2)]);
+        let nbrs = [NodeId(1), NodeId(2)];
+        let out = p.send(&head_view(0, NodeId(0), &nbrs));
+        assert_eq!(out, vec![Outgoing::broadcast_one(TokenId(2))]);
+        let out = p.send(&head_view(1, NodeId(0), &nbrs));
+        assert_eq!(out, vec![Outgoing::broadcast_one(TokenId(5))]);
+        assert!(p.send(&head_view(2, NodeId(0), &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn head_rebroadcasts_each_phase() {
+        // T = 3+1·1 = 4, so phase 1 starts at round 4.
+        let plan = alg1_plan(3, 1, 1, 3);
+        let mut p = HiNetPhased::new(plan);
+        p.on_start(NodeId(0), &[TokenId(1)]);
+        let nbrs = [NodeId(1)];
+        assert_eq!(
+            p.send(&head_view(0, NodeId(0), &nbrs)),
+            vec![Outgoing::broadcast_one(TokenId(1))]
+        );
+        assert!(p.send(&head_view(1, NodeId(0), &nbrs)).is_empty());
+        assert!(p.send(&head_view(3, NodeId(0), &nbrs)).is_empty());
+        // New phase: TS cleared, token 1 goes out again.
+        assert_eq!(
+            p.send(&head_view(4, NodeId(0), &nbrs)),
+            vec![Outgoing::broadcast_one(TokenId(1))]
+        );
+    }
+
+    #[test]
+    fn member_resends_after_head_change() {
+        let plan = alg1_plan(2, 1, 1, 3); // T = 3
+        let mut p = HiNetPhased::new(plan);
+        p.on_start(NodeId(5), &[TokenId(4)]);
+        let (h1, h2) = (NodeId(0), NodeId(1));
+        let nbrs = [h1, h2];
+        assert_eq!(
+            p.send(&member_view(0, h1, &nbrs)),
+            vec![Outgoing::unicast_one(h1, TokenId(4))]
+        );
+        assert!(p.send(&member_view(1, h1, &nbrs)).is_empty());
+        // Phase 1 (round 3) with a new head: TS/TR reset, token resent.
+        assert_eq!(
+            p.send(&member_view(3, h2, &nbrs)),
+            vec![Outgoing::unicast_one(h2, TokenId(4))]
+        );
+    }
+
+    #[test]
+    fn remark1_member_does_not_resend_after_head_change() {
+        let plan = alg1_plan(2, 1, 1, 3);
+        let mut p = HiNetPhased::remark1(plan);
+        p.on_start(NodeId(5), &[TokenId(4)]);
+        let (h1, h2) = (NodeId(0), NodeId(1));
+        let nbrs = [h1, h2];
+        assert_eq!(
+            p.send(&member_view(0, h1, &nbrs)),
+            vec![Outgoing::unicast_one(h1, TokenId(4))]
+        );
+        assert!(p.send(&member_view(3, h2, &nbrs)).is_empty());
+        assert!(p.send(&member_view(6, h1, &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn exhausted_plan_goes_silent() {
+        let plan = PhasePlan {
+            rounds_per_phase: 2,
+            phases: 1,
+        };
+        let mut p = HiNetPhased::new(plan);
+        p.on_start(NodeId(0), &[TokenId(0)]);
+        let nbrs = [NodeId(1)];
+        assert!(!p.send(&head_view(0, NodeId(0), &nbrs)).is_empty());
+        assert!(p.send(&head_view(2, NodeId(0), &nbrs)).is_empty());
+        assert!(p.send(&head_view(100, NodeId(0), &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn role_switch_member_to_head_resets_send_log() {
+        let plan = alg1_plan(2, 1, 1, 3); // T = 3
+        let mut p = HiNetPhased::new(plan);
+        p.on_start(NodeId(5), &[TokenId(4)]);
+        let h1 = NodeId(0);
+        let nbrs = [h1];
+        let _ = p.send(&member_view(0, h1, &nbrs)); // sends 4, TS = {4}
+        // Next phase this node is a head; it must broadcast 4 despite TS.
+        let out = p.send(&head_view(3, NodeId(5), &nbrs));
+        assert_eq!(out, vec![Outgoing::broadcast_one(TokenId(4))]);
+    }
+}

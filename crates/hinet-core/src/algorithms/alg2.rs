@@ -1,0 +1,217 @@
+//! Algorithm 2: full-`TA` k-token dissemination in (1, L)-HiNet.
+
+use hinet_cluster::hierarchy::Role;
+use hinet_graph::graph::NodeId;
+use hinet_sim::protocol::{Incoming, LocalView, Outgoing, Protocol};
+use hinet_sim::token::{TokenId, TokenSet};
+
+/// Algorithm 2 of the paper (Fig. 5): dissemination under the weakest
+/// hierarchy stability, (1, L)-HiNet, where the hierarchy may change every
+/// round.
+///
+/// * **Head / gateway** — broadcasts its whole `TA` every round. This is
+///   the price of weak stability: no per-phase send-log can be trusted, so
+///   previously known tokens ride along in every packet.
+/// * **Member** — sends its whole `TA` to its head in round 0, and again
+///   *only* when its cluster head changes ("a member node sends tokens to a
+///   cluster head only once" per affiliation). Otherwise it just listens.
+///
+/// Termination after `M` rounds; the paper proves correctness for
+/// `M ≥ n − 1` under 1-interval connectivity (Theorem 2), `M ≥ ⌈θ/α⌉ + 1`
+/// under (α·L)-interval head connectivity (Theorem 3), and `M ≥ θ·L + 1`
+/// under an L-interval stable hierarchy (Theorem 4) — pick `M` with the
+/// helpers in [`crate::params`].
+#[derive(Clone, Debug)]
+pub struct HiNetFullExchange {
+    rounds: usize,
+    me: NodeId,
+    ta: TokenSet,
+    last_head: Option<NodeId>,
+    started: bool,
+    done: bool,
+}
+
+impl HiNetFullExchange {
+    /// Algorithm 2 running for `rounds` rounds.
+    pub fn new(rounds: usize) -> Self {
+        HiNetFullExchange {
+            rounds,
+            me: NodeId(0),
+            ta: TokenSet::new(),
+            last_head: None,
+            started: false,
+            done: false,
+        }
+    }
+
+    /// The configured round budget `M`.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl Protocol for HiNetFullExchange {
+    fn on_start(&mut self, me: NodeId, initial: &[TokenId]) {
+        self.me = me;
+        self.ta.extend(initial.iter().copied());
+    }
+
+    fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing> {
+        if view.round >= self.rounds {
+            self.done = true;
+            return vec![];
+        }
+        let out = match view.role {
+            Role::Head | Role::Gateway => {
+                if self.ta.is_empty() {
+                    vec![]
+                } else {
+                    vec![Outgoing::broadcast_set(&self.ta)]
+                }
+            }
+            Role::Member => {
+                let first = !self.started;
+                let head_changed = self.last_head != view.head;
+                match view.head {
+                    Some(h) if (first || head_changed) && !self.ta.is_empty() => {
+                        vec![Outgoing::unicast_set(h, &self.ta)]
+                    }
+                    _ => vec![],
+                }
+            }
+        };
+        self.started = true;
+        self.last_head = view.head;
+        out
+    }
+
+    fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
+        for m in inbox {
+            self.ta.extend(m.tokens.iter().copied());
+        }
+    }
+
+    fn known(&self) -> &TokenSet {
+        &self.ta
+    }
+
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinet_cluster::hierarchy::ClusterId;
+
+    fn member_view<'a>(round: usize, head: NodeId, neighbors: &'a [NodeId]) -> LocalView<'a> {
+        LocalView {
+            me: NodeId(5),
+            round,
+            role: Role::Member,
+            cluster: Some(ClusterId(head)),
+            head: Some(head),
+            parent: Some(head),
+            neighbors,
+        }
+    }
+
+    fn head_view<'a>(round: usize, me: NodeId, neighbors: &'a [NodeId]) -> LocalView<'a> {
+        LocalView {
+            me,
+            round,
+            role: Role::Head,
+            cluster: Some(ClusterId(me)),
+            head: Some(me),
+            parent: None,
+            neighbors,
+        }
+    }
+
+    #[test]
+    fn head_broadcasts_full_ta_every_round() {
+        let mut p = HiNetFullExchange::new(5);
+        p.on_start(NodeId(0), &[TokenId(1), TokenId(2)]);
+        let nbrs = [NodeId(1)];
+        for r in 0..5 {
+            let out = p.send(&head_view(r, NodeId(0), &nbrs));
+            assert_eq!(out.len(), 1, "round {r}");
+            assert_eq!(out[0].tokens, vec![TokenId(1), TokenId(2)]);
+        }
+        assert!(p.send(&head_view(5, NodeId(0), &nbrs)).is_empty());
+        assert!(p.finished());
+    }
+
+    #[test]
+    fn member_sends_once_per_affiliation() {
+        let mut p = HiNetFullExchange::new(10);
+        p.on_start(NodeId(5), &[TokenId(3)]);
+        let (h1, h2) = (NodeId(0), NodeId(1));
+        let nbrs = [h1, h2];
+        // Round 0: initial send.
+        assert_eq!(
+            p.send(&member_view(0, h1, &nbrs)),
+            vec![Outgoing::unicast_set(h1, &p.ta.clone())]
+        );
+        // Rounds 1-2: same head — silence.
+        assert!(p.send(&member_view(1, h1, &nbrs)).is_empty());
+        assert!(p.send(&member_view(2, h1, &nbrs)).is_empty());
+        // Round 3: re-affiliated — full TA to the new head.
+        let out = p.send(&member_view(3, h2, &nbrs));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dest, hinet_sim::protocol::Destination::Unicast(h2));
+        // Round 4: settled again.
+        assert!(p.send(&member_view(4, h2, &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn member_ta_grows_from_any_source() {
+        let mut p = HiNetFullExchange::new(10);
+        p.on_start(NodeId(5), &[]);
+        let h = NodeId(0);
+        let nbrs = [h, NodeId(2)];
+        let view = member_view(0, h, &nbrs);
+        let _ = p.send(&view);
+        p.receive(
+            &view,
+            &[
+                Incoming {
+                    from: h,
+                    directed: false,
+                    tokens: vec![TokenId(1)],
+                },
+                Incoming {
+                    from: NodeId(2),
+                    directed: false,
+                    tokens: vec![TokenId(2)],
+                },
+            ],
+        );
+        assert!(p.known().contains(&TokenId(1)));
+        assert!(p.known().contains(&TokenId(2)));
+    }
+
+    #[test]
+    fn empty_ta_sends_nothing() {
+        let mut p = HiNetFullExchange::new(3);
+        p.on_start(NodeId(0), &[]);
+        let nbrs = [NodeId(1)];
+        assert!(p.send(&head_view(0, NodeId(0), &nbrs)).is_empty());
+        assert!(p.send(&member_view(1, NodeId(1), &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn member_role_switch_to_head_broadcasts() {
+        let mut p = HiNetFullExchange::new(10);
+        p.on_start(NodeId(5), &[TokenId(7)]);
+        let nbrs = [NodeId(0)];
+        let _ = p.send(&member_view(0, NodeId(0), &nbrs));
+        let out = p.send(&head_view(1, NodeId(5), &nbrs));
+        assert_eq!(out.len(), 1, "as head it must broadcast");
+        assert_eq!(
+            out[0].dest,
+            hinet_sim::protocol::Destination::Broadcast
+        );
+    }
+}

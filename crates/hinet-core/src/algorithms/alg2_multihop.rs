@@ -1,0 +1,216 @@
+//! Multi-hop extension of Algorithm 2 for d-hop clusters (§VI future work).
+
+use hinet_cluster::hierarchy::Role;
+use hinet_graph::graph::NodeId;
+use hinet_sim::protocol::{Incoming, LocalView, Outgoing, Protocol};
+use hinet_sim::token::{TokenId, TokenSet};
+
+/// Algorithm 2 generalised to **d-hop clusters**, where members may sit
+/// several hops from their head and must both *relay upward* (their own
+/// and their subtree's tokens toward the head) and *relay downward* (the
+/// head's broadcasts toward deeper members).
+///
+/// Per-role behaviour:
+///
+/// * **Head / gateway** — broadcasts its whole `TA` every round, exactly
+///   as in Algorithm 2.
+/// * **Member** — unicasts its `TA` to its **parent** (the next hop toward
+///   the head, from the cluster's BFS tree) whenever its affiliation is
+///   fresh (round 0 or parent changed) **or its `TA` grew** in the
+///   previous round; and it additionally **broadcasts** its `TA` in the
+///   round after a growth, which carries the head's tokens down to deeper
+///   tree levels.
+///
+/// Under a hierarchy stable for at least `d` consecutive rounds, each
+/// token climbs one tree level per round via the parent unicasts and
+/// descends one level per round via the growth-triggered member
+/// broadcasts, so intra-cluster convergence needs ≤ 2d rounds per head
+/// update. Member traffic is growth-bounded: a member transmits only
+/// `O(k)` times per affiliation (its `TA` can grow at most `k` times),
+/// versus every round for flooding. With `d = 1` the behaviour is
+/// Algorithm 2 plus at most one extra member broadcast per growth —
+/// the price of not knowing the cluster is flat.
+#[derive(Clone, Debug)]
+pub struct HiNetFullExchangeMH {
+    rounds: usize,
+    me: NodeId,
+    ta: TokenSet,
+    last_parent: Option<NodeId>,
+    grew: bool,
+    started: bool,
+    done: bool,
+}
+
+impl HiNetFullExchangeMH {
+    /// Multi-hop Algorithm 2 running for `rounds` rounds.
+    pub fn new(rounds: usize) -> Self {
+        HiNetFullExchangeMH {
+            rounds,
+            me: NodeId(0),
+            ta: TokenSet::new(),
+            last_parent: None,
+            grew: false,
+            started: false,
+            done: false,
+        }
+    }
+}
+
+impl Protocol for HiNetFullExchangeMH {
+    fn on_start(&mut self, me: NodeId, initial: &[TokenId]) {
+        self.me = me;
+        self.ta.extend(initial.iter().copied());
+    }
+
+    fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing> {
+        if view.round >= self.rounds {
+            self.done = true;
+            return vec![];
+        }
+        let out = match view.role {
+            Role::Head | Role::Gateway => {
+                if self.ta.is_empty() {
+                    vec![]
+                } else {
+                    vec![Outgoing::broadcast_set(&self.ta)]
+                }
+            }
+            Role::Member => {
+                let fresh = !self.started || self.last_parent != view.parent;
+                let mut out = Vec::new();
+                if !self.ta.is_empty() {
+                    if fresh || self.grew {
+                        if let Some(p) = view.parent {
+                            out.push(Outgoing::unicast_set(p, &self.ta));
+                        }
+                    }
+                    if self.grew {
+                        // Downward relay: push the news to the subtree.
+                        out.push(Outgoing::broadcast_set(&self.ta));
+                    }
+                }
+                out
+            }
+        };
+        self.started = true;
+        self.last_parent = view.parent;
+        self.grew = false;
+        out
+    }
+
+    fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
+        for m in inbox {
+            for &t in &m.tokens {
+                if self.ta.insert(t) {
+                    self.grew = true;
+                }
+            }
+        }
+    }
+
+    fn known(&self) -> &TokenSet {
+        &self.ta
+    }
+
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinet_cluster::hierarchy::ClusterId;
+
+    fn deep_member_view<'a>(
+        round: usize,
+        head: NodeId,
+        parent: NodeId,
+        neighbors: &'a [NodeId],
+    ) -> LocalView<'a> {
+        LocalView {
+            me: NodeId(9),
+            round,
+            role: Role::Member,
+            cluster: Some(ClusterId(head)),
+            head: Some(head),
+            parent: Some(parent),
+            neighbors,
+        }
+    }
+
+    #[test]
+    fn member_unicasts_to_parent_not_head() {
+        let mut p = HiNetFullExchangeMH::new(10);
+        p.on_start(NodeId(9), &[TokenId(4)]);
+        let (head, parent) = (NodeId(0), NodeId(3));
+        let nbrs = [parent];
+        let out = p.send(&deep_member_view(0, head, parent, &nbrs));
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].dest,
+            hinet_sim::protocol::Destination::Unicast(parent)
+        );
+    }
+
+    #[test]
+    fn growth_triggers_upward_and_downward_relay() {
+        let mut p = HiNetFullExchangeMH::new(10);
+        p.on_start(NodeId(9), &[TokenId(1)]);
+        let (head, parent) = (NodeId(0), NodeId(3));
+        let nbrs = [parent, NodeId(5)];
+        let v0 = deep_member_view(0, head, parent, &nbrs);
+        let _ = p.send(&v0);
+        p.receive(
+            &v0,
+            &[Incoming {
+                from: parent,
+                directed: false,
+                tokens: vec![TokenId(7)],
+            }],
+        );
+        let out = p.send(&deep_member_view(1, head, parent, &nbrs));
+        assert_eq!(out.len(), 2, "unicast up + broadcast down");
+        assert!(out
+            .iter()
+            .any(|o| o.dest == hinet_sim::protocol::Destination::Unicast(parent)));
+        assert!(out
+            .iter()
+            .any(|o| o.dest == hinet_sim::protocol::Destination::Broadcast));
+        // Quiet once nothing grows.
+        assert!(p.send(&deep_member_view(2, head, parent, &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn parent_change_retriggers_upload() {
+        let mut p = HiNetFullExchangeMH::new(10);
+        p.on_start(NodeId(9), &[TokenId(2)]);
+        let head = NodeId(0);
+        let (p1, p2) = (NodeId(3), NodeId(4));
+        let nbrs = [p1, p2];
+        let _ = p.send(&deep_member_view(0, head, p1, &nbrs));
+        assert!(p.send(&deep_member_view(1, head, p1, &nbrs)).is_empty());
+        let out = p.send(&deep_member_view(2, head, p2, &nbrs));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dest, hinet_sim::protocol::Destination::Unicast(p2));
+    }
+
+    #[test]
+    fn head_behaviour_matches_alg2() {
+        let mut p = HiNetFullExchangeMH::new(3);
+        p.on_start(NodeId(0), &[TokenId(1)]);
+        let nbrs = [NodeId(1)];
+        let head_view = LocalView {
+            me: NodeId(0),
+            round: 0,
+            role: Role::Head,
+            cluster: Some(ClusterId(NodeId(0))),
+            head: Some(NodeId(0)),
+            parent: None,
+            neighbors: &nbrs,
+        };
+        let out = p.send(&head_view);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dest, hinet_sim::protocol::Destination::Broadcast);
+    }
+}

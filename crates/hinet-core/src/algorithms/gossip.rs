@@ -1,0 +1,145 @@
+//! Randomised push gossip baseline.
+
+use hinet_graph::graph::NodeId;
+use hinet_graph::rng::stream_rng;
+use hinet_sim::protocol::{Incoming, LocalView, Outgoing, Protocol};
+use hinet_sim::token::{TokenId, TokenSet};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Push gossip (Pittel-style rumor spreading adapted to dynamic graphs):
+/// each round every node sends its whole `TA` to **one uniformly random
+/// current neighbor**.
+///
+/// Gossip is the classic probabilistic alternative the paper's related-work
+/// section surveys; it has no deterministic delivery guarantee in
+/// adversarial dynamics, which is exactly the contrast the extension
+/// experiments illustrate (it completes fast on benign topologies and can
+/// stall against the worst-case path adversary).
+#[derive(Debug)]
+pub struct Gossip {
+    rounds: usize,
+    seed: u64,
+    ta: TokenSet,
+    rng: StdRng,
+    done: bool,
+}
+
+impl Gossip {
+    /// Gossip for at most `rounds` rounds; per-node determinism derives
+    /// from `(seed, node)` at [`Protocol::on_start`].
+    pub fn new(rounds: usize, seed: u64) -> Self {
+        Gossip {
+            rounds,
+            seed,
+            ta: TokenSet::new(),
+            rng: stream_rng(seed, 0),
+            done: false,
+        }
+    }
+}
+
+impl Protocol for Gossip {
+    fn on_start(&mut self, me: NodeId, initial: &[TokenId]) {
+        self.rng = stream_rng(self.seed, me.0 as u64);
+        self.ta.extend(initial.iter().copied());
+    }
+
+    fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing> {
+        if view.round >= self.rounds {
+            self.done = true;
+            return vec![];
+        }
+        if self.ta.is_empty() || view.neighbors.is_empty() {
+            return vec![];
+        }
+        let target = view.neighbors[self.rng.random_range(0..view.neighbors.len())];
+        vec![Outgoing::unicast_set(target, &self.ta)]
+    }
+
+    fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
+        for m in inbox {
+            self.ta.extend(m.tokens.iter().copied());
+        }
+    }
+
+    fn known(&self) -> &TokenSet {
+        &self.ta
+    }
+
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinet_cluster::hierarchy::Role;
+    use hinet_sim::protocol::Destination;
+
+    fn view<'a>(round: usize, me: NodeId, neighbors: &'a [NodeId]) -> LocalView<'a> {
+        LocalView {
+            me,
+            round,
+            role: Role::Member,
+            cluster: None,
+            head: None,
+            parent: None,
+            neighbors,
+        }
+    }
+
+    #[test]
+    fn targets_are_neighbors() {
+        let mut p = Gossip::new(50, 7);
+        p.on_start(NodeId(0), &[TokenId(1)]);
+        let nbrs = [NodeId(3), NodeId(8), NodeId(9)];
+        for r in 0..50 {
+            let out = p.send(&view(r, NodeId(0), &nbrs));
+            assert_eq!(out.len(), 1);
+            match out[0].dest {
+                Destination::Unicast(t) => assert!(nbrs.contains(&t)),
+                _ => panic!("gossip must unicast"),
+            }
+        }
+    }
+
+    #[test]
+    fn eventually_uses_multiple_targets() {
+        let mut p = Gossip::new(100, 11);
+        p.on_start(NodeId(0), &[TokenId(1)]);
+        let nbrs = [NodeId(1), NodeId(2)];
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..100 {
+            if let Destination::Unicast(t) = p.send(&view(r, NodeId(0), &nbrs))[0].dest {
+                seen.insert(t);
+            }
+        }
+        assert_eq!(seen.len(), 2, "both neighbors should be picked over 100 rounds");
+    }
+
+    #[test]
+    fn silent_with_no_neighbors_or_tokens() {
+        let mut p = Gossip::new(10, 3);
+        p.on_start(NodeId(0), &[]);
+        assert!(p.send(&view(0, NodeId(0), &[NodeId(1)])).is_empty());
+        let mut q = Gossip::new(10, 3);
+        q.on_start(NodeId(0), &[TokenId(1)]);
+        assert!(q.send(&view(0, NodeId(0), &[])).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<Destination> {
+            let mut p = Gossip::new(20, seed);
+            p.on_start(NodeId(4), &[TokenId(0)]);
+            let nbrs = [NodeId(1), NodeId(2), NodeId(3)];
+            (0..20)
+                .map(|r| p.send(&view(r, NodeId(4), &nbrs))[0].dest.clone())
+                .collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,160 @@
+//! k-active flooding (Baumann, Crescenzi & Fraigniaud).
+
+use hinet_graph::graph::NodeId;
+use hinet_sim::protocol::{Incoming, LocalView, Outgoing, Protocol};
+use hinet_sim::token::{TokenId, TokenSet};
+use std::collections::BTreeMap;
+
+/// Parsimonious ("k-active") flooding: a node forwards each token for only
+/// `activity` consecutive rounds after first learning it, then retires it.
+///
+/// This is the related-work baseline from Baumann et al. (PODC 2009) the
+/// paper cites: cheaper than full flooding because old tokens stop
+/// circulating, but without the deterministic completeness guarantee under
+/// adversarial churn (a retired token cannot reach a node that was
+/// persistently cut off while it was active). The extension experiments use
+/// it as the "middle ground" between full flooding and HiNet.
+#[derive(Clone, Debug)]
+pub struct KActiveFlood {
+    activity: usize,
+    max_rounds: usize,
+    ta: TokenSet,
+    /// Remaining active rounds per token.
+    active: BTreeMap<TokenId, usize>,
+    done: bool,
+}
+
+impl KActiveFlood {
+    /// Flood each token for `activity ≥ 1` rounds, stopping the node after
+    /// `max_rounds` regardless.
+    ///
+    /// # Panics
+    /// Panics if `activity == 0`.
+    pub fn new(activity: usize, max_rounds: usize) -> Self {
+        assert!(activity >= 1, "tokens must be active at least one round");
+        KActiveFlood {
+            activity,
+            max_rounds,
+            ta: TokenSet::new(),
+            active: BTreeMap::new(),
+            done: false,
+        }
+    }
+}
+
+impl Protocol for KActiveFlood {
+    fn on_start(&mut self, _me: NodeId, initial: &[TokenId]) {
+        for &t in initial {
+            self.ta.insert(t);
+            self.active.insert(t, self.activity);
+        }
+    }
+
+    fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing> {
+        if view.round >= self.max_rounds {
+            self.done = true;
+            return vec![];
+        }
+        if self.active.is_empty() {
+            return vec![];
+        }
+        let payload: Vec<TokenId> = self.active.keys().copied().collect();
+        // Age the batch that was just sent.
+        self.active.retain(|_, left| {
+            *left -= 1;
+            *left > 0
+        });
+        vec![Outgoing {
+            dest: hinet_sim::protocol::Destination::Broadcast,
+            tokens: payload,
+        }]
+    }
+
+    fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
+        for m in inbox {
+            for &t in &m.tokens {
+                if self.ta.insert(t) {
+                    self.active.insert(t, self.activity);
+                }
+            }
+        }
+    }
+
+    fn known(&self) -> &TokenSet {
+        &self.ta
+    }
+
+    fn finished(&self) -> bool {
+        self.done || self.active.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinet_cluster::hierarchy::Role;
+
+    fn view<'a>(round: usize, neighbors: &'a [NodeId]) -> LocalView<'a> {
+        LocalView {
+            me: NodeId(0),
+            round,
+            role: Role::Member,
+            cluster: None,
+            head: None,
+            parent: None,
+            neighbors,
+        }
+    }
+
+    #[test]
+    fn token_retires_after_activity_rounds() {
+        let mut p = KActiveFlood::new(2, 100);
+        p.on_start(NodeId(0), &[TokenId(1)]);
+        let nbrs = [NodeId(1)];
+        assert_eq!(p.send(&view(0, &nbrs))[0].tokens, vec![TokenId(1)]);
+        assert_eq!(p.send(&view(1, &nbrs))[0].tokens, vec![TokenId(1)]);
+        assert!(p.send(&view(2, &nbrs)).is_empty(), "retired after 2 sends");
+        assert!(p.finished(), "nothing active anymore");
+        assert!(p.known().contains(&TokenId(1)), "still known");
+    }
+
+    #[test]
+    fn relearning_does_not_reactivate() {
+        let mut p = KActiveFlood::new(1, 100);
+        p.on_start(NodeId(0), &[TokenId(1)]);
+        let nbrs = [NodeId(1)];
+        let _ = p.send(&view(0, &nbrs));
+        p.receive(
+            &view(0, &nbrs),
+            &[Incoming {
+                from: NodeId(1),
+                directed: false,
+                tokens: vec![TokenId(1)],
+            }],
+        );
+        assert!(p.send(&view(1, &nbrs)).is_empty(), "already-known token stays retired");
+    }
+
+    #[test]
+    fn fresh_token_becomes_active() {
+        let mut p = KActiveFlood::new(3, 100);
+        p.on_start(NodeId(0), &[]);
+        let nbrs = [NodeId(1)];
+        assert!(p.send(&view(0, &nbrs)).is_empty());
+        p.receive(
+            &view(0, &nbrs),
+            &[Incoming {
+                from: NodeId(1),
+                directed: false,
+                tokens: vec![TokenId(9)],
+            }],
+        );
+        assert_eq!(p.send(&view(1, &nbrs))[0].tokens, vec![TokenId(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "active at least one round")]
+    fn zero_activity_rejected() {
+        let _ = KActiveFlood::new(0, 10);
+    }
+}

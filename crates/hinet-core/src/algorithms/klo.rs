@@ -1,0 +1,205 @@
+//! The flat Kuhn–Lynch–Oshman baselines of Table 2.
+
+use crate::params::PhasePlan;
+use hinet_graph::graph::NodeId;
+use hinet_sim::protocol::{Incoming, LocalView, Outgoing, Protocol};
+use hinet_sim::token::{min_not_in, TokenId, TokenSet};
+
+/// The KLO T-interval-connected k-token dissemination baseline: `M` phases
+/// of `T` rounds; **every** node, regardless of role, broadcasts per round
+/// the minimum-id token it has not yet broadcast this phase, and clears its
+/// send-log at phase boundaries.
+///
+/// This is exactly Algorithm 1's head/gateway behaviour applied to a flat
+/// network — the paper's Table 2 derives the baseline's `⌈n₀/2α⌉·n₀·k`
+/// communication from every node broadcasting up to `k` tokens per phase.
+/// Use [`crate::params::klo_plan`] for the Table 2 parameterisation.
+#[derive(Clone, Debug)]
+pub struct KloPhased {
+    plan: PhasePlan,
+    ta: TokenSet,
+    ts: TokenSet,
+    done: bool,
+}
+
+impl KloPhased {
+    /// KLO baseline with the given plan.
+    pub fn new(plan: PhasePlan) -> Self {
+        KloPhased {
+            plan,
+            ta: TokenSet::new(),
+            ts: TokenSet::new(),
+            done: false,
+        }
+    }
+}
+
+impl Protocol for KloPhased {
+    fn on_start(&mut self, _me: NodeId, initial: &[TokenId]) {
+        self.ta.extend(initial.iter().copied());
+    }
+
+    fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing> {
+        if self.plan.exhausted(view.round) {
+            self.done = true;
+            return vec![];
+        }
+        if self.plan.is_phase_start(view.round) {
+            self.ts.clear();
+        }
+        match min_not_in(&self.ta, &self.ts) {
+            Some(t) => {
+                self.ts.insert(t);
+                vec![Outgoing::broadcast_one(t)]
+            }
+            None => vec![],
+        }
+    }
+
+    fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
+        for m in inbox {
+            self.ta.extend(m.tokens.iter().copied());
+        }
+    }
+
+    fn known(&self) -> &TokenSet {
+        &self.ta
+    }
+
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+/// The KLO 1-interval-connected baseline: every node broadcasts its entire
+/// `TA` every round for `n − 1` rounds — the token-forwarding flooding whose
+/// `(n₀−1)·n₀·k` cost anchors Table 2's third row.
+#[derive(Clone, Debug)]
+pub struct KloFlood {
+    rounds: usize,
+    ta: TokenSet,
+    done: bool,
+}
+
+impl KloFlood {
+    /// Flood for `rounds` rounds (Theorem: `n − 1` suffices under
+    /// 1-interval connectivity).
+    pub fn new(rounds: usize) -> Self {
+        KloFlood {
+            rounds,
+            ta: TokenSet::new(),
+            done: false,
+        }
+    }
+}
+
+impl Protocol for KloFlood {
+    fn on_start(&mut self, _me: NodeId, initial: &[TokenId]) {
+        self.ta.extend(initial.iter().copied());
+    }
+
+    fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing> {
+        if view.round >= self.rounds {
+            self.done = true;
+            return vec![];
+        }
+        if self.ta.is_empty() {
+            vec![]
+        } else {
+            vec![Outgoing::broadcast_set(&self.ta)]
+        }
+    }
+
+    fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
+        for m in inbox {
+            self.ta.extend(m.tokens.iter().copied());
+        }
+    }
+
+    fn known(&self) -> &TokenSet {
+        &self.ta
+    }
+
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::klo_plan;
+    use hinet_cluster::hierarchy::Role;
+
+    fn flat_view<'a>(round: usize, me: NodeId, neighbors: &'a [NodeId]) -> LocalView<'a> {
+        // Baselines ignore the hierarchy; any role works.
+        LocalView {
+            me,
+            round,
+            role: Role::Member,
+            cluster: None,
+            head: None,
+            parent: None,
+            neighbors,
+        }
+    }
+
+    #[test]
+    fn klo_phased_min_id_order_and_phase_reset() {
+        let plan = klo_plan(2, 1, 1, 3); // T = 3, phases = 3
+        let mut p = KloPhased::new(plan);
+        p.on_start(NodeId(0), &[TokenId(9), TokenId(4)]);
+        let nbrs = [NodeId(1)];
+        assert_eq!(
+            p.send(&flat_view(0, NodeId(0), &nbrs)),
+            vec![Outgoing::broadcast_one(TokenId(4))]
+        );
+        assert_eq!(
+            p.send(&flat_view(1, NodeId(0), &nbrs)),
+            vec![Outgoing::broadcast_one(TokenId(9))]
+        );
+        assert!(p.send(&flat_view(2, NodeId(0), &nbrs)).is_empty());
+        // New phase at round 3: log reset.
+        assert_eq!(
+            p.send(&flat_view(3, NodeId(0), &nbrs)),
+            vec![Outgoing::broadcast_one(TokenId(4))]
+        );
+    }
+
+    #[test]
+    fn klo_phased_exhaustion() {
+        let plan = PhasePlan {
+            rounds_per_phase: 2,
+            phases: 2,
+        };
+        let mut p = KloPhased::new(plan);
+        p.on_start(NodeId(0), &[TokenId(0)]);
+        let nbrs = [NodeId(1)];
+        assert!(!p.send(&flat_view(0, NodeId(0), &nbrs)).is_empty());
+        assert!(p.send(&flat_view(4, NodeId(0), &nbrs)).is_empty());
+        assert!(p.finished());
+    }
+
+    #[test]
+    fn klo_flood_sends_whole_ta() {
+        let mut p = KloFlood::new(3);
+        p.on_start(NodeId(0), &[TokenId(1)]);
+        let nbrs = [NodeId(1)];
+        let view = flat_view(0, NodeId(0), &nbrs);
+        assert_eq!(p.send(&view)[0].tokens, vec![TokenId(1)]);
+        p.receive(
+            &view,
+            &[Incoming {
+                from: NodeId(1),
+                directed: false,
+                tokens: vec![TokenId(5)],
+            }],
+        );
+        assert_eq!(
+            p.send(&flat_view(1, NodeId(0), &nbrs))[0].tokens,
+            vec![TokenId(1), TokenId(5)]
+        );
+        assert!(p.send(&flat_view(3, NodeId(0), &nbrs)).is_empty());
+        assert!(p.finished());
+    }
+}

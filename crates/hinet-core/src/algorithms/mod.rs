@@ -1,0 +1,23 @@
+//! The dissemination algorithms.
+//!
+//! All are [`hinet_sim::Protocol`] implementations driven by the round
+//! engine. The paper's two algorithms consult the node's role and cluster
+//! from the [`hinet_sim::LocalView`]; the flat baselines ignore the
+//! hierarchy entirely (they model the algorithms of Kuhn–Lynch–Oshman,
+//! which predate any cluster structure).
+
+mod alg1;
+mod alg2;
+mod alg2_multihop;
+mod delta;
+mod gossip;
+mod kactive;
+mod klo;
+
+pub use alg1::HiNetPhased;
+pub use alg2::HiNetFullExchange;
+pub use alg2_multihop::HiNetFullExchangeMH;
+pub use delta::DeltaFlood;
+pub use gossip::Gossip;
+pub use kactive::KActiveFlood;
+pub use klo::{KloFlood, KloPhased};

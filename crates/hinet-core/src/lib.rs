@@ -1,0 +1,73 @@
+//! # hinet-core
+//!
+//! The paper's contribution: hierarchical k-token dissemination algorithms
+//! for (T, L)-HiNet dynamic networks, the Kuhn–Lynch–Oshman baselines they
+//! are compared against, and the analytical cost model of the evaluation
+//! section.
+//!
+//! * [`algorithms::HiNetPhased`] — **Algorithm 1** (phase-based
+//!   dissemination for (T, L)-HiNet), including the Remark 1 variant for
+//!   ∞-interval stable head sets.
+//! * [`algorithms::HiNetFullExchange`] — **Algorithm 2** (full-`TA`
+//!   exchange for (1, L)-HiNet).
+//! * [`algorithms::KloPhased`] / [`algorithms::KloFlood`] — the flat
+//!   T-interval and 1-interval baselines from Kuhn, Lynch & Oshman that
+//!   Table 2 compares against.
+//! * [`algorithms::Gossip`] / [`algorithms::KActiveFlood`] — additional
+//!   related-work baselines (randomised gossip; Baumann et al.'s k-active
+//!   flooding) used by the extension experiments.
+//! * [`analysis`] — the closed-form time/communication formulas of Table 2
+//!   and their Table 3 instantiation (including the documented arithmetic
+//!   erratum in the paper's final row).
+//! * [`params`] — phase arithmetic shared by algorithms and analysis
+//!   (`T ≥ k + αL`, `M = ⌈θ/α⌉ + 1`, …).
+//! * [`runner`] — one-call execution of any algorithm on any
+//!   `HierarchyProvider`, returning the simulator's [`hinet_sim::RunReport`].
+//!
+//! # Example
+//!
+//! Disseminate 4 tokens over a (T, L)-HiNet with Algorithm 1, completing
+//! within Theorem 1's bound:
+//!
+//! ```
+//! use hinet_cluster::generators::{HiNetConfig, HiNetGen};
+//! use hinet_core::params::alg1_plan;
+//! use hinet_core::runner::{run_algorithm, AlgorithmKind};
+//! use hinet_sim::engine::RunConfig;
+//! use hinet_sim::token::round_robin_assignment;
+//!
+//! let (k, alpha, l, theta) = (4, 2, 2, 8);
+//! let plan = alg1_plan(k, alpha, l, theta); // T = k + αL, M = ⌈θ/α⌉ + 1
+//! let mut net = HiNetGen::new(HiNetConfig {
+//!     n: 24,
+//!     num_heads: 4,
+//!     theta,
+//!     l,
+//!     t: plan.rounds_per_phase,
+//!     reaffil_prob: 0.2,
+//!     rotate_heads: true,
+//!     noise_edges: 4,
+//!     seed: 7,
+//! });
+//! let report = run_algorithm(
+//!     &AlgorithmKind::HiNetPhased(plan),
+//!     &mut net,
+//!     &round_robin_assignment(24, k),
+//!     RunConfig::default(),
+//! );
+//! assert!(report.completed());
+//! assert!(report.completion_round.unwrap() <= plan.total_rounds());
+//! ```
+
+pub mod algorithms;
+pub mod analysis;
+pub mod netcode;
+pub mod params;
+pub mod runner;
+
+pub use algorithms::{
+    DeltaFlood, Gossip, HiNetFullExchange, HiNetFullExchangeMH, HiNetPhased, KActiveFlood,
+    KloFlood, KloPhased,
+};
+pub use params::PhasePlan;
+pub use runner::{run_algorithm, AlgorithmKind};

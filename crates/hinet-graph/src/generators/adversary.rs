@@ -1,0 +1,127 @@
+//! Adaptive-style adversarial schedules.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::trace::TopologyProvider;
+use std::sync::Arc;
+
+/// The quiescence trap: a deterministic 1-interval-connected schedule that
+/// starves the victim node `n−1` against any *delta-triggered* protocol
+/// (one that only transmits in rounds following knowledge growth), for a
+/// token originating at node 0.
+///
+/// Schedule (always connected):
+///
+/// * **round 0** — clique over `{0, …, n−2}`, victim attached to node 1.
+///   Node 1 knows nothing yet, so the victim hears nothing; meanwhile the
+///   clique spreads node 0's token to everyone else.
+/// * **rounds ≥ 1** — clique over `{0, …, n−2}`, victim attached to node 0.
+///   Node 0's knowledge never grows again (it started with the token and
+///   the clique can teach it nothing new), so under a delta-triggered
+///   protocol node 0 is permanently silent — and it is the victim's only
+///   neighbor, forever.
+///
+/// Guaranteed algorithms (KLO full flooding, the paper's Algorithm 2) walk
+/// straight through this trap; quiescent "optimisations" never terminate.
+/// This is the executable form of why 1-interval connectivity only helps
+/// if *currently-informed boundary* nodes keep transmitting — experiment
+/// E13.
+#[derive(Clone, Debug)]
+pub struct QuiescenceTrapGen {
+    n: usize,
+    round0: Arc<Graph>,
+    later: Arc<Graph>,
+}
+
+impl QuiescenceTrapGen {
+    /// Build the trap over `n ≥ 4` nodes (victim = `n−1`, source = 0).
+    ///
+    /// # Panics
+    /// Panics if `n < 4` (the construction needs a non-trivial clique plus
+    /// distinct attachment points).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4, "quiescence trap needs at least 4 nodes, got {n}");
+        let core = n - 1;
+        let victim = NodeId::from_index(core);
+        let clique = |extra: (NodeId, NodeId)| -> Arc<Graph> {
+            let mut b = GraphBuilder::new(n);
+            for u in 0..core {
+                for v in (u + 1)..core {
+                    b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+                }
+            }
+            b.add_edge(extra.0, extra.1);
+            Arc::new(b.build())
+        };
+        QuiescenceTrapGen {
+            n,
+            round0: clique((NodeId(1), victim)),
+            later: clique((NodeId(0), victim)),
+        }
+    }
+
+    /// The starved node.
+    pub fn victim(&self) -> NodeId {
+        NodeId::from_index(self.n - 1)
+    }
+}
+
+impl TopologyProvider for QuiescenceTrapGen {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn graph_at(&mut self, round: usize) -> Arc<Graph> {
+        if round == 0 {
+            Arc::clone(&self.round0)
+        } else {
+            Arc::clone(&self.later)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TvgTrace;
+    use crate::verify::is_always_connected;
+
+    #[test]
+    fn trap_is_always_connected() {
+        let mut g = QuiescenceTrapGen::new(8);
+        let trace = TvgTrace::capture(&mut g, 20);
+        assert!(is_always_connected(&trace));
+    }
+
+    #[test]
+    fn victim_attachment_switches_after_round_0() {
+        let mut g = QuiescenceTrapGen::new(6);
+        let victim = g.victim();
+        let g0 = g.graph_at(0);
+        let g1 = g.graph_at(1);
+        assert!(g0.has_edge(NodeId(1), victim));
+        assert!(!g0.has_edge(NodeId(0), victim));
+        assert!(g1.has_edge(NodeId(0), victim));
+        assert!(!g1.has_edge(NodeId(1), victim));
+        assert_eq!(g0.degree(victim), 1);
+        assert_eq!(g1.degree(victim), 1);
+        // Rounds ≥ 1 all share one snapshot.
+        assert!(Arc::ptr_eq(&g.graph_at(1), &g.graph_at(50)));
+    }
+
+    #[test]
+    fn core_is_a_clique() {
+        let mut g = QuiescenceTrapGen::new(7);
+        let g0 = g.graph_at(0);
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                assert!(g0.has_edge(NodeId::from_index(u), NodeId::from_index(v)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 nodes")]
+    fn too_small_rejected() {
+        let _ = QuiescenceTrapGen::new(3);
+    }
+}

@@ -1,0 +1,513 @@
+//! Immutable undirected graph snapshots.
+//!
+//! A [`Graph`] is one round's topology in a dynamic network. It is built once
+//! via [`GraphBuilder`] (or the convenience constructors) and never mutated,
+//! so snapshots can be shared freely between the simulator, the verifiers and
+//! the cluster layer behind an `Arc`.
+
+use std::fmt;
+
+/// Identifier of a network node.
+///
+/// Nodes are dense indices `0..n`; the paper's "unique identifier" per node is
+/// exactly this index. Ordering of `NodeId`s is meaningful: clustering
+/// algorithms such as lowest-ID use it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's dense index, for direct indexing into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize);
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An undirected edge, stored in canonical (smaller id first) order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge {
+    /// Endpoint with the smaller id.
+    pub a: NodeId,
+    /// Endpoint with the larger id.
+    pub b: NodeId,
+}
+
+impl Edge {
+    /// Canonicalise an unordered endpoint pair into an `Edge`.
+    ///
+    /// # Panics
+    /// Panics if `u == v` (self-loops are not meaningful in the model).
+    #[inline]
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert_ne!(u, v, "self-loop edge ({u}, {v})");
+        if u < v {
+            Edge { a: u, b: v }
+        } else {
+            Edge { a: v, b: u }
+        }
+    }
+
+    /// The endpoint that is not `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, x: NodeId) -> NodeId {
+        if x == self.a {
+            self.b
+        } else {
+            assert_eq!(x, self.b, "{x} is not an endpoint of {self:?}");
+            self.a
+        }
+    }
+}
+
+/// An immutable undirected simple graph over nodes `0..n`.
+///
+/// Neighbor lists are sorted, enabling `O(log deg)` adjacency queries and
+/// linear-time sorted-merge operations (used by window-intersection graphs in
+/// the T-interval connectivity verifier).
+///
+/// ```
+/// use hinet_graph::graph::{Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 3);
+/// assert!(g.has_edge(NodeId(1), NodeId(2)));
+/// assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<NodeId>>,
+    m: usize,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n)
+            .field("m", &self.m)
+            .finish()
+    }
+}
+
+impl Graph {
+    /// The empty graph on `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            n,
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Complete graph on `n` nodes.
+    pub fn complete(n: usize) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+            }
+        }
+        b.build()
+    }
+
+    /// Path graph `0 - 1 - … - (n-1)`.
+    pub fn path(n: usize) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for u in 1..n {
+            b.add_edge(NodeId::from_index(u - 1), NodeId::from_index(u));
+        }
+        b.build()
+    }
+
+    /// Cycle graph on `n ≥ 3` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n < 3`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "cycle needs at least 3 nodes, got {n}");
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            b.add_edge(NodeId::from_index(u), NodeId::from_index((u + 1) % n));
+        }
+        b.build()
+    }
+
+    /// Star graph: node 0 is the hub, nodes `1..n` are leaves.
+    pub fn star(n: usize) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for u in 1..n {
+            b.add_edge(NodeId::from_index(0), NodeId::from_index(u));
+        }
+        b.build()
+    }
+
+    /// Build a graph directly from an edge list.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId::from_index)
+    }
+
+    /// Sorted neighbor list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u.index()]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Whether edge `{u, v}` is present.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all edges in canonical order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n).flat_map(move |u| {
+            let u = NodeId::from_index(u);
+            self.adj[u.index()]
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| Edge { a: u, b: v })
+        })
+    }
+
+    /// The edge-intersection of `self` and `other` (same node set).
+    ///
+    /// This is the "stable subgraph" operator: the intersection over a window
+    /// of rounds is exactly the subgraph that existed throughout the window,
+    /// which is what T-interval connectivity quantifies over.
+    ///
+    /// # Panics
+    /// Panics if node counts differ.
+    pub fn intersect(&self, other: &Graph) -> Graph {
+        assert_eq!(self.n, other.n, "intersecting graphs of different order");
+        let mut adj = Vec::with_capacity(self.n);
+        let mut m = 0;
+        for u in 0..self.n {
+            let (xs, ys) = (&self.adj[u], &other.adj[u]);
+            let mut merged = Vec::with_capacity(xs.len().min(ys.len()));
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() && j < ys.len() {
+                match xs[i].cmp(&ys[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        merged.push(xs[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            m += merged.len();
+            adj.push(merged);
+        }
+        Graph { n: self.n, adj, m: m / 2 }
+    }
+
+    /// The edge-union of `self` and `other` (same node set).
+    ///
+    /// # Panics
+    /// Panics if node counts differ.
+    pub fn union(&self, other: &Graph) -> Graph {
+        assert_eq!(self.n, other.n, "uniting graphs of different order");
+        let mut adj = Vec::with_capacity(self.n);
+        let mut m = 0;
+        for u in 0..self.n {
+            let (xs, ys) = (&self.adj[u], &other.adj[u]);
+            let mut merged = Vec::with_capacity(xs.len() + ys.len());
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() || j < ys.len() {
+                let take_x = j >= ys.len() || (i < xs.len() && xs[i] <= ys[j]);
+                if take_x {
+                    if j < ys.len() && xs[i] == ys[j] {
+                        j += 1;
+                    }
+                    merged.push(xs[i]);
+                    i += 1;
+                } else {
+                    merged.push(ys[j]);
+                    j += 1;
+                }
+            }
+            m += merged.len();
+            adj.push(merged);
+        }
+        Graph { n: self.n, adj, m: m / 2 }
+    }
+
+    /// Whether every edge of `sub` is also an edge of `self`.
+    pub fn contains_subgraph(&self, sub: &Graph) -> bool {
+        if sub.n != self.n {
+            return false;
+        }
+        sub.edges().all(|e| self.has_edge(e.a, e.b))
+    }
+
+    /// Total size in edges of the symmetric difference with `other`.
+    ///
+    /// Used by churn metrics: how much the topology changed between rounds.
+    pub fn edge_distance(&self, other: &Graph) -> usize {
+        assert_eq!(self.n, other.n);
+        let common = self.intersect(other).m();
+        (self.m - common) + (other.m - common)
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Duplicate edge insertions are tolerated (deduplicated at `build`), which
+/// keeps generator code simple.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph over nodes `0..n`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Add undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert_ne!(u, v, "self-loop at {u}");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "edge ({u}, {v}) out of range for n={}",
+            self.n
+        );
+        self.adj[u.index()].push(v);
+        self.adj[v.index()].push(u);
+        self
+    }
+
+    /// Add every edge of `g` (must have the same node count).
+    pub fn add_graph(&mut self, g: &Graph) -> &mut Self {
+        assert_eq!(g.n(), self.n);
+        for e in g.edges() {
+            self.add_edge(e.a, e.b);
+        }
+        self
+    }
+
+    /// Add every edge in the iterator.
+    pub fn add_edges(&mut self, edges: impl IntoIterator<Item = Edge>) -> &mut Self {
+        for e in edges {
+            self.add_edge(e.a, e.b);
+        }
+        self
+    }
+
+    /// Finalise: sort and deduplicate adjacency lists.
+    pub fn build(mut self) -> Graph {
+        let mut m = 0;
+        for list in &mut self.adj {
+            list.sort_unstable();
+            list.dedup();
+            m += list.len();
+        }
+        Graph {
+            n: self.n,
+            adj: self.adj,
+            m: m / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.edges().count(), 0);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 0);
+        }
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = Graph::complete(6);
+        assert_eq!(g.m(), 15);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 5);
+        }
+    }
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = Graph::path(4);
+        assert_eq!(p.m(), 3);
+        assert!(p.has_edge(nid(0), nid(1)));
+        assert!(!p.has_edge(nid(0), nid(2)));
+
+        let c = Graph::cycle(5);
+        assert_eq!(c.m(), 5);
+        assert!(c.has_edge(nid(0), nid(4)));
+        for u in c.nodes() {
+            assert_eq!(c.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let s = Graph::star(7);
+        assert_eq!(s.degree(nid(0)), 6);
+        assert_eq!(s.m(), 6);
+        for u in 1..7 {
+            assert_eq!(s.degree(nid(u)), 1);
+        }
+    }
+
+    #[test]
+    fn builder_dedups_duplicate_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(nid(0), nid(1));
+        b.add_edge(nid(1), nid(0));
+        b.add_edge(nid(0), nid(1));
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(nid(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn builder_rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(nid(1), nid(1));
+    }
+
+    #[test]
+    fn edge_canonicalisation() {
+        let e = Edge::new(nid(5), nid(2));
+        assert_eq!(e.a, nid(2));
+        assert_eq!(e.b, nid(5));
+        assert_eq!(e.other(nid(2)), nid(5));
+        assert_eq!(e.other(nid(5)), nid(2));
+    }
+
+    #[test]
+    fn intersect_keeps_common_edges_only() {
+        let g1 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let g2 = Graph::from_edges(4, [(0, 1), (2, 3), (0, 3)]);
+        let i = g1.intersect(&g2);
+        assert_eq!(i.m(), 2);
+        assert!(i.has_edge(nid(0), nid(1)));
+        assert!(i.has_edge(nid(2), nid(3)));
+        assert!(!i.has_edge(nid(1), nid(2)));
+    }
+
+    #[test]
+    fn union_merges_edges() {
+        let g1 = Graph::from_edges(4, [(0, 1), (1, 2)]);
+        let g2 = Graph::from_edges(4, [(1, 2), (2, 3)]);
+        let u = g1.union(&g2);
+        assert_eq!(u.m(), 3);
+        assert!(u.has_edge(nid(0), nid(1)));
+        assert!(u.has_edge(nid(1), nid(2)));
+        assert!(u.has_edge(nid(2), nid(3)));
+    }
+
+    #[test]
+    fn intersect_with_self_is_identity() {
+        let g = Graph::complete(5);
+        assert_eq!(g.intersect(&g), g);
+        assert_eq!(g.union(&g), g);
+    }
+
+    #[test]
+    fn contains_subgraph_checks_edges() {
+        let g = Graph::complete(4);
+        let sub = Graph::path(4);
+        assert!(g.contains_subgraph(&sub));
+        assert!(!sub.contains_subgraph(&g));
+    }
+
+    #[test]
+    fn edge_distance_symmetric_difference() {
+        let g1 = Graph::from_edges(4, [(0, 1), (1, 2)]);
+        let g2 = Graph::from_edges(4, [(1, 2), (2, 3), (0, 3)]);
+        assert_eq!(g1.edge_distance(&g2), 3);
+        assert_eq!(g2.edge_distance(&g1), 3);
+        assert_eq!(g1.edge_distance(&g1), 0);
+    }
+
+    #[test]
+    fn edges_iterator_canonical_and_complete() {
+        let g = Graph::from_edges(5, [(3, 1), (0, 4), (2, 0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for e in &edges {
+            assert!(e.a < e.b);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-snapshot and per-trace topology statistics.
+//!
+//! The stability audits and experiment reports want to characterise *how
+//! dynamic* and *how dense* a scenario is beyond the binary model
+//! predicates — these are the standard graph statistics, computed without
+//! allocation churn on trace-scale inputs.
+
+use crate::graph::Graph;
+use crate::trace::TvgTrace;
+
+/// Degree and density statistics of one snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnapshotStats {
+    /// Node count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Edge density `m / (n·(n−1)/2)` (0 for `n < 2`).
+    pub density: f64,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree `2m/n` (0 for `n = 0`).
+    pub mean_degree: f64,
+    /// Global clustering coefficient: `3·triangles / open wedges`
+    /// (0 when there are no wedges).
+    pub clustering_coefficient: f64,
+}
+
+/// Compute [`SnapshotStats`] for a snapshot.
+pub fn snapshot_stats(g: &Graph) -> SnapshotStats {
+    let n = g.n();
+    let m = g.m();
+    let mut min_degree = usize::MAX;
+    let mut max_degree = 0;
+    let mut wedges = 0u64;
+    let mut triangles = 0u64;
+    for u in g.nodes() {
+        let d = g.degree(u);
+        min_degree = min_degree.min(d);
+        max_degree = max_degree.max(d);
+        wedges += (d as u64) * (d as u64).saturating_sub(1) / 2;
+        // Count triangles via sorted-neighbor intersection on the two
+        // higher endpoints of each edge (each triangle counted once).
+        let nbrs = g.neighbors(u);
+        for (i, &v) in nbrs.iter().enumerate() {
+            if v < u {
+                continue;
+            }
+            for &w in &nbrs[i + 1..] {
+                if w > v && g.has_edge(v, w) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if n == 0 {
+        min_degree = 0;
+    }
+    let pairs = n.saturating_sub(1) * n / 2;
+    SnapshotStats {
+        n,
+        m,
+        density: if pairs == 0 { 0.0 } else { m as f64 / pairs as f64 },
+        min_degree,
+        max_degree,
+        mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        clustering_coefficient: if wedges == 0 {
+            0.0
+        } else {
+            3.0 * triangles as f64 / wedges as f64
+        },
+    }
+}
+
+/// Aggregated dynamics statistics of a trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Rounds in the trace.
+    pub rounds: usize,
+    /// Mean per-round edge count.
+    pub mean_edges: f64,
+    /// Mean per-round density.
+    pub mean_density: f64,
+    /// Mean per-round clustering coefficient.
+    pub mean_clustering: f64,
+    /// Mean edges changed between consecutive rounds (symmetric
+    /// difference) — the churn rate.
+    pub mean_churn: f64,
+    /// Churn normalised by mean edge count (0 when edgeless): 0 = frozen,
+    /// 2 ≈ completely re-randomised each round.
+    pub relative_churn: f64,
+    /// Mean fraction of a round's edges that survive to the next round
+    /// (1 = static; 0 = nothing persists).
+    pub edge_persistence: f64,
+}
+
+/// Compute [`TraceStats`] over a trace.
+pub fn trace_stats(trace: &TvgTrace) -> TraceStats {
+    let rounds = trace.len();
+    let mut sum_edges = 0.0;
+    let mut sum_density = 0.0;
+    let mut sum_clustering = 0.0;
+    for g in trace.iter() {
+        let s = snapshot_stats(g);
+        sum_edges += s.m as f64;
+        sum_density += s.density;
+        sum_clustering += s.clustering_coefficient;
+    }
+    let mean_edges = sum_edges / rounds as f64;
+    let mean_churn = trace.mean_churn();
+    let mut persistence_sum = 0.0;
+    let mut persistence_count = 0usize;
+    for w in 0..rounds.saturating_sub(1) {
+        let cur = trace.graph(w);
+        if cur.m() == 0 {
+            continue;
+        }
+        let kept = cur.intersect(trace.graph(w + 1)).m();
+        persistence_sum += kept as f64 / cur.m() as f64;
+        persistence_count += 1;
+    }
+    TraceStats {
+        rounds,
+        mean_edges,
+        mean_density: sum_density / rounds as f64,
+        mean_clustering: sum_clustering / rounds as f64,
+        mean_churn,
+        relative_churn: if mean_edges == 0.0 {
+            0.0
+        } else {
+            mean_churn / mean_edges
+        },
+        edge_persistence: if persistence_count == 0 {
+            1.0
+        } else {
+            persistence_sum / persistence_count as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TvgTrace;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_stats_complete_graph() {
+        let s = snapshot_stats(&Graph::complete(5));
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 10);
+        assert!((s.density - 1.0).abs() < 1e-12);
+        assert_eq!(s.min_degree, 4);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.mean_degree - 4.0).abs() < 1e-12);
+        assert!((s.clustering_coefficient - 1.0).abs() < 1e-12, "cliques are fully clustered");
+    }
+
+    #[test]
+    fn snapshot_stats_star_has_zero_clustering() {
+        let s = snapshot_stats(&Graph::star(6));
+        assert_eq!(s.max_degree, 5);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.clustering_coefficient, 0.0, "stars are triangle-free");
+    }
+
+    #[test]
+    fn snapshot_stats_triangle_exact() {
+        let s = snapshot_stats(&Graph::cycle(3));
+        assert!((s.clustering_coefficient - 1.0).abs() < 1e-12);
+        let sq = snapshot_stats(&Graph::cycle(4));
+        assert_eq!(sq.clustering_coefficient, 0.0);
+    }
+
+    #[test]
+    fn snapshot_stats_empty_and_trivial() {
+        let e = snapshot_stats(&Graph::empty(4));
+        assert_eq!(e.density, 0.0);
+        assert_eq!(e.min_degree, 0);
+        let z = snapshot_stats(&Graph::empty(0));
+        assert_eq!(z.mean_degree, 0.0);
+        assert_eq!(z.min_degree, 0);
+    }
+
+    #[test]
+    fn trace_stats_static_trace() {
+        let g = Arc::new(Graph::cycle(6));
+        let t = TvgTrace::new(vec![Arc::clone(&g), Arc::clone(&g), g]);
+        let s = trace_stats(&t);
+        assert_eq!(s.rounds, 3);
+        assert!((s.mean_edges - 6.0).abs() < 1e-12);
+        assert_eq!(s.mean_churn, 0.0);
+        assert_eq!(s.relative_churn, 0.0);
+        assert!((s.edge_persistence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_stats_total_rewire() {
+        // Two edge-disjoint spanning structures: persistence 0, churn high.
+        let g1 = Arc::new(Graph::from_edges(4, [(0, 1), (2, 3)]));
+        let g2 = Arc::new(Graph::from_edges(4, [(0, 2), (1, 3)]));
+        let t = TvgTrace::new(vec![g1, g2]);
+        let s = trace_stats(&t);
+        assert_eq!(s.edge_persistence, 0.0);
+        assert!((s.mean_churn - 4.0).abs() < 1e-12);
+        assert!((s.relative_churn - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generator_sanity_slow_waypoint_is_persistent() {
+        use crate::generators::{RandomWaypointGen, WaypointConfig};
+        use crate::trace::TvgTrace;
+        let mut slow = RandomWaypointGen::new(
+            30,
+            WaypointConfig {
+                radius: 0.3,
+                min_speed: 0.001,
+                max_speed: 0.005,
+                ensure_connected: true,
+            },
+            3,
+        );
+        let t = TvgTrace::capture(&mut slow, 20);
+        let s = trace_stats(&t);
+        assert!(s.edge_persistence > 0.9, "slow motion keeps links: {}", s.edge_persistence);
+
+        use crate::generators::OneIntervalGen;
+        let mut churny = OneIntervalGen::new(30, true, 0, 3);
+        let t = TvgTrace::capture(&mut churny, 20);
+        let s = trace_stats(&t);
+        assert!(s.edge_persistence < 0.3, "fresh paths each round: {}", s.edge_persistence);
+    }
+}

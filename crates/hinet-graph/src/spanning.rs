@@ -1,0 +1,142 @@
+//! Spanning subgraph utilities.
+//!
+//! T-interval connectivity ([Kuhn–Lynch–Oshman]) quantifies over *stable
+//! connected spanning subgraphs*: for every window of `T` consecutive rounds
+//! there must exist a connected subgraph on all of `V` present in every round
+//! of the window. The generators in this crate realise that property by
+//! explicitly constructing a spanning backbone per window and holding it
+//! fixed; this module provides the backbone constructions and the extraction
+//! of spanning trees used by the verifier.
+
+use crate::graph::{Edge, Graph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// A uniform-ish random spanning tree over nodes `0..n` via a random
+/// permutation attachment process (each node links to a uniformly random
+/// earlier node in a random order).
+///
+/// Not exactly uniform over all trees (that would need Wilson's algorithm)
+/// but cheap, well-spread, and sufficient as an adversarial stable backbone.
+pub fn random_attachment_tree(n: usize, rng: &mut impl Rng) -> Graph {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        b.add_edge(NodeId::from_index(order[i]), NodeId::from_index(order[j]));
+    }
+    b.build()
+}
+
+/// A random Hamiltonian path over `0..n` — the worst-case stable backbone
+/// for flooding (diameter `n−1`), used by adversarial generators.
+pub fn random_path_backbone(n: usize, rng: &mut impl Rng) -> Graph {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut b = GraphBuilder::new(n);
+    for w in order.windows(2) {
+        b.add_edge(NodeId::from_index(w[0]), NodeId::from_index(w[1]));
+    }
+    b.build()
+}
+
+/// Extract *some* spanning tree of `g` (BFS tree from node 0), or `None` if
+/// `g` is disconnected.
+pub fn bfs_spanning_tree(g: &Graph) -> Option<Graph> {
+    let n = g.n();
+    if n == 0 {
+        return Some(Graph::empty(0));
+    }
+    let mut b = GraphBuilder::new(n);
+    let mut seen = vec![false; n];
+    let mut queue = Vec::with_capacity(n);
+    seen[0] = true;
+    queue.push(NodeId(0));
+    let mut head = 0;
+    let mut reached = 1;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for &v in g.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                reached += 1;
+                b.add_edge(u, v);
+                queue.push(v);
+            }
+        }
+    }
+    if reached == n {
+        Some(b.build())
+    } else {
+        None
+    }
+}
+
+/// Collect the tree edges of a BFS spanning tree as an edge list (for cheap
+/// re-insertion into builders), or `None` if disconnected.
+pub fn bfs_spanning_edges(g: &Graph) -> Option<Vec<Edge>> {
+    bfs_spanning_tree(g).map(|t| t.edges().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attachment_tree_is_spanning_tree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 10, 57] {
+            let t = random_attachment_tree(n, &mut rng);
+            assert_eq!(t.n(), n);
+            assert_eq!(t.m(), n.saturating_sub(1));
+            assert!(is_connected(&t), "n={n}");
+        }
+    }
+
+    #[test]
+    fn path_backbone_is_path() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = random_path_backbone(20, &mut rng);
+        assert_eq!(p.m(), 19);
+        assert!(is_connected(&p));
+        let deg1 = p.nodes().filter(|&u| p.degree(u) == 1).count();
+        assert_eq!(deg1, 2, "a path has exactly two endpoints");
+        assert!(p.nodes().all(|u| p.degree(u) <= 2));
+    }
+
+    #[test]
+    fn bfs_tree_spans_connected_graph() {
+        let g = Graph::complete(9);
+        let t = bfs_spanning_tree(&g).unwrap();
+        assert_eq!(t.m(), 8);
+        assert!(is_connected(&t));
+        assert!(g.contains_subgraph(&t));
+    }
+
+    #[test]
+    fn bfs_tree_none_when_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(bfs_spanning_tree(&g).is_none());
+        assert!(bfs_spanning_edges(&g).is_none());
+    }
+
+    #[test]
+    fn bfs_tree_trivial_cases() {
+        assert!(bfs_spanning_tree(&Graph::empty(1)).is_some());
+        assert!(bfs_spanning_tree(&Graph::empty(0)).is_some());
+    }
+
+    #[test]
+    fn trees_deterministic_per_seed() {
+        let t1 = random_attachment_tree(30, &mut StdRng::seed_from_u64(5));
+        let t2 = random_attachment_tree(30, &mut StdRng::seed_from_u64(5));
+        assert_eq!(t1, t2);
+        let t3 = random_attachment_tree(30, &mut StdRng::seed_from_u64(6));
+        assert_ne!(t1, t3);
+    }
+}

@@ -1,0 +1,606 @@
+//! The synchronous round engine: message delivery, cost accounting, and the
+//! completion oracle.
+
+use crate::protocol::{Destination, Incoming, LocalView, Outgoing, Protocol};
+use crate::token::{TokenId, TokenSet};
+use hinet_cluster::ctvg::HierarchyProvider;
+use hinet_cluster::hierarchy::Role;
+use hinet_graph::graph::NodeId;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Hard cap on simulated rounds (a safety net; completion normally
+    /// stops the run earlier).
+    pub max_rounds: usize,
+    /// Stop as soon as every node knows every token.
+    pub stop_on_completion: bool,
+    /// Record a per-round metrics series (costs memory proportional to
+    /// rounds; used by the sweep experiments' time-series plots).
+    pub record_rounds: bool,
+    /// Re-validate the hierarchy against the topology every round and panic
+    /// on violation — on by default in tests, useful when driving the
+    /// engine from a hand-built provider.
+    pub validate_hierarchy: bool,
+    /// Record every transmission into [`Metrics::log`] (sender, receiver
+    /// set, payload) — costs memory proportional to traffic; used by the
+    /// walkthrough example and message-level debugging.
+    pub record_messages: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_rounds: 100_000,
+            stop_on_completion: true,
+            record_rounds: false,
+            validate_hierarchy: false,
+            record_messages: false,
+        }
+    }
+}
+
+/// One recorded transmission (see [`RunConfig::record_messages`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageRecord {
+    /// Round in which the message was sent.
+    pub round: usize,
+    /// Sender.
+    pub from: NodeId,
+    /// `None` for a broadcast, `Some(target)` for a unicast (recorded even
+    /// if the unicast was dropped).
+    pub to: Option<NodeId>,
+    /// Whether a unicast was actually delivered (`true` for broadcasts).
+    pub delivered: bool,
+    /// The token payload.
+    pub tokens: Vec<TokenId>,
+}
+
+/// Byte-level cost weights for converting the token/packet counters into
+/// radio airtime estimates.
+///
+/// The paper's metric is "total number of tokens sent", which ignores
+/// per-packet framing. Real radios pay a fixed header per transmission, so
+/// algorithms that send many tiny packets (one token per round) and
+/// algorithms that send few large ones (whole `TA` at once) differ more at
+/// the byte level than at the token level. The experiment reports expose
+/// both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostWeights {
+    /// Payload bytes per token.
+    pub token_bytes: u64,
+    /// Framing bytes per packet (MAC/PHY header, addresses, checksums).
+    pub packet_header_bytes: u64,
+}
+
+impl Default for CostWeights {
+    /// IEEE 802.15.4-flavoured defaults: 16-byte tokens, 24-byte framing.
+    fn default() -> Self {
+        CostWeights {
+            token_bytes: 16,
+            packet_header_bytes: 24,
+        }
+    }
+}
+
+/// Costs of a single round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// Tokens sent this round (paper's communication metric).
+    pub tokens_sent: u64,
+    /// Packets (messages) sent this round.
+    pub packets_sent: u64,
+    /// Nodes that already knew every token at the *start* of the round.
+    pub informed_nodes: usize,
+}
+
+/// Aggregate run costs.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Total tokens sent — the paper's "communication cost (total size of
+    /// packets)".
+    pub tokens_sent: u64,
+    /// Total packets sent.
+    pub packets_sent: u64,
+    /// Tokens sent broken down by sender role `[head, gateway, member]`.
+    pub tokens_by_role: [u64; 3],
+    /// Unicasts whose target was not a neighbor this round (dropped; still
+    /// counted as sent — the radio transmitted).
+    pub dropped_unicasts: u64,
+    /// Optional per-round series (see [`RunConfig::record_rounds`]).
+    pub rounds: Vec<RoundMetrics>,
+    /// Optional full message log (see [`RunConfig::record_messages`]).
+    pub log: Vec<MessageRecord>,
+}
+
+impl Metrics {
+    /// Total bytes on air under the given weights:
+    /// `tokens·token_bytes + packets·header_bytes`.
+    pub fn total_bytes(&self, w: CostWeights) -> u64 {
+        self.tokens_sent * w.token_bytes + self.packets_sent * w.packet_header_bytes
+    }
+}
+
+fn role_slot(role: Role) -> usize {
+    match role {
+        Role::Head => 0,
+        Role::Gateway => 1,
+        Role::Member => 2,
+    }
+}
+
+/// Outcome of a run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Rounds actually executed.
+    pub rounds_executed: usize,
+    /// First round index after which *every* node knew every token
+    /// (1-based count of rounds needed), or `None` if the cap was hit
+    /// first. The paper's "spending time (rounds)".
+    pub completion_round: Option<usize>,
+    /// Aggregate costs.
+    pub metrics: Metrics,
+    /// Number of tokens in the universe (`k`).
+    pub k: usize,
+}
+
+impl RunReport {
+    /// Whether dissemination completed.
+    pub fn completed(&self) -> bool {
+        self.completion_round.is_some()
+    }
+}
+
+/// The synchronous round engine.
+///
+/// Drives one [`Protocol`] instance per node over the `(graph, hierarchy)`
+/// stream of a [`HierarchyProvider`]:
+///
+/// 1. every node's `send` runs against the round's [`LocalView`];
+/// 2. broadcasts deliver to all current neighbors, unicasts to the target
+///    iff it is a current neighbor (otherwise dropped but still paid for);
+/// 3. every node's `receive` runs;
+/// 4. the oracle checks global completion.
+///
+/// Nodes are processed in id order throughout, so runs are deterministic.
+pub struct Engine {
+    cfg: RunConfig,
+}
+
+impl Engine {
+    /// Engine with the given config.
+    pub fn new(cfg: RunConfig) -> Self {
+        Engine { cfg }
+    }
+
+    /// Engine with [`RunConfig::default`].
+    pub fn with_defaults() -> Self {
+        Engine::new(RunConfig::default())
+    }
+
+    /// Run `protocols` (one per node, same length as `provider.n()`) with
+    /// the given initial token assignment. The token universe is the union
+    /// of all initial tokens.
+    ///
+    /// # Panics
+    /// Panics if `protocols`/`assignment` lengths disagree with the node
+    /// count, or (with `validate_hierarchy`) on an invalid hierarchy.
+    pub fn run<P: Protocol>(
+        &self,
+        provider: &mut dyn HierarchyProvider,
+        protocols: &mut [P],
+        assignment: &[Vec<TokenId>],
+    ) -> RunReport {
+        let n = provider.n();
+        assert_eq!(protocols.len(), n, "one protocol per node");
+        assert_eq!(assignment.len(), n, "one initial token list per node");
+
+        let universe: TokenSet = assignment.iter().flatten().copied().collect();
+        let k = universe.len();
+        for (i, p) in protocols.iter_mut().enumerate() {
+            p.on_start(NodeId::from_index(i), &assignment[i]);
+        }
+
+        let mut metrics = Metrics::default();
+        let mut completion_round = None;
+        let mut rounds_executed = 0;
+        let mut inboxes: Vec<Vec<Incoming>> = vec![Vec::new(); n];
+
+        // Degenerate case: everyone informed before any round.
+        if Self::all_informed(protocols, &universe) {
+            return RunReport {
+                rounds_executed: 0,
+                completion_round: Some(0),
+                metrics,
+                k,
+            };
+        }
+
+        for round in 0..self.cfg.max_rounds {
+            let graph = provider.graph_at(round);
+            let hierarchy = provider.hierarchy_at(round);
+            if self.cfg.validate_hierarchy {
+                hierarchy
+                    .validate(&graph)
+                    .unwrap_or_else(|e| panic!("round {round}: invalid hierarchy: {e}"));
+            }
+
+            let informed_at_start = protocols
+                .iter()
+                .filter(|p| universe.is_subset(p.known()))
+                .count();
+
+            let mut round_tokens = 0u64;
+            let mut round_packets = 0u64;
+
+            for inbox in inboxes.iter_mut() {
+                inbox.clear();
+            }
+
+            // Send phase.
+            for i in 0..n {
+                let me = NodeId::from_index(i);
+                if protocols[i].finished() {
+                    continue;
+                }
+                let view = LocalView {
+                    me,
+                    round,
+                    role: hierarchy.role(me),
+                    cluster: hierarchy.cluster_of(me),
+                    head: hierarchy.head_of(me),
+                    parent: hierarchy.parent_of(me),
+                    neighbors: graph.neighbors(me),
+                };
+                let outs: Vec<Outgoing> = protocols[i].send(&view);
+                for out in outs {
+                    if out.tokens.is_empty() {
+                        continue;
+                    }
+                    let cost = out.tokens.len() as u64;
+                    round_tokens += cost;
+                    round_packets += 1;
+                    metrics.tokens_by_role[role_slot(hierarchy.role(me))] += cost;
+                    match out.dest {
+                        Destination::Broadcast => {
+                            if self.cfg.record_messages {
+                                metrics.log.push(MessageRecord {
+                                    round,
+                                    from: me,
+                                    to: None,
+                                    delivered: true,
+                                    tokens: out.tokens.clone(),
+                                });
+                            }
+                            for &v in graph.neighbors(me) {
+                                inboxes[v.index()].push(Incoming {
+                                    from: me,
+                                    directed: false,
+                                    tokens: out.tokens.clone(),
+                                });
+                            }
+                        }
+                        Destination::Unicast(v) => {
+                            let delivered = graph.has_edge(me, v);
+                            if self.cfg.record_messages {
+                                metrics.log.push(MessageRecord {
+                                    round,
+                                    from: me,
+                                    to: Some(v),
+                                    delivered,
+                                    tokens: out.tokens.clone(),
+                                });
+                            }
+                            if delivered {
+                                inboxes[v.index()].push(Incoming {
+                                    from: me,
+                                    directed: true,
+                                    tokens: out.tokens,
+                                });
+                            } else {
+                                metrics.dropped_unicasts += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Receive phase.
+            for i in 0..n {
+                let me = NodeId::from_index(i);
+                let view = LocalView {
+                    me,
+                    round,
+                    role: hierarchy.role(me),
+                    cluster: hierarchy.cluster_of(me),
+                    head: hierarchy.head_of(me),
+                    parent: hierarchy.parent_of(me),
+                    neighbors: graph.neighbors(me),
+                };
+                protocols[i].receive(&view, &inboxes[i]);
+            }
+
+            metrics.tokens_sent += round_tokens;
+            metrics.packets_sent += round_packets;
+            if self.cfg.record_rounds {
+                metrics.rounds.push(RoundMetrics {
+                    tokens_sent: round_tokens,
+                    packets_sent: round_packets,
+                    informed_nodes: informed_at_start,
+                });
+            }
+            rounds_executed = round + 1;
+
+            if completion_round.is_none() && Self::all_informed(protocols, &universe) {
+                completion_round = Some(rounds_executed);
+                if self.cfg.stop_on_completion {
+                    break;
+                }
+            }
+            // All protocols locally finished and nothing further can change.
+            if protocols.iter().all(|p| p.finished()) {
+                break;
+            }
+        }
+
+        RunReport {
+            rounds_executed,
+            completion_round,
+            metrics,
+            k,
+        }
+    }
+
+    fn all_informed<P: Protocol>(protocols: &[P], universe: &TokenSet) -> bool {
+        protocols.iter().all(|p| universe.is_subset(p.known()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::round_robin_assignment;
+    use hinet_cluster::ctvg::{CtvgTrace, CtvgTraceProvider};
+    use hinet_cluster::hierarchy::single_cluster;
+    use hinet_graph::trace::TvgTrace;
+    use hinet_graph::Graph;
+    use std::sync::Arc;
+
+    /// Toy protocol: broadcast entire TA every round (flat flooding).
+    struct Flood {
+        ta: TokenSet,
+    }
+
+    impl Flood {
+        fn new() -> Self {
+            Flood {
+                ta: TokenSet::new(),
+            }
+        }
+    }
+
+    impl Protocol for Flood {
+        fn on_start(&mut self, _me: NodeId, initial: &[TokenId]) {
+            self.ta.extend(initial.iter().copied());
+        }
+        fn send(&mut self, _view: &LocalView<'_>) -> Vec<Outgoing> {
+            if self.ta.is_empty() {
+                vec![]
+            } else {
+                vec![Outgoing::broadcast_set(&self.ta)]
+            }
+        }
+        fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
+            for m in inbox {
+                self.ta.extend(m.tokens.iter().copied());
+            }
+        }
+        fn known(&self) -> &TokenSet {
+            &self.ta
+        }
+    }
+
+    fn star_provider(n: usize, rounds: usize) -> CtvgTraceProvider {
+        let g = Arc::new(Graph::star(n));
+        let h = Arc::new(single_cluster(n, NodeId(0)));
+        let t = TvgTrace::new((0..rounds).map(|_| Arc::clone(&g)).collect());
+        CtvgTraceProvider::new(CtvgTrace::new(
+            t,
+            (0..rounds).map(|_| Arc::clone(&h)).collect(),
+        ))
+    }
+
+    #[test]
+    fn flooding_on_star_completes_in_two_rounds() {
+        let mut provider = star_provider(5, 10);
+        let mut protocols: Vec<Flood> = (0..5).map(|_| Flood::new()).collect();
+        let assignment = round_robin_assignment(5, 5);
+        let report = Engine::with_defaults().run(&mut provider, &mut protocols, &assignment);
+        // Leaf tokens reach the hub in round 1, hub re-broadcasts in round 2.
+        assert_eq!(report.completion_round, Some(2));
+        assert!(report.completed());
+        assert_eq!(report.k, 5);
+    }
+
+    #[test]
+    fn token_accounting_counts_payloads_once() {
+        let mut provider = star_provider(3, 10);
+        let mut protocols: Vec<Flood> = (0..3).map(|_| Flood::new()).collect();
+        // One token at the hub: round 1 = hub broadcasts 1 token (leaves have
+        // nothing). After round 1 everyone knows it.
+        let assignment = vec![vec![TokenId(0)], vec![], vec![]];
+        let report = Engine::with_defaults().run(&mut provider, &mut protocols, &assignment);
+        assert_eq!(report.completion_round, Some(1));
+        // Hub sent 1 token (broadcast counted once despite 2 receivers).
+        assert_eq!(report.metrics.tokens_sent, 1);
+        assert_eq!(report.metrics.packets_sent, 1);
+    }
+
+    #[test]
+    fn per_round_series_recorded() {
+        let mut provider = star_provider(4, 10);
+        let mut protocols: Vec<Flood> = (0..4).map(|_| Flood::new()).collect();
+        let assignment = round_robin_assignment(4, 4);
+        let cfg = RunConfig {
+            record_rounds: true,
+            ..RunConfig::default()
+        };
+        let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
+        assert_eq!(report.metrics.rounds.len(), report.rounds_executed);
+        assert!(report.metrics.rounds[0].tokens_sent > 0);
+        assert_eq!(report.metrics.rounds[0].informed_nodes, 0);
+    }
+
+    #[test]
+    fn max_rounds_cap_reported_as_incomplete() {
+        // Disconnected graph: token can never cross.
+        let g = Arc::new(Graph::from_edges(2, []));
+        let h = Arc::new({
+            use hinet_cluster::hierarchy::{ClusterId, Hierarchy, Role};
+            Hierarchy::new(
+                vec![Role::Head, Role::Head],
+                vec![
+                    Some(ClusterId(NodeId(0))),
+                    Some(ClusterId(NodeId(1))),
+                ],
+            )
+        });
+        let t = TvgTrace::new(vec![Arc::clone(&g)]);
+        let mut provider =
+            CtvgTraceProvider::new(CtvgTrace::new(t, vec![h]));
+        let mut protocols: Vec<Flood> = (0..2).map(|_| Flood::new()).collect();
+        let assignment = vec![vec![TokenId(0)], vec![]];
+        let cfg = RunConfig {
+            max_rounds: 5,
+            ..RunConfig::default()
+        };
+        let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
+        assert_eq!(report.completion_round, None);
+        assert!(!report.completed());
+        assert_eq!(report.rounds_executed, 5);
+    }
+
+    #[test]
+    fn message_log_records_both_kinds() {
+        let mut provider = star_provider(3, 5);
+        let mut protocols: Vec<Flood> = (0..3).map(|_| Flood::new()).collect();
+        let assignment = vec![vec![TokenId(0)], vec![TokenId(1)], vec![]];
+        let cfg = RunConfig {
+            record_messages: true,
+            ..RunConfig::default()
+        };
+        let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
+        assert!(report.completed());
+        assert_eq!(
+            report.metrics.log.len() as u64,
+            report.metrics.packets_sent,
+            "one record per packet"
+        );
+        let first = &report.metrics.log[0];
+        assert_eq!(first.round, 0);
+        assert!(first.delivered);
+        assert_eq!(first.to, None, "flooding broadcasts");
+        let total: usize = report.metrics.log.iter().map(|m| m.tokens.len()).sum();
+        assert_eq!(total as u64, report.metrics.tokens_sent);
+    }
+
+    #[test]
+    fn byte_cost_combines_tokens_and_packets() {
+        let m = Metrics {
+            tokens_sent: 10,
+            packets_sent: 3,
+            ..Metrics::default()
+        };
+        let w = CostWeights {
+            token_bytes: 16,
+            packet_header_bytes: 24,
+        };
+        assert_eq!(m.total_bytes(w), 10 * 16 + 3 * 24);
+        assert_eq!(Metrics::default().total_bytes(CostWeights::default()), 0);
+    }
+
+    #[test]
+    fn already_complete_needs_zero_rounds() {
+        let mut provider = star_provider(2, 2);
+        let mut protocols: Vec<Flood> = (0..2).map(|_| Flood::new()).collect();
+        let assignment = vec![vec![TokenId(0)], vec![TokenId(0)]];
+        let report = Engine::with_defaults().run(&mut provider, &mut protocols, &assignment);
+        assert_eq!(report.completion_round, Some(0));
+        assert_eq!(report.metrics.tokens_sent, 0);
+    }
+
+    #[test]
+    fn dropped_unicast_counted() {
+        struct BadUnicast {
+            ta: TokenSet,
+        }
+        impl Protocol for BadUnicast {
+            fn on_start(&mut self, _me: NodeId, initial: &[TokenId]) {
+                self.ta.extend(initial.iter().copied());
+            }
+            fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing> {
+                if view.me == NodeId(1) && !self.ta.is_empty() {
+                    // Node 2 is not a neighbor of 1 in a star.
+                    vec![Outgoing::unicast_set(NodeId(2), &self.ta)]
+                } else {
+                    vec![]
+                }
+            }
+            fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
+                for m in inbox {
+                    self.ta.extend(m.tokens.iter().copied());
+                }
+            }
+            fn known(&self) -> &TokenSet {
+                &self.ta
+            }
+        }
+        let mut provider = star_provider(3, 3);
+        let mut protocols: Vec<BadUnicast> = (0..3)
+            .map(|_| BadUnicast {
+                ta: TokenSet::new(),
+            })
+            .collect();
+        let assignment = vec![vec![], vec![TokenId(0)], vec![]];
+        let cfg = RunConfig {
+            max_rounds: 2,
+            ..RunConfig::default()
+        };
+        let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
+        assert_eq!(report.metrics.dropped_unicasts, 2, "one drop per round");
+        assert_eq!(report.metrics.tokens_sent, 2, "sends are paid even if dropped");
+        assert!(!report.completed());
+    }
+
+    #[test]
+    fn finished_protocols_stop_the_run() {
+        struct Mute {
+            ta: TokenSet,
+        }
+        impl Protocol for Mute {
+            fn on_start(&mut self, _me: NodeId, initial: &[TokenId]) {
+                self.ta.extend(initial.iter().copied());
+            }
+            fn send(&mut self, _view: &LocalView<'_>) -> Vec<Outgoing> {
+                vec![]
+            }
+            fn receive(&mut self, _view: &LocalView<'_>, _inbox: &[Incoming]) {}
+            fn known(&self) -> &TokenSet {
+                &self.ta
+            }
+            fn finished(&self) -> bool {
+                true
+            }
+        }
+        let mut provider = star_provider(3, 100);
+        let mut protocols: Vec<Mute> = (0..3)
+            .map(|_| Mute {
+                ta: TokenSet::new(),
+            })
+            .collect();
+        let assignment = vec![vec![TokenId(0)], vec![], vec![]];
+        let report = Engine::with_defaults().run(&mut provider, &mut protocols, &assignment);
+        assert_eq!(report.rounds_executed, 1, "all finished after first round");
+        assert!(!report.completed());
+    }
+}

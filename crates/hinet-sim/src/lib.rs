@@ -1,0 +1,28 @@
+//! # hinet-sim
+//!
+//! Synchronous round-based message-passing simulator.
+//!
+//! The paper's execution model (inherited from Kuhn–Lynch–Oshman) is the
+//! synchronous dynamic-network model: time is divided into rounds; in round
+//! `r` every node sends, the adversary's graph `G_r` determines who hears
+//! whom, and every node receives before round `r+1`. This crate implements
+//! exactly that model:
+//!
+//! * [`token::TokenId`] / [`token::TokenSet`] — the opaque, totally ordered
+//!   tokens of the k-token dissemination problem.
+//! * [`protocol::Protocol`] — the per-node state machine interface
+//!   (send/receive per round with a [`protocol::LocalView`] of the node's
+//!   role, cluster and neighborhood).
+//! * [`engine`] — the round loop, message delivery (broadcast and
+//!   head-unicast), the completion oracle, and cost accounting. The
+//!   communication metric matches the paper's: **total number of tokens
+//!   sent** (a broadcast of one token counts once, not once per receiver),
+//!   with packets and per-role breakdowns recorded alongside.
+
+pub mod engine;
+pub mod protocol;
+pub mod token;
+
+pub use engine::{CostWeights, Engine, MessageRecord, Metrics, RoundMetrics, RunConfig, RunReport};
+pub use protocol::{Incoming, LocalView, Outgoing, Protocol};
+pub use token::{TokenId, TokenSet};

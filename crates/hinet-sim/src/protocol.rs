@@ -1,0 +1,162 @@
+//! The per-node protocol interface.
+
+use crate::token::{TokenId, TokenSet};
+use hinet_cluster::hierarchy::{ClusterId, Role};
+use hinet_graph::graph::NodeId;
+
+/// What a node can observe about round `round` before sending — its own
+/// identity, its role and cluster under the current hierarchy, and its
+/// current neighborhood. This is the paper's system model: nodes can probe
+/// neighbors and know their own cluster status, nothing more.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalView<'a> {
+    /// This node.
+    pub me: NodeId,
+    /// Current round index.
+    pub round: usize,
+    /// Role under the round's hierarchy.
+    pub role: Role,
+    /// Cluster the node belongs to (`None` only for unclustered nodes in
+    /// derived hierarchies).
+    pub cluster: Option<ClusterId>,
+    /// The node's cluster head (itself for a head).
+    pub head: Option<NodeId>,
+    /// The node's next hop toward its head: the head itself in 1-hop
+    /// clusters, the parent in multi-hop (d-hop) clusters, `None` for
+    /// heads and unclustered nodes.
+    pub parent: Option<NodeId>,
+    /// Sorted neighbor list in the round's topology.
+    pub neighbors: &'a [NodeId],
+}
+
+/// Where an outgoing message goes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Destination {
+    /// Wireless broadcast to all current neighbors.
+    Broadcast,
+    /// Directed send to one node — delivered only if the target is a
+    /// current neighbor (members talk to their head this way).
+    Unicast(NodeId),
+}
+
+/// An outgoing message: a destination plus the token payload. Communication
+/// cost is `tokens.len()` per the paper's metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outgoing {
+    /// Delivery mode.
+    pub dest: Destination,
+    /// Token payload.
+    pub tokens: Vec<TokenId>,
+}
+
+impl Outgoing {
+    /// Broadcast a single token.
+    pub fn broadcast_one(t: TokenId) -> Self {
+        Outgoing {
+            dest: Destination::Broadcast,
+            tokens: vec![t],
+        }
+    }
+
+    /// Broadcast a whole token set (Algorithm 2's `broadcast TA`).
+    pub fn broadcast_set(ts: &TokenSet) -> Self {
+        Outgoing {
+            dest: Destination::Broadcast,
+            tokens: ts.iter().copied().collect(),
+        }
+    }
+
+    /// Unicast a single token to `to`.
+    pub fn unicast_one(to: NodeId, t: TokenId) -> Self {
+        Outgoing {
+            dest: Destination::Unicast(to),
+            tokens: vec![t],
+        }
+    }
+
+    /// Unicast a whole token set to `to`.
+    pub fn unicast_set(to: NodeId, ts: &TokenSet) -> Self {
+        Outgoing {
+            dest: Destination::Unicast(to),
+            tokens: ts.iter().copied().collect(),
+        }
+    }
+}
+
+/// A delivered message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Incoming {
+    /// Sender.
+    pub from: NodeId,
+    /// Whether the sender addressed this node specifically (unicast) rather
+    /// than broadcasting.
+    pub directed: bool,
+    /// Token payload.
+    pub tokens: Vec<TokenId>,
+}
+
+/// A per-node dissemination protocol.
+///
+/// The engine drives each node's instance through `on_start` once, then
+/// `send`/`receive` once per round, in that order, for every node
+/// simultaneously (messages sent in round `r` arrive within round `r`,
+/// matching the synchronous model).
+pub trait Protocol {
+    /// Called once before round 0 with the node's initial tokens.
+    fn on_start(&mut self, me: NodeId, initial: &[TokenId]);
+
+    /// Produce this round's outgoing messages.
+    fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing>;
+
+    /// Consume this round's delivered messages.
+    fn receive(&mut self, view: &LocalView<'_>, inbox: &[Incoming]);
+
+    /// The tokens this node has collected so far (`TA`) — read by the
+    /// completion oracle.
+    fn known(&self) -> &TokenSet;
+
+    /// Whether the protocol has terminated locally (run out of phases).
+    /// Terminated nodes stop sending; the engine may keep running others.
+    fn finished(&self) -> bool {
+        false
+    }
+}
+
+impl<T: Protocol + ?Sized> Protocol for Box<T> {
+    fn on_start(&mut self, me: NodeId, initial: &[TokenId]) {
+        (**self).on_start(me, initial)
+    }
+    fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing> {
+        (**self).send(view)
+    }
+    fn receive(&mut self, view: &LocalView<'_>, inbox: &[Incoming]) {
+        (**self).receive(view, inbox)
+    }
+    fn known(&self) -> &TokenSet {
+        (**self).known()
+    }
+    fn finished(&self) -> bool {
+        (**self).finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outgoing_constructors() {
+        let ts: TokenSet = [TokenId(2), TokenId(1)].into_iter().collect();
+        let b = Outgoing::broadcast_set(&ts);
+        assert_eq!(b.dest, Destination::Broadcast);
+        assert_eq!(b.tokens, vec![TokenId(1), TokenId(2)], "sorted payload");
+        let u = Outgoing::unicast_one(NodeId(3), TokenId(9));
+        assert_eq!(u.dest, Destination::Unicast(NodeId(3)));
+        assert_eq!(u.tokens.len(), 1);
+        assert_eq!(Outgoing::broadcast_one(TokenId(5)).tokens, vec![TokenId(5)]);
+        assert_eq!(
+            Outgoing::unicast_set(NodeId(1), &ts).tokens,
+            vec![TokenId(1), TokenId(2)]
+        );
+    }
+}

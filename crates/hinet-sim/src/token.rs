@@ -1,0 +1,132 @@
+//! Tokens of the k-token dissemination problem.
+//!
+//! The paper: "each token is stamped with a unique id, and the id is
+//! comparable with others" — both algorithms pick max/min over ids, so the
+//! total order is load-bearing, and a sorted-set representation makes the
+//! min/max selections O(log) and the subset checks cheap.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Unique, totally ordered token identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId(pub u64);
+
+impl fmt::Debug for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An ordered set of tokens — the `TA`/`TS`/`TR` sets of the algorithms.
+pub type TokenSet = BTreeSet<TokenId>;
+
+/// The token with the largest id in `a \ b`, or `None` if `a ⊆ b`.
+///
+/// This is the member-side selection of Algorithm 1: "choose t, the token
+/// with the maximum id among these unknown by cluster head".
+pub fn max_not_in(a: &TokenSet, b: &TokenSet) -> Option<TokenId> {
+    a.iter().rev().copied().find(|t| !b.contains(t))
+}
+
+/// The token with the smallest id in `a \ b`, or `None` if `a ⊆ b`.
+///
+/// This is the head/gateway-side selection of Algorithm 1 (and the KLO
+/// baseline): "choose token t with the minimum id that has not [been] sent
+/// in [the] current phase".
+pub fn min_not_in(a: &TokenSet, b: &TokenSet) -> Option<TokenId> {
+    a.iter().copied().find(|t| !b.contains(t))
+}
+
+/// The token with the largest id in `a \ (b ∪ c)` — the member selection of
+/// Algorithm 1 uses `TA \ (TS ∪ TR)` without materialising the union.
+pub fn max_not_in_either(a: &TokenSet, b: &TokenSet, c: &TokenSet) -> Option<TokenId> {
+    a.iter()
+        .rev()
+        .copied()
+        .find(|t| !b.contains(t) && !c.contains(t))
+}
+
+/// Build a token universe `{0, …, k−1}`.
+pub fn universe(k: usize) -> TokenSet {
+    (0..k as u64).map(TokenId).collect()
+}
+
+/// Distribute `k` tokens over `n` nodes round-robin: token `i` starts at
+/// node `i mod n`. Returns the per-node initial token lists.
+pub fn round_robin_assignment(n: usize, k: usize) -> Vec<Vec<TokenId>> {
+    let mut per_node = vec![Vec::new(); n];
+    for i in 0..k {
+        per_node[i % n].push(TokenId(i as u64));
+    }
+    per_node
+}
+
+/// Concentrate all `k` tokens at one node (single-source dissemination,
+/// the 1-token generalisation).
+pub fn single_source_assignment(n: usize, k: usize, source: usize) -> Vec<Vec<TokenId>> {
+    assert!(source < n);
+    let mut per_node = vec![Vec::new(); n];
+    per_node[source] = (0..k as u64).map(TokenId).collect();
+    per_node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u64]) -> TokenSet {
+        ids.iter().copied().map(TokenId).collect()
+    }
+
+    #[test]
+    fn max_min_not_in() {
+        let a = set(&[1, 3, 5, 7]);
+        let b = set(&[5, 7]);
+        assert_eq!(max_not_in(&a, &b), Some(TokenId(3)));
+        assert_eq!(min_not_in(&a, &b), Some(TokenId(1)));
+        assert_eq!(max_not_in(&a, &a), None);
+        assert_eq!(min_not_in(&a, &a), None);
+        assert_eq!(max_not_in(&a, &TokenSet::new()), Some(TokenId(7)));
+    }
+
+    #[test]
+    fn max_not_in_either_skips_both() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[4]);
+        let c = set(&[3]);
+        assert_eq!(max_not_in_either(&a, &b, &c), Some(TokenId(2)));
+        assert_eq!(max_not_in_either(&a, &a, &c), None);
+    }
+
+    #[test]
+    fn universe_is_dense() {
+        let u = universe(4);
+        assert_eq!(u.len(), 4);
+        assert!(u.contains(&TokenId(0)));
+        assert!(u.contains(&TokenId(3)));
+    }
+
+    #[test]
+    fn round_robin_covers_all_tokens() {
+        let a = round_robin_assignment(3, 8);
+        assert_eq!(a[0], vec![TokenId(0), TokenId(3), TokenId(6)]);
+        assert_eq!(a[1], vec![TokenId(1), TokenId(4), TokenId(7)]);
+        assert_eq!(a[2], vec![TokenId(2), TokenId(5)]);
+        let total: usize = a.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn single_source_concentrates() {
+        let a = single_source_assignment(4, 5, 2);
+        assert_eq!(a[2].len(), 5);
+        assert!(a[0].is_empty() && a[1].is_empty() && a[3].is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Export every experiment's tables as markdown + CSV files.
+//!
+//! Run with: `cargo run --release --example export_results [output-dir]`
+//! (default output: `target/experiments/`).
+
+use std::path::PathBuf;
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"));
+    let written = hinet::analysis::artifacts::export_all(&dir).expect("export failed");
+    let mut files = 0;
+    for w in &written {
+        files += 1 + w.csvs.len();
+    }
+    println!(
+        "wrote {} files for {} experiments under {}",
+        files,
+        written.len(),
+        dir.display()
+    );
+    for w in &written {
+        println!("  {}", w.markdown.display());
+    }
+}

@@ -1,0 +1,18 @@
+//! Run every registered experiment (E1–E12) and print the full report —
+//! the markdown form of this output is the body of EXPERIMENTS.md.
+//!
+//! Run with: `cargo run --release --example report_all [--markdown]`
+
+use hinet::analysis::all_experiments;
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    for exp in all_experiments() {
+        let result = (exp.run)();
+        if markdown {
+            println!("{}", result.to_markdown());
+        } else {
+            println!("{}", result.to_text());
+        }
+    }
+}

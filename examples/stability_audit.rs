@@ -1,0 +1,171 @@
+//! Audit the stability properties (Definitions 2–8) of generated traces.
+//!
+//! For each dynamics generator, capture a trace and measure which model it
+//! actually satisfies: per-round connectivity, the largest T-interval
+//! connectivity (flat), the largest (T, L)-HiNet window, the minimal L,
+//! and the churn statistics the cost model consumes.
+//!
+//! Run with: `cargo run --release --example stability_audit`
+
+use hinet::analysis::report::Table;
+use hinet::cluster::clustering::{ClusteringKind, GatewayPolicy, LccMobilityGen};
+use hinet::cluster::ctvg::CtvgTrace;
+use hinet::cluster::generators::{ClusteredMobilityGen, HiNetConfig, HiNetGen};
+use hinet::cluster::reaffiliation::churn_stats;
+use hinet::cluster::stability::{max_hinet_t, min_hinet_l};
+use hinet::graph::generators::{ManhattanConfig, ManhattanGen, RandomWaypointGen, WaypointConfig};
+use hinet::graph::verify::{is_always_connected, max_interval_connectivity};
+
+fn audit(label: &str, trace: &CtvgTrace, table: &mut Table) {
+    trace.validate().expect("hierarchy valid");
+    let always = is_always_connected(trace.topology());
+    let flat_t = max_interval_connectivity(trace.topology());
+    let l = min_hinet_l(trace, 1);
+    let hinet_t = l.and_then(|l| max_hinet_t(trace, l));
+    let stats = churn_stats(trace);
+    table.push_row(vec![
+        label.into(),
+        always.to_string(),
+        flat_t.map_or("—".into(), |t| t.to_string()),
+        l.map_or("—".into(), |l| l.to_string()),
+        hinet_t.map_or("—".into(), |t| t.to_string()),
+        stats.distinct_heads.to_string(),
+        format!("{:.1}", stats.mean_members),
+        format!("{:.2}", stats.mean_reaffiliations),
+    ]);
+}
+
+fn main() {
+    let rounds = 36;
+    let mut table = Table::new(
+        format!("Stability audit over {rounds}-round traces"),
+        &[
+            "generator",
+            "1-interval conn.",
+            "max flat T",
+            "min L",
+            "max HiNet T",
+            "θ measured",
+            "n_m",
+            "n_r",
+        ],
+    );
+
+    // Constructed (T, L)-HiNet, stable within windows of 6.
+    let mut constructed = HiNetGen::new(HiNetConfig {
+        n: 60,
+        num_heads: 6,
+        theta: 15,
+        l: 2,
+        t: 6,
+        reaffil_prob: 0.15,
+        rotate_heads: true,
+        noise_edges: 10,
+        seed: 1,
+    });
+    audit(
+        "constructed (6, 2)-HiNet",
+        &CtvgTrace::capture(&mut constructed, rounds),
+        &mut table,
+    );
+
+    // Constructed (1, L)-HiNet: hierarchy may change every round.
+    let mut volatile = HiNetGen::new(HiNetConfig {
+        n: 60,
+        num_heads: 6,
+        theta: 15,
+        l: 2,
+        t: 1,
+        reaffil_prob: 0.3,
+        rotate_heads: true,
+        noise_edges: 10,
+        seed: 2,
+    });
+    audit(
+        "constructed (1, 2)-HiNet",
+        &CtvgTrace::capture(&mut volatile, rounds),
+        &mut table,
+    );
+
+    // Emergent: slow mobility + lowest-ID clustering, sticky maintenance.
+    let slow = RandomWaypointGen::new(
+        60,
+        WaypointConfig {
+            radius: 0.3,
+            min_speed: 0.001,
+            max_speed: 0.008,
+            ensure_connected: true,
+        },
+        3,
+    );
+    let mut emergent_slow = ClusteredMobilityGen::new(slow, ClusteringKind::LowestId, true);
+    audit(
+        "emergent, slow mobility (sticky lowest-ID)",
+        &CtvgTrace::capture(&mut emergent_slow, rounds),
+        &mut table,
+    );
+
+    // Emergent: fast mobility — stability collapses.
+    let fast = RandomWaypointGen::new(
+        60,
+        WaypointConfig {
+            radius: 0.3,
+            min_speed: 0.05,
+            max_speed: 0.15,
+            ensure_connected: true,
+        },
+        4,
+    );
+    let mut emergent_fast = ClusteredMobilityGen::new(fast, ClusteringKind::HighestDegree, false);
+    audit(
+        "emergent, fast mobility (fresh highest-degree)",
+        &CtvgTrace::capture(&mut emergent_fast, rounds),
+        &mut table,
+    );
+
+    // Same fast mobility, but with LCC incremental maintenance.
+    let fast2 = RandomWaypointGen::new(
+        60,
+        WaypointConfig {
+            radius: 0.3,
+            min_speed: 0.05,
+            max_speed: 0.15,
+            ensure_connected: true,
+        },
+        4,
+    );
+    let mut lcc = LccMobilityGen::new(fast2, GatewayPolicy::MinimalPairwise);
+    audit(
+        "emergent, fast mobility (LCC maintenance)",
+        &CtvgTrace::capture(&mut lcc, rounds),
+        &mut table,
+    );
+
+    // Manhattan-grid vehicular mobility with LCC.
+    let city = ManhattanGen::new(
+        60,
+        ManhattanConfig {
+            streets: 5,
+            radius: 0.25,
+            speed_blocks: 0.15,
+            ensure_connected: true,
+        },
+        5,
+    );
+    let mut city_lcc = LccMobilityGen::new(city, GatewayPolicy::MinimalPairwise);
+    audit(
+        "Manhattan vehicular mobility (LCC maintenance)",
+        &CtvgTrace::capture(&mut city_lcc, rounds),
+        &mut table,
+    );
+
+    println!("{}", table.to_text());
+    println!(
+        "Constructed generators meet their declared (T, L) exactly, while emergent \
+         hierarchies land in the (1, L) regime that Algorithm 2 targets. The \
+         maintenance protocol matters enormously: under the same fast mobility, \
+         fresh re-clustering churns the hierarchy orders of magnitude harder than \
+         LCC repair (compare the n_r columns) — stability is produced by the \
+         clustering layer, exactly as the paper's model assumes."
+    );
+}

@@ -1,0 +1,23 @@
+//! Run the parameter-sweep experiments (E5–E10) and print their tables.
+//!
+//! These are the "figures" the paper's analysis implies but never measured:
+//! cost versus n₀, k, α, L and churn, plus the headline reduction grid.
+//!
+//! Run with: `cargo run --release --example sweeps [E5 E9 ...]`
+//! With no arguments every sweep runs (takes a minute or two).
+
+use hinet::analysis::all_experiments;
+
+fn main() {
+    let wanted: Vec<String> = std::env::args().skip(1).collect();
+    let sweep_ids = ["E5", "E6", "E7", "E8", "E9", "E10"];
+    for exp in all_experiments() {
+        if !sweep_ids.contains(&exp.id) {
+            continue;
+        }
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.eq_ignore_ascii_case(exp.id)) {
+            continue;
+        }
+        println!("{}", (exp.run)().to_text());
+    }
+}

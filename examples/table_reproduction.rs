@@ -1,0 +1,21 @@
+//! Reproduce the paper's evaluation tables.
+//!
+//! Prints E1 (Table 2, closed forms), E2 (Table 3, paper vs formulas) and —
+//! unless `--analytic-only` is passed — E3 (Table 3 executed on the
+//! simulator, measured vs analytic).
+//!
+//! Run with: `cargo run --release --example table_reproduction`
+
+use hinet::analysis::experiments::{e1_table2, e2_table3, e3_simulated_table3};
+
+fn main() {
+    let analytic_only = std::env::args().any(|a| a == "--analytic-only");
+
+    println!("{}", e1_table2().to_text());
+    println!("{}", e2_table3().to_text());
+    if analytic_only {
+        println!("(skipping simulated E3; drop --analytic-only to include it)");
+    } else {
+        println!("{}", e3_simulated_table3().to_text());
+    }
+}

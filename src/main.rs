@@ -1,0 +1,358 @@
+//! `hinet` — command-line front end for the reproduction.
+//!
+//! ```text
+//! hinet tables [--analytic-only]      reproduce Tables 2 & 3 (+ simulated E3)
+//! hinet experiments [E3 E13 ...]      run experiments (default: all)
+//! hinet export [DIR]                  write all experiment tables as md/csv
+//! hinet run [options]                 one simulation, report costs
+//! hinet audit [options]               stability report for a dynamics trace
+//! hinet help                          this text
+//! ```
+//!
+//! `hinet run` options (all optional):
+//!
+//! ```text
+//! --algorithm NAME   alg1 | remark1 | alg2 | alg2-mh | klo-phased |
+//!                    klo-flood | gossip | kactive | delta | rlnc   [alg1]
+//! --dynamics NAME    hinet | flat-t | flat-1 | waypoint | manhattan |
+//!                    emdg                                          [hinet]
+//! --n N              nodes                                         [100]
+//! --k K              tokens                                        [8]
+//! --alpha A          progress coefficient                          [5]
+//! --l L              hop bound                                     [2]
+//! --theta TH         head-capable pool                             [n/3]
+//! --seed S           RNG seed                                      [42]
+//! ```
+
+use hinet::analysis::experiments::all_experiments;
+use hinet::cluster::clustering::ClusteringKind;
+use hinet::cluster::ctvg::{FlatProvider, HierarchyProvider};
+use hinet::cluster::generators::{ClusteredMobilityGen, HiNetConfig, HiNetGen};
+use hinet::core::params::{alg1_plan, klo_plan, remark1_phases, required_phase_length, PhasePlan};
+use hinet::core::runner::{run_algorithm, AlgorithmKind};
+use hinet::graph::generators::{
+    BackboneKind, EdgeMarkovianGen, ManhattanConfig, ManhattanGen, OneIntervalGen,
+    RandomWaypointGen, TIntervalGen, WaypointConfig,
+};
+use hinet::sim::engine::RunConfig;
+use hinet::sim::token::round_robin_assignment;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const HELP: &str = "hinet — (T, L)-HiNet dissemination reproduction
+
+USAGE:
+  hinet tables [--analytic-only]    reproduce Tables 2 & 3 (+ simulated E3)
+  hinet experiments [E3 E13 ...]    run experiments (default: all 16)
+  hinet export [DIR]                write experiment tables as md/csv
+  hinet run [--algorithm A] [--dynamics D] [--n N] [--k K]
+            [--alpha A] [--l L] [--theta TH] [--seed S]
+  hinet audit [--dynamics D] [--n N] [--rounds R] [--seed S]
+  hinet help
+
+run algorithms: alg1 remark1 alg2 alg2-mh klo-phased klo-flood gossip
+                kactive delta rlnc
+run dynamics:   hinet flat-t flat-1 waypoint manhattan emdg";
+
+/// Minimal `--flag value` parser; bare words are positionals.
+fn parse_flags(args: &[String]) -> (Vec<String>, BTreeMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn flag_usize(flags: &BTreeMap<String, String>, name: &str, default: usize) -> usize {
+    flags
+        .get(name)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{name} wants a number, got '{v}'");
+                std::process::exit(2)
+            })
+        })
+        .unwrap_or(default)
+}
+
+fn cmd_tables(flags: &BTreeMap<String, String>) {
+    use hinet::analysis::experiments::{e1_table2, e2_table3, e3_simulated_table3};
+    println!("{}", e1_table2().to_text());
+    println!("{}", e2_table3().to_text());
+    if !flags.contains_key("analytic-only") {
+        println!("{}", e3_simulated_table3().to_text());
+    }
+}
+
+fn cmd_experiments(wanted: &[String]) -> ExitCode {
+    let registry = all_experiments();
+    if !wanted.is_empty() {
+        for w in wanted {
+            if !registry.iter().any(|e| e.id.eq_ignore_ascii_case(w)) {
+                eprintln!("unknown experiment '{w}' (valid: E1..E{})", registry.len());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for exp in registry {
+        if wanted.is_empty() || wanted.iter().any(|w| w.eq_ignore_ascii_case(exp.id)) {
+            println!("{}", (exp.run)().to_text());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_export(dir: Option<&String>) -> ExitCode {
+    let path = std::path::PathBuf::from(
+        dir.cloned().unwrap_or_else(|| "target/experiments".into()),
+    );
+    match hinet::analysis::artifacts::export_all(&path) {
+        Ok(written) => {
+            println!("wrote artifacts for {} experiments under {}", written.len(), path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("export failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
+    let n = flag_usize(flags, "n", 100);
+    let k = flag_usize(flags, "k", 8);
+    let alpha = flag_usize(flags, "alpha", 5);
+    let l = flag_usize(flags, "l", 2);
+    let theta = flag_usize(flags, "theta", (n / 3).max(1));
+    let seed = flag_usize(flags, "seed", 42) as u64;
+    let algorithm = flags.get("algorithm").map(String::as_str).unwrap_or("alg1");
+    let dynamics = flags.get("dynamics").map(String::as_str).unwrap_or("hinet");
+
+    let t = required_phase_length(k, alpha, l);
+    let assignment = round_robin_assignment(n, k);
+    let budget = 4 * n + 4 * t;
+
+    // RLNC runs on its own executor.
+    if algorithm == "rlnc" {
+        let mut provider: Box<dyn hinet::graph::trace::TopologyProvider> = match dynamics {
+            "flat-1" | "hinet" => Box::new(OneIntervalGen::new(n, true, n / 5, seed)),
+            "flat-t" => Box::new(TIntervalGen::new(n, t, BackboneKind::Path, n / 5, seed)),
+            "waypoint" => Box::new(RandomWaypointGen::new(n, WaypointConfig::default(), seed)),
+            "manhattan" => Box::new(ManhattanGen::new(n, ManhattanConfig::default(), seed)),
+            "emdg" => Box::new(EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed)),
+            other => {
+                eprintln!("unknown dynamics '{other}'");
+                return ExitCode::from(2);
+            }
+        };
+        let r = hinet::core::netcode::run_rlnc(provider.as_mut(), &assignment, budget, seed);
+        println!("algorithm: rlnc  dynamics: {dynamics}  n={n} k={k} seed={seed}");
+        println!(
+            "completed: {}  rounds: {:?}  coded packets: {}",
+            r.completed(),
+            r.completion_round,
+            r.packets_sent
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let kind = match algorithm {
+        "alg1" => AlgorithmKind::HiNetPhased(alg1_plan(k, alpha, l, theta)),
+        "remark1" => AlgorithmKind::HiNetRemark1(PhasePlan {
+            rounds_per_phase: t,
+            phases: remark1_phases(theta, alpha),
+        }),
+        "alg2" => AlgorithmKind::HiNetFullExchange { rounds: n - 1 },
+        "alg2-mh" => AlgorithmKind::HiNetFullExchangeMH { rounds: n - 1 },
+        "klo-phased" => AlgorithmKind::KloPhased(klo_plan(k, alpha, l, n)),
+        "klo-flood" => AlgorithmKind::KloFlood { rounds: n - 1 },
+        "gossip" => AlgorithmKind::Gossip {
+            rounds: budget,
+            seed,
+        },
+        "kactive" => AlgorithmKind::KActiveFlood {
+            activity: n / 2,
+            rounds: budget,
+        },
+        "delta" => AlgorithmKind::DeltaFlood { rounds: budget },
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut provider: Box<dyn HierarchyProvider> = match dynamics {
+        "hinet" => {
+            let num_heads = (theta / 2).clamp(1, theta);
+            Box::new(HiNetGen::new(HiNetConfig {
+                n,
+                num_heads,
+                theta,
+                l,
+                t: if matches!(kind, AlgorithmKind::HiNetFullExchange { .. }) {
+                    1
+                } else {
+                    t
+                },
+                reaffil_prob: 0.1,
+                rotate_heads: true,
+                noise_edges: n / 5,
+                seed,
+            }))
+        }
+        "flat-t" => Box::new(FlatProvider::new(TIntervalGen::new(
+            n,
+            t,
+            BackboneKind::Path,
+            n / 5,
+            seed,
+        ))),
+        "flat-1" => Box::new(FlatProvider::new(OneIntervalGen::new(n, true, n / 5, seed))),
+        "waypoint" => Box::new(ClusteredMobilityGen::new(
+            RandomWaypointGen::new(n, WaypointConfig::default(), seed),
+            ClusteringKind::LowestId,
+            true,
+        )),
+        "manhattan" => Box::new(ClusteredMobilityGen::new(
+            ManhattanGen::new(n, ManhattanConfig::default(), seed),
+            ClusteringKind::LowestId,
+            true,
+        )),
+        "emdg" => Box::new(ClusteredMobilityGen::new(
+            EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed),
+            ClusteringKind::GreedyDominating,
+            true,
+        )),
+        other => {
+            eprintln!("unknown dynamics '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = run_algorithm(
+        &kind,
+        provider.as_mut(),
+        &assignment,
+        RunConfig {
+            max_rounds: budget,
+            ..RunConfig::default()
+        },
+    );
+    println!(
+        "algorithm: {}  dynamics: {dynamics}  n={n} k={k} α={alpha} L={l} θ={theta} seed={seed}",
+        kind.label()
+    );
+    println!(
+        "completed: {}  rounds: {}",
+        report.completed(),
+        report
+            .completion_round
+            .map_or("never".into(), |r| r.to_string())
+    );
+    println!(
+        "tokens sent: {}  packets: {}  (heads {}, gateways {}, members {})",
+        report.metrics.tokens_sent,
+        report.metrics.packets_sent,
+        report.metrics.tokens_by_role[0],
+        report.metrics.tokens_by_role[1],
+        report.metrics.tokens_by_role[2],
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_audit(flags: &BTreeMap<String, String>) -> ExitCode {
+    use hinet::cluster::audit::audit;
+    use hinet::cluster::ctvg::CtvgTrace;
+
+    let n = flag_usize(flags, "n", 60);
+    let rounds = flag_usize(flags, "rounds", 36);
+    let seed = flag_usize(flags, "seed", 42) as u64;
+    let dynamics = flags.get("dynamics").map(String::as_str).unwrap_or("hinet");
+
+    let mut provider: Box<dyn HierarchyProvider> = match dynamics {
+        "hinet" => Box::new(HiNetGen::new(HiNetConfig {
+            n,
+            num_heads: (n / 8).max(1),
+            theta: (n / 4).max(1),
+            l: 2,
+            t: 6,
+            reaffil_prob: 0.15,
+            rotate_heads: true,
+            noise_edges: n / 5,
+            seed,
+        })),
+        "flat-t" => Box::new(FlatProvider::new(TIntervalGen::new(
+            n,
+            6,
+            BackboneKind::Path,
+            n / 5,
+            seed,
+        ))),
+        "flat-1" => Box::new(FlatProvider::new(OneIntervalGen::new(n, true, n / 5, seed))),
+        "waypoint" => Box::new(ClusteredMobilityGen::new(
+            RandomWaypointGen::new(n, WaypointConfig::default(), seed),
+            ClusteringKind::LowestId,
+            true,
+        )),
+        "manhattan" => Box::new(ClusteredMobilityGen::new(
+            ManhattanGen::new(n, ManhattanConfig::default(), seed),
+            ClusteringKind::LowestId,
+            true,
+        )),
+        "emdg" => Box::new(ClusteredMobilityGen::new(
+            EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed),
+            ClusteringKind::GreedyDominating,
+            true,
+        )),
+        other => {
+            eprintln!("unknown dynamics '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = CtvgTrace::capture(provider.as_mut(), rounds);
+    println!("stability audit: dynamics={dynamics} n={n} rounds={rounds} seed={seed}\n");
+    println!("{}", audit(&trace).to_text());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        println!("{HELP}");
+        return ExitCode::SUCCESS;
+    };
+    let (positional, flags) = parse_flags(&args[1..]);
+    match command.as_str() {
+        "tables" => {
+            cmd_tables(&flags);
+            ExitCode::SUCCESS
+        }
+        "experiments" => cmd_experiments(&positional),
+        "export" => cmd_export(positional.first()),
+        "run" => cmd_run(&flags),
+        "audit" => cmd_audit(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n\n{HELP}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests for the cluster substrate: clustering validity,
+//! HiNet generator guarantees, the Fig. 2 lattice, and churn accounting.
+
+use hinet::cluster::clustering::{cluster, ClusteringKind};
+use hinet::cluster::ctvg::CtvgTrace;
+use hinet::cluster::generators::{HiNetConfig, HiNetGen};
+use hinet::cluster::hierarchy::ClusterId;
+use hinet::cluster::reaffiliation::churn_stats;
+use hinet::cluster::stability::{
+    cluster_stable_in_window, has_t_interval_l_hop_connectivity, head_connectivity_in_window,
+    is_head_set_t_stable, is_hierarchy_t_stable, is_t_l_hinet, l_hop_in_window, min_hinet_l,
+};
+use hinet::graph::graph::{Graph, GraphBuilder, NodeId};
+use hinet::graph::verify::is_always_connected;
+use proptest::prelude::*;
+
+fn graph_from(n: usize, seed: u64, p: f64) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if next() < p {
+                b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+            }
+        }
+    }
+    b.build()
+}
+
+fn arb_kind() -> impl Strategy<Value = ClusteringKind> {
+    prop_oneof![
+        Just(ClusteringKind::LowestId),
+        Just(ClusteringKind::HighestDegree),
+        Just(ClusteringKind::GreedyDominating),
+    ]
+}
+
+/// Strategy over valid HiNet generator configs.
+fn arb_hinet_config() -> impl Strategy<Value = HiNetConfig> {
+    (
+        2usize..=6,   // num_heads
+        1usize..=3,   // l
+        1usize..=5,   // t
+        0.0f64..=0.8, // reaffil_prob
+        any::<bool>(),
+        0usize..12, // noise
+        any::<u64>(),
+    )
+        .prop_map(|(num_heads, l, t, reaffil_prob, rotate_heads, noise_edges, seed)| {
+            let backbone = (num_heads - 1) * (l - 1);
+            let n = (num_heads + backbone + 10).max(20);
+            HiNetConfig {
+                n,
+                num_heads,
+                theta: (num_heads * 2).min(n),
+                l,
+                t,
+                reaffil_prob,
+                rotate_heads,
+                noise_edges,
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clustering_always_valid_and_one_hop(
+        n in 2usize..=30,
+        seed in any::<u64>(),
+        p in 0.0f64..0.9,
+        kind in arb_kind(),
+    ) {
+        let g = graph_from(n, seed, p);
+        let h = cluster(kind, &g);
+        prop_assert_eq!(h.validate(&g), Ok(()));
+        // 1-hop clusters: every non-head adjacent to its head.
+        for u in g.nodes() {
+            if !h.is_head(u) {
+                let head = h.head_of(u).expect("clustered");
+                prop_assert!(g.has_edge(u, head));
+            }
+        }
+        // Every node covered, heads self-clustered.
+        for &head in h.heads() {
+            prop_assert_eq!(h.cluster_of(head), Some(ClusterId(head)));
+        }
+    }
+
+    #[test]
+    fn clustering_covers_with_at_most_n_clusters(
+        n in 2usize..=30,
+        seed in any::<u64>(),
+        p in 0.0f64..0.9,
+        kind in arb_kind(),
+    ) {
+        let g = graph_from(n, seed, p);
+        let h = cluster(kind, &g);
+        prop_assert!(!h.heads().is_empty());
+        prop_assert!(h.heads().len() <= n);
+        // Cluster count decreases with density: a complete graph is 1 cluster.
+        if g.m() == n * (n - 1) / 2 {
+            prop_assert_eq!(h.heads().len(), 1);
+        }
+    }
+
+    #[test]
+    fn hinet_gen_satisfies_its_declared_model(cfg in arb_hinet_config()) {
+        let rounds = (3 * cfg.t).max(4);
+        let mut gen = HiNetGen::new(cfg);
+        let trace = CtvgTrace::capture(&mut gen, rounds);
+        prop_assert_eq!(trace.validate(), Ok(()));
+        prop_assert!(is_always_connected(trace.topology()));
+        prop_assert!(
+            is_t_l_hinet(&trace, cfg.t, cfg.l),
+            "generator must satisfy its own (T={}, L={})", cfg.t, cfg.l
+        );
+        // θ bound respected.
+        let stats = churn_stats(&trace);
+        prop_assert!(stats.distinct_heads <= cfg.theta);
+        prop_assert!(stats.max_concurrent_heads == cfg.num_heads);
+    }
+
+    #[test]
+    fn definition_lattice_on_random_hinet_traces(cfg in arb_hinet_config()) {
+        let rounds = (2 * cfg.t).max(3);
+        let mut gen = HiNetGen::new(cfg);
+        let trace = CtvgTrace::capture(&mut gen, rounds);
+        let (t, l) = (cfg.t, cfg.l);
+        // Fig. 2: Def 8 ⇒ Def 4 ⇒ Defs 2,3 and Def 8 ⇒ Def 7 ⇒ Defs 5,6.
+        if is_t_l_hinet(&trace, t, l) {
+            prop_assert!(is_hierarchy_t_stable(&trace, t));
+            prop_assert!(has_t_interval_l_hop_connectivity(&trace, t, l));
+        }
+        if is_hierarchy_t_stable(&trace, t) {
+            prop_assert!(is_head_set_t_stable(&trace, t));
+            let win = t.min(trace.len());
+            for &head in trace.hierarchy(0).heads() {
+                prop_assert!(cluster_stable_in_window(&trace, ClusterId(head), 0, win));
+            }
+        }
+        if has_t_interval_l_hop_connectivity(&trace, t, l) {
+            let win = t.min(trace.len());
+            prop_assert!(head_connectivity_in_window(&trace, 0, win));
+            prop_assert!(l_hop_in_window(&trace, 0, win, l));
+        }
+    }
+
+    #[test]
+    fn min_l_never_exceeds_declared_l(cfg in arb_hinet_config()) {
+        // Noise can shorten head distances but the stable backbone bounds
+        // them above by the declared L.
+        let rounds = (2 * cfg.t).max(2);
+        let mut gen = HiNetGen::new(cfg);
+        let trace = CtvgTrace::capture(&mut gen, rounds);
+        let measured = min_hinet_l(&trace, cfg.t);
+        prop_assert!(measured.is_some());
+        prop_assert!(measured.unwrap() <= cfg.l, "measured {measured:?} > declared {}", cfg.l);
+    }
+
+    #[test]
+    fn zero_churn_config_reports_zero_reaffiliations(
+        seed in any::<u64>(),
+        t in 1usize..5,
+    ) {
+        let cfg = HiNetConfig {
+            n: 24,
+            num_heads: 3,
+            theta: 3,
+            l: 2,
+            t,
+            reaffil_prob: 0.0,
+            rotate_heads: false,
+            noise_edges: 4,
+            seed,
+        };
+        let mut gen = HiNetGen::new(cfg);
+        let trace = CtvgTrace::capture(&mut gen, 3 * t);
+        let stats = churn_stats(&trace);
+        prop_assert_eq!(stats.total_reaffiliations, 0);
+        prop_assert_eq!(stats.head_set_changes, 0);
+    }
+
+    #[test]
+    fn stability_verdicts_deterministic(cfg in arb_hinet_config()) {
+        let rounds = (2 * cfg.t).max(2);
+        let t1 = CtvgTrace::capture(&mut HiNetGen::new(cfg), rounds);
+        let t2 = CtvgTrace::capture(&mut HiNetGen::new(cfg), rounds);
+        prop_assert_eq!(is_t_l_hinet(&t1, cfg.t, cfg.l), is_t_l_hinet(&t2, cfg.t, cfg.l));
+        prop_assert_eq!(min_hinet_l(&t1, cfg.t), min_hinet_l(&t2, cfg.t));
+        let (s1, s2) = (churn_stats(&t1), churn_stats(&t2));
+        prop_assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests for the extension substrates: d-hop clustering, LCC
+//! maintenance, gateway policies, Manhattan mobility, and network coding.
+
+use hinet::cluster::clustering::{
+    backbone_connects_heads, cluster_with_policy, dhop_lowest_id, ClusteringKind, GatewayPolicy,
+    LccMaintainer,
+};
+use hinet::core::netcode::gf2::{Gf2Basis, Gf2Vec};
+use hinet::graph::generators::{ManhattanConfig, ManhattanGen};
+use hinet::graph::graph::{Graph, GraphBuilder, NodeId};
+use hinet::graph::trace::{TopologyProvider, TvgTrace};
+use hinet::graph::traversal::is_connected;
+use hinet::graph::verify::is_always_connected;
+use proptest::prelude::*;
+
+fn graph_from(n: usize, seed: u64, p: f64) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if next() < p {
+                b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+            }
+        }
+    }
+    b.build()
+}
+
+fn arb_policy() -> impl Strategy<Value = GatewayPolicy> {
+    prop_oneof![
+        Just(GatewayPolicy::AllBoundary),
+        Just(GatewayPolicy::MinimalPairwise),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dhop_hierarchy_valid_and_depth_bounded(
+        n in 3usize..=28,
+        seed in any::<u64>(),
+        p in 0.05f64..0.8,
+        d in 1usize..=4,
+        policy in arb_policy(),
+    ) {
+        let g = graph_from(n, seed, p);
+        let h = dhop_lowest_id(&g, d, policy);
+        prop_assert_eq!(h.validate(&g), Ok(()));
+        for u in g.nodes() {
+            let depth = h.depth_of(u).expect("all clustered");
+            prop_assert!(depth <= d, "node {} at depth {} > d={}", u, depth, d);
+        }
+    }
+
+    #[test]
+    fn dhop_heads_shrink_with_d(
+        n in 6usize..=28,
+        seed in any::<u64>(),
+        p in 0.05f64..0.6,
+    ) {
+        let g = graph_from(n, seed, p);
+        let h1 = dhop_lowest_id(&g, 1, GatewayPolicy::MinimalPairwise);
+        let h3 = dhop_lowest_id(&g, 3, GatewayPolicy::MinimalPairwise);
+        prop_assert!(h3.heads().len() <= h1.heads().len());
+    }
+
+    #[test]
+    fn backbone_connected_on_connected_graphs(
+        n in 2usize..=26,
+        seed in any::<u64>(),
+        p in 0.1f64..0.9,
+        kind in prop_oneof![
+            Just(ClusteringKind::LowestId),
+            Just(ClusteringKind::HighestDegree),
+            Just(ClusteringKind::GreedyDominating),
+        ],
+        policy in arb_policy(),
+    ) {
+        let g = graph_from(n, seed, p);
+        prop_assume!(is_connected(&g));
+        let h = cluster_with_policy(kind, &g, policy);
+        prop_assert!(
+            backbone_connects_heads(&g, &h),
+            "{:?}/{:?} disconnected backbone on connected graph", kind, policy
+        );
+    }
+
+    #[test]
+    fn minimal_policy_never_more_gateways(
+        n in 4usize..=26,
+        seed in any::<u64>(),
+        p in 0.05f64..0.9,
+        kind in prop_oneof![
+            Just(ClusteringKind::LowestId),
+            Just(ClusteringKind::HighestDegree),
+        ],
+    ) {
+        let g = graph_from(n, seed, p);
+        let all = cluster_with_policy(kind, &g, GatewayPolicy::AllBoundary);
+        let min = cluster_with_policy(kind, &g, GatewayPolicy::MinimalPairwise);
+        prop_assert!(min.gateway_count() <= all.gateway_count());
+        prop_assert_eq!(min.heads(), all.heads(), "policy must not change heads");
+    }
+
+    #[test]
+    fn lcc_stays_valid_across_arbitrary_snapshots(
+        n in 4usize..=20,
+        seeds in proptest::collection::vec((any::<u64>(), 0.1f64..0.8), 2..8),
+    ) {
+        let mut m = LccMaintainer::new(GatewayPolicy::MinimalPairwise);
+        for (seed, p) in seeds {
+            let g = graph_from(n, seed, p);
+            let h = m.step(&g);
+            prop_assert_eq!(h.validate(&g), Ok(()));
+        }
+    }
+
+    #[test]
+    fn manhattan_always_connected_when_patched(
+        n in 2usize..=24,
+        streets in 2usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let mut g = ManhattanGen::new(
+            n,
+            ManhattanConfig {
+                streets,
+                radius: 0.3,
+                speed_blocks: 0.4,
+                ensure_connected: true,
+            },
+            seed,
+        );
+        let trace = TvgTrace::capture(&mut g, 12);
+        prop_assert!(is_always_connected(&trace));
+    }
+
+    #[test]
+    fn manhattan_deterministic(
+        n in 2usize..=16,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ManhattanConfig::default();
+        let mut a = ManhattanGen::new(n, cfg, seed);
+        let mut b = ManhattanGen::new(n, cfg, seed);
+        for r in [3usize, 0, 7] {
+            prop_assert_eq!(&*a.graph_at(r), &*b.graph_at(r));
+        }
+    }
+
+    #[test]
+    fn gf2_insert_rank_invariants(
+        k in 1usize..=64,
+        vectors in proptest::collection::vec(any::<u64>(), 1..24),
+    ) {
+        let mut basis = Gf2Basis::new(k);
+        let mut prev_rank = 0;
+        for bits in vectors {
+            let mut v = Gf2Vec::zero(k);
+            for i in 0..k.min(64) {
+                if bits & (1 << i) != 0 {
+                    v.set(i);
+                }
+            }
+            let was_zero = v.is_empty();
+            let grew = basis.insert(v);
+            prop_assert!(!(<bool>::from(was_zero) && grew), "zero vector cannot grow rank");
+            let rank = basis.rank();
+            prop_assert_eq!(rank, prev_rank + usize::from(grew));
+            prop_assert!(rank <= k);
+            prev_rank = rank;
+        }
+        // Decoded tokens are a subset of span dimensionality.
+        prop_assert!(basis.decoded().len() <= basis.rank());
+        if basis.is_complete() {
+            prop_assert_eq!(basis.decoded().len(), k);
+        }
+    }
+
+    #[test]
+    fn gf2_reinserting_span_elements_never_grows(
+        k in 1usize..=32,
+        vectors in proptest::collection::vec(any::<u64>(), 1..12),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut basis = Gf2Basis::new(k);
+        for bits in vectors {
+            let mut v = Gf2Vec::zero(k);
+            for i in 0..k.min(64) {
+                if bits & (1 << i) != 0 {
+                    v.set(i);
+                }
+            }
+            basis.insert(v);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            if let Some(c) = basis.random_combination(&mut rng) {
+                let mut probe = basis.clone();
+                prop_assert!(!probe.insert(c), "span element must be dependent");
+            }
+        }
+    }
+}
