@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate, runnable with no network access.
+#
+# The workspace's default dependency graph is 100% in-tree (see DESIGN.md
+# §3), so `--offline` must always succeed: any accidental reintroduction of
+# a registry dependency fails this script immediately instead of passing
+# locally and breaking in a sandbox. `crates/hinet-bench` is excluded from
+# the workspace (criterion comes from the registry) and is not built here.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --check
+cargo build --release --offline
+cargo test -q --offline

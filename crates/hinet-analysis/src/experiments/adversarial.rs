@@ -34,7 +34,13 @@ pub fn e13_quiescence_trap() -> ExperimentResult {
 
     let mut table = Table::new(
         format!("Quiescence trap vs benign churn (n={n}, k=1 at node 0, budget {budget} rounds)"),
-        &["dynamics", "algorithm", "completed", "rounds", "tokens sent"],
+        &[
+            "dynamics",
+            "algorithm",
+            "completed",
+            "rounds",
+            "tokens sent",
+        ],
     );
     let mut record = |dynamics: &str, algorithm: &str, report: &RunReport| {
         table.push_row(vec![

@@ -35,7 +35,10 @@ pub fn e1_table2() -> ExperimentResult {
     }
 
     let evaluate = |title: String, p: ModelParams, p_1l: ModelParams| -> Table {
-        let mut t = Table::new(title, &["network model", "time (rounds)", "communication (tokens)"]);
+        let mut t = Table::new(
+            title,
+            &["network model", "time (rounds)", "communication (tokens)"],
+        );
         for row in analysis::table2(&p, &p_1l) {
             t.push_row(vec![
                 row.model.into(),
@@ -62,7 +65,11 @@ pub fn e1_table2() -> ExperimentResult {
         tables: vec![
             formulas,
             evaluate("Evaluated at Table 3 parameters".into(), p, p.with_n_r(10)),
-            evaluate("Evaluated at n₀=500 parameters".into(), big, big.with_n_r(12)),
+            evaluate(
+                "Evaluated at n₀=500 parameters".into(),
+                big,
+                big.with_n_r(12),
+            ),
         ],
         notes: vec![
             "Erratum E2-b: the paper's KLO row uses ⌈n₀/(α·L)⌉ phases in the time \
@@ -102,7 +109,11 @@ pub fn e2_table3() -> ExperimentResult {
             row.time_rounds.to_string(),
             p_comm.to_string(),
             row.comm_tokens.to_string(),
-            if matches { "yes".into() } else { "NO (see note)".into() },
+            if matches {
+                "yes".into()
+            } else {
+                "NO (see note)".into()
+            },
         ]);
         if !matches {
             notes.push(format!(

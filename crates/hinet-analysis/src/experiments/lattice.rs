@@ -25,12 +25,42 @@ struct Implication {
 /// the same with random parameters).
 pub fn e4_definition_lattice() -> ExperimentResult {
     let mut imps = vec![
-        Implication { name: "Def 8 ⇒ Def 4 (stable hierarchy)", holds: 0, vacuous: 0, violated: 0 },
-        Implication { name: "Def 8 ⇒ Def 7 (T-interval L-hop conn.)", holds: 0, vacuous: 0, violated: 0 },
-        Implication { name: "Def 4 ⇒ Def 2 (stable head set)", holds: 0, vacuous: 0, violated: 0 },
-        Implication { name: "Def 4 ⇒ Def 3 (each cluster stable)", holds: 0, vacuous: 0, violated: 0 },
-        Implication { name: "Def 7 ⇒ Def 5 (head connectivity)", holds: 0, vacuous: 0, violated: 0 },
-        Implication { name: "Def 7 ⇒ Def 6 (L-hop bound)", holds: 0, vacuous: 0, violated: 0 },
+        Implication {
+            name: "Def 8 ⇒ Def 4 (stable hierarchy)",
+            holds: 0,
+            vacuous: 0,
+            violated: 0,
+        },
+        Implication {
+            name: "Def 8 ⇒ Def 7 (T-interval L-hop conn.)",
+            holds: 0,
+            vacuous: 0,
+            violated: 0,
+        },
+        Implication {
+            name: "Def 4 ⇒ Def 2 (stable head set)",
+            holds: 0,
+            vacuous: 0,
+            violated: 0,
+        },
+        Implication {
+            name: "Def 4 ⇒ Def 3 (each cluster stable)",
+            holds: 0,
+            vacuous: 0,
+            violated: 0,
+        },
+        Implication {
+            name: "Def 7 ⇒ Def 5 (head connectivity)",
+            holds: 0,
+            vacuous: 0,
+            violated: 0,
+        },
+        Implication {
+            name: "Def 7 ⇒ Def 6 (L-hop bound)",
+            holds: 0,
+            vacuous: 0,
+            violated: 0,
+        },
     ];
 
     let mut traces_checked = 0;

@@ -16,15 +16,14 @@ mod simulated;
 mod sweeps;
 
 pub use adversarial::e13_quiescence_trap;
+pub use analytic::{e1_table2, e2_table3};
+pub use lattice::e4_definition_lattice;
 pub use multihop::e14_multihop_clusters;
 pub use netcode::e15_network_coding;
 pub use progress::e16_progress_curves;
-pub use analytic::{e1_table2, e2_table3};
-pub use lattice::e4_definition_lattice;
 pub use simulated::{e11_remark1_ablation, e12_emdg_clusters, e3_simulated_table3};
 pub use sweeps::{
-    e10_headline, e5_sweep_n, e6_sweep_k, e7_sweep_alpha, e8_sweep_l, e9_sweep_churn,
-    params_for_n,
+    e10_headline, e5_sweep_n, e6_sweep_k, e7_sweep_alpha, e8_sweep_l, e9_sweep_churn, params_for_n,
 };
 
 use crate::report::Table;

@@ -83,11 +83,8 @@ pub fn e14_multihop_clusters() -> ExperimentResult {
             .iter()
             .map(|(_, scheme)| match scheme {
                 Some(scheme) => {
-                    let mut provider = ClusteredMobilityGen::with_scheme(
-                        slow_field(n, seed),
-                        *scheme,
-                        true,
-                    );
+                    let mut provider =
+                        ClusteredMobilityGen::with_scheme(slow_field(n, seed), *scheme, true);
                     let kind = match scheme {
                         ClusterScheme::OneHop(..) => {
                             AlgorithmKind::HiNetFullExchange { rounds: budget }
@@ -126,8 +123,17 @@ pub fn e14_multihop_clusters() -> ExperimentResult {
     });
 
     let mut table = Table::new(
-        format!("d-hop clusters on slow mobility (n={n}, k={k}, mean over {} seeds)", SEEDS.len()),
-        &["variant", "completed", "rounds", "tokens sent", "heads (round 0)"],
+        format!(
+            "d-hop clusters on slow mobility (n={n}, k={k}, mean over {} seeds)",
+            SEEDS.len()
+        ),
+        &[
+            "variant",
+            "completed",
+            "rounds",
+            "tokens sent",
+            "heads (round 0)",
+        ],
     );
     for (i, (label, _)) in variants.iter().enumerate() {
         let all_completed = runs.iter().all(|r| r[i].completed);

@@ -107,7 +107,13 @@ pub fn e15_network_coding() -> ExperimentResult {
             "Coding vs forwarding (n={n}, k={k}, 1-interval dynamics, mean over {} seeds)",
             SEEDS.len()
         ),
-        &["algorithm", "completed", "rounds", "tokens sent", "bytes on air"],
+        &[
+            "algorithm",
+            "completed",
+            "rounds",
+            "tokens sent",
+            "bytes on air",
+        ],
     );
     for (i, label) in labels.iter().enumerate() {
         let all_completed = runs.iter().all(|r| r[i].completed);

@@ -5,8 +5,8 @@ use crate::report::{fmt_pct, Table};
 use crate::scenarios::{self, ScenarioReport};
 use crate::stats::Summary;
 use crate::sweep::run_sweep;
-use hinet_cluster::ctvg::FlatProvider;
 use hinet_cluster::clustering::ClusteringKind;
+use hinet_cluster::ctvg::FlatProvider;
 use hinet_cluster::generators::ClusteredMobilityGen;
 use hinet_core::analysis::ModelParams;
 use hinet_core::runner::{run_algorithm, AlgorithmKind};
@@ -91,7 +91,10 @@ pub fn e3_simulated_table3() -> ExperimentResult {
 pub fn e11_remark1_ablation() -> ExperimentResult {
     let p = ModelParams::table3();
     let pairs: Vec<(ScenarioReport, ScenarioReport)> = run_sweep(&SEEDS, 0, |&seed| {
-        (scenarios::run_hinet_tl(&p, seed), scenarios::run_remark1(&p, seed))
+        (
+            scenarios::run_hinet_tl(&p, seed),
+            scenarios::run_remark1(&p, seed),
+        )
     });
     let mut table = Table::new(
         "Algorithm 1 vs Remark 1 variant (mean over seeds)",
@@ -163,7 +166,8 @@ pub fn e12_emdg_clusters() -> ExperimentResult {
             cfg,
         );
         (
-            alg2.completion_round.expect("alg2 on connected EMDG completes") as u64,
+            alg2.completion_round
+                .expect("alg2 on connected EMDG completes") as u64,
             alg2.metrics.tokens_sent,
             flood.completion_round.expect("flooding completes") as u64,
             flood.metrics.tokens_sent,
@@ -189,8 +193,7 @@ pub fn e12_emdg_clusters() -> ExperimentResult {
         Summary::of_u64(&f_time).cell(),
         Summary::of_u64(&f_comm).cell(),
     ]);
-    let reduction = 1.0
-        - Summary::of_u64(&a_comm).mean / Summary::of_u64(&f_comm).mean;
+    let reduction = 1.0 - Summary::of_u64(&a_comm).mean / Summary::of_u64(&f_comm).mean;
     ExperimentResult {
         id: "E12",
         title: "Extension — clusters over edge-Markovian dynamics",
@@ -223,9 +226,8 @@ mod tests {
     fn e11_remark1_not_more_expensive() {
         let r = e11_remark1_ablation();
         let t = &r.tables[0];
-        let parse_mean = |cell: &str| -> f64 {
-            cell.split('±').next().unwrap().trim().parse().unwrap()
-        };
+        let parse_mean =
+            |cell: &str| -> f64 { cell.split('±').next().unwrap().trim().parse().unwrap() };
         let alg1_comm = parse_mean(t.cell(0, 2));
         let remark1_comm = parse_mean(t.cell(1, 2));
         assert!(
@@ -237,15 +239,10 @@ mod tests {
     #[test]
     fn e12_clusters_beat_flooding_on_emdg() {
         let r = e12_emdg_clusters();
-        assert!(
-            r.notes[0].contains("less communication"),
-            "{}",
-            r.notes[0]
-        );
+        assert!(r.notes[0].contains("less communication"), "{}", r.notes[0]);
         let t = &r.tables[0];
-        let parse_mean = |cell: &str| -> f64 {
-            cell.split('±').next().unwrap().trim().parse().unwrap()
-        };
+        let parse_mean =
+            |cell: &str| -> f64 { cell.split('±').next().unwrap().trim().parse().unwrap() };
         assert!(parse_mean(t.cell(0, 2)) < parse_mean(t.cell(1, 2)));
     }
 }

@@ -169,8 +169,7 @@ pub fn e9_sweep_churn() -> ExperimentResult {
         let reduction = 1.0 - hinet_comm as f64 / flood_comm as f64;
         let hinet = scenarios::run_hinet_1l(&p, SIM_SEED);
         let flood = scenarios::run_klo_1interval(&p, SIM_SEED);
-        let measured_reduction =
-            1.0 - hinet.measured_comm() as f64 / flood.measured_comm() as f64;
+        let measured_reduction = 1.0 - hinet.measured_comm() as f64 / flood.measured_comm() as f64;
         vec![
             format!("n_r={n_r}"),
             flood_comm.to_string(),
@@ -220,9 +219,12 @@ pub fn e10_headline() -> ExperimentResult {
     for &n in &ns {
         let mut row = vec![format!("n₀={n}")];
         for &k in &ks {
-            let p = ModelParams { k, ..params_for_n(n) };
-            let r = 1.0
-                - analysis::hinet_tl_comm(&p) as f64 / analysis::klo_t_interval_comm(&p) as f64;
+            let p = ModelParams {
+                k,
+                ..params_for_n(n)
+            };
+            let r =
+                1.0 - analysis::hinet_tl_comm(&p) as f64 / analysis::klo_t_interval_comm(&p) as f64;
             best = best.max(r);
             row.push(fmt_pct(r));
         }
@@ -254,7 +256,10 @@ mod tests {
         let t = &r.tables[0];
         let first = parse_pct(t.cell(0, 5));
         let last = parse_pct(t.cell(t.len() - 1, 5));
-        assert!(last > first, "reduction should grow with n₀: {first} → {last}");
+        assert!(
+            last > first,
+            "reduction should grow with n₀: {first} → {last}"
+        );
         // Measured reductions are positive everywhere.
         for row in t.rows() {
             assert!(parse_pct(&row[6]) > 0.0, "measured at {}", row[0]);

@@ -6,8 +6,9 @@
 //! * [`report`] — plain-text/markdown/CSV table rendering for experiment
 //!   output (no serde; the tables are small and the formats trivial).
 //! * [`stats`] — summary statistics over repeated seeded runs.
-//! * [`sweep`] — a crossbeam-based parallel executor for parameter sweeps
-//!   (each cell of a sweep is an independent deterministic simulation).
+//! * [`sweep`] — a scoped-thread parallel executor for parameter sweeps
+//!   (each cell of a sweep is an independent deterministic simulation),
+//!   re-exported from [`hinet_rt::pool`].
 //! * [`scenarios`] — the four Table 2 rows as *executable* scenarios:
 //!   dynamics generator + algorithm + parameter plan, derived from one
 //!   [`hinet_core::analysis::ModelParams`].

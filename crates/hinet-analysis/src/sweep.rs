@@ -1,61 +1,20 @@
 //! Parallel parameter-sweep executor.
 //!
 //! Each cell of a sweep is an independent, deterministic simulation, so the
-//! sweep is embarrassingly parallel. We fan cells out over a fixed pool of
-//! crossbeam scoped threads pulling from a shared atomic cursor (dynamic
-//! load balancing — simulation time varies wildly across parameter cells),
-//! and write results into a pre-sized slot vector so output order equals
-//! input order regardless of scheduling.
+//! sweep is embarrassingly parallel. The executor lives in
+//! [`hinet_rt::pool`]: a fixed pool of `std::thread::scope` workers pulling
+//! from a shared atomic cursor (dynamic load balancing — simulation time
+//! varies wildly across parameter cells), writing results into a pre-sized
+//! slot vector so output order equals input order regardless of scheduling.
+//! Worker panics propagate to the caller with the failing cell's index and
+//! the original panic message.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Run `f` over every input, in parallel, preserving input order in the
-/// output.
-///
-/// `threads = 0` selects the available parallelism (capped by the number of
-/// inputs). `f` must be `Sync` because multiple workers call it
-/// concurrently; inputs are only read.
-pub fn run_sweep<I, O, F>(inputs: &[I], threads: usize, f: F) -> Vec<O>
-where
-    I: Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    if inputs.is_empty() {
-        return Vec::new();
-    }
-    let hw = std::thread::available_parallelism().map_or(4, |p| p.get());
-    let threads = if threads == 0 { hw } else { threads }.min(inputs.len());
-    if threads <= 1 {
-        return inputs.iter().map(&f).collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<O>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= inputs.len() {
-                    break;
-                }
-                let out = f(&inputs[i]);
-                *slots[i].lock() = Some(out);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
-        .collect()
-}
+pub use hinet_rt::pool::run_sweep;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_order() {
@@ -96,15 +55,36 @@ mod tests {
 
     #[test]
     fn uneven_work_balances() {
-        // Cells with very different costs still all complete correctly.
+        // Cells with very different costs still all complete, in input
+        // order, and the computed values (not just the echoed inputs)
+        // arrive intact.
         let inputs: Vec<u64> = (0..24).collect();
         let out = run_sweep(&inputs, 4, |&x| {
             let mut acc = 0u64;
             for i in 0..(x * 1000) {
                 acc = acc.wrapping_add(i);
             }
-            (x, acc).0
+            acc
         });
-        assert_eq!(out, inputs);
+        let expect: Vec<u64> = inputs
+            .iter()
+            .map(|&x| (0..x * 1000).fold(0u64, |a, i| a.wrapping_add(i)))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn worker_panic_reaches_caller_with_cell_index() {
+        let inputs: Vec<usize> = (0..6).collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sweep(&inputs, 3, |&x| {
+                assert!(x != 4, "cell {x} exploded");
+                x
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("input 4"), "missing cell index: {msg}");
+        assert!(msg.contains("cell 4 exploded"), "missing payload: {msg}");
     }
 }

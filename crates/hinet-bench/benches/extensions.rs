@@ -3,9 +3,7 @@
 //! experiment regenerations (tables printed once).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hinet_analysis::experiments::{
-    e13_quiescence_trap, e14_multihop_clusters, e15_network_coding,
-};
+use hinet_analysis::experiments::{e13_quiescence_trap, e14_multihop_clusters, e15_network_coding};
 use hinet_bench::print_once;
 use hinet_cluster::clustering::{dhop_lowest_id, GatewayPolicy, LccMaintainer};
 use hinet_core::netcode::run_rlnc;

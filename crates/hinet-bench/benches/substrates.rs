@@ -36,9 +36,11 @@ fn bench_graph_ops(c: &mut Criterion) {
             })
         });
         let g2 = random_graph(n, 8, 2);
-        group.bench_with_input(BenchmarkId::new("intersect", n), &(g.clone(), g2), |b, (a, c)| {
-            b.iter(|| black_box(a.intersect(c)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("intersect", n),
+            &(g.clone(), g2),
+            |b, (a, c)| b.iter(|| black_box(a.intersect(c))),
+        );
     }
     group.finish();
 }

@@ -32,7 +32,10 @@ pub fn highest_degree(g: &Graph) -> (Vec<NodeId>, Vec<NodeId>) {
         }
     }
     heads.sort_unstable();
-    let assignment: Vec<NodeId> = assignment.into_iter().map(|a| a.expect("all decided")).collect();
+    let assignment: Vec<NodeId> = assignment
+        .into_iter()
+        .map(|a| a.expect("all decided"))
+        .collect();
     (heads, assignment)
 }
 

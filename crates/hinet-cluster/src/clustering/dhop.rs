@@ -119,10 +119,7 @@ mod tests {
         let h = dhop_lowest_id(&g, 1, GatewayPolicy::MinimalPairwise);
         assert_eq!(h.validate(&g), Ok(()));
         // Same head set as classic lowest-ID on a path: {0, 2, 4, 6}.
-        assert_eq!(
-            h.heads(),
-            &[NodeId(0), NodeId(2), NodeId(4), NodeId(6)]
-        );
+        assert_eq!(h.heads(), &[NodeId(0), NodeId(2), NodeId(4), NodeId(6)]);
         // d = 1 never produces a deeper-than-1 member.
         for u in g.nodes() {
             assert!(h.depth_of(u).unwrap() <= 1);

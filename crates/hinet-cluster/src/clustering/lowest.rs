@@ -29,7 +29,10 @@ pub fn lowest_id(g: &Graph) -> (Vec<NodeId>, Vec<NodeId>) {
             }
         }
     }
-    let assignment: Vec<NodeId> = assignment.into_iter().map(|a| a.expect("all decided")).collect();
+    let assignment: Vec<NodeId> = assignment
+        .into_iter()
+        .map(|a| a.expect("all decided"))
+        .collect();
     (heads, assignment)
 }
 
@@ -62,7 +65,10 @@ mod tests {
         let h = run(&g);
         for u in g.nodes() {
             let head = h.head_of(u).unwrap();
-            assert!(head <= u, "cluster head {head} should not exceed member {u}");
+            assert!(
+                head <= u,
+                "cluster head {head} should not exceed member {u}"
+            );
         }
     }
 

@@ -83,12 +83,7 @@ impl LccMaintainer {
             if attached {
                 continue;
             }
-            match g
-                .neighbors(u)
-                .iter()
-                .copied()
-                .find(|v| is_head[v.index()])
-            {
+            match g.neighbors(u).iter().copied().find(|v| is_head[v.index()]) {
                 Some(h) => assignment[u.index()] = h,
                 None => {
                     is_head[u.index()] = true;
@@ -134,9 +129,7 @@ impl<P: hinet_graph::trace::TopologyProvider> hinet_graph::trace::TopologyProvid
     }
 }
 
-impl<P: hinet_graph::trace::TopologyProvider> crate::ctvg::HierarchyProvider
-    for LccMobilityGen<P>
-{
+impl<P: hinet_graph::trace::TopologyProvider> crate::ctvg::HierarchyProvider for LccMobilityGen<P> {
     fn hierarchy_at(&mut self, round: usize) -> std::sync::Arc<Hierarchy> {
         while self.cache.len() <= round {
             let r = self.cache.len();

@@ -168,10 +168,7 @@ pub(crate) fn assemble(
             }
         }
     }
-    let cluster_of = assignment
-        .iter()
-        .map(|&h| Some(ClusterId(h)))
-        .collect();
+    let cluster_of = assignment.iter().map(|&h| Some(ClusterId(h))).collect();
     Hierarchy::new(roles, cluster_of)
 }
 
@@ -187,8 +184,7 @@ pub fn backbone_connects_heads(g: &Graph, h: &Hierarchy) -> bool {
         return true;
     }
     let n = g.n();
-    let on_backbone =
-        |u: NodeId| -> bool { matches!(h.role(u), Role::Head | Role::Gateway) };
+    let on_backbone = |u: NodeId| -> bool { matches!(h.role(u), Role::Head | Role::Gateway) };
     let mut seen = vec![false; n];
     let mut queue = vec![heads[0]];
     seen[heads[0].index()] = true;
@@ -300,8 +296,7 @@ mod tests {
         }
         let g = Graph::from_edges(n as usize, edges);
         let all = cluster_with_policy(ClusteringKind::LowestId, &g, GatewayPolicy::AllBoundary);
-        let min =
-            cluster_with_policy(ClusteringKind::LowestId, &g, GatewayPolicy::MinimalPairwise);
+        let min = cluster_with_policy(ClusteringKind::LowestId, &g, GatewayPolicy::MinimalPairwise);
         assert!(
             min.gateway_count() < all.gateway_count(),
             "minimal {} vs all-boundary {}",

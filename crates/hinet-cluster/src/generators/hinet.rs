@@ -3,10 +3,8 @@
 use crate::ctvg::HierarchyProvider;
 use crate::hierarchy::{ClusterId, Hierarchy, Role};
 use hinet_graph::graph::{Graph, GraphBuilder, NodeId};
-use hinet_graph::rng::{mix, stream_rng};
+use hinet_graph::rng::{mix, stream_rng, Rng, SliceRandom};
 use hinet_graph::trace::TopologyProvider;
-use rand::seq::SliceRandom;
-use rand::RngExt;
 use std::sync::Arc;
 
 /// Configuration of [`HiNetGen`].
@@ -292,9 +290,7 @@ mod tests {
     use super::*;
     use crate::ctvg::CtvgTrace;
     use crate::reaffiliation::churn_stats;
-    use crate::stability::{
-        is_head_set_forever_stable, is_t_l_hinet, min_hinet_l,
-    };
+    use crate::stability::{is_head_set_forever_stable, is_t_l_hinet, min_hinet_l};
     use hinet_graph::verify::is_always_connected;
 
     fn cfg() -> HiNetConfig {

@@ -139,8 +139,10 @@ mod tests {
 
     #[test]
     fn sticky_mode_reduces_churn() {
-        let mut fresh = ClusteredMobilityGen::new(slow_field(), ClusteringKind::HighestDegree, false);
-        let mut sticky = ClusteredMobilityGen::new(slow_field(), ClusteringKind::HighestDegree, true);
+        let mut fresh =
+            ClusteredMobilityGen::new(slow_field(), ClusteringKind::HighestDegree, false);
+        let mut sticky =
+            ClusteredMobilityGen::new(slow_field(), ClusteringKind::HighestDegree, true);
         let tf = CtvgTrace::capture(&mut fresh, 40);
         let ts = CtvgTrace::capture(&mut sticky, 40);
         let (sf, ss) = (churn_stats(&tf), churn_stats(&ts));

@@ -142,7 +142,11 @@ impl Hierarchy {
     /// Panics if `roles` and `cluster_of` lengths differ, a head is not its
     /// own cluster, or a cluster id is not a head.
     pub fn new(roles: Vec<Role>, cluster_of: Vec<Option<ClusterId>>) -> Self {
-        assert_eq!(roles.len(), cluster_of.len(), "roles/cluster length mismatch");
+        assert_eq!(
+            roles.len(),
+            cluster_of.len(),
+            "roles/cluster length mismatch"
+        );
         let heads: Vec<NodeId> = roles
             .iter()
             .enumerate()
@@ -477,10 +481,7 @@ mod tests {
     /// Fig-1-style network: two clusters with a gateway chain between heads.
     /// Heads: 0 and 4. Members: 1,2 → 0; 5,6 → 4. Gateway: 3 (cluster 0).
     fn two_cluster_fixture() -> (Graph, Hierarchy) {
-        let g = Graph::from_edges(
-            7,
-            [(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (4, 6)],
-        );
+        let g = Graph::from_edges(7, [(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (4, 6)]);
         let roles = vec![
             Role::Head,    // 0
             Role::Member,  // 1
@@ -516,7 +517,10 @@ mod tests {
             h.members_of(ClusterId(nid(0))),
             vec![nid(0), nid(1), nid(2), nid(3)]
         );
-        assert_eq!(h.members_of(ClusterId(nid(4))), vec![nid(4), nid(5), nid(6)]);
+        assert_eq!(
+            h.members_of(ClusterId(nid(4))),
+            vec![nid(4), nid(5), nid(6)]
+        );
     }
 
     #[test]

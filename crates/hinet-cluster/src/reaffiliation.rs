@@ -95,10 +95,7 @@ mod tests {
         for &h in heads {
             roles[h] = Role::Head;
         }
-        let cluster_of = assign
-            .iter()
-            .map(|&a| Some(ClusterId(nid(a))))
-            .collect();
+        let cluster_of = assign.iter().map(|&a| Some(ClusterId(nid(a)))).collect();
         Arc::new(Hierarchy::new(roles, cluster_of))
     }
 

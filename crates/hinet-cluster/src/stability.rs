@@ -38,12 +38,7 @@ pub fn head_set_stable_in_window(trace: &CtvgTrace, start: usize, len: usize) ->
 }
 
 /// Definition 3 on one window: cluster `k`'s member set `M_k` is constant.
-pub fn cluster_stable_in_window(
-    trace: &CtvgTrace,
-    k: ClusterId,
-    start: usize,
-    len: usize,
-) -> bool {
+pub fn cluster_stable_in_window(trace: &CtvgTrace, k: ClusterId, start: usize, len: usize) -> bool {
     let first = trace.hierarchy(start).members_of(k);
     (start + 1..start + len).all(|r| trace.hierarchy(r).members_of(k) == first)
 }
@@ -106,8 +101,9 @@ pub fn is_hierarchy_t_stable(trace: &CtvgTrace, t: usize) -> bool {
 /// head-connecting subgraph with L-hop connectivity ≤ `l`.
 pub fn has_t_interval_l_hop_connectivity(trace: &CtvgTrace, t: usize, l: usize) -> bool {
     assert!(t >= 1);
-    aligned_windows(trace.len(), t)
-        .all(|(s, len)| head_connectivity_in_window(trace, s, len) && l_hop_in_window(trace, s, len, l))
+    aligned_windows(trace.len(), t).all(|(s, len)| {
+        head_connectivity_in_window(trace, s, len) && l_hop_in_window(trace, s, len, l)
+    })
 }
 
 /// Definition 8: the full (T, L)-HiNet predicate — T-interval stable
@@ -300,10 +296,7 @@ mod tests {
             has_t_interval_l_hop_connectivity(&trace, t, l),
             "Def 8 ⇒ Def 7"
         );
-        assert!(
-            head_connectivity_in_window(&trace, 0, t),
-            "Def 7 ⇒ Def 5"
-        );
+        assert!(head_connectivity_in_window(&trace, 0, t), "Def 7 ⇒ Def 5");
         assert!(l_hop_in_window(&trace, 0, t, l), "Def 7 ⇒ Def 6");
     }
 
@@ -338,17 +331,12 @@ mod tests {
         let g = Arc::new(Graph::complete(4));
         let h1 = Arc::new(single_cluster(4, nid(0)));
         let h2 = Arc::new(single_cluster(4, nid(1)));
-        let t = TvgTrace::new(vec![
-            Arc::clone(&g),
-            Arc::clone(&g),
-            Arc::clone(&g),
-            g,
-        ]);
-        let trace = CtvgTrace::new(
-            t,
-            vec![Arc::clone(&h1), h1, Arc::clone(&h2), h2],
+        let t = TvgTrace::new(vec![Arc::clone(&g), Arc::clone(&g), Arc::clone(&g), g]);
+        let trace = CtvgTrace::new(t, vec![Arc::clone(&h1), h1, Arc::clone(&h2), h2]);
+        assert!(
+            is_hierarchy_t_stable(&trace, 2),
+            "aligned: change on boundary"
         );
-        assert!(is_hierarchy_t_stable(&trace, 2), "aligned: change on boundary");
         assert!(!is_hierarchy_t_stable_sliding(&trace, 2));
         assert!(!is_head_set_t_stable_sliding(&trace, 2));
         assert!(is_head_set_t_stable_sliding(&trace, 1));

@@ -158,11 +158,7 @@ mod tests {
     use crate::params::alg1_plan;
     use hinet_cluster::hierarchy::ClusterId;
 
-    fn member_view<'a>(
-        round: usize,
-        head: NodeId,
-        neighbors: &'a [NodeId],
-    ) -> LocalView<'a> {
+    fn member_view<'a>(round: usize, head: NodeId, neighbors: &'a [NodeId]) -> LocalView<'a> {
         LocalView {
             me: NodeId(5),
             round,
@@ -316,7 +312,7 @@ mod tests {
         let h1 = NodeId(0);
         let nbrs = [h1];
         let _ = p.send(&member_view(0, h1, &nbrs)); // sends 4, TS = {4}
-        // Next phase this node is a head; it must broadcast 4 despite TS.
+                                                    // Next phase this node is a head; it must broadcast 4 despite TS.
         let out = p.send(&head_view(3, NodeId(5), &nbrs));
         assert_eq!(out, vec![Outgoing::broadcast_one(TokenId(4))]);
     }

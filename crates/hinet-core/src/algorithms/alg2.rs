@@ -209,9 +209,6 @@ mod tests {
         let _ = p.send(&member_view(0, NodeId(0), &nbrs));
         let out = p.send(&head_view(1, NodeId(5), &nbrs));
         assert_eq!(out.len(), 1, "as head it must broadcast");
-        assert_eq!(
-            out[0].dest,
-            hinet_sim::protocol::Destination::Broadcast
-        );
+        assert_eq!(out[0].dest, hinet_sim::protocol::Destination::Broadcast);
     }
 }

@@ -1,11 +1,9 @@
 //! Randomised push gossip baseline.
 
 use hinet_graph::graph::NodeId;
-use hinet_graph::rng::stream_rng;
+use hinet_graph::rng::{stream_rng, Rng, Xoshiro256StarStar};
 use hinet_sim::protocol::{Incoming, LocalView, Outgoing, Protocol};
 use hinet_sim::token::{TokenId, TokenSet};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 /// Push gossip (Pittel-style rumor spreading adapted to dynamic graphs):
 /// each round every node sends its whole `TA` to **one uniformly random
@@ -21,7 +19,7 @@ pub struct Gossip {
     rounds: usize,
     seed: u64,
     ta: TokenSet,
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
     done: bool,
 }
 
@@ -116,7 +114,11 @@ mod tests {
                 seen.insert(t);
             }
         }
-        assert_eq!(seen.len(), 2, "both neighbors should be picked over 100 rounds");
+        assert_eq!(
+            seen.len(),
+            2,
+            "both neighbors should be picked over 100 rounds"
+        );
     }
 
     #[test]

@@ -132,7 +132,10 @@ mod tests {
                 tokens: vec![TokenId(1)],
             }],
         );
-        assert!(p.send(&view(1, &nbrs)).is_empty(), "already-known token stays retired");
+        assert!(
+            p.send(&view(1, &nbrs)).is_empty(),
+            "already-known token stays retired"
+        );
     }
 
     #[test]

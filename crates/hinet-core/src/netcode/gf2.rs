@@ -5,8 +5,7 @@
 //! basis is kept in **reduced row-echelon form** so rank queries, decoded
 //! token extraction and random recombination are all cheap.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use hinet_rt::rng::Rng;
 
 /// A coefficient vector over GF(2), `k` bits packed into `u64` words.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -97,7 +96,10 @@ pub struct Gf2Basis {
 impl Gf2Basis {
     /// Empty basis over `k` tokens.
     pub fn new(k: usize) -> Self {
-        Gf2Basis { k, rows: Vec::new() }
+        Gf2Basis {
+            k,
+            rows: Vec::new(),
+        }
     }
 
     /// Current rank.
@@ -149,7 +151,7 @@ impl Gf2Basis {
 
     /// A uniformly random nonzero combination of the basis rows, or `None`
     /// if the basis is empty. This is the packet an RLNC node transmits.
-    pub fn random_combination(&self, rng: &mut StdRng) -> Option<Gf2Vec> {
+    pub fn random_combination(&self, rng: &mut impl Rng) -> Option<Gf2Vec> {
         if self.rows.is_empty() {
             return None;
         }
@@ -173,7 +175,7 @@ impl Gf2Basis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use hinet_rt::rng::Xoshiro256StarStar;
 
     fn vec_of(k: usize, idxs: &[usize]) -> Gf2Vec {
         let mut v = Gf2Vec::zero(k);
@@ -227,7 +229,11 @@ mod tests {
         let mut b = Gf2Basis::new(3);
         b.insert(vec_of(3, &[0, 1]));
         b.insert(vec_of(3, &[1, 2]));
-        assert_eq!(b.decoded(), Vec::<usize>::new(), "rank 2 of 3: nothing isolated");
+        assert_eq!(
+            b.decoded(),
+            Vec::<usize>::new(),
+            "rank 2 of 3: nothing isolated"
+        );
         b.insert(vec_of(3, &[2]));
         let mut d = b.decoded();
         d.sort_unstable();
@@ -248,7 +254,7 @@ mod tests {
         let mut b = Gf2Basis::new(6);
         b.insert(vec_of(6, &[0, 2]));
         b.insert(vec_of(6, &[3]));
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
         for _ in 0..50 {
             let c = b.random_combination(&mut rng).unwrap();
             // Inserting a span element never raises the rank.

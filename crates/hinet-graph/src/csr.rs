@@ -143,7 +143,10 @@ impl From<&Graph> for CsrGraph {
         offsets.push(0);
         for u in g.nodes() {
             targets.extend_from_slice(g.neighbors(u));
-            let len: u32 = targets.len().try_into().expect("graph too large for CSR u32 offsets");
+            let len: u32 = targets
+                .len()
+                .try_into()
+                .expect("graph too large for CSR u32 offsets");
             offsets.push(len);
         }
         CsrGraph { offsets, targets }
@@ -199,7 +202,10 @@ mod tests {
         assert_eq!(CsrGraph::from(&Graph::cycle(8)).diameter(), Some(4));
         assert_eq!(CsrGraph::from(&Graph::complete(5)).diameter(), Some(1));
         assert_eq!(CsrGraph::from(&Graph::star(9)).diameter(), Some(2));
-        assert_eq!(CsrGraph::from(&Graph::from_edges(3, [(0, 1)])).diameter(), None);
+        assert_eq!(
+            CsrGraph::from(&Graph::from_edges(3, [(0, 1)])).diameter(),
+            None
+        );
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! 1-interval-connected maximal-churn generator.
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
-use crate::rng::{mix, stream_rng};
+use crate::rng::{mix, stream_rng, Rng};
 use crate::spanning::{random_attachment_tree, random_path_backbone};
 use crate::trace::TopologyProvider;
-use rand::RngExt;
 use std::sync::Arc;
 
 /// Generator for the weakest solvable dynamics: each round's snapshot is

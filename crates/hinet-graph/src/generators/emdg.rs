@@ -1,10 +1,9 @@
 //! Edge-Markovian dynamic graph generator (Clementi et al.).
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
-use crate::rng::stream_rng;
+use crate::rng::{stream_rng, Rng};
 use crate::spanning::bfs_spanning_edges;
 use crate::trace::TopologyProvider;
-use rand::RngExt;
 use std::sync::Arc;
 
 /// Edge-Markovian dynamic graph (EMDG): every potential edge evolves as an

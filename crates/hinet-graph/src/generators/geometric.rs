@@ -1,9 +1,8 @@
 //! Random geometric graph under random-waypoint mobility.
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
-use crate::rng::stream_rng;
+use crate::rng::{stream_rng, Rng};
 use crate::trace::TopologyProvider;
-use rand::RngExt;
 use std::sync::Arc;
 
 /// Configuration of the mobility model.

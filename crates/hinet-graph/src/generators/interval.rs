@@ -1,10 +1,9 @@
 //! Flat T-interval-connected topology generator (Kuhn–Lynch–Oshman model).
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
-use crate::rng::{mix, stream_rng};
+use crate::rng::{mix, stream_rng, Rng};
 use crate::spanning::{random_attachment_tree, random_path_backbone};
 use crate::trace::TopologyProvider;
-use rand::RngExt;
 use std::sync::Arc;
 
 /// Shape of the stable per-window backbone.

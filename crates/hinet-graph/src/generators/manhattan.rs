@@ -1,10 +1,8 @@
 //! Manhattan-grid mobility generator.
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
-use crate::rng::stream_rng;
+use crate::rng::{stream_rng, Rng, Xoshiro256StarStar};
 use crate::trace::TopologyProvider;
-use rand::rngs::StdRng;
-use rand::RngExt;
 use std::sync::Arc;
 
 /// Configuration of the Manhattan mobility model.
@@ -72,7 +70,10 @@ impl ManhattanGen {
     /// speed outside `(0, 1]`.
     pub fn new(n: usize, cfg: ManhattanConfig, seed: u64) -> Self {
         assert!(n > 0, "need at least one vehicle");
-        assert!(cfg.streets >= 2, "grid needs at least 2 streets per direction");
+        assert!(
+            cfg.streets >= 2,
+            "grid needs at least 2 streets per direction"
+        );
         assert!(cfg.radius > 0.0, "radius must be positive");
         assert!(
             cfg.speed_blocks > 0.0 && cfg.speed_blocks <= 1.0,
@@ -116,7 +117,7 @@ impl ManhattanGen {
         (fx + (tx - fx) * v.progress, fy + (ty - fy) * v.progress)
     }
 
-    fn init_vehicles(&mut self, rng: &mut StdRng) {
+    fn init_vehicles(&mut self, rng: &mut Xoshiro256StarStar) {
         let s = self.cfg.streets;
         self.vehicles = (0..self.n)
             .map(|_| {
@@ -132,7 +133,7 @@ impl ManhattanGen {
             .collect();
     }
 
-    fn step_vehicles(&mut self, rng: &mut StdRng) {
+    fn step_vehicles(&mut self, rng: &mut Xoshiro256StarStar) {
         let speed = self.cfg.speed_blocks;
         for i in 0..self.vehicles.len() {
             let mut v = self.vehicles[i];
@@ -155,12 +156,14 @@ impl ManhattanGen {
     fn snapshot(&self) -> Graph {
         let n = self.n;
         let r2 = self.cfg.radius * self.cfg.radius;
-        let positions: Vec<(f64, f64)> =
-            self.vehicles.iter().map(|v| self.position(v)).collect();
+        let positions: Vec<(f64, f64)> = self.vehicles.iter().map(|v| self.position(v)).collect();
         let mut b = GraphBuilder::new(n);
         for u in 0..n {
             for v in (u + 1)..n {
-                let (dx, dy) = (positions[u].0 - positions[v].0, positions[u].1 - positions[v].1);
+                let (dx, dy) = (
+                    positions[u].0 - positions[v].0,
+                    positions[u].1 - positions[v].1,
+                );
                 if dx * dx + dy * dy <= r2 {
                     b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
                 }

@@ -250,7 +250,11 @@ impl Graph {
             m += merged.len();
             adj.push(merged);
         }
-        Graph { n: self.n, adj, m: m / 2 }
+        Graph {
+            n: self.n,
+            adj,
+            m: m / 2,
+        }
     }
 
     /// The edge-union of `self` and `other` (same node set).
@@ -281,7 +285,11 @@ impl Graph {
             m += merged.len();
             adj.push(merged);
         }
-        Graph { n: self.n, adj, m: m / 2 }
+        Graph {
+            n: self.n,
+            adj,
+            m: m / 2,
+        }
     }
 
     /// Whether every edge of `sub` is also an edge of `self`.

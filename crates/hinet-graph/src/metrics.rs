@@ -62,10 +62,18 @@ pub fn snapshot_stats(g: &Graph) -> SnapshotStats {
     SnapshotStats {
         n,
         m,
-        density: if pairs == 0 { 0.0 } else { m as f64 / pairs as f64 },
+        density: if pairs == 0 {
+            0.0
+        } else {
+            m as f64 / pairs as f64
+        },
         min_degree,
         max_degree,
-        mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        mean_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        },
         clustering_coefficient: if wedges == 0 {
             0.0
         } else {
@@ -155,7 +163,10 @@ mod tests {
         assert_eq!(s.min_degree, 4);
         assert_eq!(s.max_degree, 4);
         assert!((s.mean_degree - 4.0).abs() < 1e-12);
-        assert!((s.clustering_coefficient - 1.0).abs() < 1e-12, "cliques are fully clustered");
+        assert!(
+            (s.clustering_coefficient - 1.0).abs() < 1e-12,
+            "cliques are fully clustered"
+        );
     }
 
     #[test]
@@ -224,12 +235,20 @@ mod tests {
         );
         let t = TvgTrace::capture(&mut slow, 20);
         let s = trace_stats(&t);
-        assert!(s.edge_persistence > 0.9, "slow motion keeps links: {}", s.edge_persistence);
+        assert!(
+            s.edge_persistence > 0.9,
+            "slow motion keeps links: {}",
+            s.edge_persistence
+        );
 
         use crate::generators::OneIntervalGen;
         let mut churny = OneIntervalGen::new(30, true, 0, 3);
         let t = TvgTrace::capture(&mut churny, 20);
         let s = trace_stats(&t);
-        assert!(s.edge_persistence < 0.3, "fresh paths each round: {}", s.edge_persistence);
+        assert!(
+            s.edge_persistence < 0.3,
+            "fresh paths each round: {}",
+            s.edge_persistence
+        );
     }
 }

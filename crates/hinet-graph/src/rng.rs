@@ -1,57 +1,16 @@
-//! Deterministic RNG helpers.
+//! Deterministic RNG helpers — re-exported from [`hinet_rt::rng`].
 //!
 //! Every generator in this workspace is seeded, and independent streams are
 //! derived by *splitting* rather than sequential draws, so adding a new
 //! random decision to one component never perturbs another component's
 //! stream. This is what makes experiment runs byte-for-byte reproducible
 //! across refactors.
+//!
+//! The implementation (SplitMix64 seeding into xoshiro256\*\*, the
+//! [`Rng`]/[`SliceRandom`] trait surface) lives in the std-only `hinet-rt`
+//! crate so the whole workspace shares one in-tree contract; this module
+//! keeps the substrate-local import path that generator code uses.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Derive an independent child RNG from `(seed, stream)`.
-///
-/// Uses SplitMix64 finalisation over the pair, which decorrelates even
-/// adjacent stream ids.
-pub fn stream_rng(seed: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(mix(seed, stream))
-}
-
-/// SplitMix64-style mixing of two words into one well-distributed word.
-pub fn mix(a: u64, b: u64) -> u64 {
-    let mut z = a ^ b.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::RngExt;
-
-    #[test]
-    fn mix_is_deterministic() {
-        assert_eq!(mix(1, 2), mix(1, 2));
-        assert_ne!(mix(1, 2), mix(2, 1));
-        assert_ne!(mix(0, 0), mix(0, 1));
-    }
-
-    #[test]
-    fn adjacent_streams_decorrelated() {
-        let mut a = stream_rng(42, 0);
-        let mut b = stream_rng(42, 1);
-        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
-        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
-        assert_ne!(xs, ys);
-    }
-
-    #[test]
-    fn same_stream_reproducible() {
-        let mut a = stream_rng(7, 3);
-        let mut b = stream_rng(7, 3);
-        for _ in 0..16 {
-            assert_eq!(a.random::<u64>(), b.random::<u64>());
-        }
-    }
-}
+pub use hinet_rt::rng::{
+    mix, stream_rng, Rng, Sample, SampleRange, SliceRandom, SplitMix64, Xoshiro256StarStar,
+};

@@ -9,8 +9,7 @@
 //! of spanning trees used by the verifier.
 
 use crate::graph::{Edge, Graph, GraphBuilder, NodeId};
-use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use crate::rng::{Rng, SliceRandom};
 
 /// A uniform-ish random spanning tree over nodes `0..n` via a random
 /// permutation attachment process (each node links to a uniformly random
@@ -83,13 +82,12 @@ pub fn bfs_spanning_edges(g: &Graph) -> Option<Vec<Edge>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Xoshiro256StarStar;
     use crate::traversal::is_connected;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn attachment_tree_is_spanning_tree() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         for n in [1usize, 2, 3, 10, 57] {
             let t = random_attachment_tree(n, &mut rng);
             assert_eq!(t.n(), n);
@@ -100,7 +98,7 @@ mod tests {
 
     #[test]
     fn path_backbone_is_path() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
         let p = random_path_backbone(20, &mut rng);
         assert_eq!(p.m(), 19);
         assert!(is_connected(&p));
@@ -133,10 +131,10 @@ mod tests {
 
     #[test]
     fn trees_deterministic_per_seed() {
-        let t1 = random_attachment_tree(30, &mut StdRng::seed_from_u64(5));
-        let t2 = random_attachment_tree(30, &mut StdRng::seed_from_u64(5));
+        let t1 = random_attachment_tree(30, &mut Xoshiro256StarStar::seed_from_u64(5));
+        let t2 = random_attachment_tree(30, &mut Xoshiro256StarStar::seed_from_u64(5));
         assert_eq!(t1, t2);
-        let t3 = random_attachment_tree(30, &mut StdRng::seed_from_u64(6));
+        let t3 = random_attachment_tree(30, &mut Xoshiro256StarStar::seed_from_u64(6));
         assert_ne!(t1, t3);
     }
 }

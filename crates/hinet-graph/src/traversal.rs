@@ -124,7 +124,10 @@ pub fn components(g: &Graph) -> Vec<NodeId> {
             }
         }
     }
-    label.into_iter().map(|l| l.expect("all labelled")).collect()
+    label
+        .into_iter()
+        .map(|l| l.expect("all labelled"))
+        .collect()
 }
 
 /// Number of connected components.
@@ -202,7 +205,10 @@ mod tests {
     #[test]
     fn shortest_path_to_self() {
         let g = Graph::path(3);
-        assert_eq!(shortest_path(&g, NodeId(1), NodeId(1)), Some(vec![NodeId(1)]));
+        assert_eq!(
+            shortest_path(&g, NodeId(1), NodeId(1)),
+            Some(vec![NodeId(1)])
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::trace::TvgTrace;
 /// connectivity, the weakest model in which dissemination is solvable —
 /// O'Dell & Wattenhofer).
 pub fn is_always_connected(trace: &TvgTrace) -> bool {
-    trace.iter().all(|g| CsrGraph::from(g.as_ref()).is_connected())
+    trace
+        .iter()
+        .all(|g| CsrGraph::from(g.as_ref()).is_connected())
 }
 
 /// Whether the trace is T-interval connected (Kuhn–Lynch–Oshman): for every
@@ -190,7 +192,11 @@ pub fn foremost_arrival(trace: &TvgTrace, src: crate::graph::NodeId, start: usiz
 
 /// The flooding makespan from `src`: the number of rounds full flooding
 /// needs to inform everyone, or `None` if the trace ends first.
-pub fn flooding_makespan(trace: &TvgTrace, src: crate::graph::NodeId, start: usize) -> Option<usize> {
+pub fn flooding_makespan(
+    trace: &TvgTrace,
+    src: crate::graph::NodeId,
+    start: usize,
+) -> Option<usize> {
     let arrival = foremost_arrival(trace, src, start);
     let mut max = 0u32;
     for &a in &arrival {

@@ -1,0 +1,26 @@
+//! # hinet-rt — hermetic std-only runtime
+//!
+//! The workspace's determinism and parallelism layers, in-tree and free of
+//! external dependencies, so the default build is hermetic and offline by
+//! construction:
+//!
+//! * [`rng`] — the deterministic RNG stack: SplitMix64 seeding into
+//!   xoshiro256\*\*, the `(seed, stream)` splitting contract used by every
+//!   generator, and the [`rng::Rng`]/[`rng::SliceRandom`] trait surface
+//!   (`random`, `random_range`, `random_bool`, `shuffle`, `choose`).
+//! * [`pool`] — a scoped worker pool with atomic-cursor dynamic load
+//!   balancing ([`pool::run_sweep`]) and explicit worker-panic propagation.
+//! * [`check`] — a minimal seeded property-test harness: per-case seeds
+//!   derived deterministically from the property name, failing-seed
+//!   reporting, and re-run-by-seed via `HINET_CHECK_SEED`.
+//!
+//! Reproducibility is the backbone of this reproduction: experiment runs
+//! must replay byte-for-byte across machines and refactors. Owning the RNG
+//! stream-splitting contract (rather than inheriting whatever a registry
+//! crate's `StdRng` happens to be this year) is what makes that guarantee
+//! enforceable — the golden-value tests in the workspace pin the exact
+//! output streams produced here.
+
+pub mod check;
+pub mod pool;
+pub mod rng;

@@ -459,15 +459,11 @@ mod tests {
             use hinet_cluster::hierarchy::{ClusterId, Hierarchy, Role};
             Hierarchy::new(
                 vec![Role::Head, Role::Head],
-                vec![
-                    Some(ClusterId(NodeId(0))),
-                    Some(ClusterId(NodeId(1))),
-                ],
+                vec![Some(ClusterId(NodeId(0))), Some(ClusterId(NodeId(1)))],
             )
         });
         let t = TvgTrace::new(vec![Arc::clone(&g)]);
-        let mut provider =
-            CtvgTraceProvider::new(CtvgTrace::new(t, vec![h]));
+        let mut provider = CtvgTraceProvider::new(CtvgTrace::new(t, vec![h]));
         let mut protocols: Vec<Flood> = (0..2).map(|_| Flood::new()).collect();
         let assignment = vec![vec![TokenId(0)], vec![]];
         let cfg = RunConfig {
@@ -568,7 +564,10 @@ mod tests {
         };
         let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
         assert_eq!(report.metrics.dropped_unicasts, 2, "one drop per round");
-        assert_eq!(report.metrics.tokens_sent, 2, "sends are paid even if dropped");
+        assert_eq!(
+            report.metrics.tokens_sent, 2,
+            "sends are paid even if dropped"
+        );
         assert!(!report.completed());
     }
 

@@ -55,7 +55,10 @@ fn main() {
 
     println!("counting n over a dynamic network (every node's id is a token, k = n = {n})");
     println!();
-    for (label, r) in [("Algorithm 2 on (1,L)-HiNet", &alg2), ("KLO flooding (flat)", &flood)] {
+    for (label, r) in [
+        ("Algorithm 2 on (1,L)-HiNet", &alg2),
+        ("KLO flooding (flat)", &flood),
+    ] {
         assert!(r.completed(), "{label} must complete");
         println!(
             "  {label}: every node counted n = {} in {} rounds, {} tokens sent",
@@ -65,7 +68,10 @@ fn main() {
         );
     }
     let saving = 1.0 - alg2.metrics.tokens_sent as f64 / flood.metrics.tokens_sent as f64;
-    println!("  hierarchy saves {:.1}% of transmissions for the identical result", saving * 100.0);
+    println!(
+        "  hierarchy saves {:.1}% of transmissions for the identical result",
+        saving * 100.0
+    );
 
     // Aggregation: pack a sensor reading into the token id's high bits —
     // once dissemination completes, max/min/mean are local computations.
@@ -77,12 +83,7 @@ fn main() {
             vec![TokenId(reading << 32 | u as u64)]
         })
         .collect();
-    let expected_max = readings
-        .iter()
-        .flatten()
-        .map(|t| t.0 >> 32)
-        .max()
-        .unwrap();
+    let expected_max = readings.iter().flatten().map(|t| t.0 >> 32).max().unwrap();
     let mut hinet = HiNetGen::new(HiNetConfig {
         n,
         num_heads: n / 6,

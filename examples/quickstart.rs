@@ -42,9 +42,11 @@ fn main() {
     hierarchy
         .validate(&graph)
         .expect("quickstart hierarchy is valid");
-    println!("network: n={n}, heads={:?}, L-hop head connectivity = {:?}",
+    println!(
+        "network: n={n}, heads={:?}, L-hop head connectivity = {:?}",
         hierarchy.heads(),
-        hierarchy.l_hop_connectivity(&graph));
+        hierarchy.l_hop_connectivity(&graph)
+    );
 
     // k = 3 tokens starting at members of cluster A and B.
     let mut assignment: Vec<Vec<hinet::sim::TokenId>> = vec![Vec::new(); n];
@@ -88,7 +90,9 @@ fn main() {
     println!("completed: {}", report.completed());
     println!(
         "rounds to completion: {} (bound: {})",
-        report.completion_round.expect("Theorem 1 guarantees completion"),
+        report
+            .completion_round
+            .expect("Theorem 1 guarantees completion"),
         plan.total_rounds()
     );
     println!(

@@ -47,14 +47,22 @@ fn main() {
     // First, audit the emergent stability of the clustered trace.
     let mut clustered = ClusteredMobilityGen::new(field(seed), ClusteringKind::LowestId, true);
     let trace = CtvgTrace::capture(&mut clustered, rounds_budget);
-    trace.validate().expect("derived hierarchy valid every round");
+    trace
+        .validate()
+        .expect("derived hierarchy valid every round");
     let stats = churn_stats(&trace);
     let min_l = min_hinet_l(&trace, 1);
-    println!("sensor field: n={n}, k={k}, {} rounds of random-waypoint mobility", rounds_budget);
+    println!(
+        "sensor field: n={n}, k={k}, {} rounds of random-waypoint mobility",
+        rounds_budget
+    );
     println!(
         "emergent hierarchy: θ_measured={} (distinct heads), max concurrent heads={}, \
          mean members/round={:.1}, re-affiliations/member={:.2}",
-        stats.distinct_heads, stats.max_concurrent_heads, stats.mean_members, stats.mean_reaffiliations
+        stats.distinct_heads,
+        stats.max_concurrent_heads,
+        stats.mean_members,
+        stats.mean_reaffiliations
     );
     println!(
         "emergent stability: largest T with (T, L)-HiNet = {:?} (L from per-round audit: {:?})",

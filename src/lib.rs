@@ -9,4 +9,5 @@ pub use hinet_analysis as analysis;
 pub use hinet_cluster as cluster;
 pub use hinet_core as core;
 pub use hinet_graph as graph;
+pub use hinet_rt as rt;
 pub use hinet_sim as sim;

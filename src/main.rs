@@ -117,12 +117,15 @@ fn cmd_experiments(wanted: &[String]) -> ExitCode {
 }
 
 fn cmd_export(dir: Option<&String>) -> ExitCode {
-    let path = std::path::PathBuf::from(
-        dir.cloned().unwrap_or_else(|| "target/experiments".into()),
-    );
+    let path =
+        std::path::PathBuf::from(dir.cloned().unwrap_or_else(|| "target/experiments".into()));
     match hinet::analysis::artifacts::export_all(&path) {
         Ok(written) => {
-            println!("wrote artifacts for {} experiments under {}", written.len(), path.display());
+            println!(
+                "wrote artifacts for {} experiments under {}",
+                written.len(),
+                path.display()
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

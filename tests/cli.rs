@@ -50,7 +50,10 @@ fn experiments_selects_by_id() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("E2"));
-    assert!(!text.contains("E10 —"), "only the requested experiment runs");
+    assert!(
+        !text.contains("E10 —"),
+        "only the requested experiment runs"
+    );
 }
 
 #[test]
@@ -65,7 +68,17 @@ fn experiments_rejects_unknown_id() {
 #[test]
 fn run_alg1_completes() {
     let out = hinet()
-        .args(["run", "--algorithm", "alg1", "--n", "40", "--k", "4", "--seed", "3"])
+        .args([
+            "run",
+            "--algorithm",
+            "alg1",
+            "--n",
+            "40",
+            "--k",
+            "4",
+            "--seed",
+            "3",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -111,7 +124,15 @@ fn run_rejects_unknown_algorithm() {
 #[test]
 fn audit_reports_all_sections() {
     let out = hinet()
-        .args(["audit", "--dynamics", "hinet", "--n", "30", "--rounds", "12"])
+        .args([
+            "audit",
+            "--dynamics",
+            "hinet",
+            "--n",
+            "30",
+            "--rounds",
+            "12",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -131,7 +152,15 @@ fn export_writes_requested_experiment_dir() {
     // cleanly, and the success path is covered by the export example. Here
     // we only verify argument plumbing with a quick "tables" sanity pair.
     let out = hinet()
-        .args(["run", "--algorithm", "klo-flood", "--dynamics", "flat-1", "--n", "25"])
+        .args([
+            "run",
+            "--algorithm",
+            "klo-flood",
+            "--dynamics",
+            "flat-1",
+            "--n",
+            "25",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());

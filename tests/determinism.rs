@@ -1,0 +1,90 @@
+//! Golden-value determinism tests.
+//!
+//! These pin the *exact* outputs of the runtime RNG and one small topology
+//! per dynamic-graph generator under fixed seeds. Every simulation result in
+//! the repo derives from these streams, so any change here silently
+//! invalidates previously recorded experiment numbers — the pinned constants
+//! make such a change loud instead. If you intentionally change the RNG or a
+//! generator, re-pin the constants and say so in the changelog.
+
+use hinet::graph::generators::{
+    BackboneKind, EdgeMarkovianGen, ManhattanConfig, ManhattanGen, OneIntervalGen,
+    RandomWaypointGen, TIntervalGen, WaypointConfig,
+};
+use hinet::graph::trace::TopologyProvider;
+use hinet::rt::rng::{mix, stream_rng, Rng};
+
+/// Order-sensitive fingerprint of the first `rounds` snapshots: folds every
+/// edge (in canonical iteration order) and each round boundary through
+/// [`mix`].
+fn trace_fingerprint(gen: &mut impl TopologyProvider, rounds: usize) -> u64 {
+    let mut h = 0u64;
+    for r in 0..rounds {
+        let g = gen.graph_at(r);
+        h = mix(h, r as u64);
+        for e in g.edges() {
+            h = mix(h, mix(e.a.index() as u64, e.b.index() as u64));
+        }
+        h = mix(h, g.m() as u64);
+    }
+    h
+}
+
+#[test]
+fn mix_golden_values() {
+    assert_eq!(mix(0, 0), 16294208416658607535);
+    assert_eq!(mix(1, 2), 12739255125256291016);
+    assert_eq!(mix(0xdead, 0xbeef), 15042422062510784763);
+}
+
+#[test]
+fn stream_rng_golden_values() {
+    let mut rng = stream_rng(42, 7);
+    let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        got,
+        vec![
+            10066196846854335129,
+            7716365077747218512,
+            9638858246930882768,
+            17120809694554549855,
+        ]
+    );
+}
+
+#[test]
+fn emdg_trace_pinned() {
+    let mut g = EdgeMarkovianGen::new(10, 0.3, 0.2, 0.4, true, 11);
+    assert_eq!(trace_fingerprint(&mut g, 4), 1006585252811332705);
+}
+
+#[test]
+fn waypoint_trace_pinned() {
+    let mut g = RandomWaypointGen::new(10, WaypointConfig::default(), 11);
+    assert_eq!(trace_fingerprint(&mut g, 4), 8165409159853772587);
+}
+
+#[test]
+fn manhattan_trace_pinned() {
+    let mut g = ManhattanGen::new(10, ManhattanConfig::default(), 11);
+    assert_eq!(trace_fingerprint(&mut g, 4), 9244544671609711087);
+}
+
+#[test]
+fn t_interval_trace_pinned() {
+    let mut g = TIntervalGen::new(10, 3, BackboneKind::Path, 2, 11);
+    assert_eq!(trace_fingerprint(&mut g, 4), 16137118838028669360);
+}
+
+#[test]
+fn one_interval_trace_pinned() {
+    let mut g = OneIntervalGen::new(10, true, 2, 11);
+    assert_eq!(trace_fingerprint(&mut g, 4), 7670319638537066078);
+}
+
+#[test]
+fn fingerprints_are_seed_sensitive() {
+    let fp = |seed| trace_fingerprint(&mut OneIntervalGen::new(10, true, 2, seed), 4);
+    assert_ne!(fp(11), fp(12));
+    assert_eq!(fp(11), fp(11));
+}

@@ -1,5 +1,8 @@
 //! Property-based tests for the cluster substrate: clustering validity,
 //! HiNet generator guarantees, the Fig. 2 lattice, and churn accounting.
+//!
+//! Ported to the in-tree [`hinet::rt::check`] harness; re-run a failing case
+//! with the `HINET_CHECK_SEED=…` command the failure message prints.
 
 use hinet::cluster::clustering::{cluster, ClusteringKind};
 use hinet::cluster::ctvg::CtvgTrace;
@@ -12,7 +15,10 @@ use hinet::cluster::stability::{
 };
 use hinet::graph::graph::{Graph, GraphBuilder, NodeId};
 use hinet::graph::verify::is_always_connected;
-use proptest::prelude::*;
+use hinet::rt::check::{check, CaseCtx};
+use hinet::rt::rng::Rng;
+
+const CASES: usize = 48;
 
 fn graph_from(n: usize, seed: u64, p: f64) -> Graph {
     let mut b = GraphBuilder::new(n);
@@ -33,170 +39,190 @@ fn graph_from(n: usize, seed: u64, p: f64) -> Graph {
     b.build()
 }
 
-fn arb_kind() -> impl Strategy<Value = ClusteringKind> {
-    prop_oneof![
-        Just(ClusteringKind::LowestId),
-        Just(ClusteringKind::HighestDegree),
-        Just(ClusteringKind::GreedyDominating),
-    ]
+fn arb_kind(c: &mut CaseCtx) -> ClusteringKind {
+    *c.pick(&[
+        ClusteringKind::LowestId,
+        ClusteringKind::HighestDegree,
+        ClusteringKind::GreedyDominating,
+    ])
 }
 
-/// Strategy over valid HiNet generator configs.
-fn arb_hinet_config() -> impl Strategy<Value = HiNetConfig> {
-    (
-        2usize..=6,   // num_heads
-        1usize..=3,   // l
-        1usize..=5,   // t
-        0.0f64..=0.8, // reaffil_prob
-        any::<bool>(),
-        0usize..12, // noise
-        any::<u64>(),
-    )
-        .prop_map(|(num_heads, l, t, reaffil_prob, rotate_heads, noise_edges, seed)| {
-            let backbone = (num_heads - 1) * (l - 1);
-            let n = (num_heads + backbone + 10).max(20);
-            HiNetConfig {
-                n,
-                num_heads,
-                theta: (num_heads * 2).min(n),
-                l,
-                t,
-                reaffil_prob,
-                rotate_heads,
-                noise_edges,
-                seed,
-            }
-        })
+/// A valid HiNet generator config.
+fn arb_hinet_config(c: &mut CaseCtx) -> HiNetConfig {
+    let num_heads = c.random_range(2usize..=6);
+    let l = c.random_range(1usize..=3);
+    let t = c.random_range(1usize..=5);
+    let reaffil_prob = c.random_range(0.0f64..=0.8);
+    let rotate_heads = c.random::<bool>();
+    let noise_edges = c.random_range(0usize..12);
+    let seed = c.random::<u64>();
+    let backbone = (num_heads - 1) * (l - 1);
+    let n = (num_heads + backbone + 10).max(20);
+    HiNetConfig {
+        n,
+        num_heads,
+        theta: (num_heads * 2).min(n),
+        l,
+        t,
+        reaffil_prob,
+        rotate_heads,
+        noise_edges,
+        seed,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn clustering_always_valid_and_one_hop(
-        n in 2usize..=30,
-        seed in any::<u64>(),
-        p in 0.0f64..0.9,
-        kind in arb_kind(),
-    ) {
+#[test]
+fn clustering_always_valid_and_one_hop() {
+    check("clustering_always_valid_and_one_hop", CASES, |c| {
+        let n = c.random_range(2usize..=30);
+        let seed = c.random::<u64>();
+        let p = c.random_range(0.0f64..0.9);
+        let kind = arb_kind(c);
         let g = graph_from(n, seed, p);
         let h = cluster(kind, &g);
-        prop_assert_eq!(h.validate(&g), Ok(()));
+        assert_eq!(h.validate(&g), Ok(()));
         // 1-hop clusters: every non-head adjacent to its head.
         for u in g.nodes() {
             if !h.is_head(u) {
                 let head = h.head_of(u).expect("clustered");
-                prop_assert!(g.has_edge(u, head));
+                assert!(g.has_edge(u, head));
             }
         }
         // Every node covered, heads self-clustered.
         for &head in h.heads() {
-            prop_assert_eq!(h.cluster_of(head), Some(ClusterId(head)));
+            assert_eq!(h.cluster_of(head), Some(ClusterId(head)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn clustering_covers_with_at_most_n_clusters(
-        n in 2usize..=30,
-        seed in any::<u64>(),
-        p in 0.0f64..0.9,
-        kind in arb_kind(),
-    ) {
+#[test]
+fn clustering_covers_with_at_most_n_clusters() {
+    check("clustering_covers_with_at_most_n_clusters", CASES, |c| {
+        let n = c.random_range(2usize..=30);
+        let seed = c.random::<u64>();
+        let p = c.random_range(0.0f64..0.9);
+        let kind = arb_kind(c);
         let g = graph_from(n, seed, p);
         let h = cluster(kind, &g);
-        prop_assert!(!h.heads().is_empty());
-        prop_assert!(h.heads().len() <= n);
+        assert!(!h.heads().is_empty());
+        assert!(h.heads().len() <= n);
         // Cluster count decreases with density: a complete graph is 1 cluster.
         if g.m() == n * (n - 1) / 2 {
-            prop_assert_eq!(h.heads().len(), 1);
+            assert_eq!(h.heads().len(), 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hinet_gen_satisfies_its_declared_model(cfg in arb_hinet_config()) {
+#[test]
+fn hinet_gen_satisfies_its_declared_model() {
+    check("hinet_gen_satisfies_its_declared_model", CASES, |c| {
+        let cfg = arb_hinet_config(c);
         let rounds = (3 * cfg.t).max(4);
         let mut gen = HiNetGen::new(cfg);
         let trace = CtvgTrace::capture(&mut gen, rounds);
-        prop_assert_eq!(trace.validate(), Ok(()));
-        prop_assert!(is_always_connected(trace.topology()));
-        prop_assert!(
+        assert_eq!(trace.validate(), Ok(()));
+        assert!(is_always_connected(trace.topology()));
+        assert!(
             is_t_l_hinet(&trace, cfg.t, cfg.l),
-            "generator must satisfy its own (T={}, L={})", cfg.t, cfg.l
+            "generator must satisfy its own (T={}, L={})",
+            cfg.t,
+            cfg.l
         );
         // θ bound respected.
         let stats = churn_stats(&trace);
-        prop_assert!(stats.distinct_heads <= cfg.theta);
-        prop_assert!(stats.max_concurrent_heads == cfg.num_heads);
-    }
+        assert!(stats.distinct_heads <= cfg.theta);
+        assert!(stats.max_concurrent_heads == cfg.num_heads);
+    });
+}
 
-    #[test]
-    fn definition_lattice_on_random_hinet_traces(cfg in arb_hinet_config()) {
+#[test]
+fn definition_lattice_on_random_hinet_traces() {
+    check("definition_lattice_on_random_hinet_traces", CASES, |c| {
+        let cfg = arb_hinet_config(c);
         let rounds = (2 * cfg.t).max(3);
         let mut gen = HiNetGen::new(cfg);
         let trace = CtvgTrace::capture(&mut gen, rounds);
         let (t, l) = (cfg.t, cfg.l);
         // Fig. 2: Def 8 ⇒ Def 4 ⇒ Defs 2,3 and Def 8 ⇒ Def 7 ⇒ Defs 5,6.
         if is_t_l_hinet(&trace, t, l) {
-            prop_assert!(is_hierarchy_t_stable(&trace, t));
-            prop_assert!(has_t_interval_l_hop_connectivity(&trace, t, l));
+            assert!(is_hierarchy_t_stable(&trace, t));
+            assert!(has_t_interval_l_hop_connectivity(&trace, t, l));
         }
         if is_hierarchy_t_stable(&trace, t) {
-            prop_assert!(is_head_set_t_stable(&trace, t));
+            assert!(is_head_set_t_stable(&trace, t));
             let win = t.min(trace.len());
             for &head in trace.hierarchy(0).heads() {
-                prop_assert!(cluster_stable_in_window(&trace, ClusterId(head), 0, win));
+                assert!(cluster_stable_in_window(&trace, ClusterId(head), 0, win));
             }
         }
         if has_t_interval_l_hop_connectivity(&trace, t, l) {
             let win = t.min(trace.len());
-            prop_assert!(head_connectivity_in_window(&trace, 0, win));
-            prop_assert!(l_hop_in_window(&trace, 0, win, l));
+            assert!(head_connectivity_in_window(&trace, 0, win));
+            assert!(l_hop_in_window(&trace, 0, win, l));
         }
-    }
+    });
+}
 
-    #[test]
-    fn min_l_never_exceeds_declared_l(cfg in arb_hinet_config()) {
+#[test]
+fn min_l_never_exceeds_declared_l() {
+    check("min_l_never_exceeds_declared_l", CASES, |c| {
         // Noise can shorten head distances but the stable backbone bounds
         // them above by the declared L.
+        let cfg = arb_hinet_config(c);
         let rounds = (2 * cfg.t).max(2);
         let mut gen = HiNetGen::new(cfg);
         let trace = CtvgTrace::capture(&mut gen, rounds);
         let measured = min_hinet_l(&trace, cfg.t);
-        prop_assert!(measured.is_some());
-        prop_assert!(measured.unwrap() <= cfg.l, "measured {measured:?} > declared {}", cfg.l);
-    }
+        assert!(measured.is_some());
+        assert!(
+            measured.unwrap() <= cfg.l,
+            "measured {measured:?} > declared {}",
+            cfg.l
+        );
+    });
+}
 
-    #[test]
-    fn zero_churn_config_reports_zero_reaffiliations(
-        seed in any::<u64>(),
-        t in 1usize..5,
-    ) {
-        let cfg = HiNetConfig {
-            n: 24,
-            num_heads: 3,
-            theta: 3,
-            l: 2,
-            t,
-            reaffil_prob: 0.0,
-            rotate_heads: false,
-            noise_edges: 4,
-            seed,
-        };
-        let mut gen = HiNetGen::new(cfg);
-        let trace = CtvgTrace::capture(&mut gen, 3 * t);
-        let stats = churn_stats(&trace);
-        prop_assert_eq!(stats.total_reaffiliations, 0);
-        prop_assert_eq!(stats.head_set_changes, 0);
-    }
+#[test]
+fn zero_churn_config_reports_zero_reaffiliations() {
+    check(
+        "zero_churn_config_reports_zero_reaffiliations",
+        CASES,
+        |c| {
+            let seed = c.random::<u64>();
+            let t = c.random_range(1usize..5);
+            let cfg = HiNetConfig {
+                n: 24,
+                num_heads: 3,
+                theta: 3,
+                l: 2,
+                t,
+                reaffil_prob: 0.0,
+                rotate_heads: false,
+                noise_edges: 4,
+                seed,
+            };
+            let mut gen = HiNetGen::new(cfg);
+            let trace = CtvgTrace::capture(&mut gen, 3 * t);
+            let stats = churn_stats(&trace);
+            assert_eq!(stats.total_reaffiliations, 0);
+            assert_eq!(stats.head_set_changes, 0);
+        },
+    );
+}
 
-    #[test]
-    fn stability_verdicts_deterministic(cfg in arb_hinet_config()) {
+#[test]
+fn stability_verdicts_deterministic() {
+    check("stability_verdicts_deterministic", CASES, |c| {
+        let cfg = arb_hinet_config(c);
         let rounds = (2 * cfg.t).max(2);
         let t1 = CtvgTrace::capture(&mut HiNetGen::new(cfg), rounds);
         let t2 = CtvgTrace::capture(&mut HiNetGen::new(cfg), rounds);
-        prop_assert_eq!(is_t_l_hinet(&t1, cfg.t, cfg.l), is_t_l_hinet(&t2, cfg.t, cfg.l));
-        prop_assert_eq!(min_hinet_l(&t1, cfg.t), min_hinet_l(&t2, cfg.t));
+        assert_eq!(
+            is_t_l_hinet(&t1, cfg.t, cfg.l),
+            is_t_l_hinet(&t2, cfg.t, cfg.l)
+        );
+        assert_eq!(min_hinet_l(&t1, cfg.t), min_hinet_l(&t2, cfg.t));
         let (s1, s2) = (churn_stats(&t1), churn_stats(&t2));
-        prop_assert_eq!(s1, s2);
-    }
+        assert_eq!(s1, s2);
+    });
 }

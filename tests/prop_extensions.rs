@@ -1,5 +1,8 @@
 //! Property tests for the extension substrates: d-hop clustering, LCC
 //! maintenance, gateway policies, Manhattan mobility, and network coding.
+//!
+//! Ported to the in-tree [`hinet::rt::check`] harness; re-run a failing case
+//! with the `HINET_CHECK_SEED=…` command the failure message prints.
 
 use hinet::cluster::clustering::{
     backbone_connects_heads, cluster_with_policy, dhop_lowest_id, ClusteringKind, GatewayPolicy,
@@ -11,7 +14,10 @@ use hinet::graph::graph::{Graph, GraphBuilder, NodeId};
 use hinet::graph::trace::{TopologyProvider, TvgTrace};
 use hinet::graph::traversal::is_connected;
 use hinet::graph::verify::is_always_connected;
-use proptest::prelude::*;
+use hinet::rt::check::{check, CaseCtx};
+use hinet::rt::rng::{Rng, Xoshiro256StarStar};
+
+const CASES: usize = 48;
 
 fn graph_from(n: usize, seed: u64, p: f64) -> Graph {
     let mut b = GraphBuilder::new(n);
@@ -32,102 +38,111 @@ fn graph_from(n: usize, seed: u64, p: f64) -> Graph {
     b.build()
 }
 
-fn arb_policy() -> impl Strategy<Value = GatewayPolicy> {
-    prop_oneof![
-        Just(GatewayPolicy::AllBoundary),
-        Just(GatewayPolicy::MinimalPairwise),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dhop_hierarchy_valid_and_depth_bounded(
-        n in 3usize..=28,
-        seed in any::<u64>(),
-        p in 0.05f64..0.8,
-        d in 1usize..=4,
-        policy in arb_policy(),
-    ) {
-        let g = graph_from(n, seed, p);
-        let h = dhop_lowest_id(&g, d, policy);
-        prop_assert_eq!(h.validate(&g), Ok(()));
-        for u in g.nodes() {
-            let depth = h.depth_of(u).expect("all clustered");
-            prop_assert!(depth <= d, "node {} at depth {} > d={}", u, depth, d);
+/// Replacement for `prop_assume!(is_connected(..))`: redraw the scalar seed
+/// until the graph is connected (bounded; density 0.1..0.9 on ≤26 nodes
+/// connects within a few tries).
+fn connected_graph_from(c: &mut CaseCtx, n: usize, p: f64) -> Graph {
+    for _ in 0..64 {
+        let g = graph_from(n, c.random::<u64>(), p);
+        if is_connected(&g) {
+            return g;
         }
     }
+    // Fall back to certainly-connected density rather than failing the case.
+    graph_from(n, c.random::<u64>(), 1.0)
+}
 
-    #[test]
-    fn dhop_heads_shrink_with_d(
-        n in 6usize..=28,
-        seed in any::<u64>(),
-        p in 0.05f64..0.6,
-    ) {
+fn arb_policy(c: &mut CaseCtx) -> GatewayPolicy {
+    *c.pick(&[GatewayPolicy::AllBoundary, GatewayPolicy::MinimalPairwise])
+}
+
+#[test]
+fn dhop_hierarchy_valid_and_depth_bounded() {
+    check("dhop_hierarchy_valid_and_depth_bounded", CASES, |c| {
+        let n = c.random_range(3usize..=28);
+        let seed = c.random::<u64>();
+        let p = c.random_range(0.05f64..0.8);
+        let d = c.random_range(1usize..=4);
+        let policy = arb_policy(c);
+        let g = graph_from(n, seed, p);
+        let h = dhop_lowest_id(&g, d, policy);
+        assert_eq!(h.validate(&g), Ok(()));
+        for u in g.nodes() {
+            let depth = h.depth_of(u).expect("all clustered");
+            assert!(depth <= d, "node {u} at depth {depth} > d={d}");
+        }
+    });
+}
+
+#[test]
+fn dhop_heads_shrink_with_d() {
+    check("dhop_heads_shrink_with_d", CASES, |c| {
+        let n = c.random_range(6usize..=28);
+        let seed = c.random::<u64>();
+        let p = c.random_range(0.05f64..0.6);
         let g = graph_from(n, seed, p);
         let h1 = dhop_lowest_id(&g, 1, GatewayPolicy::MinimalPairwise);
         let h3 = dhop_lowest_id(&g, 3, GatewayPolicy::MinimalPairwise);
-        prop_assert!(h3.heads().len() <= h1.heads().len());
-    }
+        assert!(h3.heads().len() <= h1.heads().len());
+    });
+}
 
-    #[test]
-    fn backbone_connected_on_connected_graphs(
-        n in 2usize..=26,
-        seed in any::<u64>(),
-        p in 0.1f64..0.9,
-        kind in prop_oneof![
-            Just(ClusteringKind::LowestId),
-            Just(ClusteringKind::HighestDegree),
-            Just(ClusteringKind::GreedyDominating),
-        ],
-        policy in arb_policy(),
-    ) {
-        let g = graph_from(n, seed, p);
-        prop_assume!(is_connected(&g));
+#[test]
+fn backbone_connected_on_connected_graphs() {
+    check("backbone_connected_on_connected_graphs", CASES, |c| {
+        let n = c.random_range(2usize..=26);
+        let p = c.random_range(0.1f64..0.9);
+        let kind = *c.pick(&[
+            ClusteringKind::LowestId,
+            ClusteringKind::HighestDegree,
+            ClusteringKind::GreedyDominating,
+        ]);
+        let policy = arb_policy(c);
+        let g = connected_graph_from(c, n, p);
         let h = cluster_with_policy(kind, &g, policy);
-        prop_assert!(
+        assert!(
             backbone_connects_heads(&g, &h),
-            "{:?}/{:?} disconnected backbone on connected graph", kind, policy
+            "{kind:?}/{policy:?} disconnected backbone on connected graph"
         );
-    }
+    });
+}
 
-    #[test]
-    fn minimal_policy_never_more_gateways(
-        n in 4usize..=26,
-        seed in any::<u64>(),
-        p in 0.05f64..0.9,
-        kind in prop_oneof![
-            Just(ClusteringKind::LowestId),
-            Just(ClusteringKind::HighestDegree),
-        ],
-    ) {
+#[test]
+fn minimal_policy_never_more_gateways() {
+    check("minimal_policy_never_more_gateways", CASES, |c| {
+        let n = c.random_range(4usize..=26);
+        let seed = c.random::<u64>();
+        let p = c.random_range(0.05f64..0.9);
+        let kind = *c.pick(&[ClusteringKind::LowestId, ClusteringKind::HighestDegree]);
         let g = graph_from(n, seed, p);
         let all = cluster_with_policy(kind, &g, GatewayPolicy::AllBoundary);
         let min = cluster_with_policy(kind, &g, GatewayPolicy::MinimalPairwise);
-        prop_assert!(min.gateway_count() <= all.gateway_count());
-        prop_assert_eq!(min.heads(), all.heads(), "policy must not change heads");
-    }
+        assert!(min.gateway_count() <= all.gateway_count());
+        assert_eq!(min.heads(), all.heads(), "policy must not change heads");
+    });
+}
 
-    #[test]
-    fn lcc_stays_valid_across_arbitrary_snapshots(
-        n in 4usize..=20,
-        seeds in proptest::collection::vec((any::<u64>(), 0.1f64..0.8), 2..8),
-    ) {
+#[test]
+fn lcc_stays_valid_across_arbitrary_snapshots() {
+    check("lcc_stays_valid_across_arbitrary_snapshots", CASES, |c| {
+        let n = c.random_range(4usize..=20);
+        let count = c.random_range(2usize..8);
+        let seeds = c.vec_of(count, |c| (c.random::<u64>(), c.random_range(0.1f64..0.8)));
         let mut m = LccMaintainer::new(GatewayPolicy::MinimalPairwise);
         for (seed, p) in seeds {
             let g = graph_from(n, seed, p);
             let h = m.step(&g);
-            prop_assert_eq!(h.validate(&g), Ok(()));
+            assert_eq!(h.validate(&g), Ok(()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn manhattan_always_connected_when_patched(
-        n in 2usize..=24,
-        streets in 2usize..=6,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn manhattan_always_connected_when_patched() {
+    check("manhattan_always_connected_when_patched", CASES, |c| {
+        let n = c.random_range(2usize..=24);
+        let streets = c.random_range(2usize..=6);
+        let seed = c.random::<u64>();
         let mut g = ManhattanGen::new(
             n,
             ManhattanConfig {
@@ -139,27 +154,30 @@ proptest! {
             seed,
         );
         let trace = TvgTrace::capture(&mut g, 12);
-        prop_assert!(is_always_connected(&trace));
-    }
+        assert!(is_always_connected(&trace));
+    });
+}
 
-    #[test]
-    fn manhattan_deterministic(
-        n in 2usize..=16,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn manhattan_deterministic() {
+    check("manhattan_deterministic", CASES, |c| {
+        let n = c.random_range(2usize..=16);
+        let seed = c.random::<u64>();
         let cfg = ManhattanConfig::default();
         let mut a = ManhattanGen::new(n, cfg, seed);
         let mut b = ManhattanGen::new(n, cfg, seed);
         for r in [3usize, 0, 7] {
-            prop_assert_eq!(&*a.graph_at(r), &*b.graph_at(r));
+            assert_eq!(&*a.graph_at(r), &*b.graph_at(r));
         }
-    }
+    });
+}
 
-    #[test]
-    fn gf2_insert_rank_invariants(
-        k in 1usize..=64,
-        vectors in proptest::collection::vec(any::<u64>(), 1..24),
-    ) {
+#[test]
+fn gf2_insert_rank_invariants() {
+    check("gf2_insert_rank_invariants", CASES, |c| {
+        let k = c.random_range(1usize..=64);
+        let count = c.random_range(1usize..24);
+        let vectors = c.vec_of(count, |c| c.random::<u64>());
         let mut basis = Gf2Basis::new(k);
         let mut prev_rank = 0;
         for bits in vectors {
@@ -171,26 +189,27 @@ proptest! {
             }
             let was_zero = v.is_empty();
             let grew = basis.insert(v);
-            prop_assert!(!(<bool>::from(was_zero) && grew), "zero vector cannot grow rank");
+            assert!(!(was_zero && grew), "zero vector cannot grow rank");
             let rank = basis.rank();
-            prop_assert_eq!(rank, prev_rank + usize::from(grew));
-            prop_assert!(rank <= k);
+            assert_eq!(rank, prev_rank + usize::from(grew));
+            assert!(rank <= k);
             prev_rank = rank;
         }
         // Decoded tokens are a subset of span dimensionality.
-        prop_assert!(basis.decoded().len() <= basis.rank());
+        assert!(basis.decoded().len() <= basis.rank());
         if basis.is_complete() {
-            prop_assert_eq!(basis.decoded().len(), k);
+            assert_eq!(basis.decoded().len(), k);
         }
-    }
+    });
+}
 
-    #[test]
-    fn gf2_reinserting_span_elements_never_grows(
-        k in 1usize..=32,
-        vectors in proptest::collection::vec(any::<u64>(), 1..12),
-        seed in any::<u64>(),
-    ) {
-        use rand::SeedableRng;
+#[test]
+fn gf2_reinserting_span_elements_never_grows() {
+    check("gf2_reinserting_span_elements_never_grows", CASES, |c| {
+        let k = c.random_range(1usize..=32);
+        let count = c.random_range(1usize..12);
+        let vectors = c.vec_of(count, |c| c.random::<u64>());
+        let seed = c.random::<u64>();
         let mut basis = Gf2Basis::new(k);
         for bits in vectors {
             let mut v = Gf2Vec::zero(k);
@@ -201,12 +220,12 @@ proptest! {
             }
             basis.insert(v);
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         for _ in 0..8 {
-            if let Some(c) = basis.random_combination(&mut rng) {
+            if let Some(comb) = basis.random_combination(&mut rng) {
                 let mut probe = basis.clone();
-                prop_assert!(!probe.insert(c), "span element must be dependent");
+                assert!(!probe.insert(comb), "span element must be dependent");
             }
         }
-    }
+    });
 }

@@ -1,4 +1,8 @@
 //! Property-based tests for the graph substrate.
+//!
+//! Ported to the in-tree [`hinet::rt::check`] harness: each property runs a
+//! fixed number of seeded random cases; a failure prints the case seed and a
+//! `HINET_CHECK_SEED=…` command line that replays exactly that case.
 
 use hinet::graph::graph::{Graph, GraphBuilder, NodeId};
 use hinet::graph::spanning::{bfs_spanning_tree, random_attachment_tree};
@@ -6,11 +10,15 @@ use hinet::graph::trace::TvgTrace;
 use hinet::graph::traversal::{bfs_distances, components, is_connected, shortest_path};
 use hinet::graph::verify::{is_t_interval_connected, max_interval_connectivity};
 use hinet::graph::CsrGraph;
-use proptest::prelude::*;
+use hinet::rt::check::{check, CaseCtx};
+use hinet::rt::rng::{Rng, Xoshiro256StarStar};
 use std::sync::Arc;
 
-/// Build a pseudo-random graph on `n` nodes from `(seed, p)` — proptest
-/// shrinks over the scalar inputs rather than edge lists.
+const CASES: usize = 64;
+
+/// Build a pseudo-random graph on `n` nodes from `(seed, p)` — properties
+/// draw over the scalar inputs rather than edge lists, so a failing case is
+/// fully described by three numbers.
 fn graph_from(n: usize, seed: u64, p: f64) -> Graph {
     let mut b = GraphBuilder::new(n);
     let mut state = seed | 1;
@@ -30,151 +38,181 @@ fn graph_from(n: usize, seed: u64, p: f64) -> Graph {
     b.build()
 }
 
-/// Strategy: one random graph on 2..=24 nodes.
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..=24, any::<u64>(), 0.05f64..0.9).prop_map(|(n, seed, p)| graph_from(n, seed, p))
+/// One random graph on 2..=24 nodes.
+fn arb_graph(c: &mut CaseCtx) -> Graph {
+    let n = c.random_range(2usize..=24);
+    let seed = c.random::<u64>();
+    let p = c.random_range(0.05f64..0.9);
+    graph_from(n, seed, p)
 }
 
-/// Strategy: `count` random graphs over a *shared* node set.
-fn arb_graphs(count: usize) -> impl Strategy<Value = Vec<Graph>> {
-    (
-        2usize..=24,
-        proptest::collection::vec((any::<u64>(), 0.05f64..0.9), count),
-    )
-        .prop_map(|(n, params)| {
-            params
-                .into_iter()
-                .map(|(seed, p)| graph_from(n, seed, p))
-                .collect()
+/// `count` random graphs over a *shared* node set.
+fn arb_graphs(c: &mut CaseCtx, count: usize) -> Vec<Graph> {
+    let n = c.random_range(2usize..=24);
+    (0..count)
+        .map(|_| {
+            let seed = c.random::<u64>();
+            let p = c.random_range(0.05f64..0.9);
+            graph_from(n, seed, p)
         })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn intersection_is_subgraph_of_both(gs in arb_graphs(2)) {
+#[test]
+fn intersection_is_subgraph_of_both() {
+    check("intersection_is_subgraph_of_both", CASES, |c| {
+        let gs = arb_graphs(c, 2);
         let (g1, g2) = (&gs[0], &gs[1]);
         let i = g1.intersect(g2);
-        prop_assert!(g1.contains_subgraph(&i));
-        prop_assert!(g2.contains_subgraph(&i));
-        prop_assert!(i.m() <= g1.m().min(g2.m()));
-    }
+        assert!(g1.contains_subgraph(&i));
+        assert!(g2.contains_subgraph(&i));
+        assert!(i.m() <= g1.m().min(g2.m()));
+    });
+}
 
-    #[test]
-    fn union_contains_both(gs in arb_graphs(2)) {
+#[test]
+fn union_contains_both() {
+    check("union_contains_both", CASES, |c| {
+        let gs = arb_graphs(c, 2);
         let (g1, g2) = (&gs[0], &gs[1]);
         let u = g1.union(g2);
-        prop_assert!(u.contains_subgraph(g1));
-        prop_assert!(u.contains_subgraph(g2));
-        prop_assert!(u.m() <= g1.m() + g2.m());
-        prop_assert!(u.m() >= g1.m().max(g2.m()));
-    }
+        assert!(u.contains_subgraph(g1));
+        assert!(u.contains_subgraph(g2));
+        assert!(u.m() <= g1.m() + g2.m());
+        assert!(u.m() >= g1.m().max(g2.m()));
+    });
+}
 
-    #[test]
-    fn intersect_union_idempotent_and_commutative(gs in arb_graphs(2)) {
+#[test]
+fn intersect_union_idempotent_and_commutative() {
+    check("intersect_union_idempotent_and_commutative", CASES, |c| {
+        let gs = arb_graphs(c, 2);
         let (g1, g2) = (&gs[0], &gs[1]);
-        prop_assert_eq!(g1.intersect(g2), g2.intersect(g1));
-        prop_assert_eq!(g1.union(g2), g2.union(g1));
-        prop_assert_eq!(g1.intersect(g1), g1.clone());
-        prop_assert_eq!(g1.union(g1), g1.clone());
-    }
+        assert_eq!(g1.intersect(g2), g2.intersect(g1));
+        assert_eq!(g1.union(g2), g2.union(g1));
+        assert_eq!(g1.intersect(g1), g1.clone());
+        assert_eq!(g1.union(g1), g1.clone());
+    });
+}
 
-    #[test]
-    fn csr_bfs_agrees_with_adjacency_bfs(g in arb_graph()) {
+#[test]
+fn csr_bfs_agrees_with_adjacency_bfs() {
+    check("csr_bfs_agrees_with_adjacency_bfs", CASES, |c| {
+        let g = arb_graph(c);
         let csr = CsrGraph::from(&g);
         for src in 0..g.n().min(4) {
             let a = bfs_distances(&g, NodeId::from_index(src));
             let b = csr.bfs(NodeId::from_index(src));
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bfs_distances_are_metric_on_edges(g in arb_graph()) {
+#[test]
+fn bfs_distances_are_metric_on_edges() {
+    check("bfs_distances_are_metric_on_edges", CASES, |c| {
         // Adjacent nodes differ by at most 1 in distance from any source.
+        let g = arb_graph(c);
         let d = bfs_distances(&g, NodeId(0));
         for e in g.edges() {
             let (da, db) = (d[e.a.index()], d[e.b.index()]);
             if da != u32::MAX && db != u32::MAX {
-                prop_assert!(da.abs_diff(db) <= 1);
+                assert!(da.abs_diff(db) <= 1);
             } else {
-                prop_assert_eq!(da, db, "reachability must agree across an edge");
+                assert_eq!(da, db, "reachability must agree across an edge");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn shortest_path_length_matches_bfs(g in arb_graph()) {
+#[test]
+fn shortest_path_length_matches_bfs() {
+    check("shortest_path_length_matches_bfs", CASES, |c| {
+        let g = arb_graph(c);
         let d = bfs_distances(&g, NodeId(0));
         for t in 1..g.n() {
             let target = NodeId::from_index(t);
             match shortest_path(&g, NodeId(0), target) {
                 Some(p) => {
-                    prop_assert_eq!(p.len() as u32 - 1, d[t]);
+                    assert_eq!(p.len() as u32 - 1, d[t]);
                     for w in p.windows(2) {
-                        prop_assert!(g.has_edge(w[0], w[1]));
+                        assert!(g.has_edge(w[0], w[1]));
                     }
                 }
-                None => prop_assert_eq!(d[t], u32::MAX),
+                None => assert_eq!(d[t], u32::MAX),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn components_partition_reachability(g in arb_graph()) {
+#[test]
+fn components_partition_reachability() {
+    check("components_partition_reachability", CASES, |c| {
+        let g = arb_graph(c);
         let labels = components(&g);
         let d = bfs_distances(&g, NodeId(0));
         for v in 0..g.n() {
-            prop_assert_eq!(
+            assert_eq!(
                 labels[v] == labels[0],
                 d[v] != u32::MAX,
-                "node {} reachability vs component label", v
+                "node {v} reachability vs component label"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn spanning_tree_exists_iff_connected(g in arb_graph()) {
+#[test]
+fn spanning_tree_exists_iff_connected() {
+    check("spanning_tree_exists_iff_connected", CASES, |c| {
+        let g = arb_graph(c);
         let tree = bfs_spanning_tree(&g);
-        prop_assert_eq!(tree.is_some(), is_connected(&g));
+        assert_eq!(tree.is_some(), is_connected(&g));
         if let Some(t) = tree {
-            prop_assert_eq!(t.m(), g.n() - 1);
-            prop_assert!(is_connected(&t));
-            prop_assert!(g.contains_subgraph(&t));
+            assert_eq!(t.m(), g.n() - 1);
+            assert!(is_connected(&t));
+            assert!(g.contains_subgraph(&t));
         }
-    }
+    });
+}
 
-    #[test]
-    fn attachment_tree_always_spanning(n in 1usize..40, seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn attachment_tree_always_spanning() {
+    check("attachment_tree_always_spanning", CASES, |c| {
+        let n = c.random_range(1usize..40);
+        let seed = c.random::<u64>();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         let t = random_attachment_tree(n, &mut rng);
-        prop_assert_eq!(t.m(), n.saturating_sub(1));
-        prop_assert!(is_connected(&t));
-    }
+        assert_eq!(t.m(), n.saturating_sub(1));
+        assert!(is_connected(&t));
+    });
+}
 
-    #[test]
-    fn t_interval_connectivity_downward_closed(graphs in arb_graphs(4)) {
+#[test]
+fn t_interval_connectivity_downward_closed() {
+    check("t_interval_connectivity_downward_closed", CASES, |c| {
+        let graphs = arb_graphs(c, 4);
         let trace = TvgTrace::new(graphs.into_iter().map(Arc::new).collect());
         if let Some(max_t) = max_interval_connectivity(&trace) {
             for t in 1..=max_t {
-                prop_assert!(is_t_interval_connected(&trace, t), "t={}", t);
+                assert!(is_t_interval_connected(&trace, t), "t={t}");
             }
             if max_t < trace.len() {
-                prop_assert!(!is_t_interval_connected(&trace, max_t + 1));
+                assert!(!is_t_interval_connected(&trace, max_t + 1));
             }
         } else {
-            prop_assert!(!is_t_interval_connected(&trace, 1));
+            assert!(!is_t_interval_connected(&trace, 1));
         }
-    }
+    });
+}
 
-    #[test]
-    fn edge_distance_is_a_metric(gs in arb_graphs(3)) {
+#[test]
+fn edge_distance_is_a_metric() {
+    check("edge_distance_is_a_metric", CASES, |c| {
+        let gs = arb_graphs(c, 3);
         let (g1, g2, g3) = (&gs[0], &gs[1], &gs[2]);
-        prop_assert_eq!(g1.edge_distance(g2), g2.edge_distance(g1));
-        prop_assert_eq!(g1.edge_distance(g1), 0);
+        assert_eq!(g1.edge_distance(g2), g2.edge_distance(g1));
+        assert_eq!(g1.edge_distance(g1), 0);
         // Triangle inequality on the symmetric-difference metric.
-        prop_assert!(g1.edge_distance(g3) <= g1.edge_distance(g2) + g2.edge_distance(g3));
-    }
+        assert!(g1.edge_distance(g3) <= g1.edge_distance(g2) + g2.edge_distance(g3));
+    });
 }

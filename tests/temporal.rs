@@ -6,9 +6,9 @@
 use hinet::cluster::ctvg::FlatProvider;
 use hinet::core::runner::{run_algorithm, AlgorithmKind};
 use hinet::graph::generators::{ManhattanConfig, ManhattanGen, OneIntervalGen};
+use hinet::graph::graph::NodeId;
 use hinet::graph::trace::{TraceProvider, TvgTrace};
 use hinet::graph::verify::flooding_makespan;
-use hinet::graph::graph::NodeId;
 use hinet::sim::engine::RunConfig;
 use hinet::sim::token::single_source_assignment;
 
