@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
 # Tier-1 gate, runnable with no network access.
 #
-# The workspace's default dependency graph is 100% in-tree (see DESIGN.md
-# §3), so `--offline` must always succeed: any accidental reintroduction of
-# a registry dependency fails this script immediately instead of passing
-# locally and breaking in a sandbox. `crates/hinet-bench` is excluded from
-# the workspace (criterion comes from the registry) and is not built here.
+# The workspace's dependency graph is 100% in-tree (see DESIGN.md §3), so
+# `--offline` must always succeed: any accidental reintroduction of a
+# registry dependency fails this script immediately instead of passing
+# locally and breaking in a sandbox.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo fmt --check
-cargo build --release --offline
+cargo build --release --offline --workspace
 cargo test -q --offline
+
+# Bench smoke: one sub-second suite must run, emit a JSON artifact, and
+# that artifact must round-trip through the gate's own parser (a generous
+# threshold keeps the self-comparison from ever flaking).
+rm -rf target/ci-bench
+./target/release/hinet bench --filter headline --sample-size 5 --budget-ms 50 \
+    --json --out-dir target/ci-bench >/dev/null
+test -s target/ci-bench/BENCH_headline.json
+./target/release/hinet bench --filter headline --sample-size 5 --budget-ms 50 \
+    --baseline target/ci-bench/BENCH_headline.json --max-regress 10000 >/dev/null
+echo "bench smoke: OK"

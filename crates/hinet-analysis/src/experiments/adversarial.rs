@@ -27,10 +27,7 @@ pub fn e13_quiescence_trap() -> ExperimentResult {
     let n = 30;
     let budget = 4 * n; // generous: n−1 suffices for the guaranteed one
     let assignment = single_source_assignment(n, 1, 0);
-    let cfg = RunConfig {
-        stop_on_completion: true,
-        ..RunConfig::default()
-    };
+    let cfg = RunConfig::new();
 
     let mut table = Table::new(
         format!("Quiescence trap vs benign churn (n={n}, k=1 at node 0, budget {budget} rounds)"),

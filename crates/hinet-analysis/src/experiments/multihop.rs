@@ -40,10 +40,7 @@ pub fn e14_multihop_clusters() -> ExperimentResult {
     let n = 70;
     let k = 8;
     let budget = n - 1;
-    let cfg = RunConfig {
-        stop_on_completion: true,
-        ..RunConfig::default()
-    };
+    let cfg = RunConfig::new();
 
     struct Cell {
         completed: bool,

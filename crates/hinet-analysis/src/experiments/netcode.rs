@@ -39,10 +39,7 @@ pub fn e15_network_coding() -> ExperimentResult {
 
     let runs: Vec<Vec<Cell>> = run_sweep(&SEEDS, 0, |&seed| {
         let assignment = round_robin_assignment(n, k);
-        let cfg = RunConfig {
-            stop_on_completion: true,
-            ..RunConfig::default()
-        };
+        let cfg = RunConfig::new().cost_weights(weights);
         let mut out = Vec::new();
 
         // Flat flooding.
@@ -57,7 +54,7 @@ pub fn e15_network_coding() -> ExperimentResult {
             completed: flood.completed(),
             rounds: flood.completion_round,
             tokens: flood.metrics.tokens_sent,
-            bytes: flood.metrics.total_bytes(weights),
+            bytes: flood.total_bytes(),
         });
 
         // Algorithm 2 on a (1, L)-HiNet at matching scale.
@@ -82,7 +79,7 @@ pub fn e15_network_coding() -> ExperimentResult {
             completed: alg2.completed(),
             rounds: alg2.completion_round,
             tokens: alg2.metrics.tokens_sent,
-            bytes: alg2.metrics.total_bytes(weights),
+            bytes: alg2.total_bytes(),
         });
 
         // RLNC on the same flat dynamics as flooding.

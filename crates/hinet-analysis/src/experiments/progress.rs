@@ -22,11 +22,7 @@ pub fn e16_progress_curves() -> ExperimentResult {
     let k = 6;
     let seed = 12;
     let budget = 3 * n;
-    let cfg = RunConfig {
-        record_rounds: true,
-        stop_on_completion: true,
-        ..RunConfig::default()
-    };
+    let cfg = RunConfig::new().record_rounds(true);
     let assignment = round_robin_assignment(n, k);
 
     let mut runs: Vec<(&'static str, RunReport)> = Vec::new();

@@ -144,10 +144,7 @@ pub fn e12_emdg_clusters() -> ExperimentResult {
     let k = 6;
     let outcomes: Vec<(u64, u64, u64, u64)> = run_sweep(&SEEDS, 0, |&seed| {
         let assignment = round_robin_assignment(n, k);
-        let cfg = RunConfig {
-            stop_on_completion: false,
-            ..RunConfig::default()
-        };
+        let cfg = RunConfig::new().stop_on_completion(false);
         let make_emdg = || EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed);
 
         let mut clustered =

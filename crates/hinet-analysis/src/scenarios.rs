@@ -44,10 +44,7 @@ impl ScenarioReport {
 }
 
 fn default_cfg() -> RunConfig {
-    RunConfig {
-        stop_on_completion: false,
-        ..RunConfig::default()
-    }
+    RunConfig::new().stop_on_completion(false)
 }
 
 /// Derive the HiNet generator head count that yields approximately the

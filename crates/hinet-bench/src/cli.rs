@@ -1,0 +1,288 @@
+//! The `hinet-bench` command line: suite selection, JSON artifacts, and
+//! the `--baseline` regression gate. The root `hinet bench` subcommand
+//! forwards its arguments here, so both entry points share one flag
+//! surface (parsed with [`hinet_rt::flags`]).
+
+use crate::{suites, Suite};
+use hinet_rt::bench::{compare, Bench, BenchConfig, Meta, SuiteReport};
+use hinet_rt::flags::{flag, parse_flags, render_help, FlagSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// The bench flag surface (shared by `hinet-bench` and `hinet bench`).
+pub const BENCH_FLAGS: &[FlagSpec] = &[
+    flag("filter", true, "run only suites whose name contains SUBSTR"),
+    flag("list", false, "list suites and exit"),
+    flag("json", false, "write a BENCH_<suite>.json per suite"),
+    flag("out-dir", true, "directory for JSON artifacts [.]"),
+    flag(
+        "baseline",
+        true,
+        "gate against a prior BENCH_*.json (exit 1 on regression)",
+    ),
+    flag("max-regress", true, "regression threshold in percent [10]"),
+    flag("sample-size", true, "override per-benchmark sample count"),
+    flag("budget-ms", true, "wall-clock budget per benchmark [2000]"),
+    flag("seed", true, "seed recorded in artifact metadata [0]"),
+    flag("help", false, "print this help"),
+];
+
+/// Bench invocation options (the parsed flag surface).
+#[derive(Clone, Debug)]
+pub struct BenchOptions {
+    /// Substring filter on suite names (`None` runs everything).
+    pub filter: Option<String>,
+    /// List suites instead of running.
+    pub list: bool,
+    /// Write `BENCH_<suite>.json` artifacts.
+    pub json: bool,
+    /// Artifact directory (created on demand).
+    pub out_dir: PathBuf,
+    /// Baseline artifact to gate against.
+    pub baseline: Option<PathBuf>,
+    /// Regression threshold, percent over the baseline median.
+    pub max_regress: f64,
+    /// Per-benchmark sample-count override.
+    pub sample_size: Option<usize>,
+    /// Per-benchmark wall-clock budget.
+    pub budget: Duration,
+    /// Seed recorded in artifact metadata.
+    pub seed: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            filter: None,
+            list: false,
+            json: false,
+            out_dir: PathBuf::from("."),
+            baseline: None,
+            max_regress: 10.0,
+            sample_size: None,
+            budget: Duration::from_millis(2000),
+            seed: 0,
+        }
+    }
+}
+
+fn usage() -> String {
+    format!(
+        "hinet-bench — offline benchmark harness for the HiNet reproduction\n\n\
+         USAGE:\n  hinet-bench [FLAGS]          (or: hinet bench [FLAGS])\n\n\
+         FLAGS:\n{}",
+        render_help(BENCH_FLAGS)
+    )
+}
+
+/// Parse `args` and run. This is both the binary's `main` body and the
+/// implementation of the `hinet bench` subcommand.
+pub fn run_from_args(args: &[String]) -> ExitCode {
+    let (positional, flags) = match parse_flags(BENCH_FLAGS, args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if flags.has("help") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if let Some(extra) = positional.first() {
+        eprintln!("unexpected argument '{extra}' (did you mean --filter {extra}?)");
+        return ExitCode::from(2);
+    }
+    let parse = || -> Result<BenchOptions, String> {
+        Ok(BenchOptions {
+            filter: flags.get("filter").map(str::to_string),
+            list: flags.has("list"),
+            json: flags.has("json"),
+            out_dir: PathBuf::from(flags.get("out-dir").unwrap_or(".")),
+            baseline: flags.get("baseline").map(PathBuf::from),
+            max_regress: flags.parsed("max-regress", 10.0)?,
+            sample_size: match flags.get("sample-size") {
+                Some(_) => Some(flags.parsed("sample-size", 0usize)?),
+                None => None,
+            },
+            budget: Duration::from_millis(flags.parsed("budget-ms", 2000u64)?),
+            seed: flags.parsed("seed", 0u64)?,
+        })
+    };
+    match parse() {
+        Ok(opts) => run(&opts),
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Select the suites matching `filter` (substring on the name).
+fn select(filter: Option<&str>) -> Vec<Suite> {
+    suites()
+        .into_iter()
+        .filter(|s| filter.is_none_or(|f| s.name.contains(f)))
+        .collect()
+}
+
+/// Run the selected suites; write artifacts and apply the baseline gate.
+pub fn run(opts: &BenchOptions) -> ExitCode {
+    if opts.list {
+        for s in suites() {
+            println!("{:<18} {}", s.name, s.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected = select(opts.filter.as_deref());
+    if selected.is_empty() {
+        eprintln!(
+            "no suite matches '{}'; available suites:",
+            opts.filter.as_deref().unwrap_or("")
+        );
+        for s in suites() {
+            eprintln!("  {}", s.name);
+        }
+        return ExitCode::from(2);
+    }
+
+    let baseline = match &opts.baseline {
+        None => None,
+        Some(path) => {
+            let parsed = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))
+                .and_then(|text| {
+                    SuiteReport::from_json(&text)
+                        .map_err(|e| format!("malformed baseline {}: {e}", path.display()))
+                });
+            match parsed {
+                Ok(report) => Some(report),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    if let Some(base) = &baseline {
+        if !selected.iter().any(|s| s.name == base.suite) {
+            eprintln!(
+                "baseline is for suite '{}', which is not selected by this run",
+                base.suite
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut regressed = false;
+    for suite in &selected {
+        println!("== {} ==", suite.name);
+        let mut bench = Bench::new(BenchConfig {
+            sample_size_override: opts.sample_size,
+            budget: opts.budget,
+            quiet: false,
+        });
+        (suite.run)(&mut bench);
+        let report = SuiteReport {
+            suite: suite.name.to_string(),
+            meta: Meta::capture(opts.seed),
+            benchmarks: bench.take_results(),
+        };
+
+        if opts.json {
+            let path = opts.out_dir.join(report.file_name());
+            let write = std::fs::create_dir_all(&opts.out_dir)
+                .and_then(|()| std::fs::write(&path, report.to_json()));
+            match write {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::from(1);
+                }
+            }
+        }
+
+        if let Some(base) = baseline.as_ref().filter(|b| b.suite == report.suite) {
+            let cmp = compare(base, &report, opts.max_regress);
+            println!(
+                "baseline {}: {} benchmarks compared, {} regression(s) past {:.1}%",
+                base.meta.commit,
+                cmp.compared,
+                cmp.regressions.len(),
+                opts.max_regress,
+            );
+            for miss in &cmp.missing {
+                println!("  (no counterpart for {miss})");
+            }
+            for r in &cmp.regressions {
+                println!(
+                    "  REGRESSION {}: median {} -> {} (+{:.1}%)",
+                    r.id,
+                    hinet_rt::bench::fmt_ns(r.baseline_ns),
+                    hinet_rt::bench::fmt_ns(r.current_ns),
+                    r.change_pct,
+                );
+            }
+            regressed |= !cmp.regressions.is_empty();
+        }
+    }
+
+    if regressed {
+        eprintln!("benchmark regression gate failed");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_selects_by_substring() {
+        assert_eq!(select(Some("sweep_n")).len(), 1);
+        assert_eq!(select(Some("sweep")).len(), 5);
+        assert_eq!(select(Some("nope")).len(), 0);
+        assert_eq!(select(None).len(), suites().len());
+    }
+
+    #[test]
+    fn args_round_trip_into_options() {
+        let args: Vec<String> = [
+            "--filter",
+            "sweep_n",
+            "--json",
+            "--out-dir",
+            "target/bench",
+            "--max-regress",
+            "25",
+            "--sample-size",
+            "7",
+            "--budget-ms",
+            "100",
+            "--seed",
+            "9",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (pos, flags) = parse_flags(BENCH_FLAGS, &args).unwrap();
+        assert!(pos.is_empty());
+        assert_eq!(flags.get("filter"), Some("sweep_n"));
+        assert!(flags.has("json"));
+        assert_eq!(flags.parsed("max-regress", 10.0).unwrap(), 25.0);
+        assert_eq!(flags.parsed("sample-size", 0usize).unwrap(), 7);
+        assert_eq!(flags.parsed("budget-ms", 2000u64).unwrap(), 100);
+        assert_eq!(flags.parsed("seed", 0u64).unwrap(), 9);
+    }
+
+    #[test]
+    fn unknown_bench_flag_is_rejected() {
+        let args = vec!["--warmup".to_string()];
+        assert!(parse_flags(BENCH_FLAGS, &args)
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+}

@@ -1,20 +1,96 @@
-//! Shared helpers for the Criterion benchmark harness.
+//! The benchmark suite behind the `hinet-bench` binary (and the
+//! `hinet bench` subcommand).
 //!
-//! Each bench target regenerates one artifact of the paper's evaluation
-//! (see DESIGN.md §4). Criterion measures the wall-clock of the
-//! regeneration; the artifact's *content* (the cost numbers) is printed
-//! once per target via [`print_once`] so `cargo bench` output doubles as
-//! the reproduction log captured in EXPERIMENTS.md.
+//! Each suite regenerates one artifact of the paper's evaluation (see
+//! DESIGN.md §4) on the in-tree [`hinet_rt::bench`] harness. The harness
+//! measures the wall-clock of the regeneration; the artifact's *content*
+//! (the cost numbers) is printed once per suite via
+//! [`hinet_rt::bench::Bench::print_table`], so a bench run's output doubles
+//! as the reproduction log captured in EXPERIMENTS.md. Timing results go to
+//! `BENCH_<suite>.json` artifacts with `--json`, and `--baseline` gates a
+//! run against a prior artifact (see [`cli`]).
+
+pub mod cli;
+pub mod suites;
 
 use hinet_core::analysis::ModelParams;
-use std::sync::Once;
+use hinet_rt::bench::Bench;
 
-/// Print a reproduction artifact once per process (Criterion calls the
-/// benched closure many times; the table only needs to appear once).
-pub fn print_once(once: &Once, render: impl FnOnce() -> String) {
-    once.call_once(|| {
-        println!("\n{}", render());
-    });
+/// One registered benchmark suite.
+#[derive(Clone, Copy)]
+pub struct Suite {
+    /// Suite name — the `--filter` key and the `BENCH_<name>.json` stem.
+    pub name: &'static str,
+    /// One-line description for `--list`.
+    pub about: &'static str,
+    /// The suite body.
+    pub run: fn(&mut Bench),
+}
+
+/// Every suite, in the order they are run without a filter.
+pub fn suites() -> Vec<Suite> {
+    vec![
+        Suite {
+            name: "table2_models",
+            about: "Table 2 rows simulated end-to-end at the small parameter point",
+            run: suites::table2_models::bench,
+        },
+        Suite {
+            name: "table3_simulated",
+            about: "Table 3 at the paper's exact parameters (n0 = 100), all four rows",
+            run: suites::table3_simulated::bench,
+        },
+        Suite {
+            name: "sweep_n",
+            about: "E5 — cost vs network size n0 (Algorithm 1 vs KLO)",
+            run: suites::sweep_n::bench,
+        },
+        Suite {
+            name: "sweep_k",
+            about: "E6 — cost vs token count k",
+            run: suites::sweep_k::bench,
+        },
+        Suite {
+            name: "sweep_alpha",
+            about: "E7 — cost vs progress coefficient alpha",
+            run: suites::sweep_alpha::bench,
+        },
+        Suite {
+            name: "sweep_l",
+            about: "E8 — cost vs hop bound L",
+            run: suites::sweep_l::bench,
+        },
+        Suite {
+            name: "sweep_churn",
+            about: "E9 — cost vs re-affiliation churn n_r",
+            run: suites::sweep_churn::bench,
+        },
+        Suite {
+            name: "headline",
+            about: "E10 — the headline reduction grid (analytic cost model)",
+            run: suites::headline::bench,
+        },
+        Suite {
+            name: "ablation_remark1",
+            about: "E11 — Remark 1 (infinity-stable heads) vs plain Algorithm 1",
+            run: suites::ablation_remark1::bench,
+        },
+        Suite {
+            name: "emdg",
+            about: "E12 — clusters over edge-Markovian dynamics",
+            run: suites::emdg::bench,
+        },
+        Suite {
+            name: "substrates",
+            about: "graph/clustering/verifier micro-benchmarks",
+            run: suites::substrates::bench,
+        },
+        Suite {
+            name: "extensions",
+            about: "E13-E15 extensions: d-hop, LCC, Manhattan, RLNC",
+            run: suites::extensions::bench,
+        },
+    ]
 }
 
 /// The paper's Table 3 parameter point.
@@ -23,7 +99,7 @@ pub fn table3_params() -> ModelParams {
 }
 
 /// A smaller parameter point for per-iteration simulation benches (keeps
-/// Criterion's sampling affordable while preserving the Table 3 ratios).
+/// sampling affordable while preserving the Table 3 ratios).
 pub fn small_params() -> ModelParams {
     ModelParams {
         n0: 50,
@@ -41,23 +117,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn print_once_only_prints_once() {
-        let once = Once::new();
-        let mut calls = 0;
-        for _ in 0..3 {
-            print_once(&once, || {
-                calls += 1;
-                String::new()
-            });
-        }
-        assert_eq!(calls, 1);
-    }
-
-    #[test]
     fn param_points_are_feasible() {
         for p in [table3_params(), small_params()] {
             assert!(p.theta <= p.n0);
             assert!(p.n_m < p.n0);
         }
+    }
+
+    #[test]
+    fn suite_names_are_unique_and_file_safe() {
+        let all = suites();
+        let names: std::collections::BTreeSet<_> = all.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), all.len());
+        for s in &all {
+            assert!(
+                s.name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "'{}' is not a safe BENCH_<name>.json stem",
+                s.name
+            );
+        }
+    }
+
+    /// The registry covers exactly the twelve criterion targets that were
+    /// ported (DESIGN.md §4's artifact list).
+    #[test]
+    fn registry_has_all_twelve_suites() {
+        assert_eq!(suites().len(), 12);
     }
 }

@@ -1,0 +1,9 @@
+//! Standalone entry point; `hinet bench` forwards to the same
+//! [`hinet_bench::cli::run_from_args`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    hinet_bench::cli::run_from_args(&args)
+}

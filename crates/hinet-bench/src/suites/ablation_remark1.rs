@@ -1,17 +1,14 @@
 //! Bench: E11 — Remark 1 (∞-stable heads) vs plain Algorithm 1; the
 //! ablation table prints once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crate::small_params;
 use hinet_analysis::experiments::e11_remark1_ablation;
 use hinet_analysis::scenarios;
-use hinet_bench::{print_once, small_params};
+use hinet_rt::bench::Bench;
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_remark1(c: &mut Criterion) {
-    print_once(&PRINTED, || e11_remark1_ablation().to_text());
+pub fn bench(c: &mut Bench) {
+    c.print_table("ablation_remark1", || e11_remark1_ablation().to_text());
     let p = small_params();
     let mut group = c.benchmark_group("ablation_remark1");
     group.sample_size(15);
@@ -31,6 +28,3 @@ fn bench_remark1(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_remark1);
-criterion_main!(benches);

@@ -1,23 +1,19 @@
 //! Bench: E12 — clusters over edge-Markovian dynamics (the paper's
 //! future-work direction); the comparison table prints once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hinet_analysis::experiments::e12_emdg_clusters;
-use hinet_bench::print_once;
 use hinet_cluster::clustering::ClusteringKind;
 use hinet_cluster::ctvg::FlatProvider;
 use hinet_cluster::generators::ClusteredMobilityGen;
 use hinet_core::runner::{run_algorithm, AlgorithmKind};
 use hinet_graph::generators::EdgeMarkovianGen;
+use hinet_rt::bench::Bench;
 use hinet_sim::engine::RunConfig;
 use hinet_sim::token::round_robin_assignment;
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_emdg(c: &mut Criterion) {
-    print_once(&PRINTED, || e12_emdg_clusters().to_text());
+pub fn bench(c: &mut Bench) {
+    c.print_table("emdg", || e12_emdg_clusters().to_text());
     let n = 40;
     let k = 6;
     let assignment = round_robin_assignment(n, k);
@@ -55,6 +51,3 @@ fn bench_emdg(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_emdg);
-criterion_main!(benches);

@@ -2,23 +2,19 @@
 //! maintenance, Manhattan mobility, RLNC network coding, and the E13–E15
 //! experiment regenerations (tables printed once).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hinet_analysis::experiments::{e13_quiescence_trap, e14_multihop_clusters, e15_network_coding};
-use hinet_bench::print_once;
 use hinet_cluster::clustering::{dhop_lowest_id, GatewayPolicy, LccMaintainer};
 use hinet_core::netcode::run_rlnc;
 use hinet_graph::generators::{
     BackboneKind, ManhattanConfig, ManhattanGen, OneIntervalGen, TIntervalGen,
 };
 use hinet_graph::trace::TopologyProvider;
+use hinet_rt::bench::{Bench, BenchmarkId};
 use hinet_sim::token::round_robin_assignment;
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_extension_experiments(c: &mut Criterion) {
-    print_once(&PRINTED, || {
+fn bench_extension_experiments(c: &mut Bench) {
+    c.print_table("extensions", || {
         format!(
             "{}\n{}\n{}",
             e13_quiescence_trap().to_text(),
@@ -34,7 +30,7 @@ fn bench_extension_experiments(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_dhop_and_lcc(c: &mut Criterion) {
+fn bench_dhop_and_lcc(c: &mut Bench) {
     let mut group = c.benchmark_group("extension_clustering");
     let mut gen = TIntervalGen::new(300, 1, BackboneKind::Tree, 900, 4);
     let g = gen.graph_at(0);
@@ -58,7 +54,7 @@ fn bench_dhop_and_lcc(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_manhattan_and_rlnc(c: &mut Criterion) {
+fn bench_manhattan_and_rlnc(c: &mut Bench) {
     let mut group = c.benchmark_group("extension_substrates");
     group.sample_size(15);
     group.bench_function("manhattan_40_rounds_n100", |b| {
@@ -79,10 +75,9 @@ fn bench_manhattan_and_rlnc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_extension_experiments,
-    bench_dhop_and_lcc,
-    bench_manhattan_and_rlnc
-);
-criterion_main!(benches);
+/// Run every group in this suite.
+pub fn bench(c: &mut Bench) {
+    bench_extension_experiments(c);
+    bench_dhop_and_lcc(c);
+    bench_manhattan_and_rlnc(c);
+}

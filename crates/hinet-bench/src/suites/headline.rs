@@ -2,17 +2,13 @@
 //! the benchmark tracks the cost-model evaluation itself, and the grid
 //! table prints once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hinet_analysis::experiments::e10_headline;
-use hinet_bench::print_once;
 use hinet_core::analysis::{self, ModelParams};
+use hinet_rt::bench::Bench;
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_headline(c: &mut Criterion) {
-    print_once(&PRINTED, || e10_headline().to_text());
+pub fn bench(c: &mut Bench) {
+    c.print_table("headline", || e10_headline().to_text());
     let mut group = c.benchmark_group("headline");
     group.bench_function("cost_model_grid_16cells", |b| {
         b.iter(|| {
@@ -41,6 +37,3 @@ fn bench_headline(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_headline);
-criterion_main!(benches);

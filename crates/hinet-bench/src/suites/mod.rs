@@ -1,0 +1,15 @@
+//! The twelve benchmark suites, one module per retired criterion target.
+//! Register new suites in [`crate::suites()`].
+
+pub mod ablation_remark1;
+pub mod emdg;
+pub mod extensions;
+pub mod headline;
+pub mod substrates;
+pub mod sweep_alpha;
+pub mod sweep_churn;
+pub mod sweep_k;
+pub mod sweep_l;
+pub mod sweep_n;
+pub mod table2_models;
+pub mod table3_simulated;

@@ -2,7 +2,6 @@
 //! experiment leans on (graph construction, BFS, window intersection,
 //! clustering, hierarchy generation, stability verification).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hinet_cluster::clustering::{cluster, ClusteringKind};
 use hinet_cluster::ctvg::CtvgTrace;
 use hinet_cluster::generators::{HiNetConfig, HiNetGen};
@@ -11,6 +10,7 @@ use hinet_graph::generators::{BackboneKind, TIntervalGen};
 use hinet_graph::graph::{Graph, NodeId};
 use hinet_graph::trace::{TopologyProvider, TvgTrace};
 use hinet_graph::CsrGraph;
+use hinet_rt::bench::{Bench, BenchmarkId};
 use std::hint::black_box;
 
 fn random_graph(n: usize, avg_degree: usize, seed: u64) -> Graph {
@@ -19,7 +19,7 @@ fn random_graph(n: usize, avg_degree: usize, seed: u64) -> Graph {
     (*g).clone()
 }
 
-fn bench_graph_ops(c: &mut Criterion) {
+fn bench_graph_ops(c: &mut Bench) {
     let mut group = c.benchmark_group("substrate_graph");
     for &n in &[100usize, 400] {
         let g = random_graph(n, 8, 1);
@@ -45,7 +45,7 @@ fn bench_graph_ops(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_clustering(c: &mut Criterion) {
+fn bench_clustering(c: &mut Bench) {
     let mut group = c.benchmark_group("substrate_clustering");
     let g = random_graph(300, 10, 3);
     for kind in [
@@ -62,7 +62,7 @@ fn bench_clustering(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_generators_and_verifiers(c: &mut Criterion) {
+fn bench_generators_and_verifiers(c: &mut Bench) {
     let mut group = c.benchmark_group("substrate_hinet");
     let cfg = HiNetConfig {
         n: 200,
@@ -93,10 +93,9 @@ fn bench_generators_and_verifiers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_graph_ops,
-    bench_clustering,
-    bench_generators_and_verifiers
-);
-criterion_main!(benches);
+/// Run every group in this suite.
+pub fn bench(c: &mut Bench) {
+    bench_graph_ops(c);
+    bench_clustering(c);
+    bench_generators_and_verifiers(c);
+}

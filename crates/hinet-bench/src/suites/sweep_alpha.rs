@@ -1,18 +1,15 @@
 //! Bench: E7 — cost vs progress coefficient α (the stability/time
 //! trade-off knob of Theorem 1); the sweep table prints once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crate::small_params;
 use hinet_analysis::experiments::e7_sweep_alpha;
 use hinet_analysis::scenarios;
-use hinet_bench::{print_once, small_params};
 use hinet_core::analysis::ModelParams;
+use hinet_rt::bench::{Bench, BenchmarkId};
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_sweep_alpha(c: &mut Criterion) {
-    print_once(&PRINTED, || e7_sweep_alpha().to_text());
+pub fn bench(c: &mut Bench) {
+    c.print_table("sweep_alpha", || e7_sweep_alpha().to_text());
     let base = small_params();
     let mut group = c.benchmark_group("sweep_alpha");
     group.sample_size(10);
@@ -31,6 +28,3 @@ fn bench_sweep_alpha(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_sweep_alpha);
-criterion_main!(benches);

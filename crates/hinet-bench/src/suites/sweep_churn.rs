@@ -2,17 +2,14 @@
 //! hierarchy's advantage erodes; the sweep table (with the analytic
 //! crossover note) prints once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crate::small_params;
 use hinet_analysis::experiments::e9_sweep_churn;
 use hinet_analysis::scenarios;
-use hinet_bench::{print_once, small_params};
+use hinet_rt::bench::{Bench, BenchmarkId};
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_sweep_churn(c: &mut Criterion) {
-    print_once(&PRINTED, || e9_sweep_churn().to_text());
+pub fn bench(c: &mut Bench) {
+    c.print_table("sweep_churn", || e9_sweep_churn().to_text());
     let base = small_params();
     let mut group = c.benchmark_group("sweep_churn");
     group.sample_size(10);
@@ -31,6 +28,3 @@ fn bench_sweep_churn(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_sweep_churn);
-criterion_main!(benches);

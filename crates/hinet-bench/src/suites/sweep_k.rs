@@ -1,18 +1,15 @@
 //! Bench: E6 — cost vs token count k. Simulates the (T, L) scenario pair
 //! per grid point; the sweep table prints once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crate::small_params;
 use hinet_analysis::experiments::e6_sweep_k;
 use hinet_analysis::scenarios;
-use hinet_bench::{print_once, small_params};
 use hinet_core::analysis::ModelParams;
+use hinet_rt::bench::{Bench, BenchmarkId};
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_sweep_k(c: &mut Criterion) {
-    print_once(&PRINTED, || e6_sweep_k().to_text());
+pub fn bench(c: &mut Bench) {
+    c.print_table("sweep_k", || e6_sweep_k().to_text());
     let base = small_params();
     let mut group = c.benchmark_group("sweep_k");
     group.sample_size(10);
@@ -31,6 +28,3 @@ fn bench_sweep_k(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_sweep_k);
-criterion_main!(benches);

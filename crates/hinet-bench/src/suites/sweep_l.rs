@@ -1,18 +1,15 @@
 //! Bench: E8 — cost vs hop bound L of cluster-head connectivity; the
 //! sweep table prints once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crate::small_params;
 use hinet_analysis::experiments::e8_sweep_l;
 use hinet_analysis::scenarios;
-use hinet_bench::{print_once, small_params};
 use hinet_core::analysis::ModelParams;
+use hinet_rt::bench::{Bench, BenchmarkId};
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_sweep_l(c: &mut Criterion) {
-    print_once(&PRINTED, || e8_sweep_l().to_text());
+pub fn bench(c: &mut Bench) {
+    c.print_table("sweep_l", || e8_sweep_l().to_text());
     let base = small_params();
     let mut group = c.benchmark_group("sweep_l");
     group.sample_size(10);
@@ -31,6 +28,3 @@ fn bench_sweep_l(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_sweep_l);
-criterion_main!(benches);

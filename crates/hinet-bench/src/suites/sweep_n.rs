@@ -2,17 +2,13 @@
 //! grid point (Algorithm 1 vs KLO at that size); the sweep table prints
 //! once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hinet_analysis::experiments::{e5_sweep_n, params_for_n};
 use hinet_analysis::scenarios;
-use hinet_bench::print_once;
+use hinet_rt::bench::{Bench, BenchmarkId};
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_sweep_n(c: &mut Criterion) {
-    print_once(&PRINTED, || e5_sweep_n().to_text());
+pub fn bench(c: &mut Bench) {
+    c.print_table("sweep_n", || e5_sweep_n().to_text());
     let mut group = c.benchmark_group("sweep_n");
     group.sample_size(10);
     for n in [40u64, 80, 120] {
@@ -30,6 +26,3 @@ fn bench_sweep_n(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_sweep_n);
-criterion_main!(benches);

@@ -4,17 +4,14 @@
 //! simulated end-to-end per iteration at the small parameter point; the
 //! analytic Table 2 itself is printed once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crate::small_params;
 use hinet_analysis::experiments::e1_table2;
 use hinet_analysis::scenarios;
-use hinet_bench::{print_once, small_params};
+use hinet_rt::bench::Bench;
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_table2(c: &mut Criterion) {
-    print_once(&PRINTED, || e1_table2().to_text());
+pub fn bench(c: &mut Bench) {
+    c.print_table("table2_models", || e1_table2().to_text());
     let p = small_params();
     let p_1l = p.with_n_r(6);
 
@@ -50,6 +47,3 @@ fn bench_table2(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

@@ -2,17 +2,14 @@
 //! rows simulated per iteration; the measured-vs-analytic table (E3) is
 //! printed once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crate::table3_params;
 use hinet_analysis::experiments::{e2_table3, e3_simulated_table3};
 use hinet_analysis::scenarios;
-use hinet_bench::{print_once, table3_params};
+use hinet_rt::bench::Bench;
 use std::hint::black_box;
-use std::sync::Once;
 
-static PRINTED: Once = Once::new();
-
-fn bench_table3(c: &mut Criterion) {
-    print_once(&PRINTED, || {
+pub fn bench(c: &mut Bench) {
+    c.print_table("table3_simulated", || {
         format!(
             "{}\n{}",
             e2_table3().to_text(),
@@ -33,6 +30,3 @@ fn bench_table3(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

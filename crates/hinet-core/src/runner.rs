@@ -145,10 +145,7 @@ mod tests {
             &AlgorithmKind::HiNetPhased(plan),
             &mut provider,
             &assignment,
-            RunConfig {
-                validate_hierarchy: true,
-                ..RunConfig::default()
-            },
+            RunConfig::new().validate_hierarchy(true),
         );
         assert!(report.completed(), "Theorem 1 guarantees completion");
         assert!(

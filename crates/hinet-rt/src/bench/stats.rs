@@ -1,0 +1,155 @@
+//! Sample statistics for the bench harness.
+//!
+//! All summaries are computed over *per-iteration* nanosecond samples. The
+//! headline statistic is the median — wall-clock timings on shared machines
+//! have a one-sided noise distribution (interrupts, frequency scaling), so
+//! the median is the robust location estimate; min and p95 bound the
+//! distribution from both sides for the JSON artifacts.
+
+/// Summary statistics over a set of per-iteration nanosecond samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Fastest sample — the least-perturbed observation.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Arithmetic mean (reported, but noise-sensitive; gate on the median).
+    pub mean_ns: f64,
+    /// Outlier-robust location estimate; the regression gate compares this.
+    pub median_ns: f64,
+    /// Nearest-rank 95th percentile — the tail the mean hides.
+    pub p95_ns: f64,
+}
+
+impl Stats {
+    /// Summarise a non-empty sample set.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Stats {
+        assert!(!samples.is_empty(), "Stats::from_samples on empty input");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Stats {
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+            mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            median_ns: median_sorted(&sorted),
+            p95_ns: percentile_sorted(&sorted, 95.0),
+        }
+    }
+}
+
+/// Median of a sample set; even-length sets average the middle pair.
+///
+/// # Panics
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    median_sorted(&sorted)
+}
+
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    assert!(n > 0, "median of empty input");
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of a sample set.
+///
+/// # Panics
+/// Panics if `xs` is empty.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    percentile_sorted(&sorted, p)
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    assert!(n > 0, "percentile of empty input");
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Iterations to batch into one timing sample so the batch costs about
+/// `target_sample_ns`.
+///
+/// Monotone by construction: non-increasing in the per-iteration estimate,
+/// non-decreasing in the target, and never zero (every sample runs the
+/// benchmarked closure at least once). The upper clamp keeps a mis-estimated
+/// sub-nanosecond closure from requesting an unbounded batch.
+pub fn calibrate_batch(per_iter_ns: f64, target_sample_ns: f64) -> u64 {
+    let per_iter = per_iter_ns.max(1.0);
+    let batch = (target_sample_ns.max(0.0) / per_iter).floor() as u64;
+    batch.clamp(1, 1 << 24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_known_samples() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+        // Robustness: one huge outlier does not move the median.
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0, 1e12]), 3.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_on_known_samples() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 95.0), 95.0);
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        // Small sets: p95 of 10 samples is the 10th order statistic.
+        let ten: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert_eq!(percentile(&ten, 95.0), 10.0);
+        assert_eq!(percentile(&ten, 90.0), 9.0);
+    }
+
+    #[test]
+    fn stats_summary_matches_hand_computation() {
+        let s = Stats::from_samples(&[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(s.min_ns, 2.0);
+        assert_eq!(s.max_ns, 8.0);
+        assert_eq!(s.mean_ns, 5.0);
+        assert_eq!(s.median_ns, 5.0);
+        assert_eq!(s.p95_ns, 8.0);
+    }
+
+    #[test]
+    fn calibration_is_monotone_in_both_arguments() {
+        // Slower iterations → no larger batches (fixed target).
+        let target = 1_000_000.0;
+        let mut last = u64::MAX;
+        for per_iter in [1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7] {
+            let b = calibrate_batch(per_iter, target);
+            assert!(b <= last, "batch grew as iterations slowed");
+            assert!(b >= 1);
+            last = b;
+        }
+        // Larger budgets → no smaller batches (fixed iteration cost).
+        let mut last = 0u64;
+        for target in [0.0, 1e3, 1e5, 1e7, 1e9] {
+            let b = calibrate_batch(100.0, target);
+            assert!(b >= last, "batch shrank as the target grew");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn calibration_clamps_degenerate_inputs() {
+        assert_eq!(calibrate_batch(0.0, 0.0), 1);
+        assert_eq!(calibrate_batch(-5.0, 1e9), calibrate_batch(1.0, 1e9));
+        assert_eq!(calibrate_batch(1.0, f64::INFINITY), 1 << 24);
+    }
+}

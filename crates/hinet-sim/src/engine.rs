@@ -7,7 +7,18 @@ use hinet_cluster::ctvg::HierarchyProvider;
 use hinet_cluster::hierarchy::Role;
 use hinet_graph::graph::NodeId;
 
-/// Engine configuration.
+/// Engine configuration — every per-run knob in one place, built with
+/// chained constructors:
+///
+/// ```
+/// use hinet_sim::engine::{CostWeights, RunConfig};
+///
+/// let cfg = RunConfig::new()
+///     .max_rounds(500)
+///     .record_rounds(true)
+///     .cost_weights(CostWeights::default());
+/// assert_eq!(cfg.max_rounds, 500);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct RunConfig {
     /// Hard cap on simulated rounds (a safety net; completion normally
@@ -26,6 +37,9 @@ pub struct RunConfig {
     /// set, payload) — costs memory proportional to traffic; used by the
     /// walkthrough example and message-level debugging.
     pub record_messages: bool,
+    /// Byte-level cost weights carried into the [`RunReport`] so byte
+    /// metrics always use the weights the run was configured with.
+    pub cost_weights: CostWeights,
 }
 
 impl Default for RunConfig {
@@ -36,7 +50,51 @@ impl Default for RunConfig {
             record_rounds: false,
             validate_hierarchy: false,
             record_messages: false,
+            cost_weights: CostWeights::default(),
         }
+    }
+}
+
+impl RunConfig {
+    /// Alias for [`RunConfig::default`], the builder entry point.
+    pub fn new() -> Self {
+        RunConfig::default()
+    }
+
+    /// Set the hard round cap.
+    pub fn max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Set whether the run stops at global completion.
+    pub fn stop_on_completion(mut self, stop: bool) -> Self {
+        self.stop_on_completion = stop;
+        self
+    }
+
+    /// Enable/disable the per-round metrics series.
+    pub fn record_rounds(mut self, record: bool) -> Self {
+        self.record_rounds = record;
+        self
+    }
+
+    /// Enable/disable per-round hierarchy validation.
+    pub fn validate_hierarchy(mut self, validate: bool) -> Self {
+        self.validate_hierarchy = validate;
+        self
+    }
+
+    /// Enable/disable the full message log.
+    pub fn record_messages(mut self, record: bool) -> Self {
+        self.record_messages = record;
+        self
+    }
+
+    /// Set the byte-cost weights used by [`RunReport::total_bytes`].
+    pub fn cost_weights(mut self, weights: CostWeights) -> Self {
+        self.cost_weights = weights;
+        self
     }
 }
 
@@ -142,12 +200,20 @@ pub struct RunReport {
     pub metrics: Metrics,
     /// Number of tokens in the universe (`k`).
     pub k: usize,
+    /// The byte-cost weights the run was configured with (see
+    /// [`RunConfig::cost_weights`]).
+    pub cost_weights: CostWeights,
 }
 
 impl RunReport {
     /// Whether dissemination completed.
     pub fn completed(&self) -> bool {
         self.completion_round.is_some()
+    }
+
+    /// Total bytes on air under the run's configured [`CostWeights`].
+    pub fn total_bytes(&self) -> u64 {
+        self.metrics.total_bytes(self.cost_weights)
     }
 }
 
@@ -213,6 +279,7 @@ impl Engine {
                 completion_round: Some(0),
                 metrics,
                 k,
+                cost_weights: self.cfg.cost_weights,
             };
         }
 
@@ -348,6 +415,7 @@ impl Engine {
             completion_round,
             metrics,
             k,
+            cost_weights: self.cfg.cost_weights,
         }
     }
 
@@ -441,10 +509,7 @@ mod tests {
         let mut provider = star_provider(4, 10);
         let mut protocols: Vec<Flood> = (0..4).map(|_| Flood::new()).collect();
         let assignment = round_robin_assignment(4, 4);
-        let cfg = RunConfig {
-            record_rounds: true,
-            ..RunConfig::default()
-        };
+        let cfg = RunConfig::new().record_rounds(true);
         let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
         assert_eq!(report.metrics.rounds.len(), report.rounds_executed);
         assert!(report.metrics.rounds[0].tokens_sent > 0);
@@ -466,10 +531,7 @@ mod tests {
         let mut provider = CtvgTraceProvider::new(CtvgTrace::new(t, vec![h]));
         let mut protocols: Vec<Flood> = (0..2).map(|_| Flood::new()).collect();
         let assignment = vec![vec![TokenId(0)], vec![]];
-        let cfg = RunConfig {
-            max_rounds: 5,
-            ..RunConfig::default()
-        };
+        let cfg = RunConfig::new().max_rounds(5);
         let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
         assert_eq!(report.completion_round, None);
         assert!(!report.completed());
@@ -481,10 +543,7 @@ mod tests {
         let mut provider = star_provider(3, 5);
         let mut protocols: Vec<Flood> = (0..3).map(|_| Flood::new()).collect();
         let assignment = vec![vec![TokenId(0)], vec![TokenId(1)], vec![]];
-        let cfg = RunConfig {
-            record_messages: true,
-            ..RunConfig::default()
-        };
+        let cfg = RunConfig::new().record_messages(true);
         let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
         assert!(report.completed());
         assert_eq!(
@@ -558,10 +617,7 @@ mod tests {
             })
             .collect();
         let assignment = vec![vec![], vec![TokenId(0)], vec![]];
-        let cfg = RunConfig {
-            max_rounds: 2,
-            ..RunConfig::default()
-        };
+        let cfg = RunConfig::new().max_rounds(2);
         let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
         assert_eq!(report.metrics.dropped_unicasts, 2, "one drop per round");
         assert_eq!(

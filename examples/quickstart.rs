@@ -78,12 +78,10 @@ fn main() {
         &AlgorithmKind::HiNetPhased(plan),
         &mut provider,
         &assignment,
-        RunConfig {
-            record_rounds: true,
-            record_messages: true,
-            validate_hierarchy: true,
-            ..RunConfig::default()
-        },
+        RunConfig::new()
+            .record_rounds(true)
+            .record_messages(true)
+            .validate_hierarchy(true),
     );
 
     println!();

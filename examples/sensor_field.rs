@@ -39,10 +39,7 @@ fn main() {
     let seed = 20260706;
     let assignment = round_robin_assignment(n, k);
     let rounds_budget = n - 1;
-    let cfg = RunConfig {
-        stop_on_completion: false,
-        ..RunConfig::default()
-    };
+    let cfg = RunConfig::new().stop_on_completion(false);
 
     // First, audit the emergent stability of the clustered trace.
     let mut clustered = ClusteredMobilityGen::new(field(seed), ClusteringKind::LowestId, true);

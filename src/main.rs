@@ -6,6 +6,7 @@
 //! hinet export [DIR]                  write all experiment tables as md/csv
 //! hinet run [options]                 one simulation, report costs
 //! hinet audit [options]               stability report for a dynamics trace
+//! hinet bench [options]               timing benchmarks (see `hinet bench --help`)
 //! hinet help                          this text
 //! ```
 //!
@@ -23,6 +24,10 @@
 //! --theta TH         head-capable pool                             [n/3]
 //! --seed S           RNG seed                                      [42]
 //! ```
+//!
+//! Each command declares its flags in a [`FlagSpec`] table; unknown flags
+//! and malformed values are rejected with exit code 2 rather than silently
+//! ignored.
 
 use hinet::analysis::experiments::all_experiments;
 use hinet::cluster::clustering::ClusteringKind;
@@ -36,7 +41,7 @@ use hinet::graph::generators::{
 };
 use hinet::sim::engine::RunConfig;
 use hinet::sim::token::round_robin_assignment;
-use std::collections::BTreeMap;
+use hinet_rt::flags::{flag, parse_flags, FlagSet, FlagSpec};
 use std::process::ExitCode;
 
 const HELP: &str = "hinet — (T, L)-HiNet dissemination reproduction
@@ -48,52 +53,116 @@ USAGE:
   hinet run [--algorithm A] [--dynamics D] [--n N] [--k K]
             [--alpha A] [--l L] [--theta TH] [--seed S]
   hinet audit [--dynamics D] [--n N] [--rounds R] [--seed S]
+  hinet bench [--filter S] [--json] [--baseline FILE] ...  (see bench --help)
   hinet help
 
 run algorithms: alg1 remark1 alg2 alg2-mh klo-phased klo-flood gossip
                 kactive delta rlnc
 run dynamics:   hinet flat-t flat-1 waypoint manhattan emdg";
 
-/// Minimal `--flag value` parser; bare words are positionals.
-fn parse_flags(args: &[String]) -> (Vec<String>, BTreeMap<String, String>) {
-    let mut positional = Vec::new();
-    let mut flags = BTreeMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if let Some(name) = a.strip_prefix("--") {
-            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                flags.insert(name.to_string(), args[i + 1].clone());
-                i += 2;
-            } else {
-                flags.insert(name.to_string(), String::new());
-                i += 1;
+const TABLES_FLAGS: &[FlagSpec] = &[flag(
+    "analytic-only",
+    false,
+    "skip the simulated Table 3 (E3)",
+)];
+
+const RUN_FLAGS: &[FlagSpec] = &[
+    flag("algorithm", true, "algorithm to run [alg1]"),
+    flag("dynamics", true, "dynamics model [hinet]"),
+    flag("n", true, "nodes [100]"),
+    flag("k", true, "tokens [8]"),
+    flag("alpha", true, "progress coefficient [5]"),
+    flag("l", true, "hop bound [2]"),
+    flag("theta", true, "head-capable pool [n/3]"),
+    flag("seed", true, "RNG seed [42]"),
+];
+
+const AUDIT_FLAGS: &[FlagSpec] = &[
+    flag("dynamics", true, "dynamics model [hinet]"),
+    flag("n", true, "nodes [60]"),
+    flag("rounds", true, "trace length [36]"),
+    flag("seed", true, "RNG seed [42]"),
+];
+
+const NO_FLAGS: &[FlagSpec] = &[];
+
+/// A parsed top-level command, with its validated flags.
+enum Command {
+    Tables {
+        analytic_only: bool,
+    },
+    Experiments {
+        wanted: Vec<String>,
+    },
+    Export {
+        dir: Option<String>,
+    },
+    Run(FlagSet),
+    Audit(FlagSet),
+    /// Raw args, forwarded to `hinet_bench::cli` (which owns the flag table).
+    Bench(Vec<String>),
+    Help,
+}
+
+impl Command {
+    /// Parse `argv[1..]`. `Err` is a usage message (exit 2).
+    fn parse(args: &[String]) -> Result<Command, String> {
+        let Some(command) = args.first() else {
+            return Ok(Command::Help);
+        };
+        let rest = &args[1..];
+        match command.as_str() {
+            "tables" => {
+                let (pos, flags) = parse_flags(TABLES_FLAGS, rest)?;
+                reject_positionals("tables", &pos)?;
+                Ok(Command::Tables {
+                    analytic_only: flags.has("analytic-only"),
+                })
             }
-        } else {
-            positional.push(a.clone());
-            i += 1;
+            "experiments" => {
+                let (pos, _) = parse_flags(NO_FLAGS, rest)?;
+                Ok(Command::Experiments { wanted: pos })
+            }
+            "export" => {
+                let (pos, _) = parse_flags(NO_FLAGS, rest)?;
+                if pos.len() > 1 {
+                    return Err(format!("export takes one DIR, got {}", pos.len()));
+                }
+                Ok(Command::Export {
+                    dir: pos.first().cloned(),
+                })
+            }
+            "run" => {
+                let (pos, flags) = parse_flags(RUN_FLAGS, rest)?;
+                reject_positionals("run", &pos)?;
+                Ok(Command::Run(flags))
+            }
+            "audit" => {
+                let (pos, flags) = parse_flags(AUDIT_FLAGS, rest)?;
+                reject_positionals("audit", &pos)?;
+                Ok(Command::Audit(flags))
+            }
+            "bench" => Ok(Command::Bench(rest.to_vec())),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(format!("unknown command '{other}'")),
         }
     }
-    (positional, flags)
 }
 
-fn flag_usize(flags: &BTreeMap<String, String>, name: &str, default: usize) -> usize {
-    flags
-        .get(name)
-        .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("--{name} wants a number, got '{v}'");
-                std::process::exit(2)
-            })
-        })
-        .unwrap_or(default)
+fn reject_positionals(cmd: &str, pos: &[String]) -> Result<(), String> {
+    match pos.first() {
+        Some(extra) => Err(format!(
+            "{cmd} takes no positional arguments, got '{extra}'"
+        )),
+        None => Ok(()),
+    }
 }
 
-fn cmd_tables(flags: &BTreeMap<String, String>) {
+fn cmd_tables(analytic_only: bool) {
     use hinet::analysis::experiments::{e1_table2, e2_table3, e3_simulated_table3};
     println!("{}", e1_table2().to_text());
     println!("{}", e2_table3().to_text());
-    if !flags.contains_key("analytic-only") {
+    if !analytic_only {
         println!("{}", e3_simulated_table3().to_text());
     }
 }
@@ -136,15 +205,27 @@ fn cmd_export(dir: Option<&String>) -> ExitCode {
 }
 
 #[allow(clippy::too_many_lines)]
-fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
-    let n = flag_usize(flags, "n", 100);
-    let k = flag_usize(flags, "k", 8);
-    let alpha = flag_usize(flags, "alpha", 5);
-    let l = flag_usize(flags, "l", 2);
-    let theta = flag_usize(flags, "theta", (n / 3).max(1));
-    let seed = flag_usize(flags, "seed", 42) as u64;
-    let algorithm = flags.get("algorithm").map(String::as_str).unwrap_or("alg1");
-    let dynamics = flags.get("dynamics").map(String::as_str).unwrap_or("hinet");
+fn cmd_run(flags: &FlagSet) -> ExitCode {
+    let parse = || -> Result<(usize, usize, usize, usize, usize, u64), String> {
+        let n = flags.parsed("n", 100usize)?;
+        Ok((
+            n,
+            flags.parsed("k", 8usize)?,
+            flags.parsed("alpha", 5usize)?,
+            flags.parsed("l", 2usize)?,
+            flags.parsed("theta", (n / 3).max(1))?,
+            flags.parsed("seed", 42u64)?,
+        ))
+    };
+    let (n, k, alpha, l, theta, seed) = match parse() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let algorithm = flags.get("algorithm").unwrap_or("alg1");
+    let dynamics = flags.get("dynamics").unwrap_or("hinet");
 
     let t = required_phase_length(k, alpha, l);
     let assignment = round_robin_assignment(n, k);
@@ -251,10 +332,7 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
         &kind,
         provider.as_mut(),
         &assignment,
-        RunConfig {
-            max_rounds: budget,
-            ..RunConfig::default()
-        },
+        RunConfig::new().max_rounds(budget),
     );
     println!(
         "algorithm: {}  dynamics: {dynamics}  n={n} k={k} α={alpha} L={l} θ={theta} seed={seed}",
@@ -278,14 +356,25 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_audit(flags: &BTreeMap<String, String>) -> ExitCode {
+fn cmd_audit(flags: &FlagSet) -> ExitCode {
     use hinet::cluster::audit::audit;
     use hinet::cluster::ctvg::CtvgTrace;
 
-    let n = flag_usize(flags, "n", 60);
-    let rounds = flag_usize(flags, "rounds", 36);
-    let seed = flag_usize(flags, "seed", 42) as u64;
-    let dynamics = flags.get("dynamics").map(String::as_str).unwrap_or("hinet");
+    let parse = || -> Result<(usize, usize, u64), String> {
+        Ok((
+            flags.parsed("n", 60usize)?,
+            flags.parsed("rounds", 36usize)?,
+            flags.parsed("seed", 42u64)?,
+        ))
+    };
+    let (n, rounds, seed) = match parse() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dynamics = flags.get("dynamics").unwrap_or("hinet");
 
     let mut provider: Box<dyn HierarchyProvider> = match dynamics {
         "hinet" => Box::new(HiNetGen::new(HiNetConfig {
@@ -335,27 +424,26 @@ fn cmd_audit(flags: &BTreeMap<String, String>) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
-        println!("{HELP}");
-        return ExitCode::SUCCESS;
+    let command = match Command::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("{e}\n\n{HELP}");
+            return ExitCode::from(2);
+        }
     };
-    let (positional, flags) = parse_flags(&args[1..]);
-    match command.as_str() {
-        "tables" => {
-            cmd_tables(&flags);
+    match command {
+        Command::Tables { analytic_only } => {
+            cmd_tables(analytic_only);
             ExitCode::SUCCESS
         }
-        "experiments" => cmd_experiments(&positional),
-        "export" => cmd_export(positional.first()),
-        "run" => cmd_run(&flags),
-        "audit" => cmd_audit(&flags),
-        "help" | "--help" | "-h" => {
+        Command::Experiments { wanted } => cmd_experiments(&wanted),
+        Command::Export { dir } => cmd_export(dir.as_ref()),
+        Command::Run(flags) => cmd_run(&flags),
+        Command::Audit(flags) => cmd_audit(&flags),
+        Command::Bench(args) => hinet_bench::cli::run_from_args(&args),
+        Command::Help => {
             println!("{HELP}");
             ExitCode::SUCCESS
-        }
-        other => {
-            eprintln!("unknown command '{other}'\n\n{HELP}");
-            ExitCode::from(2)
         }
     }
 }

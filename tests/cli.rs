@@ -144,6 +144,147 @@ fn audit_reports_all_sections() {
 }
 
 #[test]
+fn run_rejects_unknown_flag() {
+    let out = hinet().args(["run", "--frobnicate", "3"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown flag --frobnicate"));
+}
+
+#[test]
+fn run_rejects_malformed_value() {
+    let out = hinet().args(["run", "--n", "lots"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--n"));
+}
+
+#[test]
+fn bench_list_names_all_suites() {
+    let out = hinet().args(["bench", "--list"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for suite in ["sweep_n", "headline", "table3_simulated", "extensions"] {
+        assert!(text.contains(suite), "missing '{suite}' in:\n{text}");
+    }
+}
+
+#[test]
+fn bench_rejects_unknown_flag() {
+    let out = hinet().args(["bench", "--warmup", "3"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown flag --warmup"));
+}
+
+#[test]
+fn bench_rejects_unmatched_filter() {
+    let out = hinet()
+        .args(["bench", "--filter", "no_such_suite"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("no suite"));
+}
+
+/// A fast `hinet bench --json` run writes a parseable artifact, and the
+/// `--baseline` gate fails a run against a synthetically faster baseline.
+#[test]
+fn bench_json_artifact_and_regression_gate() {
+    use hinet::rt::bench::SuiteReport;
+
+    let dir = std::env::temp_dir().join(format!("hinet-cli-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = hinet()
+        .args([
+            "bench",
+            "--filter",
+            "headline",
+            "--sample-size",
+            "5",
+            "--budget-ms",
+            "50",
+            "--json",
+            "--out-dir",
+            dir.to_str().unwrap(),
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let artifact = dir.join("BENCH_headline.json");
+    let text = std::fs::read_to_string(&artifact).unwrap();
+    let report = SuiteReport::from_json(&text).unwrap();
+    assert_eq!(report.suite, "headline");
+    assert_eq!(report.meta.seed, 7);
+    assert!(!report.benchmarks.is_empty());
+    for b in &report.benchmarks {
+        assert!(b.stats.min_ns <= b.stats.median_ns);
+        assert!(b.stats.median_ns <= b.stats.p95_ns);
+    }
+
+    // Shrink every baseline median 10x: the rerun must look regressed.
+    let mut faster = report.clone();
+    for b in &mut faster.benchmarks {
+        b.stats.median_ns /= 10.0;
+    }
+    let baseline = dir.join("BENCH_headline_faster.json");
+    std::fs::write(&baseline, faster.to_json()).unwrap();
+
+    let out = hinet()
+        .args([
+            "bench",
+            "--filter",
+            "headline",
+            "--sample-size",
+            "5",
+            "--budget-ms",
+            "50",
+            "--baseline",
+            baseline.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("REGRESSION"));
+
+    // Against its own artifact (generous threshold), the gate passes.
+    let out = hinet()
+        .args([
+            "bench",
+            "--filter",
+            "headline",
+            "--sample-size",
+            "5",
+            "--budget-ms",
+            "50",
+            "--baseline",
+            artifact.to_str().unwrap(),
+            "--max-regress",
+            "10000",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn export_writes_requested_experiment_dir() {
     let dir = std::env::temp_dir().join(format!("hinet-cli-export-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

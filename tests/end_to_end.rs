@@ -40,10 +40,7 @@ fn alg1_meets_theorem1_bound_across_sizes_and_seeds() {
                 &AlgorithmKind::HiNetPhased(plan),
                 &mut provider,
                 &assignment,
-                RunConfig {
-                    validate_hierarchy: true,
-                    ..RunConfig::default()
-                },
+                RunConfig::new().validate_hierarchy(true),
             );
             assert!(report.completed(), "n={n} seed={seed}");
             assert!(
@@ -176,10 +173,7 @@ fn comm_ordering_alg2_at_most_flood_on_same_dynamics() {
     // and an identical round budget, Algorithm 2 can never send more.
     let n = 56;
     let k = 6;
-    let cfg = RunConfig {
-        stop_on_completion: false,
-        ..RunConfig::default()
-    };
+    let cfg = RunConfig::new().stop_on_completion(false);
     for seed in 0..3u64 {
         let assignment = round_robin_assignment(n, k);
         let mut p1 = hinet_gen(n, 1, seed);
@@ -242,10 +236,7 @@ fn per_role_accounting_sums_to_total() {
         &AlgorithmKind::HiNetPhased(plan),
         &mut provider,
         &assignment,
-        RunConfig {
-            record_rounds: true,
-            ..RunConfig::default()
-        },
+        RunConfig::new().record_rounds(true),
     );
     let by_role: u64 = report.metrics.tokens_by_role.iter().sum();
     assert_eq!(by_role, report.metrics.tokens_sent);

@@ -72,10 +72,7 @@ fn alg1_completes_within_theorem1_bound() {
             &AlgorithmKind::HiNetPhased(plan),
             &mut provider,
             &assignment,
-            RunConfig {
-                validate_hierarchy: true,
-                ..RunConfig::default()
-            },
+            RunConfig::new().validate_hierarchy(true),
         );
         assert!(report.completed(), "{p:?}");
         assert!(
@@ -170,10 +167,7 @@ fn measured_comm_never_exceeds_analytic_bound_for_klo() {
                 &AlgorithmKind::KloPhased(plan),
                 &mut provider,
                 &assignment,
-                RunConfig {
-                    stop_on_completion: false,
-                    ..RunConfig::default()
-                },
+                RunConfig::new().stop_on_completion(false),
             );
             // Bound: phases × n × k (each node ≤ k tokens per phase).
             let bound = (plan.phases * p.n * p.k) as u64;
@@ -190,10 +184,7 @@ fn measured_comm_never_exceeds_analytic_bound_for_klo() {
 fn alg2_cheaper_or_equal_to_flood_same_dynamics() {
     check("alg2_cheaper_or_equal_to_flood_same_dynamics", CASES, |c| {
         let p = arb_params(c);
-        let cfg = RunConfig {
-            stop_on_completion: false,
-            ..RunConfig::default()
-        };
+        let cfg = RunConfig::new().stop_on_completion(false);
         let assignment = round_robin_assignment(p.n, p.k);
         let mut p1 = hinet_provider(&p, 1, true);
         let alg2 = run_algorithm(
@@ -265,11 +256,9 @@ fn reports_are_internally_consistent() {
             &AlgorithmKind::HiNetFullExchange { rounds: p.n - 1 },
             &mut provider,
             &assignment,
-            RunConfig {
-                record_rounds: true,
-                stop_on_completion: false,
-                ..RunConfig::default()
-            },
+            RunConfig::new()
+                .record_rounds(true)
+                .stop_on_completion(false),
         );
         assert_eq!(report.k, p.k.min(p.k));
         let by_role: u64 = report.metrics.tokens_by_role.iter().sum();
