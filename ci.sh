@@ -12,6 +12,11 @@ cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline
 
+# Docs gate: every public item is documented (hinet-rt denies missing docs),
+# no intra-doc link is broken, and every doc example compiles and runs.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace >/dev/null
+cargo test --doc -q --offline --workspace
+
 # Bench smoke: one sub-second suite must run, emit a JSON artifact, and
 # that artifact must round-trip through the gate's own parser (a generous
 # threshold keeps the self-comparison from ever flaking).
@@ -22,3 +27,18 @@ test -s target/ci-bench/BENCH_headline.json
 ./target/release/hinet bench --filter headline --sample-size 5 --budget-ms 50 \
     --baseline target/ci-bench/BENCH_headline.json --max-regress 10000 >/dev/null
 echo "bench smoke: OK"
+
+# Trace smoke: a traced seeded run must produce a hinet-trace/v1 artifact
+# whose summary is internally consistent with the engine's own run report.
+rm -rf target/ci-trace
+./target/release/hinet run --n 40 --k 4 --seed 3 --trace \
+    --trace-out target/ci-trace/run.jsonl >/dev/null
+head -1 target/ci-trace/run.jsonl | grep -q '"schema":"hinet-trace/v1"'
+./target/release/hinet trace --in target/ci-trace/run.jsonl --summary >/dev/null
+summary="$(./target/release/hinet trace --n 40 --k 4 --seed 3 --summary)"
+echo "$summary" | grep -q 'consistency:'
+if echo "$summary" | grep -q MISMATCH; then
+    echo "trace smoke: summary inconsistent with run report" >&2
+    exit 1
+fi
+echo "trace smoke: OK"

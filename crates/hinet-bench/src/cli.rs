@@ -25,6 +25,11 @@ pub const BENCH_FLAGS: &[FlagSpec] = &[
     flag("sample-size", true, "override per-benchmark sample count"),
     flag("budget-ms", true, "wall-clock budget per benchmark [2000]"),
     flag("seed", true, "seed recorded in artifact metadata [0]"),
+    flag(
+        "trace",
+        true,
+        "after the suites, write a traced alg1 (T, L)-HiNet reference run (hinet-trace/v1 JSONL) to FILE",
+    ),
     flag("help", false, "print this help"),
 ];
 
@@ -49,6 +54,10 @@ pub struct BenchOptions {
     pub budget: Duration,
     /// Seed recorded in artifact metadata.
     pub seed: u64,
+    /// Write a traced reference run (`hinet-trace/v1` JSONL) to this path
+    /// after the suites complete, so a perf investigation has a per-round
+    /// event stream of the workload the timings describe.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for BenchOptions {
@@ -63,6 +72,7 @@ impl Default for BenchOptions {
             sample_size: None,
             budget: Duration::from_millis(2000),
             seed: 0,
+            trace: None,
         }
     }
 }
@@ -108,6 +118,7 @@ pub fn run_from_args(args: &[String]) -> ExitCode {
             },
             budget: Duration::from_millis(flags.parsed("budget-ms", 2000u64)?),
             seed: flags.parsed("seed", 0u64)?,
+            trace: flags.get("trace").map(PathBuf::from),
         })
     };
     match parse() {
@@ -233,7 +244,62 @@ pub fn run(opts: &BenchOptions) -> ExitCode {
         eprintln!("benchmark regression gate failed");
         return ExitCode::from(1);
     }
+
+    if let Some(path) = &opts.trace {
+        match write_reference_trace(path, opts.seed) {
+            Ok(events) => println!("trace: wrote {} ({events} events)", path.display()),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Capture one traced Algorithm 1 run on a (T, L)-HiNet — the workload the
+/// `headline` timings describe — and write the `hinet-trace/v1` artifact.
+fn write_reference_trace(path: &std::path::Path, seed: u64) -> Result<usize, String> {
+    use hinet_cluster::generators::{HiNetConfig, HiNetGen};
+    use hinet_core::params::alg1_plan;
+    use hinet_core::runner::{run_algorithm_traced, AlgorithmKind};
+    use hinet_rt::obs::{ObsConfig, Tracer};
+    use hinet_sim::engine::RunConfig;
+    use hinet_sim::token::round_robin_assignment;
+
+    let (n, k, alpha, l, theta) = (60, 8, 5, 2, 20);
+    let plan = alg1_plan(k, alpha, l, theta);
+    let mut provider = HiNetGen::new(HiNetConfig {
+        n,
+        num_heads: theta / 2,
+        theta,
+        l,
+        t: plan.rounds_per_phase,
+        reaffil_prob: 0.1,
+        rotate_heads: true,
+        noise_edges: n / 5,
+        seed,
+    });
+    let mut tracer = Tracer::new(ObsConfig::full());
+    tracer.meta("source", "hinet bench --trace reference run");
+    tracer.meta("n", n.to_string());
+    tracer.meta("k", k.to_string());
+    tracer.meta("seed", seed.to_string());
+    let assignment = round_robin_assignment(n, k);
+    run_algorithm_traced(
+        &AlgorithmKind::HiNetPhased(plan),
+        &mut provider,
+        &assignment,
+        RunConfig::new().max_rounds(4 * n),
+        &mut tracer,
+    );
+    if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, tracer.to_jsonl())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(tracer.len())
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use hinet_graph::Graph;
 /// faster than identity) — the classic trade-off this family of protocols
 /// explores, and a useful contrast in the emergent-stability experiments.
 ///
-/// Returns `(heads, assignment)` for [`super::assemble`].
+/// Returns `(heads, assignment)` for `assemble` (private to this module tree).
 pub fn highest_degree(g: &Graph) -> (Vec<NodeId>, Vec<NodeId>) {
     let n = g.n();
     let mut order: Vec<NodeId> = g.nodes().collect();

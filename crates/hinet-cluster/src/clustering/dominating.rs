@@ -14,7 +14,7 @@ use hinet_graph::Graph;
 /// sweeps, elected heads may be adjacent, so dense graphs get markedly fewer
 /// clusters.
 ///
-/// Returns `(heads, assignment)` for [`super::assemble`].
+/// Returns `(heads, assignment)` for `assemble` (private to this module tree).
 pub fn greedy_dominating(g: &Graph) -> (Vec<NodeId>, Vec<NodeId>) {
     let n = g.n();
     let mut covered = vec![false; n];

@@ -12,7 +12,7 @@ use hinet_graph::Graph;
 /// invariant. Decided nodes keep their first (lowest-id) head, modelling the
 /// "first heard claim wins" radio protocol.
 ///
-/// Returns `(heads, assignment)` for [`super::assemble`].
+/// Returns `(heads, assignment)` for `assemble` (private to this module tree).
 pub fn lowest_id(g: &Graph) -> (Vec<NodeId>, Vec<NodeId>) {
     let n = g.n();
     let mut assignment: Vec<Option<NodeId>> = vec![None; n];

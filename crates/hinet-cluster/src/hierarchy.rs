@@ -4,7 +4,7 @@ use hinet_graph::graph::NodeId;
 use hinet_graph::Graph;
 use std::fmt;
 
-/// Identifier of a cluster. Following the paper, "the node ID of [the]
+/// Identifier of a cluster. Following the paper, "the node ID of \[the\]
 /// cluster head is used as the cluster ID".
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClusterId(pub NodeId);

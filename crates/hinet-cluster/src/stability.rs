@@ -119,6 +119,49 @@ pub fn is_head_set_forever_stable(trace: &CtvgTrace) -> bool {
     head_set_stable_in_window(trace, 0, trace.len())
 }
 
+/// Verify every aligned window of length `t` against the definition
+/// lattice and emit paired [`hinet_rt::obs::Event::StabilityWindow`]
+/// open/close events into `tracer` (open at the window's first round,
+/// close at its last, both carrying the verdict).
+///
+/// Definitions traced per window: 2 (head set), 4 (hierarchy structure),
+/// 5 (head connectivity), 6 (L-hop ≤ `l`), 7 (5 ∧ 6), and 8 (4 ∧ 7).
+/// Definition 3 is per-cluster rather than per-window and is omitted.
+/// Returns the number of windows in which **Definition 8** held.
+pub fn trace_stability_windows(
+    trace: &CtvgTrace,
+    t: usize,
+    l: usize,
+    tracer: &mut hinet_rt::obs::Tracer,
+) -> usize {
+    assert!(t >= 1);
+    let mut hinet_windows = 0;
+    for (start, len) in aligned_windows(trace.len(), t) {
+        let def2 = head_set_stable_in_window(trace, start, len);
+        let def4 = hierarchy_stable_in_window(trace, start, len);
+        let def5 = head_connectivity_in_window(trace, start, len);
+        let def6 = l_hop_in_window(trace, start, len, l);
+        let def7 = def5 && def6;
+        let def8 = def4 && def7;
+        if def8 {
+            hinet_windows += 1;
+        }
+        let last = (start + len - 1) as u64;
+        for (def, held) in [
+            (2u8, def2),
+            (4, def4),
+            (5, def5),
+            (6, def6),
+            (7, def7),
+            (8, def8),
+        ] {
+            tracer.stability_window(start as u64, def, true, held);
+            tracer.stability_window(last, def, false, held);
+        }
+    }
+    hinet_windows
+}
+
 /// **Sliding-window** variant of Definition 2: `true` iff *every* window
 /// of `t` consecutive rounds (all offsets) has a constant head set.
 ///
@@ -348,6 +391,47 @@ mod tests {
         let trace = constant_trace(5);
         assert_eq!(max_hierarchy_stability_sliding(&trace), 5);
         assert!(is_hierarchy_t_stable_sliding(&trace, 5));
+    }
+
+    #[test]
+    fn stability_windows_are_traced_in_pairs() {
+        use hinet_rt::obs::{Event, ObsConfig, Tracer};
+
+        let trace = constant_trace(5); // t=2 → windows [0,2) [2,4) [4,5)
+        let mut tracer = Tracer::new(ObsConfig::full());
+        let held = trace_stability_windows(&trace, 2, 2, &mut tracer);
+        assert_eq!(held, 3, "constant trace: Def 8 holds in every window");
+        // 3 windows × 6 definitions × open+close.
+        let events: Vec<_> = tracer.events().collect();
+        assert_eq!(events.len(), 36);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e.event, Event::StabilityWindow { held: true, .. })));
+        // Open/close rounds bracket the aligned windows.
+        assert_eq!(events[0].round, 0);
+        assert_eq!(events[1].round, 1);
+        assert_eq!(events.last().unwrap().round, 4);
+
+        // A trace with a churning backbone breaks Defs 5/7/8 but not 2/4.
+        let h = Arc::new(fixture_hierarchy());
+        let g0 = Graph::from_edges(6, [(0, 1), (0, 2), (2, 3), (3, 4), (3, 5)]);
+        let g1 = Graph::from_edges(6, [(0, 1), (0, 2), (1, 3), (3, 4), (3, 5)]);
+        let t = TvgTrace::new(vec![Arc::new(g0), Arc::new(g1)]);
+        let churny = CtvgTrace::new(t, vec![Arc::clone(&h), h]);
+        let mut tracer = Tracer::new(ObsConfig::full());
+        assert_eq!(trace_stability_windows(&churny, 2, 3, &mut tracer), 0);
+        let broken: Vec<u8> = tracer
+            .events()
+            .filter_map(|e| match e.event {
+                Event::StabilityWindow {
+                    def,
+                    open: true,
+                    held: false,
+                } => Some(def),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(broken, vec![5, 6, 7, 8]);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::algorithms::{
 };
 use crate::params::PhasePlan;
 use hinet_cluster::ctvg::HierarchyProvider;
+use hinet_rt::obs::Tracer;
 use hinet_sim::engine::{Engine, RunConfig, RunReport};
 use hinet_sim::protocol::Protocol;
 use hinet_sim::token::TokenId;
@@ -109,8 +110,43 @@ pub fn run_algorithm(
     assignment: &[Vec<TokenId>],
     cfg: RunConfig,
 ) -> RunReport {
+    run_algorithm_traced(kind, provider, assignment, cfg, &mut Tracer::disabled())
+}
+
+impl AlgorithmKind {
+    /// The phase length `T` the algorithm operates in, if it is phased.
+    /// This is what the tracer uses to segment a run into phases.
+    pub fn phase_len(&self) -> Option<usize> {
+        match self {
+            AlgorithmKind::HiNetPhased(plan)
+            | AlgorithmKind::HiNetRemark1(plan)
+            | AlgorithmKind::KloPhased(plan) => Some(plan.rounds_per_phase),
+            _ => None,
+        }
+    }
+}
+
+/// Like [`run_algorithm`], but streams [`hinet_rt::obs`] events into
+/// `tracer`. For phased algorithms the tracer's phase length is set from
+/// the plan, so the trace carries `PhaseAdvance` markers at rounds
+/// `0, T, 2T, …` and a rounds-per-phase histogram. The algorithm label is
+/// attached to the trace metadata.
+pub fn run_algorithm_traced(
+    kind: &AlgorithmKind,
+    provider: &mut dyn HierarchyProvider,
+    assignment: &[Vec<TokenId>],
+    cfg: RunConfig,
+    tracer: &mut Tracer,
+) -> RunReport {
+    if tracer.enabled() {
+        tracer.meta("algorithm", kind.label());
+        if let Some(t) = kind.phase_len() {
+            tracer.set_phase_len(t as u64);
+            tracer.meta("rounds_per_phase", t.to_string());
+        }
+    }
     let mut protocols = kind.build(provider.n());
-    Engine::new(cfg).run(provider, &mut protocols, assignment)
+    Engine::new(cfg).run_traced(provider, &mut protocols, assignment, tracer)
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ struct Vehicle {
     progress: f64,
 }
 
-/// Manhattan mobility (the model behind the paper's citation [25],
+/// Manhattan mobility (the model behind the paper's citation \[25\],
 /// "Flooding over Manhattan"): nodes are vehicles constrained to a street
 /// grid; at each intersection they pick a random outgoing street (never
 /// an immediate U-turn unless at a dead end), and two vehicles are linked

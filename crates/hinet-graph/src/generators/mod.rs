@@ -20,7 +20,7 @@
 //!   mobility: the "node mobility" story from the paper's introduction,
 //!   optionally patched to stay connected.
 //! * [`ManhattanGen`] — vehicular mobility on a street grid (the model
-//!   behind the paper's citation [25], "Flooding over Manhattan").
+//!   behind the paper's citation \[25\], "Flooding over Manhattan").
 //! * [`QuiescenceTrapGen`] — a deterministic adversarial schedule that
 //!   starves delta-triggered (quiescent) protocols while remaining
 //!   1-interval connected (experiment E13).

@@ -5,6 +5,22 @@
 //! silently collecting them into a string map, and [`FlagSet::parsed`]
 //! gives typed lookup with defaults. `--name value` and `--name=value` are
 //! both accepted; bare words come back as positionals.
+//!
+//! ```
+//! use hinet_rt::flags::{flag, parse_flags};
+//!
+//! const SPEC: &[hinet_rt::flags::FlagSpec] = &[
+//!     flag("n", true, "node count"),
+//!     flag("verbose", false, "chatty output"),
+//! ];
+//! let args: Vec<String> = ["--n", "40", "--verbose", "extra"]
+//!     .iter().map(|s| s.to_string()).collect();
+//! let (positionals, flags) = parse_flags(SPEC, &args).unwrap();
+//! assert_eq!(positionals, vec!["extra".to_string()]);
+//! assert_eq!(flags.parsed("n", 0usize).unwrap(), 40);
+//! assert!(flags.has("verbose"));
+//! assert!(parse_flags(SPEC, &["--frobnicate".to_string()]).is_err());
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt::Display;

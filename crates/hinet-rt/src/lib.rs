@@ -13,12 +13,16 @@
 //! * [`check`] — a minimal seeded property-test harness: per-case seeds
 //!   derived deterministically from the property name, failing-seed
 //!   reporting, and re-run-by-seed via `HINET_CHECK_SEED`.
-//! * [`bench`] — a zero-dependency timing harness (criterion-shaped
+//! * [`bench`](mod@bench) — a zero-dependency timing harness (criterion-shaped
 //!   `Bench`/`Group`/`Bencher` surface, calibrated iteration batching,
 //!   outlier-robust statistics, `BENCH_*.json` artifacts, and the
 //!   `--baseline` regression gate).
 //! * [`flags`] — typed `--flag` parsing with declared specs, shared by the
 //!   `hinet` CLI and the bench binary.
+//! * [`obs`] — structured per-round tracing and metrics: typed events in a
+//!   bounded ring buffer, exact monotonic counters, phase spans, and the
+//!   `hinet-trace/v1` JSONL artifact with its [`obs::TraceSummary`]
+//!   aggregator.
 //!
 //! Reproducibility is the backbone of this reproduction: experiment runs
 //! must replay byte-for-byte across machines and refactors. Owning the RNG
@@ -27,8 +31,11 @@
 //! enforceable — the golden-value tests in the workspace pin the exact
 //! output streams produced here.
 
+#![warn(missing_docs)]
+
 pub mod bench;
 pub mod check;
 pub mod flags;
+pub mod obs;
 pub mod pool;
 pub mod rng;

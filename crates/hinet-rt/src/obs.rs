@@ -1,0 +1,1239 @@
+//! Structured per-round tracing and metrics — the observability layer.
+//!
+//! The paper's correctness claims (Theorems 1–4) are stated per *round* and
+//! per *phase*: members push max-id-first, heads broadcast min-id-first,
+//! stability windows (Definitions 2–8) open and close. An end-of-run report
+//! cannot show *why* a run took `⌈θ/α⌉ + 1` phases or where a stability
+//! window broke, so this module records the run as it happens:
+//!
+//! * [`Event`] — the typed event taxonomy (round starts, token pushes,
+//!   head broadcasts, phase advances, re-affiliations, stability windows,
+//!   run end), stamped with their round into [`TraceEvent`]s.
+//! * [`Tracer`] — the recording handle: a fixed-capacity ring-buffer event
+//!   sink (overflow evicts the oldest events and is *counted*, never
+//!   silent), monotonic [`Counters`], a rounds-per-phase [`Histogram`], and
+//!   span-style phase scoping ([`Tracer::phase_span`]).
+//! * [`ObsConfig`] / [`ObsMode`] — off (near-zero cost: one branch per
+//!   instrumentation site), sampled (structural events always recorded,
+//!   high-volume data events one-in-N), or full.
+//! * JSONL export/import — [`Tracer::to_jsonl`] writes the
+//!   [`SCHEMA`] (`hinet-trace/v1`) artifact reusing the
+//!   [`crate::bench::json`] writer; [`ParsedTrace::parse_jsonl`] reads it
+//!   back; [`TraceSummary`] aggregates either side into per-phase round
+//!   counts and totals.
+//!
+//! ```
+//! use hinet_rt::obs::{Event, ObsConfig, ParsedTrace, Role, TraceSummary, Tracer};
+//!
+//! let mut tracer = Tracer::new(ObsConfig::full());
+//! tracer.set_phase_len(2); // auto-emit PhaseAdvance every 2 rounds
+//! for round in 0..4 {
+//!     tracer.round_start(round);
+//!     tracer.token_push(round, 5, 9, 1, Role::Member, 0, 40);
+//! }
+//! tracer.run_end(4, true);
+//!
+//! let jsonl = tracer.to_jsonl();
+//! assert!(jsonl.starts_with("{\"schema\":\"hinet-trace/v1\""));
+//! let parsed = ParsedTrace::parse_jsonl(&jsonl).unwrap();
+//! let summary = TraceSummary::from_trace(&parsed);
+//! assert_eq!(summary.rounds, 4);
+//! assert_eq!(summary.per_phase_rounds, vec![2, 2]);
+//! assert_eq!(summary.counters.tokens_sent, 4);
+//! ```
+
+use crate::bench::json::Json;
+use std::collections::BTreeMap;
+
+/// Trace artifact schema identifier (bump on breaking JSONL changes).
+pub const SCHEMA: &str = "hinet-trace/v1";
+
+/// Default ring capacity: generous for CLI-scale runs (hundreds of rounds,
+/// ≲ a thousand packets per round) while bounding memory at a few tens of
+/// megabytes in the worst case.
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// Sender role as seen by the tracer — a dependency-free mirror of the
+/// cluster hierarchy's role set (hinet-rt sits below the cluster crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Cluster head.
+    Head,
+    /// Gateway between clusters.
+    Gateway,
+    /// Ordinary member.
+    Member,
+}
+
+impl Role {
+    /// Stable wire name (`"head"` / `"gateway"` / `"member"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Head => "head",
+            Role::Gateway => "gateway",
+            Role::Member => "member",
+        }
+    }
+
+    /// Index into per-role counter arrays (`[head, gateway, member]`).
+    pub fn slot(self) -> usize {
+        match self {
+            Role::Head => 0,
+            Role::Gateway => 1,
+            Role::Member => 2,
+        }
+    }
+
+    /// Inverse of [`Role::as_str`].
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "head" => Some(Role::Head),
+            "gateway" => Some(Role::Gateway),
+            "member" => Some(Role::Member),
+            _ => None,
+        }
+    }
+}
+
+/// One trace event. High-volume *data* events ([`Event::TokenPush`],
+/// [`Event::HeadBroadcast`]) may be sampled under [`ObsMode::Sampled`];
+/// *structural* events (everything else) are always recorded, so per-phase
+/// round counts stay exact even in sampled traces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A simulation round began.
+    RoundStart,
+    /// A directed token send (a member pushing toward its head).
+    TokenPush {
+        /// Sending node id.
+        node: u64,
+        /// First (max-id under Algorithm 1) token in the payload.
+        token: u64,
+        /// Payload size in tokens (Algorithm 1 sends 1; Algorithm 2 sends
+        /// whole `TA` sets).
+        count: u64,
+        /// Sender's role this round.
+        role: Role,
+        /// Unicast target (the member's head under the HiNet algorithms).
+        dst: u64,
+    },
+    /// A broadcast send (a head/gateway disseminating over the backbone —
+    /// or any broadcaster under flat baselines).
+    HeadBroadcast {
+        /// Sending node id.
+        node: u64,
+        /// First (min-id under Algorithm 1) token in the payload.
+        token: u64,
+        /// Payload size in tokens.
+        count: u64,
+        /// Sender's role this round.
+        role: Role,
+    },
+    /// A new phase began (emitted at the phase's first round).
+    PhaseAdvance {
+        /// Zero-based phase index.
+        phase: u64,
+    },
+    /// A node's cluster head changed between rounds.
+    Reaffiliation {
+        /// The re-affiliating node.
+        node: u64,
+        /// Previous head (`None` if previously unclustered).
+        from: Option<u64>,
+        /// New head (`None` if now unclustered).
+        to: Option<u64>,
+    },
+    /// A stability window (paper Definitions 2–8) opened or closed.
+    ///
+    /// Stability is verified *post hoc* over the captured trace, so the
+    /// verdict is known at open time too; `held` carries it on both edges.
+    StabilityWindow {
+        /// Definition number (2–8).
+        def: u8,
+        /// `true` at the window's first round, `false` at its last.
+        open: bool,
+        /// Whether the definition held over the window.
+        held: bool,
+    },
+    /// The run finished.
+    RunEnd {
+        /// Rounds executed.
+        rounds: u64,
+        /// Whether dissemination completed (every node knows every token).
+        completed: bool,
+    },
+}
+
+impl Event {
+    /// Stable wire name of the event kind (the JSONL `ev` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RoundStart => "round_start",
+            Event::TokenPush { .. } => "token_push",
+            Event::HeadBroadcast { .. } => "head_broadcast",
+            Event::PhaseAdvance { .. } => "phase_advance",
+            Event::Reaffiliation { .. } => "reaffiliation",
+            Event::StabilityWindow { .. } => "stability_window",
+            Event::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// Whether this event is high-volume data (eligible for sampling)
+    /// rather than structural.
+    pub fn is_data(&self) -> bool {
+        matches!(self, Event::TokenPush { .. } | Event::HeadBroadcast { .. })
+    }
+}
+
+/// An [`Event`] stamped with the round it occurred in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Round index.
+    pub round: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// How much the tracer records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsMode {
+    /// Record nothing; every instrumentation site reduces to one branch.
+    Off,
+    /// Record every structural event but only one in `N` data events
+    /// (token pushes / head broadcasts). Counters remain exact.
+    Sampled(u32),
+    /// Record everything.
+    Full,
+}
+
+/// Tracer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Recording mode.
+    pub mode: ObsMode,
+    /// Ring-buffer capacity in events; older events are evicted (and
+    /// counted in [`Tracer::dropped`]) once exceeded.
+    pub capacity: usize,
+}
+
+impl ObsConfig {
+    /// Record everything at the default capacity.
+    pub fn full() -> ObsConfig {
+        ObsConfig {
+            mode: ObsMode::Full,
+            capacity: DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Record structural events plus one in `n` data events.
+    pub fn sampled(n: u32) -> ObsConfig {
+        ObsConfig {
+            mode: ObsMode::Sampled(n.max(1)),
+            capacity: DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Record nothing.
+    pub fn off() -> ObsConfig {
+        ObsConfig {
+            mode: ObsMode::Off,
+            capacity: 0,
+        }
+    }
+
+    /// Same mode, explicit ring capacity.
+    pub fn capacity(mut self, capacity: usize) -> ObsConfig {
+        self.capacity = capacity;
+        self
+    }
+}
+
+/// Monotonic counters, always exact regardless of sampling or ring
+/// eviction (they are updated on *emission*, not on *recording*).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Total tokens sent (the paper's communication metric).
+    pub tokens_sent: u64,
+    /// Total packets sent.
+    pub packets_sent: u64,
+    /// Total bytes on air under the run's cost weights.
+    pub bytes_sent: u64,
+    /// Tokens sent broken down by sender role `[head, gateway, member]`.
+    pub tokens_by_role: [u64; 3],
+    /// Cluster-head changes observed.
+    pub reaffiliations: u64,
+    /// Rounds started.
+    pub rounds: u64,
+    /// Phases started.
+    pub phases: u64,
+}
+
+/// A power-of-two-bucket histogram (bucket `i` counts values `v` with
+/// `⌊log₂ v⌋ = i`; zero gets bucket 0). Used for rounds-per-phase
+/// distributions.
+///
+/// ```
+/// use hinet_rt::obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 3, 3, 18] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), 18);
+/// assert_eq!(h.bucket_counts()[1], 2); // the two 3s land in [2, 4)
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let bucket = if v <= 1 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The raw bucket counts.
+    pub fn bucket_counts(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+}
+
+/// Fixed-capacity ring of [`TraceEvent`]s: pushing past capacity evicts the
+/// oldest event and increments the drop counter — overflow is loud, never a
+/// reallocation.
+#[derive(Clone, Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the logically-oldest element once the ring has wrapped.
+    start: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            buf: Vec::new(),
+            capacity,
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.start] = ev;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Oldest-to-newest iteration.
+    fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.start..]
+            .iter()
+            .chain(self.buf[..self.start].iter())
+    }
+}
+
+/// Span-style phase scope: emits [`Event::PhaseAdvance`] when opened and
+/// records the phase's round span into the rounds-per-phase histogram when
+/// dropped. For engine-driven runs prefer [`Tracer::set_phase_len`], which
+/// scopes phases automatically from the phase plan.
+///
+/// ```
+/// use hinet_rt::obs::{ObsConfig, Tracer};
+///
+/// let mut tracer = Tracer::new(ObsConfig::full());
+/// {
+///     let mut span = tracer.phase_span(0, 0);
+///     for round in 0..3 {
+///         span.tracer().round_start(round);
+///     }
+/// } // drop records 3 rounds for phase 0
+/// assert_eq!(tracer.rounds_per_phase().count(), 1);
+/// assert_eq!(tracer.rounds_per_phase().max(), 3);
+/// ```
+pub struct PhaseSpan<'a> {
+    tracer: &'a mut Tracer,
+    start_round: u64,
+}
+
+impl PhaseSpan<'_> {
+    /// The underlying tracer, for emitting events inside the span.
+    pub fn tracer(&mut self) -> &mut Tracer {
+        self.tracer
+    }
+}
+
+impl Drop for PhaseSpan<'_> {
+    fn drop(&mut self) {
+        let spanned = self.tracer.current_round.saturating_sub(self.start_round) + 1;
+        self.tracer.rounds_per_phase.record(spanned);
+    }
+}
+
+/// The recording handle threaded through the engine, the runner and the
+/// stability verifiers.
+///
+/// Cost model: with [`ObsMode::Off`] every public emission method returns
+/// after one branch (`enabled()`), so a disabled tracer on the engine's hot
+/// path costs ≤ 2% (gated by the `headline` bench suite in CI).
+#[derive(Debug)]
+pub struct Tracer {
+    cfg: ObsConfig,
+    ring: Ring,
+    counters: Counters,
+    rounds_per_phase: Histogram,
+    meta: Vec<(String, String)>,
+    current_round: u64,
+    /// Auto-phase state (see [`Tracer::set_phase_len`]).
+    phase_len: Option<u64>,
+    next_auto_phase: u64,
+    rounds_in_phase: u64,
+    /// Data-event sequence number, for sampling.
+    data_seq: u64,
+}
+
+impl Tracer {
+    /// A tracer with the given configuration.
+    pub fn new(cfg: ObsConfig) -> Tracer {
+        let capacity = match cfg.mode {
+            ObsMode::Off => 0,
+            _ => cfg.capacity,
+        };
+        Tracer {
+            cfg,
+            ring: Ring::new(capacity),
+            counters: Counters::default(),
+            rounds_per_phase: Histogram::new(),
+            meta: Vec::new(),
+            current_round: 0,
+            phase_len: None,
+            next_auto_phase: 0,
+            rounds_in_phase: 0,
+            data_seq: 0,
+        }
+    }
+
+    /// A disabled tracer: every emission is a no-op after one branch.
+    pub fn disabled() -> Tracer {
+        Tracer::new(ObsConfig::off())
+    }
+
+    /// Whether the tracer records anything. Instrumentation sites check
+    /// this before assembling event payloads.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        !matches!(self.cfg.mode, ObsMode::Off)
+    }
+
+    /// Attach a `key: value` pair to the artifact header (scenario
+    /// parameters, seeds, algorithm names).
+    pub fn meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.push((key.into(), value.into()));
+    }
+
+    /// Declare the phase length `T`: [`Tracer::round_start`] then emits
+    /// [`Event::PhaseAdvance`] automatically at rounds `0, T, 2T, …` and
+    /// records each completed phase's round count in the histogram.
+    pub fn set_phase_len(&mut self, t: u64) {
+        if t > 0 {
+            self.phase_len = Some(t);
+        }
+    }
+
+    /// Emit an event at `round`, updating every counter derivable from it.
+    /// Structural events are always recorded; data events honour the
+    /// sampling mode. This is the low-level entry — the engine uses the
+    /// typed wrappers below, which also account bytes.
+    pub fn emit(&mut self, round: u64, event: Event) {
+        if !self.enabled() {
+            return;
+        }
+        self.current_round = round;
+        match &event {
+            Event::RoundStart => {
+                self.counters.rounds += 1;
+                self.rounds_in_phase += 1;
+            }
+            Event::TokenPush { count, role, .. } | Event::HeadBroadcast { count, role, .. } => {
+                self.counters.tokens_sent += count;
+                self.counters.packets_sent += 1;
+                self.counters.tokens_by_role[role.slot()] += count;
+            }
+            Event::PhaseAdvance { .. } => self.counters.phases += 1,
+            Event::Reaffiliation { .. } => self.counters.reaffiliations += 1,
+            Event::StabilityWindow { .. } | Event::RunEnd { .. } => {}
+        }
+        let record = if event.is_data() {
+            let keep = match self.cfg.mode {
+                ObsMode::Off => false,
+                ObsMode::Full => true,
+                ObsMode::Sampled(n) => self.data_seq % n as u64 == 0,
+            };
+            self.data_seq += 1;
+            keep
+        } else {
+            true
+        };
+        if record {
+            self.ring.push(TraceEvent { round, event });
+        }
+    }
+
+    /// Emit [`Event::RoundStart`], auto-advancing the phase if a phase
+    /// length was declared.
+    pub fn round_start(&mut self, round: u64) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(t) = self.phase_len {
+            if round % t == 0 {
+                if round > 0 {
+                    self.rounds_per_phase.record(self.rounds_in_phase);
+                }
+                self.rounds_in_phase = 0;
+                let phase = self.next_auto_phase;
+                self.next_auto_phase += 1;
+                self.emit(round, Event::PhaseAdvance { phase });
+            }
+        }
+        self.emit(round, Event::RoundStart);
+    }
+
+    /// Emit [`Event::TokenPush`] and account `bytes` on-air cost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn token_push(
+        &mut self,
+        round: u64,
+        node: u64,
+        token: u64,
+        count: u64,
+        role: Role,
+        dst: u64,
+        bytes: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.counters.bytes_sent += bytes;
+        self.emit(
+            round,
+            Event::TokenPush {
+                node,
+                token,
+                count,
+                role,
+                dst,
+            },
+        );
+    }
+
+    /// Emit [`Event::HeadBroadcast`] and account `bytes` on-air cost.
+    pub fn head_broadcast(
+        &mut self,
+        round: u64,
+        node: u64,
+        token: u64,
+        count: u64,
+        role: Role,
+        bytes: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.counters.bytes_sent += bytes;
+        self.emit(
+            round,
+            Event::HeadBroadcast {
+                node,
+                token,
+                count,
+                role,
+            },
+        );
+    }
+
+    /// Emit [`Event::Reaffiliation`].
+    pub fn reaffiliation(&mut self, round: u64, node: u64, from: Option<u64>, to: Option<u64>) {
+        self.emit(round, Event::Reaffiliation { node, from, to });
+    }
+
+    /// Emit [`Event::StabilityWindow`].
+    pub fn stability_window(&mut self, round: u64, def: u8, open: bool, held: bool) {
+        self.emit(round, Event::StabilityWindow { def, open, held });
+    }
+
+    /// Emit [`Event::RunEnd`], closing any open auto-phase.
+    pub fn run_end(&mut self, rounds: u64, completed: bool) {
+        if !self.enabled() {
+            return;
+        }
+        if self.phase_len.is_some() && self.rounds_in_phase > 0 {
+            self.rounds_per_phase.record(self.rounds_in_phase);
+            self.rounds_in_phase = 0;
+        }
+        self.emit(
+            rounds.saturating_sub(1),
+            Event::RunEnd { rounds, completed },
+        );
+    }
+
+    /// Open a manual phase span (see [`PhaseSpan`]).
+    pub fn phase_span(&mut self, phase: u64, round: u64) -> PhaseSpan<'_> {
+        self.emit(round, Event::PhaseAdvance { phase });
+        self.current_round = round;
+        PhaseSpan {
+            start_round: round,
+            tracer: self,
+        }
+    }
+
+    /// The exact counters accumulated so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The rounds-per-phase histogram (fed by auto-phases and spans).
+    pub fn rounds_per_phase(&self) -> &Histogram {
+        &self.rounds_per_phase
+    }
+
+    /// Events currently held in the ring, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.len() == 0
+    }
+
+    /// Events evicted by ring overflow or suppressed by sampling — reported
+    /// so a truncated trace is never mistaken for a complete one.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped
+    }
+
+    /// Serialise to the `hinet-trace/v1` JSONL artifact: a header object on
+    /// line 1 (schema, metadata, exact counters, drop count), then one
+    /// event object per line, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&header_json(&self.meta, &self.counters, self.dropped()).to_string());
+        out.push('\n');
+        for te in self.events() {
+            out.push_str(&event_json(te).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn counters_json(c: &Counters) -> Json {
+    Json::Obj(vec![
+        ("tokens_sent".into(), Json::Num(c.tokens_sent as f64)),
+        ("packets_sent".into(), Json::Num(c.packets_sent as f64)),
+        ("bytes_sent".into(), Json::Num(c.bytes_sent as f64)),
+        (
+            "tokens_by_role".into(),
+            Json::Arr(
+                c.tokens_by_role
+                    .iter()
+                    .map(|&t| Json::Num(t as f64))
+                    .collect(),
+            ),
+        ),
+        ("reaffiliations".into(), Json::Num(c.reaffiliations as f64)),
+        ("rounds".into(), Json::Num(c.rounds as f64)),
+        ("phases".into(), Json::Num(c.phases as f64)),
+    ])
+}
+
+fn header_json(meta: &[(String, String)], counters: &Counters, dropped: u64) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        (
+            "meta".into(),
+            Json::Obj(
+                meta.iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+        ("counters".into(), counters_json(counters)),
+        ("dropped".into(), Json::Num(dropped as f64)),
+    ])
+}
+
+fn opt_num(v: Option<u64>) -> Json {
+    match v {
+        Some(x) => Json::Num(x as f64),
+        None => Json::Null,
+    }
+}
+
+fn event_json(te: &TraceEvent) -> Json {
+    let mut fields = vec![
+        ("r".to_string(), Json::Num(te.round as f64)),
+        ("ev".to_string(), Json::Str(te.event.kind().into())),
+    ];
+    match &te.event {
+        Event::RoundStart => {}
+        Event::TokenPush {
+            node,
+            token,
+            count,
+            role,
+            dst,
+        } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+            fields.push(("token".into(), Json::Num(*token as f64)));
+            fields.push(("count".into(), Json::Num(*count as f64)));
+            fields.push(("role".into(), Json::Str(role.as_str().into())));
+            fields.push(("dst".into(), Json::Num(*dst as f64)));
+        }
+        Event::HeadBroadcast {
+            node,
+            token,
+            count,
+            role,
+        } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+            fields.push(("token".into(), Json::Num(*token as f64)));
+            fields.push(("count".into(), Json::Num(*count as f64)));
+            fields.push(("role".into(), Json::Str(role.as_str().into())));
+        }
+        Event::PhaseAdvance { phase } => {
+            fields.push(("phase".into(), Json::Num(*phase as f64)));
+        }
+        Event::Reaffiliation { node, from, to } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+            fields.push(("from".into(), opt_num(*from)));
+            fields.push(("to".into(), opt_num(*to)));
+        }
+        Event::StabilityWindow { def, open, held } => {
+            fields.push(("def".into(), Json::Num(*def as f64)));
+            fields.push(("open".into(), Json::Bool(*open)));
+            fields.push(("held".into(), Json::Bool(*held)));
+        }
+        Event::RunEnd { rounds, completed } => {
+            fields.push(("rounds".into(), Json::Num(*rounds as f64)));
+            fields.push(("completed".into(), Json::Bool(*completed)));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// A parsed `hinet-trace/v1` artifact: the header's metadata, exact
+/// counters and drop count, plus the recorded events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedTrace {
+    /// Header metadata pairs, in write order.
+    pub meta: Vec<(String, String)>,
+    /// Exact counters snapshot from the header.
+    pub counters: Counters,
+    /// Events evicted or sampled out before export.
+    pub dropped: u64,
+    /// Recorded events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ParsedTrace {
+    /// Parse an artifact produced by [`Tracer::to_jsonl`].
+    pub fn parse_jsonl(text: &str) -> Result<ParsedTrace, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header_line) = lines.next().ok_or("empty trace")?;
+        let header = Json::parse(header_line).map_err(|e| format!("header: {e}"))?;
+        let schema = header
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing 'schema'")?;
+        if schema != SCHEMA {
+            return Err(format!("schema '{schema}' is not '{SCHEMA}'"));
+        }
+        let meta = match header.get("meta") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or(format!("meta.{k} is not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing 'meta'".into()),
+        };
+        let c = header.get("counters").ok_or("missing 'counters'")?;
+        let num = |v: &Json, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("missing counter '{key}'"))
+        };
+        let roles = c
+            .get("tokens_by_role")
+            .and_then(Json::as_arr)
+            .ok_or("missing counter 'tokens_by_role'")?;
+        if roles.len() != 3 {
+            return Err("tokens_by_role must have 3 entries".into());
+        }
+        let mut tokens_by_role = [0u64; 3];
+        for (i, r) in roles.iter().enumerate() {
+            tokens_by_role[i] = r.as_u64().ok_or("non-integer tokens_by_role entry")?;
+        }
+        let counters = Counters {
+            tokens_sent: num(c, "tokens_sent")?,
+            packets_sent: num(c, "packets_sent")?,
+            bytes_sent: num(c, "bytes_sent")?,
+            tokens_by_role,
+            reaffiliations: num(c, "reaffiliations")?,
+            rounds: num(c, "rounds")?,
+            phases: num(c, "phases")?,
+        };
+        let dropped = header
+            .get("dropped")
+            .and_then(Json::as_u64)
+            .ok_or("missing 'dropped'")?;
+
+        let mut events = Vec::new();
+        for (lineno, line) in lines {
+            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            events.push(parse_event(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        }
+        Ok(ParsedTrace {
+            meta,
+            counters,
+            dropped,
+            events,
+        })
+    }
+
+    /// Metadata lookup.
+    pub fn meta_get(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_event(v: &Json) -> Result<TraceEvent, String> {
+    let round = v.get("r").and_then(Json::as_u64).ok_or("missing 'r'")?;
+    let kind = v.get("ev").and_then(Json::as_str).ok_or("missing 'ev'")?;
+    let num = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("missing '{key}'"))
+    };
+    let boolean = |key: &str| -> Result<bool, String> {
+        match v.get(key) {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(format!("missing '{key}'")),
+        }
+    };
+    let opt = |key: &str| -> Result<Option<u64>, String> {
+        match v.get(key) {
+            Some(Json::Null) => Ok(None),
+            Some(x) => x.as_u64().map(Some).ok_or(format!("bad '{key}'")),
+            None => Err(format!("missing '{key}'")),
+        }
+    };
+    let role = || -> Result<Role, String> {
+        let s = v
+            .get("role")
+            .and_then(Json::as_str)
+            .ok_or("missing 'role'")?;
+        Role::parse(s).ok_or(format!("unknown role '{s}'"))
+    };
+    let event = match kind {
+        "round_start" => Event::RoundStart,
+        "token_push" => Event::TokenPush {
+            node: num("node")?,
+            token: num("token")?,
+            count: num("count")?,
+            role: role()?,
+            dst: num("dst")?,
+        },
+        "head_broadcast" => Event::HeadBroadcast {
+            node: num("node")?,
+            token: num("token")?,
+            count: num("count")?,
+            role: role()?,
+        },
+        "phase_advance" => Event::PhaseAdvance {
+            phase: num("phase")?,
+        },
+        "reaffiliation" => Event::Reaffiliation {
+            node: num("node")?,
+            from: opt("from")?,
+            to: opt("to")?,
+        },
+        "stability_window" => Event::StabilityWindow {
+            def: num("def")? as u8,
+            open: boolean("open")?,
+            held: boolean("held")?,
+        },
+        "run_end" => Event::RunEnd {
+            rounds: num("rounds")?,
+            completed: boolean("completed")?,
+        },
+        other => return Err(format!("unknown event kind '{other}'")),
+    };
+    Ok(TraceEvent { round, event })
+}
+
+/// Aggregate view of a trace: exact totals from the counters plus
+/// per-phase round counts and event-kind tallies from the recorded events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Exact counters (from the tracer or the artifact header).
+    pub counters: Counters,
+    /// Rounds executed (`counters.rounds`).
+    pub rounds: u64,
+    /// Rounds in each phase, in phase order (from structural events, so
+    /// exact even for sampled traces; empty when no phases were traced).
+    pub per_phase_rounds: Vec<u64>,
+    /// Recorded event counts by kind name.
+    pub events_by_kind: BTreeMap<&'static str, u64>,
+    /// Stability windows that held / broke, by definition number.
+    pub windows_held: BTreeMap<u8, (u64, u64)>,
+    /// Whether the run completed (from [`Event::RunEnd`], if recorded).
+    pub completed: Option<bool>,
+    /// Events evicted or sampled out (nonzero means the event list — not
+    /// the counters — is partial).
+    pub dropped: u64,
+}
+
+impl TraceSummary {
+    /// Summarise a live tracer.
+    pub fn from_tracer(tracer: &Tracer) -> TraceSummary {
+        Self::summarize(tracer.counters().clone(), tracer.dropped(), tracer.events())
+    }
+
+    /// Summarise a parsed artifact.
+    pub fn from_trace(trace: &ParsedTrace) -> TraceSummary {
+        Self::summarize(trace.counters.clone(), trace.dropped, trace.events.iter())
+    }
+
+    fn summarize<'a>(
+        counters: Counters,
+        dropped: u64,
+        events: impl Iterator<Item = &'a TraceEvent>,
+    ) -> TraceSummary {
+        let mut s = TraceSummary {
+            rounds: counters.rounds,
+            counters,
+            dropped,
+            ..TraceSummary::default()
+        };
+        let mut in_phase = 0u64;
+        let mut saw_phase = false;
+        for te in events {
+            *s.events_by_kind.entry(te.event.kind()).or_insert(0) += 1;
+            match &te.event {
+                Event::RoundStart => in_phase += 1,
+                Event::PhaseAdvance { .. } => {
+                    if saw_phase {
+                        s.per_phase_rounds.push(in_phase);
+                    }
+                    saw_phase = true;
+                    in_phase = 0;
+                }
+                Event::StabilityWindow { def, open, held } => {
+                    if !open {
+                        let slot = s.windows_held.entry(*def).or_insert((0, 0));
+                        if *held {
+                            slot.0 += 1;
+                        } else {
+                            slot.1 += 1;
+                        }
+                    }
+                }
+                Event::RunEnd { completed, .. } => s.completed = Some(*completed),
+                _ => {}
+            }
+        }
+        if saw_phase {
+            s.per_phase_rounds.push(in_phase);
+        }
+        s
+    }
+
+    /// Render a human-readable report.
+    pub fn to_text(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "rounds: {}  phases: {}  completed: {}\n",
+            c.rounds,
+            c.phases,
+            self.completed.map_or("?".into(), |b| b.to_string()),
+        ));
+        out.push_str(&format!(
+            "tokens sent: {}  packets: {}  bytes: {}  (heads {}, gateways {}, members {})\n",
+            c.tokens_sent,
+            c.packets_sent,
+            c.bytes_sent,
+            c.tokens_by_role[0],
+            c.tokens_by_role[1],
+            c.tokens_by_role[2],
+        ));
+        out.push_str(&format!("re-affiliations: {}\n", c.reaffiliations));
+        if !self.per_phase_rounds.is_empty() {
+            out.push_str("rounds per phase:");
+            for (i, r) in self.per_phase_rounds.iter().enumerate() {
+                out.push_str(&format!("  p{i}={r}"));
+            }
+            out.push('\n');
+        }
+        if !self.windows_held.is_empty() {
+            out.push_str("stability windows (held/broke):");
+            for (def, (held, broke)) in &self.windows_held {
+                out.push_str(&format!("  def{def}={held}/{broke}"));
+            }
+            out.push('\n');
+        }
+        out.push_str("recorded events:");
+        for (kind, n) in &self.events_by_kind {
+            out.push_str(&format!("  {kind}={n}"));
+        }
+        out.push('\n');
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "note: {} events dropped (ring overflow or sampling); counters remain exact\n",
+                self.dropped
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.round_start(0);
+        t.token_push(0, 1, 2, 1, Role::Member, 0, 40);
+        t.run_end(1, true);
+        assert!(t.is_empty());
+        assert_eq!(t.counters(), &Counters::default());
+    }
+
+    #[test]
+    fn counters_aggregate_tokens_packets_roles_and_bytes() {
+        let mut t = Tracer::new(ObsConfig::full());
+        t.round_start(0);
+        t.token_push(0, 5, 9, 1, Role::Member, 0, 40);
+        t.head_broadcast(0, 0, 3, 2, Role::Head, 56);
+        t.head_broadcast(0, 2, 3, 1, Role::Gateway, 40);
+        t.reaffiliation(1, 5, Some(0), Some(2));
+        t.run_end(1, false);
+        let c = t.counters();
+        assert_eq!(c.tokens_sent, 4);
+        assert_eq!(c.packets_sent, 3);
+        assert_eq!(c.bytes_sent, 136);
+        assert_eq!(c.tokens_by_role, [2, 1, 1]);
+        assert_eq!(c.reaffiliations, 1);
+        assert_eq!(c.rounds, 1);
+    }
+
+    #[test]
+    fn ring_overflow_evicts_oldest_and_counts_drops() {
+        let mut t = Tracer::new(ObsConfig::full().capacity(4));
+        for round in 0..10 {
+            t.round_start(round);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        // Oldest-first iteration after wraparound: rounds 6..10 survive.
+        let rounds: Vec<u64> = t.events().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![6, 7, 8, 9]);
+        // Counters are exact despite eviction.
+        assert_eq!(t.counters().rounds, 10);
+    }
+
+    #[test]
+    fn sampling_keeps_structural_events_and_exact_counters() {
+        let mut t = Tracer::new(ObsConfig::sampled(3));
+        t.set_phase_len(2);
+        for round in 0..4u64 {
+            t.round_start(round);
+            for node in 0..5 {
+                t.token_push(round, node, node, 1, Role::Member, 0, 40);
+            }
+        }
+        t.run_end(4, true);
+        // 20 data events, one in three recorded.
+        let pushes = t
+            .events()
+            .filter(|e| matches!(e.event, Event::TokenPush { .. }))
+            .count();
+        assert_eq!(pushes, 7);
+        // Every structural event survives.
+        let starts = t.events().filter(|e| e.event == Event::RoundStart).count();
+        assert_eq!(starts, 4);
+        let phases = t
+            .events()
+            .filter(|e| matches!(e.event, Event::PhaseAdvance { .. }))
+            .count();
+        assert_eq!(phases, 2);
+        // Counters stay exact.
+        assert_eq!(t.counters().tokens_sent, 20);
+        // Summary's per-phase round counts stay exact too.
+        let s = TraceSummary::from_tracer(&t);
+        assert_eq!(s.per_phase_rounds, vec![2, 2]);
+    }
+
+    #[test]
+    fn auto_phase_spans_feed_the_histogram() {
+        let mut t = Tracer::new(ObsConfig::full());
+        t.set_phase_len(3);
+        for round in 0..7 {
+            t.round_start(round);
+        }
+        t.run_end(7, true);
+        assert_eq!(t.counters().phases, 3);
+        let h = t.rounds_per_phase();
+        assert_eq!(h.count(), 3, "two full phases + one partial");
+        assert_eq!(h.max(), 3);
+    }
+
+    #[test]
+    fn manual_phase_span_records_on_drop() {
+        let mut t = Tracer::new(ObsConfig::full());
+        {
+            let mut span = t.phase_span(0, 10);
+            span.tracer().round_start(10);
+            span.tracer().round_start(11);
+        }
+        assert_eq!(t.rounds_per_phase().count(), 1);
+        assert_eq!(t.rounds_per_phase().max(), 2);
+        assert_eq!(t.counters().phases, 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_bench_parser() {
+        let mut t = Tracer::new(ObsConfig::full());
+        t.meta("algorithm", "alg1");
+        t.meta("seed", "42");
+        t.set_phase_len(2);
+        t.round_start(0);
+        t.token_push(0, 5, 9, 1, Role::Member, 0, 40);
+        t.head_broadcast(0, 0, 3, 1, Role::Head, 40);
+        t.round_start(1);
+        t.reaffiliation(1, 4, Some(0), None);
+        t.stability_window(0, 8, true, true);
+        t.stability_window(1, 8, false, true);
+        t.run_end(2, true);
+
+        let text = t.to_jsonl();
+        // Every line is valid JSON on its own (the bench parser).
+        for line in text.lines() {
+            Json::parse(line).unwrap();
+        }
+        let parsed = ParsedTrace::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.meta_get("algorithm"), Some("alg1"));
+        assert_eq!(parsed.counters, *t.counters());
+        assert_eq!(parsed.events.len(), t.len());
+        assert_eq!(parsed.events[0].event.kind(), "phase_advance");
+        let summary = TraceSummary::from_trace(&parsed);
+        assert_eq!(summary, TraceSummary::from_tracer(&t));
+        assert_eq!(summary.windows_held.get(&8), Some(&(1, 0)));
+        assert_eq!(summary.completed, Some(true));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_traces() {
+        assert!(ParsedTrace::parse_jsonl("").is_err());
+        assert!(ParsedTrace::parse_jsonl("{}").is_err());
+        let wrong_schema = Tracer::new(ObsConfig::full())
+            .to_jsonl()
+            .replace(SCHEMA, "other/v9");
+        assert!(ParsedTrace::parse_jsonl(&wrong_schema).is_err());
+        let mut t = Tracer::new(ObsConfig::full());
+        t.round_start(0);
+        let mut text = t.to_jsonl();
+        text.push_str("{\"r\":1,\"ev\":\"mystery\"}\n");
+        assert!(ParsedTrace::parse_jsonl(&text).is_err());
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.bucket_counts()[0], 2); // 0 and 1
+        assert_eq!(h.bucket_counts()[1], 2); // 2 and 3
+        assert_eq!(h.bucket_counts()[2], 1); // 4
+        assert_eq!(h.bucket_counts()[9], 1); // 1000 in [512, 1024)
+    }
+
+    #[test]
+    fn role_wire_names_round_trip() {
+        for role in [Role::Head, Role::Gateway, Role::Member] {
+            assert_eq!(Role::parse(role.as_str()), Some(role));
+        }
+        assert_eq!(Role::parse("router"), None);
+    }
+}

@@ -16,6 +16,18 @@
 //! procedure the xoshiro authors recommend. Both algorithms are public
 //! domain and implemented here in-tree so the exact output streams are
 //! owned by this workspace and pinned by golden-value tests.
+//!
+//! ```
+//! use hinet_rt::rng::{stream_rng, Rng};
+//!
+//! // Same (seed, stream) → same draws; different streams → decorrelated.
+//! let mut a = stream_rng(42, 7);
+//! let mut b = stream_rng(42, 7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let mut c = stream_rng(42, 8);
+//! assert_ne!(a.next_u64(), c.next_u64());
+//! assert!(a.random_range(0..10usize) < 10);
+//! ```
 
 use std::ops::{Range, RangeInclusive};
 

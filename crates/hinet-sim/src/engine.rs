@@ -6,6 +6,7 @@ use crate::token::{TokenId, TokenSet};
 use hinet_cluster::ctvg::HierarchyProvider;
 use hinet_cluster::hierarchy::Role;
 use hinet_graph::graph::NodeId;
+use hinet_rt::obs::{self, Tracer};
 
 /// Engine configuration — every per-run knob in one place, built with
 /// chained constructors:
@@ -187,6 +188,14 @@ fn role_slot(role: Role) -> usize {
     }
 }
 
+fn obs_role(role: Role) -> obs::Role {
+    match role {
+        Role::Head => obs::Role::Head,
+        Role::Gateway => obs::Role::Gateway,
+        Role::Member => obs::Role::Member,
+    }
+}
+
 /// Outcome of a run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -257,6 +266,24 @@ impl Engine {
         protocols: &mut [P],
         assignment: &[Vec<TokenId>],
     ) -> RunReport {
+        self.run_traced(provider, protocols, assignment, &mut Tracer::disabled())
+    }
+
+    /// Like [`Engine::run`], but emits structured [`hinet_rt::obs`] events
+    /// into `tracer` as the run executes: a [`obs::Event::RoundStart`] per
+    /// round, an [`obs::Event::TokenPush`] per unicast and an
+    /// [`obs::Event::HeadBroadcast`] per broadcast (with byte costs from the
+    /// configured [`CostWeights`]), an [`obs::Event::Reaffiliation`]
+    /// whenever a node's head changes between rounds, and a final
+    /// [`obs::Event::RunEnd`]. With a disabled tracer every emission site
+    /// reduces to one branch, so `run` pays no measurable overhead.
+    pub fn run_traced<P: Protocol>(
+        &self,
+        provider: &mut dyn HierarchyProvider,
+        protocols: &mut [P],
+        assignment: &[Vec<TokenId>],
+        tracer: &mut Tracer,
+    ) -> RunReport {
         let n = provider.n();
         assert_eq!(protocols.len(), n, "one protocol per node");
         assert_eq!(assignment.len(), n, "one initial token list per node");
@@ -272,8 +299,12 @@ impl Engine {
         let mut rounds_executed = 0;
         let mut inboxes: Vec<Vec<Incoming>> = vec![Vec::new(); n];
 
+        // Previous round's head per node, for re-affiliation events.
+        let mut prev_heads: Vec<Option<NodeId>> = Vec::new();
+
         // Degenerate case: everyone informed before any round.
         if Self::all_informed(protocols, &universe) {
+            tracer.run_end(0, true);
             return RunReport {
                 rounds_executed: 0,
                 completion_round: Some(0),
@@ -290,6 +321,26 @@ impl Engine {
                 hierarchy
                     .validate(&graph)
                     .unwrap_or_else(|e| panic!("round {round}: invalid hierarchy: {e}"));
+            }
+
+            if tracer.enabled() {
+                tracer.round_start(round as u64);
+                let heads: Vec<Option<NodeId>> = (0..n)
+                    .map(|i| hierarchy.head_of(NodeId::from_index(i)))
+                    .collect();
+                if round > 0 {
+                    for (i, (old, new)) in prev_heads.iter().zip(&heads).enumerate() {
+                        if old != new {
+                            tracer.reaffiliation(
+                                round as u64,
+                                i as u64,
+                                old.map(|h| h.0 as u64),
+                                new.map(|h| h.0 as u64),
+                            );
+                        }
+                    }
+                }
+                prev_heads = heads;
             }
 
             let informed_at_start = protocols
@@ -328,6 +379,31 @@ impl Engine {
                     round_tokens += cost;
                     round_packets += 1;
                     metrics.tokens_by_role[role_slot(hierarchy.role(me))] += cost;
+                    if tracer.enabled() {
+                        let w = self.cfg.cost_weights;
+                        let bytes = cost * w.token_bytes + w.packet_header_bytes;
+                        let role = obs_role(hierarchy.role(me));
+                        let first = out.tokens[0].0;
+                        match out.dest {
+                            Destination::Broadcast => tracer.head_broadcast(
+                                round as u64,
+                                me.0 as u64,
+                                first,
+                                cost,
+                                role,
+                                bytes,
+                            ),
+                            Destination::Unicast(v) => tracer.token_push(
+                                round as u64,
+                                me.0 as u64,
+                                first,
+                                cost,
+                                role,
+                                v.0 as u64,
+                                bytes,
+                            ),
+                        }
+                    }
                     match out.dest {
                         Destination::Broadcast => {
                             if self.cfg.record_messages {
@@ -410,6 +486,7 @@ impl Engine {
             }
         }
 
+        tracer.run_end(rounds_executed as u64, completion_round.is_some());
         RunReport {
             rounds_executed,
             completion_round,
@@ -625,6 +702,47 @@ mod tests {
             "sends are paid even if dropped"
         );
         assert!(!report.completed());
+    }
+
+    #[test]
+    fn traced_run_matches_report_and_untraced_run() {
+        use hinet_rt::obs::{Event, ObsConfig, TraceSummary, Tracer};
+
+        let assignment = round_robin_assignment(5, 5);
+
+        let mut provider = star_provider(5, 10);
+        let mut protocols: Vec<Flood> = (0..5).map(|_| Flood::new()).collect();
+        let baseline = Engine::with_defaults().run(&mut provider, &mut protocols, &assignment);
+
+        let mut provider = star_provider(5, 10);
+        let mut protocols: Vec<Flood> = (0..5).map(|_| Flood::new()).collect();
+        let mut tracer = Tracer::new(ObsConfig::full());
+        let report = Engine::with_defaults().run_traced(
+            &mut provider,
+            &mut protocols,
+            &assignment,
+            &mut tracer,
+        );
+
+        // Tracing must not perturb the run.
+        assert_eq!(report.completion_round, baseline.completion_round);
+        assert_eq!(report.metrics.tokens_sent, baseline.metrics.tokens_sent);
+
+        // Tracer counters agree with the report's own accounting.
+        let c = tracer.counters();
+        assert_eq!(c.rounds, report.rounds_executed as u64);
+        assert_eq!(c.tokens_sent, report.metrics.tokens_sent);
+        assert_eq!(c.packets_sent, report.metrics.packets_sent);
+        assert_eq!(c.tokens_by_role, report.metrics.tokens_by_role);
+        assert_eq!(c.bytes_sent, report.total_bytes());
+
+        let summary = TraceSummary::from_tracer(&tracer);
+        assert_eq!(summary.completed, Some(true));
+        let starts = tracer
+            .events()
+            .filter(|e| e.event == Event::RoundStart)
+            .count();
+        assert_eq!(starts, report.rounds_executed);
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   communication metric matches the paper's: **total number of tokens
 //!   sent** (a broadcast of one token counts once, not once per receiver),
 //!   with packets and per-role breakdowns recorded alongside.
+//!
+//! For per-round visibility, [`engine::Engine::run_traced`] additionally
+//! streams typed [`hinet_rt::obs`] events (round starts, token pushes,
+//! head broadcasts, re-affiliations, run end) into a
+//! [`hinet_rt::obs::Tracer`]; `Engine::run` is the same loop with a
+//! disabled tracer.
 
 pub mod engine;
 pub mod protocol;

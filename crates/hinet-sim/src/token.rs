@@ -38,8 +38,8 @@ pub fn max_not_in(a: &TokenSet, b: &TokenSet) -> Option<TokenId> {
 /// The token with the smallest id in `a \ b`, or `None` if `a ⊆ b`.
 ///
 /// This is the head/gateway-side selection of Algorithm 1 (and the KLO
-/// baseline): "choose token t with the minimum id that has not [been] sent
-/// in [the] current phase".
+/// baseline): "choose token t with the minimum id that has not \[been\] sent
+/// in \[the\] current phase".
 pub fn min_not_in(a: &TokenSet, b: &TokenSet) -> Option<TokenId> {
     a.iter().copied().find(|t| !b.contains(t))
 }

@@ -5,12 +5,13 @@
 //! hinet experiments [E3 E13 ...]      run experiments (default: all)
 //! hinet export [DIR]                  write all experiment tables as md/csv
 //! hinet run [options]                 one simulation, report costs
+//! hinet trace [options]               one traced simulation (hinet-trace/v1)
 //! hinet audit [options]               stability report for a dynamics trace
 //! hinet bench [options]               timing benchmarks (see `hinet bench --help`)
 //! hinet help                          this text
 //! ```
 //!
-//! `hinet run` options (all optional):
+//! `hinet run` and `hinet trace` share the scenario options (all optional):
 //!
 //! ```text
 //! --algorithm NAME   alg1 | remark1 | alg2 | alg2-mh | klo-phased |
@@ -25,21 +26,29 @@
 //! --seed S           RNG seed                                      [42]
 //! ```
 //!
+//! `hinet run` additionally accepts `--trace` (record a `hinet-trace/v1`
+//! JSONL artifact) and `--trace-out FILE` (where to write it). `hinet
+//! trace` adds `--in FILE` (summarise an existing artifact instead of
+//! running), `--events`, `--summary`, `--out FILE`, `--filter KIND`,
+//! `--stability`, and `--sample N`; see `docs/OBSERVABILITY.md`.
+//!
 //! Each command declares its flags in a [`FlagSpec`] table; unknown flags
 //! and malformed values are rejected with exit code 2 rather than silently
 //! ignored.
 
 use hinet::analysis::experiments::all_experiments;
 use hinet::cluster::clustering::ClusteringKind;
-use hinet::cluster::ctvg::{FlatProvider, HierarchyProvider};
+use hinet::cluster::ctvg::{CtvgTrace, FlatProvider, HierarchyProvider};
 use hinet::cluster::generators::{ClusteredMobilityGen, HiNetConfig, HiNetGen};
+use hinet::cluster::stability::trace_stability_windows;
 use hinet::core::params::{alg1_plan, klo_plan, remark1_phases, required_phase_length, PhasePlan};
-use hinet::core::runner::{run_algorithm, AlgorithmKind};
+use hinet::core::runner::{run_algorithm_traced, AlgorithmKind};
 use hinet::graph::generators::{
     BackboneKind, EdgeMarkovianGen, ManhattanConfig, ManhattanGen, OneIntervalGen,
     RandomWaypointGen, TIntervalGen, WaypointConfig,
 };
-use hinet::sim::engine::RunConfig;
+use hinet::rt::obs::{ObsConfig, ParsedTrace, TraceSummary, Tracer};
+use hinet::sim::engine::{RunConfig, RunReport};
 use hinet::sim::token::round_robin_assignment;
 use hinet_rt::flags::{flag, parse_flags, FlagSet, FlagSpec};
 use std::process::ExitCode;
@@ -52,6 +61,10 @@ USAGE:
   hinet export [DIR]                write experiment tables as md/csv
   hinet run [--algorithm A] [--dynamics D] [--n N] [--k K]
             [--alpha A] [--l L] [--theta TH] [--seed S]
+            [--trace] [--trace-out FILE]
+  hinet trace [scenario flags as for run] [--in FILE] [--events]
+            [--summary] [--out FILE] [--filter KIND] [--stability]
+            [--sample N]
   hinet audit [--dynamics D] [--n N] [--rounds R] [--seed S]
   hinet bench [--filter S] [--json] [--baseline FILE] ...  (see bench --help)
   hinet help
@@ -75,6 +88,42 @@ const RUN_FLAGS: &[FlagSpec] = &[
     flag("l", true, "hop bound [2]"),
     flag("theta", true, "head-capable pool [n/3]"),
     flag("seed", true, "RNG seed [42]"),
+    flag("trace", false, "record a hinet-trace/v1 JSONL artifact"),
+    flag(
+        "trace-out",
+        true,
+        "trace artifact path [target/trace/run.jsonl]",
+    ),
+];
+
+const TRACE_FLAGS: &[FlagSpec] = &[
+    flag("algorithm", true, "algorithm to run [alg1]"),
+    flag("dynamics", true, "dynamics model [hinet]"),
+    flag("n", true, "nodes [100]"),
+    flag("k", true, "tokens [8]"),
+    flag("alpha", true, "progress coefficient [5]"),
+    flag("l", true, "hop bound [2]"),
+    flag("theta", true, "head-capable pool [n/3]"),
+    flag("seed", true, "RNG seed [42]"),
+    flag(
+        "in",
+        true,
+        "summarise an existing artifact instead of running",
+    ),
+    flag("events", false, "print recorded events as JSONL"),
+    flag("summary", false, "print the trace summary (default output)"),
+    flag("out", true, "write the hinet-trace/v1 artifact to FILE"),
+    flag("filter", true, "with --events, only kinds containing KIND"),
+    flag(
+        "stability",
+        false,
+        "verify Defs 2-8 per aligned window and trace the verdicts",
+    ),
+    flag(
+        "sample",
+        true,
+        "record one in N data events (counters stay exact)",
+    ),
 ];
 
 const AUDIT_FLAGS: &[FlagSpec] = &[
@@ -98,6 +147,7 @@ enum Command {
         dir: Option<String>,
     },
     Run(FlagSet),
+    Trace(FlagSet),
     Audit(FlagSet),
     /// Raw args, forwarded to `hinet_bench::cli` (which owns the flag table).
     Bench(Vec<String>),
@@ -136,6 +186,11 @@ impl Command {
                 let (pos, flags) = parse_flags(RUN_FLAGS, rest)?;
                 reject_positionals("run", &pos)?;
                 Ok(Command::Run(flags))
+            }
+            "trace" => {
+                let (pos, flags) = parse_flags(TRACE_FLAGS, rest)?;
+                reject_positionals("trace", &pos)?;
+                Ok(Command::Trace(flags))
             }
             "audit" => {
                 let (pos, flags) = parse_flags(AUDIT_FLAGS, rest)?;
@@ -204,139 +259,139 @@ fn cmd_export(dir: Option<&String>) -> ExitCode {
     }
 }
 
-#[allow(clippy::too_many_lines)]
-fn cmd_run(flags: &FlagSet) -> ExitCode {
-    let parse = || -> Result<(usize, usize, usize, usize, usize, u64), String> {
+/// The scenario shared by `hinet run` and `hinet trace`: parameters, the
+/// derived phase length / round budget, and the provider/algorithm
+/// factories (all deterministic in `seed`, so two providers built from the
+/// same scenario replay identical dynamics).
+struct Scenario {
+    n: usize,
+    k: usize,
+    alpha: usize,
+    l: usize,
+    theta: usize,
+    seed: u64,
+    algorithm: String,
+    dynamics: String,
+    /// Required phase length `T = k + α·L`.
+    t: usize,
+    /// Hard round budget for unbounded baselines.
+    budget: usize,
+}
+
+impl Scenario {
+    fn from_flags(flags: &FlagSet) -> Result<Scenario, String> {
         let n = flags.parsed("n", 100usize)?;
-        Ok((
+        let k = flags.parsed("k", 8usize)?;
+        let alpha = flags.parsed("alpha", 5usize)?;
+        let l = flags.parsed("l", 2usize)?;
+        let theta = flags.parsed("theta", (n / 3).max(1))?;
+        let seed = flags.parsed("seed", 42u64)?;
+        let t = required_phase_length(k, alpha, l);
+        Ok(Scenario {
             n,
-            flags.parsed("k", 8usize)?,
-            flags.parsed("alpha", 5usize)?,
-            flags.parsed("l", 2usize)?,
-            flags.parsed("theta", (n / 3).max(1))?,
-            flags.parsed("seed", 42u64)?,
-        ))
-    };
-    let (n, k, alpha, l, theta, seed) = match parse() {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
-    };
-    let algorithm = flags.get("algorithm").unwrap_or("alg1");
-    let dynamics = flags.get("dynamics").unwrap_or("hinet");
-
-    let t = required_phase_length(k, alpha, l);
-    let assignment = round_robin_assignment(n, k);
-    let budget = 4 * n + 4 * t;
-
-    // RLNC runs on its own executor.
-    if algorithm == "rlnc" {
-        let mut provider: Box<dyn hinet::graph::trace::TopologyProvider> = match dynamics {
-            "flat-1" | "hinet" => Box::new(OneIntervalGen::new(n, true, n / 5, seed)),
-            "flat-t" => Box::new(TIntervalGen::new(n, t, BackboneKind::Path, n / 5, seed)),
-            "waypoint" => Box::new(RandomWaypointGen::new(n, WaypointConfig::default(), seed)),
-            "manhattan" => Box::new(ManhattanGen::new(n, ManhattanConfig::default(), seed)),
-            "emdg" => Box::new(EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed)),
-            other => {
-                eprintln!("unknown dynamics '{other}'");
-                return ExitCode::from(2);
-            }
-        };
-        let r = hinet::core::netcode::run_rlnc(provider.as_mut(), &assignment, budget, seed);
-        println!("algorithm: rlnc  dynamics: {dynamics}  n={n} k={k} seed={seed}");
-        println!(
-            "completed: {}  rounds: {:?}  coded packets: {}",
-            r.completed(),
-            r.completion_round,
-            r.packets_sent
-        );
-        return ExitCode::SUCCESS;
+            k,
+            alpha,
+            l,
+            theta,
+            seed,
+            algorithm: flags.get("algorithm").unwrap_or("alg1").to_string(),
+            dynamics: flags.get("dynamics").unwrap_or("hinet").to_string(),
+            t,
+            budget: 4 * n + 4 * t,
+        })
     }
 
-    let kind = match algorithm {
-        "alg1" => AlgorithmKind::HiNetPhased(alg1_plan(k, alpha, l, theta)),
-        "remark1" => AlgorithmKind::HiNetRemark1(PhasePlan {
-            rounds_per_phase: t,
-            phases: remark1_phases(theta, alpha),
-        }),
-        "alg2" => AlgorithmKind::HiNetFullExchange { rounds: n - 1 },
-        "alg2-mh" => AlgorithmKind::HiNetFullExchangeMH { rounds: n - 1 },
-        "klo-phased" => AlgorithmKind::KloPhased(klo_plan(k, alpha, l, n)),
-        "klo-flood" => AlgorithmKind::KloFlood { rounds: n - 1 },
-        "gossip" => AlgorithmKind::Gossip {
-            rounds: budget,
-            seed,
-        },
-        "kactive" => AlgorithmKind::KActiveFlood {
-            activity: n / 2,
-            rounds: budget,
-        },
-        "delta" => AlgorithmKind::DeltaFlood { rounds: budget },
-        other => {
-            eprintln!("unknown algorithm '{other}'");
-            return ExitCode::from(2);
-        }
-    };
+    fn kind(&self) -> Result<AlgorithmKind, String> {
+        let (n, k, alpha, l, theta, t) = (self.n, self.k, self.alpha, self.l, self.theta, self.t);
+        Ok(match self.algorithm.as_str() {
+            "alg1" => AlgorithmKind::HiNetPhased(alg1_plan(k, alpha, l, theta)),
+            "remark1" => AlgorithmKind::HiNetRemark1(PhasePlan {
+                rounds_per_phase: t,
+                phases: remark1_phases(theta, alpha),
+            }),
+            "alg2" => AlgorithmKind::HiNetFullExchange { rounds: n - 1 },
+            "alg2-mh" => AlgorithmKind::HiNetFullExchangeMH { rounds: n - 1 },
+            "klo-phased" => AlgorithmKind::KloPhased(klo_plan(k, alpha, l, n)),
+            "klo-flood" => AlgorithmKind::KloFlood { rounds: n - 1 },
+            "gossip" => AlgorithmKind::Gossip {
+                rounds: self.budget,
+                seed: self.seed,
+            },
+            "kactive" => AlgorithmKind::KActiveFlood {
+                activity: n / 2,
+                rounds: self.budget,
+            },
+            "delta" => AlgorithmKind::DeltaFlood {
+                rounds: self.budget,
+            },
+            other => return Err(format!("unknown algorithm '{other}'")),
+        })
+    }
 
-    let mut provider: Box<dyn HierarchyProvider> = match dynamics {
-        "hinet" => {
-            let num_heads = (theta / 2).clamp(1, theta);
-            Box::new(HiNetGen::new(HiNetConfig {
+    fn provider(&self, kind: &AlgorithmKind) -> Result<Box<dyn HierarchyProvider>, String> {
+        let (n, l, theta, seed) = (self.n, self.l, self.theta, self.seed);
+        Ok(match self.dynamics.as_str() {
+            "hinet" => {
+                let num_heads = (theta / 2).clamp(1, theta);
+                Box::new(HiNetGen::new(HiNetConfig {
+                    n,
+                    num_heads,
+                    theta,
+                    l,
+                    t: if matches!(kind, AlgorithmKind::HiNetFullExchange { .. }) {
+                        1
+                    } else {
+                        self.t
+                    },
+                    reaffil_prob: 0.1,
+                    rotate_heads: true,
+                    noise_edges: n / 5,
+                    seed,
+                }))
+            }
+            "flat-t" => Box::new(FlatProvider::new(TIntervalGen::new(
                 n,
-                num_heads,
-                theta,
-                l,
-                t: if matches!(kind, AlgorithmKind::HiNetFullExchange { .. }) {
-                    1
-                } else {
-                    t
-                },
-                reaffil_prob: 0.1,
-                rotate_heads: true,
-                noise_edges: n / 5,
+                self.t,
+                BackboneKind::Path,
+                n / 5,
                 seed,
-            }))
-        }
-        "flat-t" => Box::new(FlatProvider::new(TIntervalGen::new(
-            n,
-            t,
-            BackboneKind::Path,
-            n / 5,
-            seed,
-        ))),
-        "flat-1" => Box::new(FlatProvider::new(OneIntervalGen::new(n, true, n / 5, seed))),
-        "waypoint" => Box::new(ClusteredMobilityGen::new(
-            RandomWaypointGen::new(n, WaypointConfig::default(), seed),
-            ClusteringKind::LowestId,
-            true,
-        )),
-        "manhattan" => Box::new(ClusteredMobilityGen::new(
-            ManhattanGen::new(n, ManhattanConfig::default(), seed),
-            ClusteringKind::LowestId,
-            true,
-        )),
-        "emdg" => Box::new(ClusteredMobilityGen::new(
-            EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed),
-            ClusteringKind::GreedyDominating,
-            true,
-        )),
-        other => {
-            eprintln!("unknown dynamics '{other}'");
-            return ExitCode::from(2);
-        }
-    };
+            ))),
+            "flat-1" => Box::new(FlatProvider::new(OneIntervalGen::new(n, true, n / 5, seed))),
+            "waypoint" => Box::new(ClusteredMobilityGen::new(
+                RandomWaypointGen::new(n, WaypointConfig::default(), seed),
+                ClusteringKind::LowestId,
+                true,
+            )),
+            "manhattan" => Box::new(ClusteredMobilityGen::new(
+                ManhattanGen::new(n, ManhattanConfig::default(), seed),
+                ClusteringKind::LowestId,
+                true,
+            )),
+            "emdg" => Box::new(ClusteredMobilityGen::new(
+                EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed),
+                ClusteringKind::GreedyDominating,
+                true,
+            )),
+            other => return Err(format!("unknown dynamics '{other}'")),
+        })
+    }
 
-    let report = run_algorithm(
-        &kind,
-        provider.as_mut(),
-        &assignment,
-        RunConfig::new().max_rounds(budget),
-    );
+    /// Attach the scenario parameters to a trace's header metadata.
+    fn stamp_meta(&self, tracer: &mut Tracer) {
+        tracer.meta("dynamics", self.dynamics.as_str());
+        tracer.meta("n", self.n.to_string());
+        tracer.meta("k", self.k.to_string());
+        tracer.meta("alpha", self.alpha.to_string());
+        tracer.meta("l", self.l.to_string());
+        tracer.meta("theta", self.theta.to_string());
+        tracer.meta("seed", self.seed.to_string());
+    }
+}
+
+fn print_report(sc: &Scenario, label: &str, report: &RunReport) {
     println!(
-        "algorithm: {}  dynamics: {dynamics}  n={n} k={k} α={alpha} L={l} θ={theta} seed={seed}",
-        kind.label()
+        "algorithm: {label}  dynamics: {}  n={} k={} α={} L={} θ={} seed={}",
+        sc.dynamics, sc.n, sc.k, sc.alpha, sc.l, sc.theta, sc.seed
     );
     println!(
         "completed: {}  rounds: {}",
@@ -353,12 +408,235 @@ fn cmd_run(flags: &FlagSet) -> ExitCode {
         report.metrics.tokens_by_role[1],
         report.metrics.tokens_by_role[2],
     );
+}
+
+/// Write a trace artifact, creating parent directories on demand.
+fn write_trace(path: &str, tracer: &Tracer) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("cannot create {parent:?}: {e}"))?;
+    }
+    std::fs::write(p, tracer.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "trace: wrote {path} ({} events, {} dropped)",
+        tracer.len(),
+        tracer.dropped()
+    );
+    Ok(())
+}
+
+fn cmd_run(flags: &FlagSet) -> ExitCode {
+    let sc = match Scenario::from_flags(flags) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let assignment = round_robin_assignment(sc.n, sc.k);
+    let want_trace = flags.has("trace") || flags.get("trace-out").is_some();
+
+    // RLNC runs on its own executor (no round engine, hence no trace).
+    if sc.algorithm == "rlnc" {
+        if want_trace {
+            eprintln!("--trace is not supported for rlnc (it bypasses the round engine)");
+            return ExitCode::from(2);
+        }
+        let mut provider: Box<dyn hinet::graph::trace::TopologyProvider> = match sc
+            .dynamics
+            .as_str()
+        {
+            "flat-1" | "hinet" => Box::new(OneIntervalGen::new(sc.n, true, sc.n / 5, sc.seed)),
+            "flat-t" => Box::new(TIntervalGen::new(
+                sc.n,
+                sc.t,
+                BackboneKind::Path,
+                sc.n / 5,
+                sc.seed,
+            )),
+            "waypoint" => Box::new(RandomWaypointGen::new(
+                sc.n,
+                WaypointConfig::default(),
+                sc.seed,
+            )),
+            "manhattan" => Box::new(ManhattanGen::new(sc.n, ManhattanConfig::default(), sc.seed)),
+            "emdg" => Box::new(EdgeMarkovianGen::new(
+                sc.n, 0.002, 0.05, 0.04, true, sc.seed,
+            )),
+            other => {
+                eprintln!("unknown dynamics '{other}'");
+                return ExitCode::from(2);
+            }
+        };
+        let r = hinet::core::netcode::run_rlnc(provider.as_mut(), &assignment, sc.budget, sc.seed);
+        println!(
+            "algorithm: rlnc  dynamics: {}  n={} k={} seed={}",
+            sc.dynamics, sc.n, sc.k, sc.seed
+        );
+        println!(
+            "completed: {}  rounds: {:?}  coded packets: {}",
+            r.completed(),
+            r.completion_round,
+            r.packets_sent
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let run = || -> Result<(), String> {
+        let kind = sc.kind()?;
+        let mut provider = sc.provider(&kind)?;
+        let mut tracer = if want_trace {
+            Tracer::new(ObsConfig::full())
+        } else {
+            Tracer::disabled()
+        };
+        sc.stamp_meta(&mut tracer);
+        let report = run_algorithm_traced(
+            &kind,
+            provider.as_mut(),
+            &assignment,
+            RunConfig::new().max_rounds(sc.budget),
+            &mut tracer,
+        );
+        print_report(&sc, kind.label(), &report);
+        if want_trace {
+            let path = flags.get("trace-out").unwrap_or("target/trace/run.jsonl");
+            write_trace(path, &tracer)?;
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Print a summary (and its consistency against a live report, if any).
+fn print_summary(summary: &TraceSummary, report: Option<&RunReport>) {
+    print!("{}", summary.to_text());
+    if let Some(report) = report {
+        let rounds_ok = summary.counters.rounds == report.rounds_executed as u64;
+        let tokens_ok = summary.counters.tokens_sent == report.metrics.tokens_sent;
+        let phase_sum: u64 = summary.per_phase_rounds.iter().sum();
+        println!(
+            "consistency: rounds {}/{} {}  tokens {}/{} {}  phase-round sum {}",
+            summary.counters.rounds,
+            report.rounds_executed,
+            if rounds_ok { "ok" } else { "MISMATCH" },
+            summary.counters.tokens_sent,
+            report.metrics.tokens_sent,
+            if tokens_ok { "ok" } else { "MISMATCH" },
+            phase_sum,
+        );
+    }
+}
+
+fn cmd_trace(flags: &FlagSet) -> ExitCode {
+    let events_wanted = flags.has("events");
+    let summary_wanted = flags.has("summary");
+    let filter = flags.get("filter");
+
+    // Mode 1: summarise an existing artifact.
+    if let Some(path) = flags.get("in") {
+        let load = || -> Result<ParsedTrace, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            ParsedTrace::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+        };
+        let parsed = match load() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "trace {path}: schema hinet-trace/v1, {} events, algorithm {}",
+            parsed.events.len(),
+            parsed.meta_get("algorithm").unwrap_or("?"),
+        );
+        if events_wanted {
+            for te in &parsed.events {
+                if filter.is_none_or(|f| te.event.kind().contains(f)) {
+                    println!("r={} {:?}", te.round, te.event);
+                }
+            }
+        }
+        if summary_wanted || !events_wanted {
+            print_summary(&TraceSummary::from_trace(&parsed), None);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Mode 2: run the scenario with tracing on.
+    let run = || -> Result<(Scenario, Tracer, RunReport), String> {
+        let sc = Scenario::from_flags(flags)?;
+        if sc.algorithm == "rlnc" {
+            return Err("trace does not support rlnc (it bypasses the round engine)".into());
+        }
+        let kind = sc.kind()?;
+        let mut provider = sc.provider(&kind)?;
+        let mut tracer = match flags.get("sample") {
+            Some(_) => Tracer::new(ObsConfig::sampled(flags.parsed("sample", 1u32)?)),
+            None => Tracer::new(ObsConfig::full()),
+        };
+        sc.stamp_meta(&mut tracer);
+        let assignment = round_robin_assignment(sc.n, sc.k);
+        let report = run_algorithm_traced(
+            &kind,
+            provider.as_mut(),
+            &assignment,
+            RunConfig::new().max_rounds(sc.budget),
+            &mut tracer,
+        );
+        if flags.has("stability") {
+            // Providers are deterministic in the scenario seed, so a fresh
+            // one replays the run's dynamics for post-hoc verification.
+            let mut replay = sc.provider(&kind)?;
+            let trace = CtvgTrace::capture(replay.as_mut(), report.rounds_executed.max(1));
+            trace_stability_windows(&trace, sc.t, sc.l, &mut tracer);
+        }
+        Ok((sc, tracer, report))
+    };
+    let (sc, tracer, report) = match run() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "traced {} on {}: {} rounds, {} events recorded",
+        sc.algorithm,
+        sc.dynamics,
+        report.rounds_executed,
+        tracer.len(),
+    );
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = write_trace(path, &tracer) {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    }
+    if events_wanted {
+        for te in tracer.events() {
+            if filter.is_none_or(|f| te.event.kind().contains(f)) {
+                println!("r={} {:?}", te.round, te.event);
+            }
+        }
+    }
+    if summary_wanted || (!events_wanted && flags.get("out").is_none()) {
+        print_summary(&TraceSummary::from_tracer(&tracer), Some(&report));
+    }
     ExitCode::SUCCESS
 }
 
 fn cmd_audit(flags: &FlagSet) -> ExitCode {
     use hinet::cluster::audit::audit;
-    use hinet::cluster::ctvg::CtvgTrace;
 
     let parse = || -> Result<(usize, usize, u64), String> {
         Ok((
@@ -439,6 +717,7 @@ fn main() -> ExitCode {
         Command::Experiments { wanted } => cmd_experiments(&wanted),
         Command::Export { dir } => cmd_export(dir.as_ref()),
         Command::Run(flags) => cmd_run(&flags),
+        Command::Trace(flags) => cmd_trace(&flags),
         Command::Audit(flags) => cmd_audit(&flags),
         Command::Bench(args) => hinet_bench::cli::run_from_args(&args),
         Command::Help => {

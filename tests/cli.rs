@@ -121,6 +121,112 @@ fn run_rejects_unknown_algorithm() {
         .contains("unknown algorithm"));
 }
 
+/// The acceptance chain: `hinet run --trace` writes a `hinet-trace/v1`
+/// artifact, and `hinet trace` (same scenario, live or from the file)
+/// reports per-phase round counts consistent with the run report.
+#[test]
+fn run_trace_then_trace_summary_are_consistent() {
+    let dir = std::env::temp_dir().join(format!("hinet-cli-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("run.jsonl");
+
+    let out = hinet()
+        .args([
+            "run",
+            "--n",
+            "40",
+            "--k",
+            "4",
+            "--seed",
+            "3",
+            "--trace",
+            "--trace-out",
+            artifact.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let run_text = String::from_utf8(out.stdout).unwrap();
+    assert!(run_text.contains("trace: wrote"), "{run_text}");
+
+    let text = std::fs::read_to_string(&artifact).unwrap();
+    let first = text.lines().next().unwrap();
+    assert!(first.contains("\"schema\":\"hinet-trace/v1\""), "{first}");
+
+    // Summarising the artifact agrees with the live re-run's consistency
+    // check against the engine's own report.
+    let out = hinet()
+        .args(["trace", "--in", artifact.to_str().unwrap(), "--summary"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let from_file = String::from_utf8(out.stdout).unwrap();
+    assert!(from_file.contains("rounds per phase:"), "{from_file}");
+
+    let out = hinet()
+        .args(["trace", "--n", "40", "--k", "4", "--seed", "3", "--summary"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let live = String::from_utf8(out.stdout).unwrap();
+    assert!(live.contains("consistency:"), "{live}");
+    assert!(!live.contains("MISMATCH"), "{live}");
+    // Same seeded scenario → identical summary block.
+    let summary_of = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("rounds:"))
+            .take_while(|l| !l.starts_with("consistency:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(summary_of(&from_file), summary_of(&live));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_stability_reports_windows() {
+    let out = hinet()
+        .args([
+            "trace",
+            "--n",
+            "30",
+            "--k",
+            "3",
+            "--seed",
+            "5",
+            "--stability",
+            "--summary",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("stability windows"), "{text}");
+    assert!(text.contains("def8="), "{text}");
+}
+
+#[test]
+fn trace_rejects_rlnc_and_bad_input_file() {
+    let out = hinet()
+        .args(["trace", "--algorithm", "rlnc"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("rlnc"));
+
+    let out = hinet()
+        .args(["trace", "--in", "/nonexistent/trace.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn audit_reports_all_sections() {
     let out = hinet()

@@ -88,3 +88,86 @@ fn fingerprints_are_seed_sensitive() {
     assert_ne!(fp(11), fp(12));
     assert_eq!(fp(11), fp(11));
 }
+
+/// Order-sensitive fingerprint of a recorded event stream: folds each
+/// event's round and kind (by a stable ordinal) through [`mix`].
+fn obs_fingerprint(tracer: &hinet::rt::obs::Tracer) -> u64 {
+    use hinet::rt::obs::Event;
+    let mut h = 0u64;
+    for te in tracer.events() {
+        let ordinal = match te.event {
+            Event::RoundStart => 0u64,
+            Event::TokenPush { node, token, .. } => mix(1, mix(node, token)),
+            Event::HeadBroadcast { node, token, .. } => mix(2, mix(node, token)),
+            Event::PhaseAdvance { phase } => mix(3, phase),
+            Event::Reaffiliation { node, .. } => mix(4, node),
+            Event::StabilityWindow { def, .. } => mix(5, def as u64),
+            Event::RunEnd { rounds, .. } => mix(6, rounds),
+        };
+        h = mix(h, mix(te.round, ordinal));
+    }
+    h
+}
+
+/// A seeded traced run is deterministic: two identical runs emit identical
+/// event streams, and the tracer's exact counters agree with the engine's
+/// own `RunReport` accounting (the acceptance contract of `hinet trace`).
+#[test]
+fn traced_run_event_stream_is_deterministic() {
+    use hinet::cluster::generators::{HiNetConfig, HiNetGen};
+    use hinet::core::params::alg1_plan;
+    use hinet::core::runner::{run_algorithm_traced, AlgorithmKind};
+    use hinet::rt::obs::{ObsConfig, TraceSummary, Tracer};
+    use hinet::sim::engine::RunConfig;
+    use hinet::sim::token::round_robin_assignment;
+
+    let (n, k, alpha, l, theta, seed) = (40, 4, 2, 2, 12, 11);
+    let plan = alg1_plan(k, alpha, l, theta);
+    let run = || {
+        let mut provider = HiNetGen::new(HiNetConfig {
+            n,
+            num_heads: theta / 2,
+            theta,
+            l,
+            t: plan.rounds_per_phase,
+            reaffil_prob: 0.15,
+            rotate_heads: true,
+            noise_edges: n / 5,
+            seed,
+        });
+        let mut tracer = Tracer::new(ObsConfig::full());
+        let assignment = round_robin_assignment(n, k);
+        let report = run_algorithm_traced(
+            &AlgorithmKind::HiNetPhased(plan),
+            &mut provider,
+            &assignment,
+            RunConfig::new().max_rounds(plan.total_rounds()),
+            &mut tracer,
+        );
+        (tracer, report)
+    };
+
+    let (t1, r1) = run();
+    let (t2, r2) = run();
+    assert_eq!(obs_fingerprint(&t1), obs_fingerprint(&t2));
+    assert_eq!(t1.len(), t2.len());
+    assert_eq!(r1.rounds_executed, r2.rounds_executed);
+
+    // Tracer totals match the engine's report exactly.
+    let c = t1.counters();
+    assert_eq!(c.rounds, r1.rounds_executed as u64);
+    assert_eq!(c.tokens_sent, r1.metrics.tokens_sent);
+    assert_eq!(c.packets_sent, r1.metrics.packets_sent);
+    assert_eq!(c.tokens_by_role, r1.metrics.tokens_by_role);
+    assert_eq!(c.bytes_sent, r1.total_bytes());
+
+    // Per-phase round counts in the summary add up to the rounds executed.
+    let summary = TraceSummary::from_tracer(&t1);
+    let phase_sum: u64 = summary.per_phase_rounds.iter().sum();
+    assert_eq!(phase_sum, r1.rounds_executed as u64);
+
+    // And the stream survives a JSONL round-trip byte-for-byte.
+    let parsed = hinet::rt::obs::ParsedTrace::parse_jsonl(&t1.to_jsonl()).unwrap();
+    assert_eq!(parsed.events.len(), t1.len());
+    assert_eq!(TraceSummary::from_trace(&parsed), summary);
+}
