@@ -5,8 +5,18 @@
 # `--offline` must always succeed: any accidental reintroduction of a
 # registry dependency fails this script immediately instead of passing
 # locally and breaking in a sandbox.
+#
+# `./ci.sh --update-golden` re-records the golden traces under
+# tests/golden/ instead of failing on divergence — the escape hatch for
+# *intentional* behaviour changes (review the resulting diff like any other
+# code change).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+update_golden=0
+if [[ "${1:-}" == "--update-golden" ]]; then
+    update_golden=1
+fi
 
 cargo fmt --check
 cargo build --release --offline --workspace
@@ -42,3 +52,20 @@ if echo "$summary" | grep -q MISMATCH; then
     exit 1
 fi
 echo "trace smoke: OK"
+
+# Golden self-diff: every pinned trace under tests/golden/ must reproduce
+# byte-for-byte behaviour when its scenario (read from the artifact's own
+# metadata) is re-run live. A non-empty diff names the first diverging
+# round and fails the gate; bless intentional changes with --update-golden.
+for golden in tests/golden/*.jsonl; do
+    if [[ "$update_golden" == 1 ]]; then
+        ./target/release/hinet trace --diff "$golden" --update-golden
+    else
+        ./target/release/hinet trace --diff "$golden" >/dev/null || {
+            echo "golden self-diff: $golden diverged (run ./ci.sh --update-golden to bless intentional changes):" >&2
+            ./target/release/hinet trace --diff "$golden" >&2 || true
+            exit 1
+        }
+    fi
+done
+echo "golden self-diff: OK"

@@ -20,6 +20,7 @@ use gf2::{Gf2Basis, Gf2Vec};
 use hinet_graph::graph::NodeId;
 use hinet_graph::rng::stream_rng;
 use hinet_graph::trace::TopologyProvider;
+use hinet_rt::obs::{Role, Tracer};
 use hinet_sim::engine::CostWeights;
 use hinet_sim::token::TokenId;
 
@@ -64,6 +65,37 @@ pub fn run_rlnc(
     max_rounds: usize,
     seed: u64,
 ) -> RlncReport {
+    run_rlnc_traced(
+        provider,
+        assignment,
+        max_rounds,
+        seed,
+        CostWeights::default(),
+        &mut Tracer::disabled(),
+    )
+}
+
+/// [`run_rlnc`] with an observability sink: identical dissemination (the
+/// tracer never touches the RNG streams), but each coded broadcast is
+/// emitted as an [`hinet_rt::obs::Event::HeadBroadcast`] so `hinet trace`
+/// and the trace-diff engine cover RLNC like every token-forwarding
+/// algorithm.
+///
+/// Mapping onto the token-forwarding event taxonomy: one coded packet is
+/// one broadcast with `count = 1` (a packet carries one token-payload's
+/// worth of data in the paper's metric), `token` set to the packet's
+/// leading coordinate (its pivot token under GF(2) reduction) and role
+/// [`Role::Member`] — RLNC is flat, there is no hierarchy to attribute.
+/// Byte accounting uses `weights` plus the `⌈k/8⌉`-byte coefficient header
+/// (see [`RlncReport::total_bytes`]).
+pub fn run_rlnc_traced(
+    provider: &mut dyn TopologyProvider,
+    assignment: &[Vec<TokenId>],
+    max_rounds: usize,
+    seed: u64,
+    weights: CostWeights,
+    tracer: &mut Tracer,
+) -> RlncReport {
     let n = provider.n();
     assert_eq!(assignment.len(), n, "one initial token list per node");
     let k = assignment
@@ -72,6 +104,15 @@ pub fn run_rlnc(
         .map(|t| t.0 as usize + 1)
         .max()
         .unwrap_or(0);
+    let packet_bytes = weights.token_bytes + k.div_ceil(8) as u64 + weights.packet_header_bytes;
+    if tracer.enabled() {
+        tracer.meta("algorithm", "rlnc");
+        tracer.meta("token_bytes", weights.token_bytes.to_string());
+        tracer.meta(
+            "packet_header_bytes",
+            weights.packet_header_bytes.to_string(),
+        );
+    }
 
     let mut bases: Vec<Gf2Basis> = (0..n).map(|_| Gf2Basis::new(k)).collect();
     for (u, tokens) in assignment.iter().enumerate() {
@@ -84,6 +125,7 @@ pub fn run_rlnc(
     let all_complete = |bases: &[Gf2Basis]| -> bool { bases.iter().all(|b| b.is_complete()) };
 
     if k == 0 || all_complete(&bases) {
+        tracer.run_end(0, true);
         return RlncReport {
             completion_round: Some(0),
             rounds_executed: 0,
@@ -97,6 +139,7 @@ pub fn run_rlnc(
     let mut rounds_executed = 0;
     for round in 0..max_rounds {
         let graph = provider.graph_at(round);
+        tracer.round_start(round as u64);
         // Send phase: simultaneous, so collect first.
         let outgoing: Vec<Option<Gf2Vec>> = (0..n)
             .map(|u| bases[u].random_combination(&mut rngs[u]))
@@ -104,6 +147,10 @@ pub fn run_rlnc(
         for (u, pkt) in outgoing.iter().enumerate() {
             let Some(pkt) = pkt else { continue };
             packets_sent += 1;
+            if tracer.enabled() {
+                let pivot = pkt.leading().unwrap_or(0) as u64;
+                tracer.head_broadcast(round as u64, u as u64, pivot, 1, Role::Member, packet_bytes);
+            }
             for &v in graph.neighbors(NodeId::from_index(u)) {
                 bases[v.index()].insert(pkt.clone());
             }
@@ -115,6 +162,7 @@ pub fn run_rlnc(
         }
     }
 
+    tracer.run_end(rounds_executed as u64, completion_round.is_some());
     RlncReport {
         completion_round,
         rounds_executed,
@@ -235,6 +283,49 @@ mod tests {
         };
         // 16 bits of coefficients = 2 bytes per packet.
         assert_eq!(r.total_bytes(w), 10 * (16 + 2 + 24));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_accounts_costs() {
+        use hinet_rt::obs::{Event, ObsConfig, TraceSummary};
+
+        let run = |tracer: &mut Tracer| {
+            let mut p = OneIntervalGen::new(16, false, 3, 9);
+            let assignment = round_robin_assignment(16, 4);
+            run_rlnc_traced(&mut p, &assignment, 200, 4, CostWeights::default(), tracer)
+        };
+        let plain = run(&mut Tracer::disabled());
+        let mut tracer = Tracer::new(ObsConfig::full());
+        let traced = run(&mut tracer);
+        // The tracer never touches the RNG streams.
+        assert_eq!(plain.completion_round, traced.completion_round);
+        assert_eq!(plain.packets_sent, traced.packets_sent);
+
+        let c = tracer.counters();
+        assert_eq!(c.rounds, traced.rounds_executed as u64);
+        assert_eq!(c.packets_sent, traced.packets_sent);
+        assert_eq!(
+            c.tokens_sent, traced.packets_sent,
+            "one token-equivalent per packet"
+        );
+        assert_eq!(
+            c.tokens_by_role,
+            [0, 0, traced.packets_sent],
+            "RLNC is flat"
+        );
+        assert_eq!(
+            c.bytes_sent,
+            traced.total_bytes(CostWeights::default()),
+            "per-packet bytes include the coefficient header"
+        );
+        let s = TraceSummary::from_tracer(&tracer);
+        assert_eq!(s.completed, Some(true));
+        assert!(
+            tracer
+                .events()
+                .all(|e| !matches!(e.event, Event::TokenPush { .. })),
+            "coded packets are broadcasts, never pushes"
+        );
     }
 
     #[test]

@@ -42,6 +42,8 @@
 //! assert_eq!(summary.counters.tokens_sent, 4);
 //! ```
 
+pub mod diff;
+
 use crate::bench::json::Json;
 use std::collections::BTreeMap;
 
@@ -204,6 +206,32 @@ pub enum ObsMode {
     Sampled(u32),
     /// Record everything.
     Full,
+}
+
+impl ObsMode {
+    /// Stable wire name written into the artifact header (`"off"`,
+    /// `"sampled:N"`, `"full"`). Comparable across traces, so the diff
+    /// engine can refuse to compare event streams captured at different
+    /// sampling rates.
+    pub fn wire(self) -> String {
+        match self {
+            ObsMode::Off => "off".into(),
+            ObsMode::Sampled(n) => format!("sampled:{n}"),
+            ObsMode::Full => "full".into(),
+        }
+    }
+
+    /// Inverse of [`ObsMode::wire`].
+    pub fn parse_wire(s: &str) -> Option<ObsMode> {
+        match s {
+            "off" => Some(ObsMode::Off),
+            "full" => Some(ObsMode::Full),
+            other => other
+                .strip_prefix("sampled:")
+                .and_then(|n| n.parse().ok())
+                .map(ObsMode::Sampled),
+        }
+    }
 }
 
 /// Tracer configuration.
@@ -672,7 +700,9 @@ impl Tracer {
     /// event object per line, oldest first.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        out.push_str(&header_json(&self.meta, &self.counters, self.dropped()).to_string());
+        out.push_str(
+            &header_json(&self.meta, &self.counters, self.dropped(), self.cfg.mode).to_string(),
+        );
         out.push('\n');
         for te in self.events() {
             out.push_str(&event_json(te).to_string());
@@ -702,9 +732,15 @@ fn counters_json(c: &Counters) -> Json {
     ])
 }
 
-fn header_json(meta: &[(String, String)], counters: &Counters, dropped: u64) -> Json {
+fn header_json(
+    meta: &[(String, String)],
+    counters: &Counters,
+    dropped: u64,
+    mode: ObsMode,
+) -> Json {
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
+        ("mode".into(), Json::Str(mode.wire())),
         (
             "meta".into(),
             Json::Obj(
@@ -783,6 +819,9 @@ fn event_json(te: &TraceEvent) -> Json {
 pub struct ParsedTrace {
     /// Header metadata pairs, in write order.
     pub meta: Vec<(String, String)>,
+    /// Recording mode the trace was captured at (header `mode`; traces
+    /// written before the field existed parse as [`ObsMode::Full`]).
+    pub mode: ObsMode,
     /// Exact counters snapshot from the header.
     pub counters: Counters,
     /// Events evicted or sampled out before export.
@@ -807,6 +846,13 @@ impl ParsedTrace {
         if schema != SCHEMA {
             return Err(format!("schema '{schema}' is not '{SCHEMA}'"));
         }
+        let mode = match header.get("mode") {
+            None => ObsMode::Full,
+            Some(v) => {
+                let raw = v.as_str().ok_or("'mode' is not a string")?;
+                ObsMode::parse_wire(raw).ok_or(format!("unknown mode '{raw}'"))?
+            }
+        };
         let meta = match header.get("meta") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -856,6 +902,7 @@ impl ParsedTrace {
         }
         Ok(ParsedTrace {
             meta,
+            mode,
             counters,
             dropped,
             events,
@@ -868,6 +915,41 @@ impl ParsedTrace {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the recorded event stream is complete: captured at
+    /// [`ObsMode::Full`] with nothing evicted. Only complete traces support
+    /// event-severity diffing and the golden-hygiene recount.
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0 && self.mode == ObsMode::Full
+    }
+
+    /// Recompute the counters from the recorded event stream.
+    ///
+    /// `bytes_sent` is copied from the header — events do not carry byte
+    /// costs, so it cannot be recounted. For a complete trace
+    /// ([`ParsedTrace::is_complete`]) every other field must equal the
+    /// header's counters; a mismatch means the artifact was truncated or
+    /// hand-edited (the golden-corpus hygiene gate).
+    pub fn recount_events(&self) -> Counters {
+        let mut c = Counters {
+            bytes_sent: self.counters.bytes_sent,
+            ..Counters::default()
+        };
+        for te in &self.events {
+            match &te.event {
+                Event::RoundStart => c.rounds += 1,
+                Event::TokenPush { count, role, .. } | Event::HeadBroadcast { count, role, .. } => {
+                    c.tokens_sent += count;
+                    c.packets_sent += 1;
+                    c.tokens_by_role[role.slot()] += count;
+                }
+                Event::PhaseAdvance { .. } => c.phases += 1,
+                Event::Reaffiliation { .. } => c.reaffiliations += 1,
+                Event::StabilityWindow { .. } | Event::RunEnd { .. } => {}
+            }
+        }
+        c
     }
 }
 

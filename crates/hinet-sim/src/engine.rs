@@ -290,6 +290,14 @@ impl Engine {
 
         let universe: TokenSet = assignment.iter().flatten().copied().collect();
         let k = universe.len();
+        if tracer.enabled() {
+            // Stable stamps so two traces can be aligned (or refused) by the
+            // diff engine: byte counters are only comparable under the same
+            // cost weights.
+            let w = self.cfg.cost_weights;
+            tracer.meta("token_bytes", w.token_bytes.to_string());
+            tracer.meta("packet_header_bytes", w.packet_header_bytes.to_string());
+        }
         for (i, p) in protocols.iter_mut().enumerate() {
             p.on_start(NodeId::from_index(i), &assignment[i]);
         }

@@ -5,6 +5,8 @@
 //! the experiment harness. See the README for a tour and `examples/` for
 //! runnable entry points.
 
+pub mod scenario;
+
 pub use hinet_analysis as analysis;
 pub use hinet_bench as bench;
 pub use hinet_cluster as cluster;

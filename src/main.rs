@@ -30,7 +30,9 @@
 //! JSONL artifact) and `--trace-out FILE` (where to write it). `hinet
 //! trace` adds `--in FILE` (summarise an existing artifact instead of
 //! running), `--events`, `--summary`, `--out FILE`, `--filter KIND`,
-//! `--stability`, and `--sample N`; see `docs/OBSERVABILITY.md`.
+//! `--stability`, `--sample N`, and the trace-diff mode `--diff A [B]`
+//! (with `--json`, `--ignore`, `--max-divergences`, `--context` and
+//! `--update-golden`); see `docs/OBSERVABILITY.md`.
 //!
 //! Each command declares its flags in a [`FlagSpec`] table; unknown flags
 //! and malformed values are rejected with exit code 2 rather than silently
@@ -41,15 +43,14 @@ use hinet::cluster::clustering::ClusteringKind;
 use hinet::cluster::ctvg::{CtvgTrace, FlatProvider, HierarchyProvider};
 use hinet::cluster::generators::{ClusteredMobilityGen, HiNetConfig, HiNetGen};
 use hinet::cluster::stability::trace_stability_windows;
-use hinet::core::params::{alg1_plan, klo_plan, remark1_phases, required_phase_length, PhasePlan};
-use hinet::core::runner::{run_algorithm_traced, AlgorithmKind};
 use hinet::graph::generators::{
     BackboneKind, EdgeMarkovianGen, ManhattanConfig, ManhattanGen, OneIntervalGen,
     RandomWaypointGen, TIntervalGen, WaypointConfig,
 };
+use hinet::rt::obs::diff::{diff_traces, DiffConfig};
 use hinet::rt::obs::{ObsConfig, ParsedTrace, TraceSummary, Tracer};
-use hinet::sim::engine::{RunConfig, RunReport};
-use hinet::sim::token::round_robin_assignment;
+use hinet::scenario::{Scenario, ScenarioReport};
+use hinet::sim::engine::RunReport;
 use hinet_rt::flags::{flag, parse_flags, FlagSet, FlagSpec};
 use std::process::ExitCode;
 
@@ -65,6 +66,8 @@ USAGE:
   hinet trace [scenario flags as for run] [--in FILE] [--events]
             [--summary] [--out FILE] [--filter KIND] [--stability]
             [--sample N]
+  hinet trace --diff A [B] [--json] [--ignore TIERS]
+            [--max-divergences N] [--context N] [--update-golden]
   hinet audit [--dynamics D] [--n N] [--rounds R] [--seed S]
   hinet bench [--filter S] [--json] [--baseline FILE] ...  (see bench --help)
   hinet help
@@ -124,6 +127,32 @@ const TRACE_FLAGS: &[FlagSpec] = &[
         true,
         "record one in N data events (counters stay exact)",
     ),
+    flag(
+        "diff",
+        true,
+        "diff trace FILE against a second trace (positional) or a live re-run",
+    ),
+    flag("json", false, "with --diff, emit hinet-trace-diff/v1 JSON"),
+    flag(
+        "ignore",
+        true,
+        "with --diff, skip tiers (comma-separated: meta,counters,events)",
+    ),
+    flag(
+        "max-divergences",
+        true,
+        "with --diff, cap reported divergences [16]",
+    ),
+    flag(
+        "context",
+        true,
+        "with --diff, events of context around the first divergence [3]",
+    ),
+    flag(
+        "update-golden",
+        false,
+        "with --diff (live form), overwrite FILE with the re-run on divergence",
+    ),
 ];
 
 const AUDIT_FLAGS: &[FlagSpec] = &[
@@ -147,7 +176,8 @@ enum Command {
         dir: Option<String>,
     },
     Run(FlagSet),
-    Trace(FlagSet),
+    /// Positionals (only the optional second trace of `--diff`) + flags.
+    Trace(Vec<String>, FlagSet),
     Audit(FlagSet),
     /// Raw args, forwarded to `hinet_bench::cli` (which owns the flag table).
     Bench(Vec<String>),
@@ -189,8 +219,15 @@ impl Command {
             }
             "trace" => {
                 let (pos, flags) = parse_flags(TRACE_FLAGS, rest)?;
-                reject_positionals("trace", &pos)?;
-                Ok(Command::Trace(flags))
+                if flags.get("diff").is_none() {
+                    reject_positionals("trace", &pos)?;
+                } else if pos.len() > 1 {
+                    return Err(format!(
+                        "trace --diff takes at most one extra trace, got {}",
+                        pos.len()
+                    ));
+                }
+                Ok(Command::Trace(pos, flags))
             }
             "audit" => {
                 let (pos, flags) = parse_flags(AUDIT_FLAGS, rest)?;
@@ -259,135 +296,6 @@ fn cmd_export(dir: Option<&String>) -> ExitCode {
     }
 }
 
-/// The scenario shared by `hinet run` and `hinet trace`: parameters, the
-/// derived phase length / round budget, and the provider/algorithm
-/// factories (all deterministic in `seed`, so two providers built from the
-/// same scenario replay identical dynamics).
-struct Scenario {
-    n: usize,
-    k: usize,
-    alpha: usize,
-    l: usize,
-    theta: usize,
-    seed: u64,
-    algorithm: String,
-    dynamics: String,
-    /// Required phase length `T = k + α·L`.
-    t: usize,
-    /// Hard round budget for unbounded baselines.
-    budget: usize,
-}
-
-impl Scenario {
-    fn from_flags(flags: &FlagSet) -> Result<Scenario, String> {
-        let n = flags.parsed("n", 100usize)?;
-        let k = flags.parsed("k", 8usize)?;
-        let alpha = flags.parsed("alpha", 5usize)?;
-        let l = flags.parsed("l", 2usize)?;
-        let theta = flags.parsed("theta", (n / 3).max(1))?;
-        let seed = flags.parsed("seed", 42u64)?;
-        let t = required_phase_length(k, alpha, l);
-        Ok(Scenario {
-            n,
-            k,
-            alpha,
-            l,
-            theta,
-            seed,
-            algorithm: flags.get("algorithm").unwrap_or("alg1").to_string(),
-            dynamics: flags.get("dynamics").unwrap_or("hinet").to_string(),
-            t,
-            budget: 4 * n + 4 * t,
-        })
-    }
-
-    fn kind(&self) -> Result<AlgorithmKind, String> {
-        let (n, k, alpha, l, theta, t) = (self.n, self.k, self.alpha, self.l, self.theta, self.t);
-        Ok(match self.algorithm.as_str() {
-            "alg1" => AlgorithmKind::HiNetPhased(alg1_plan(k, alpha, l, theta)),
-            "remark1" => AlgorithmKind::HiNetRemark1(PhasePlan {
-                rounds_per_phase: t,
-                phases: remark1_phases(theta, alpha),
-            }),
-            "alg2" => AlgorithmKind::HiNetFullExchange { rounds: n - 1 },
-            "alg2-mh" => AlgorithmKind::HiNetFullExchangeMH { rounds: n - 1 },
-            "klo-phased" => AlgorithmKind::KloPhased(klo_plan(k, alpha, l, n)),
-            "klo-flood" => AlgorithmKind::KloFlood { rounds: n - 1 },
-            "gossip" => AlgorithmKind::Gossip {
-                rounds: self.budget,
-                seed: self.seed,
-            },
-            "kactive" => AlgorithmKind::KActiveFlood {
-                activity: n / 2,
-                rounds: self.budget,
-            },
-            "delta" => AlgorithmKind::DeltaFlood {
-                rounds: self.budget,
-            },
-            other => return Err(format!("unknown algorithm '{other}'")),
-        })
-    }
-
-    fn provider(&self, kind: &AlgorithmKind) -> Result<Box<dyn HierarchyProvider>, String> {
-        let (n, l, theta, seed) = (self.n, self.l, self.theta, self.seed);
-        Ok(match self.dynamics.as_str() {
-            "hinet" => {
-                let num_heads = (theta / 2).clamp(1, theta);
-                Box::new(HiNetGen::new(HiNetConfig {
-                    n,
-                    num_heads,
-                    theta,
-                    l,
-                    t: if matches!(kind, AlgorithmKind::HiNetFullExchange { .. }) {
-                        1
-                    } else {
-                        self.t
-                    },
-                    reaffil_prob: 0.1,
-                    rotate_heads: true,
-                    noise_edges: n / 5,
-                    seed,
-                }))
-            }
-            "flat-t" => Box::new(FlatProvider::new(TIntervalGen::new(
-                n,
-                self.t,
-                BackboneKind::Path,
-                n / 5,
-                seed,
-            ))),
-            "flat-1" => Box::new(FlatProvider::new(OneIntervalGen::new(n, true, n / 5, seed))),
-            "waypoint" => Box::new(ClusteredMobilityGen::new(
-                RandomWaypointGen::new(n, WaypointConfig::default(), seed),
-                ClusteringKind::LowestId,
-                true,
-            )),
-            "manhattan" => Box::new(ClusteredMobilityGen::new(
-                ManhattanGen::new(n, ManhattanConfig::default(), seed),
-                ClusteringKind::LowestId,
-                true,
-            )),
-            "emdg" => Box::new(ClusteredMobilityGen::new(
-                EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed),
-                ClusteringKind::GreedyDominating,
-                true,
-            )),
-            other => return Err(format!("unknown dynamics '{other}'")),
-        })
-    }
-
-    /// Attach the scenario parameters to a trace's header metadata.
-    fn stamp_meta(&self, tracer: &mut Tracer) {
-        tracer.meta("dynamics", self.dynamics.as_str());
-        tracer.meta("n", self.n.to_string());
-        tracer.meta("k", self.k.to_string());
-        tracer.meta("alpha", self.alpha.to_string());
-        tracer.meta("l", self.l.to_string());
-        tracer.meta("theta", self.theta.to_string());
-        tracer.meta("seed", self.seed.to_string());
-    }
-}
-
 fn print_report(sc: &Scenario, label: &str, report: &RunReport) {
     println!(
         "algorithm: {label}  dynamics: {}  n={} k={} α={} L={} θ={} seed={}",
@@ -426,79 +334,32 @@ fn write_trace(path: &str, tracer: &Tracer) -> Result<(), String> {
 }
 
 fn cmd_run(flags: &FlagSet) -> ExitCode {
-    let sc = match Scenario::from_flags(flags) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
-    };
-    let assignment = round_robin_assignment(sc.n, sc.k);
     let want_trace = flags.has("trace") || flags.get("trace-out").is_some();
-
-    // RLNC runs on its own executor (no round engine, hence no trace).
-    if sc.algorithm == "rlnc" {
-        if want_trace {
-            eprintln!("--trace is not supported for rlnc (it bypasses the round engine)");
-            return ExitCode::from(2);
-        }
-        let mut provider: Box<dyn hinet::graph::trace::TopologyProvider> = match sc
-            .dynamics
-            .as_str()
-        {
-            "flat-1" | "hinet" => Box::new(OneIntervalGen::new(sc.n, true, sc.n / 5, sc.seed)),
-            "flat-t" => Box::new(TIntervalGen::new(
-                sc.n,
-                sc.t,
-                BackboneKind::Path,
-                sc.n / 5,
-                sc.seed,
-            )),
-            "waypoint" => Box::new(RandomWaypointGen::new(
-                sc.n,
-                WaypointConfig::default(),
-                sc.seed,
-            )),
-            "manhattan" => Box::new(ManhattanGen::new(sc.n, ManhattanConfig::default(), sc.seed)),
-            "emdg" => Box::new(EdgeMarkovianGen::new(
-                sc.n, 0.002, 0.05, 0.04, true, sc.seed,
-            )),
-            other => {
-                eprintln!("unknown dynamics '{other}'");
-                return ExitCode::from(2);
-            }
-        };
-        let r = hinet::core::netcode::run_rlnc(provider.as_mut(), &assignment, sc.budget, sc.seed);
-        println!(
-            "algorithm: rlnc  dynamics: {}  n={} k={} seed={}",
-            sc.dynamics, sc.n, sc.k, sc.seed
-        );
-        println!(
-            "completed: {}  rounds: {:?}  coded packets: {}",
-            r.completed(),
-            r.completion_round,
-            r.packets_sent
-        );
-        return ExitCode::SUCCESS;
-    }
-
     let run = || -> Result<(), String> {
-        let kind = sc.kind()?;
-        let mut provider = sc.provider(&kind)?;
+        let sc = Scenario::from_flags(flags)?;
         let mut tracer = if want_trace {
             Tracer::new(ObsConfig::full())
         } else {
             Tracer::disabled()
         };
-        sc.stamp_meta(&mut tracer);
-        let report = run_algorithm_traced(
-            &kind,
-            provider.as_mut(),
-            &assignment,
-            RunConfig::new().max_rounds(sc.budget),
-            &mut tracer,
-        );
-        print_report(&sc, kind.label(), &report);
+        let report = sc.run_traced(&mut tracer)?;
+        match &report {
+            ScenarioReport::Engine(r) => {
+                print_report(&sc, sc.kind()?.label(), r);
+            }
+            ScenarioReport::Rlnc(r) => {
+                println!(
+                    "algorithm: rlnc  dynamics: {}  n={} k={} seed={}",
+                    sc.dynamics, sc.n, sc.k, sc.seed
+                );
+                println!(
+                    "completed: {}  rounds: {:?}  coded packets: {}",
+                    r.completed(),
+                    r.completion_round,
+                    r.packets_sent
+                );
+            }
+        }
         if want_trace {
             let path = flags.get("trace-out").unwrap_or("target/trace/run.jsonl");
             write_trace(path, &tracer)?;
@@ -534,7 +395,12 @@ fn print_summary(summary: &TraceSummary, report: Option<&RunReport>) {
     }
 }
 
-fn cmd_trace(flags: &FlagSet) -> ExitCode {
+fn cmd_trace(pos: &[String], flags: &FlagSet) -> ExitCode {
+    // Mode 0: structured comparison of two traces (or trace vs live re-run).
+    if let Some(a_path) = flags.get("diff") {
+        return cmd_trace_diff(a_path, pos.first().map(String::as_str), flags);
+    }
+
     let events_wanted = flags.has("events");
     let summary_wanted = flags.has("summary");
     let filter = flags.get("filter");
@@ -572,31 +438,23 @@ fn cmd_trace(flags: &FlagSet) -> ExitCode {
     }
 
     // Mode 2: run the scenario with tracing on.
-    let run = || -> Result<(Scenario, Tracer, RunReport), String> {
+    let run = || -> Result<(Scenario, Tracer, ScenarioReport), String> {
         let sc = Scenario::from_flags(flags)?;
-        if sc.algorithm == "rlnc" {
-            return Err("trace does not support rlnc (it bypasses the round engine)".into());
+        if flags.has("stability") && sc.algorithm == "rlnc" {
+            return Err(
+                "--stability is not supported for rlnc (no cluster hierarchy to verify)".into(),
+            );
         }
-        let kind = sc.kind()?;
-        let mut provider = sc.provider(&kind)?;
         let mut tracer = match flags.get("sample") {
             Some(_) => Tracer::new(ObsConfig::sampled(flags.parsed("sample", 1u32)?)),
             None => Tracer::new(ObsConfig::full()),
         };
-        sc.stamp_meta(&mut tracer);
-        let assignment = round_robin_assignment(sc.n, sc.k);
-        let report = run_algorithm_traced(
-            &kind,
-            provider.as_mut(),
-            &assignment,
-            RunConfig::new().max_rounds(sc.budget),
-            &mut tracer,
-        );
+        let report = sc.run_traced(&mut tracer)?;
         if flags.has("stability") {
             // Providers are deterministic in the scenario seed, so a fresh
             // one replays the run's dynamics for post-hoc verification.
-            let mut replay = sc.provider(&kind)?;
-            let trace = CtvgTrace::capture(replay.as_mut(), report.rounds_executed.max(1));
+            let mut replay = sc.provider(&sc.kind()?)?;
+            let trace = CtvgTrace::capture(replay.as_mut(), report.rounds_executed().max(1));
             trace_stability_windows(&trace, sc.t, sc.l, &mut tracer);
         }
         Ok((sc, tracer, report))
@@ -613,7 +471,7 @@ fn cmd_trace(flags: &FlagSet) -> ExitCode {
         "traced {} on {}: {} rounds, {} events recorded",
         sc.algorithm,
         sc.dynamics,
-        report.rounds_executed,
+        report.rounds_executed(),
         tracer.len(),
     );
     if let Some(path) = flags.get("out") {
@@ -630,9 +488,84 @@ fn cmd_trace(flags: &FlagSet) -> ExitCode {
         }
     }
     if summary_wanted || (!events_wanted && flags.get("out").is_none()) {
-        print_summary(&TraceSummary::from_tracer(&tracer), Some(&report));
+        print_summary(&TraceSummary::from_tracer(&tracer), report.engine());
     }
     ExitCode::SUCCESS
+}
+
+/// `hinet trace --diff A [B]`: compare trace `A` against trace `B`, or —
+/// when `B` is omitted — against a live re-run of the scenario recorded in
+/// `A`'s own metadata (the golden-trace workflow). Exit codes: 0 identical,
+/// 1 divergent, 2 usage/IO error.
+fn cmd_trace_diff(a_path: &str, b_path: Option<&str>, flags: &FlagSet) -> ExitCode {
+    let load = |path: &str| -> Result<ParsedTrace, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        ParsedTrace::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let run = || -> Result<(hinet::rt::obs::diff::DiffReport, Option<String>, String), String> {
+        let a = load(a_path)?;
+        // Side B: a second artifact, or a live re-run of A's scenario.
+        let (b, live_jsonl, b_label) = match b_path {
+            Some(path) => (load(path)?, None, path.to_string()),
+            None => {
+                let sc = Scenario::from_meta(&a)?;
+                let mut tracer = Tracer::new(ObsConfig::full());
+                sc.run_traced(&mut tracer)?;
+                let jsonl = tracer.to_jsonl();
+                let parsed =
+                    ParsedTrace::parse_jsonl(&jsonl).map_err(|e| format!("live re-run: {e}"))?;
+                (parsed, Some(jsonl), "live re-run".to_string())
+            }
+        };
+        let mut cfg = DiffConfig::default();
+        if let Some(spec) = flags.get("ignore") {
+            cfg = cfg.with_ignores(spec)?;
+        }
+        cfg.max_divergences = flags.parsed("max-divergences", cfg.max_divergences)?;
+        cfg.context = flags.parsed("context", cfg.context)?;
+        Ok((diff_traces(&a, &b, &cfg), live_jsonl, b_label))
+    };
+    let (report, live_jsonl, b_label) = match run() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if flags.has("update-golden") {
+        let Some(jsonl) = live_jsonl else {
+            eprintln!(
+                "--update-golden requires the live re-run form (hinet trace --diff FILE, \
+                 no second trace)"
+            );
+            return ExitCode::from(2);
+        };
+        if report.is_empty() {
+            println!("golden {a_path} is up to date");
+        } else if let Err(e) = std::fs::write(a_path, jsonl) {
+            eprintln!("cannot update {a_path}: {e}");
+            return ExitCode::from(2);
+        } else {
+            println!(
+                "updated golden {a_path} ({} divergence(s) resolved)",
+                report.divergences.len() + report.truncated
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if flags.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("diff: {a_path} vs {b_label}");
+        print!("{}", report.to_text());
+    }
+    if report.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 fn cmd_audit(flags: &FlagSet) -> ExitCode {
@@ -717,7 +650,7 @@ fn main() -> ExitCode {
         Command::Experiments { wanted } => cmd_experiments(&wanted),
         Command::Export { dir } => cmd_export(dir.as_ref()),
         Command::Run(flags) => cmd_run(&flags),
-        Command::Trace(flags) => cmd_trace(&flags),
+        Command::Trace(pos, flags) => cmd_trace(&pos, &flags),
         Command::Audit(flags) => cmd_audit(&flags),
         Command::Bench(args) => hinet_bench::cli::run_from_args(&args),
         Command::Help => {

@@ -1,0 +1,405 @@
+//! The seeded scenario shared by `hinet run`, `hinet trace` and the
+//! trace-diff engine.
+//!
+//! A [`Scenario`] is the full parameterisation of one simulation —
+//! algorithm, dynamics model, `n`/`k`/`α`/`L`/`θ` and the RNG seed — with
+//! every derived quantity (phase length `T`, round budget) computed from
+//! it. Everything downstream is deterministic in these fields, which is
+//! what makes traces *diffable*: two runs of the same scenario must
+//! produce byte-identical `hinet-trace/v1` artifacts, so any divergence is
+//! a behaviour change, not noise.
+//!
+//! The struct is constructed either from CLI flags
+//! ([`Scenario::from_flags`]) or from a trace's own header metadata
+//! ([`Scenario::from_meta`]) — the latter is how `hinet trace --diff A`
+//! re-runs a golden trace's scenario live without the caller restating the
+//! parameters.
+
+use hinet_cluster::clustering::ClusteringKind;
+use hinet_cluster::ctvg::{FlatProvider, HierarchyProvider};
+use hinet_cluster::generators::{ClusteredMobilityGen, HiNetConfig, HiNetGen};
+use hinet_core::netcode::{run_rlnc_traced, RlncReport};
+use hinet_core::params::{alg1_plan, klo_plan, remark1_phases, required_phase_length, PhasePlan};
+use hinet_core::runner::{run_algorithm_traced, AlgorithmKind};
+use hinet_graph::generators::{
+    BackboneKind, EdgeMarkovianGen, ManhattanConfig, ManhattanGen, OneIntervalGen,
+    RandomWaypointGen, TIntervalGen, WaypointConfig,
+};
+use hinet_graph::trace::TopologyProvider;
+use hinet_rt::flags::FlagSet;
+use hinet_rt::obs::{ParsedTrace, Tracer};
+use hinet_sim::engine::{CostWeights, RunConfig, RunReport};
+use hinet_sim::token::round_robin_assignment;
+
+/// One simulation's full parameterisation (see the module docs). Both
+/// providers and protocols built from a scenario are deterministic in
+/// `seed`, so two instances replay identical dynamics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Node count.
+    pub n: usize,
+    /// Token universe size.
+    pub k: usize,
+    /// Progress coefficient `α`.
+    pub alpha: usize,
+    /// Hop bound `L`.
+    pub l: usize,
+    /// Head-capable pool size `θ`.
+    pub theta: usize,
+    /// RNG seed for dynamics and randomised algorithms.
+    pub seed: u64,
+    /// Algorithm selector, by CLI name (`alg1`, `remark1`, `alg2`,
+    /// `alg2-mh`, `klo-phased`, `klo-flood`, `gossip`, `kactive`, `delta`,
+    /// `rlnc`).
+    pub algorithm: String,
+    /// Dynamics model, by CLI name (`hinet`, `flat-t`, `flat-1`,
+    /// `waypoint`, `manhattan`, `emdg`).
+    pub dynamics: String,
+    /// Required phase length `T = k + α·L`.
+    pub t: usize,
+    /// Hard round budget for unbounded baselines.
+    pub budget: usize,
+}
+
+/// Outcome of [`Scenario::run_traced`]: the engine report for
+/// token-forwarding algorithms, or the network-coding report for `rlnc`.
+#[derive(Clone, Debug)]
+pub enum ScenarioReport {
+    /// A round-engine run ([`hinet_sim::engine::Engine`]).
+    Engine(RunReport),
+    /// An RLNC run ([`hinet_core::netcode::run_rlnc_traced`]).
+    Rlnc(RlncReport),
+}
+
+impl ScenarioReport {
+    /// Whether dissemination completed.
+    pub fn completed(&self) -> bool {
+        match self {
+            ScenarioReport::Engine(r) => r.completed(),
+            ScenarioReport::Rlnc(r) => r.completed(),
+        }
+    }
+
+    /// Rounds executed.
+    pub fn rounds_executed(&self) -> usize {
+        match self {
+            ScenarioReport::Engine(r) => r.rounds_executed,
+            ScenarioReport::Rlnc(r) => r.rounds_executed,
+        }
+    }
+
+    /// Round at which dissemination completed, if it did.
+    pub fn completion_round(&self) -> Option<usize> {
+        match self {
+            ScenarioReport::Engine(r) => r.completion_round,
+            ScenarioReport::Rlnc(r) => r.completion_round,
+        }
+    }
+
+    /// The engine report, when the scenario ran on the round engine.
+    pub fn engine(&self) -> Option<&RunReport> {
+        match self {
+            ScenarioReport::Engine(r) => Some(r),
+            ScenarioReport::Rlnc(_) => None,
+        }
+    }
+
+    /// The RLNC report, when the scenario ran the coded executor.
+    pub fn rlnc(&self) -> Option<&RlncReport> {
+        match self {
+            ScenarioReport::Engine(_) => None,
+            ScenarioReport::Rlnc(r) => Some(r),
+        }
+    }
+}
+
+impl Scenario {
+    /// Build from parsed CLI flags, applying the documented defaults
+    /// (`n=100`, `k=8`, `α=5`, `L=2`, `θ=n/3`, `seed=42`, `alg1` on
+    /// `hinet` dynamics).
+    pub fn from_flags(flags: &FlagSet) -> Result<Scenario, String> {
+        let n = flags.parsed("n", 100usize)?;
+        let k = flags.parsed("k", 8usize)?;
+        let alpha = flags.parsed("alpha", 5usize)?;
+        let l = flags.parsed("l", 2usize)?;
+        let theta = flags.parsed("theta", (n / 3).max(1))?;
+        let seed = flags.parsed("seed", 42u64)?;
+        let t = required_phase_length(k, alpha, l);
+        Ok(Scenario {
+            n,
+            k,
+            alpha,
+            l,
+            theta,
+            seed,
+            algorithm: flags.get("algorithm").unwrap_or("alg1").to_string(),
+            dynamics: flags.get("dynamics").unwrap_or("hinet").to_string(),
+            t,
+            budget: 4 * n + 4 * t,
+        })
+    }
+
+    /// Reconstruct the scenario a trace was recorded under, from the meta
+    /// stamps written by [`Scenario::stamp_meta`]. This is how
+    /// `hinet trace --diff A` re-runs `A`'s scenario live.
+    pub fn from_meta(trace: &ParsedTrace) -> Result<Scenario, String> {
+        let get = |key: &str| -> Result<&str, String> {
+            trace.meta_get(key).ok_or(format!(
+                "trace header lacks meta '{key}' — re-record it with this version of hinet"
+            ))
+        };
+        let num = |key: &str| -> Result<usize, String> {
+            get(key)?
+                .parse()
+                .map_err(|e| format!("trace meta '{key}': {e}"))
+        };
+        // `scenario` first: it is the stamp old artifacts lack, so its
+        // absence gives the most useful error.
+        let algorithm = get("scenario")?.to_string();
+        let dynamics = get("dynamics")?.to_string();
+        let (n, k, alpha, l) = (num("n")?, num("k")?, num("alpha")?, num("l")?);
+        let t = required_phase_length(k, alpha, l);
+        Ok(Scenario {
+            n,
+            k,
+            alpha,
+            l,
+            theta: num("theta")?,
+            seed: get("seed")?
+                .parse()
+                .map_err(|e| format!("trace meta 'seed': {e}"))?,
+            algorithm,
+            dynamics,
+            t,
+            budget: 4 * n + 4 * t,
+        })
+    }
+
+    /// The algorithm selector with its derived parameterisation. Errors on
+    /// unknown names and on `rlnc`, which runs outside the round engine
+    /// (see [`Scenario::run_traced`]).
+    pub fn kind(&self) -> Result<AlgorithmKind, String> {
+        let (n, k, alpha, l, theta, t) = (self.n, self.k, self.alpha, self.l, self.theta, self.t);
+        Ok(match self.algorithm.as_str() {
+            "alg1" => AlgorithmKind::HiNetPhased(alg1_plan(k, alpha, l, theta)),
+            "remark1" => AlgorithmKind::HiNetRemark1(PhasePlan {
+                rounds_per_phase: t,
+                phases: remark1_phases(theta, alpha),
+            }),
+            "alg2" => AlgorithmKind::HiNetFullExchange { rounds: n - 1 },
+            "alg2-mh" => AlgorithmKind::HiNetFullExchangeMH { rounds: n - 1 },
+            "klo-phased" => AlgorithmKind::KloPhased(klo_plan(k, alpha, l, n)),
+            "klo-flood" => AlgorithmKind::KloFlood { rounds: n - 1 },
+            "gossip" => AlgorithmKind::Gossip {
+                rounds: self.budget,
+                seed: self.seed,
+            },
+            "kactive" => AlgorithmKind::KActiveFlood {
+                activity: n / 2,
+                rounds: self.budget,
+            },
+            "delta" => AlgorithmKind::DeltaFlood {
+                rounds: self.budget,
+            },
+            other => return Err(format!("unknown algorithm '{other}'")),
+        })
+    }
+
+    /// The hierarchy-carrying dynamics provider for round-engine runs.
+    pub fn provider(&self, kind: &AlgorithmKind) -> Result<Box<dyn HierarchyProvider>, String> {
+        let (n, l, theta, seed) = (self.n, self.l, self.theta, self.seed);
+        Ok(match self.dynamics.as_str() {
+            "hinet" => {
+                let num_heads = (theta / 2).clamp(1, theta);
+                Box::new(HiNetGen::new(HiNetConfig {
+                    n,
+                    num_heads,
+                    theta,
+                    l,
+                    t: if matches!(kind, AlgorithmKind::HiNetFullExchange { .. }) {
+                        1
+                    } else {
+                        self.t
+                    },
+                    reaffil_prob: 0.1,
+                    rotate_heads: true,
+                    noise_edges: n / 5,
+                    seed,
+                }))
+            }
+            "flat-t" => Box::new(FlatProvider::new(TIntervalGen::new(
+                n,
+                self.t,
+                BackboneKind::Path,
+                n / 5,
+                seed,
+            ))),
+            "flat-1" => Box::new(FlatProvider::new(OneIntervalGen::new(n, true, n / 5, seed))),
+            "waypoint" => Box::new(ClusteredMobilityGen::new(
+                RandomWaypointGen::new(n, WaypointConfig::default(), seed),
+                ClusteringKind::LowestId,
+                true,
+            )),
+            "manhattan" => Box::new(ClusteredMobilityGen::new(
+                ManhattanGen::new(n, ManhattanConfig::default(), seed),
+                ClusteringKind::LowestId,
+                true,
+            )),
+            "emdg" => Box::new(ClusteredMobilityGen::new(
+                EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed),
+                ClusteringKind::GreedyDominating,
+                true,
+            )),
+            other => return Err(format!("unknown dynamics '{other}'")),
+        })
+    }
+
+    /// The flat (hierarchy-free) dynamics provider RLNC broadcasts over.
+    /// `hinet` maps to the 1-interval generator — coded dissemination
+    /// ignores cluster structure, so only connectivity matters.
+    pub fn rlnc_provider(&self) -> Result<Box<dyn TopologyProvider>, String> {
+        let (n, seed) = (self.n, self.seed);
+        Ok(match self.dynamics.as_str() {
+            "flat-1" | "hinet" => Box::new(OneIntervalGen::new(n, true, n / 5, seed)),
+            "flat-t" => Box::new(TIntervalGen::new(
+                n,
+                self.t,
+                BackboneKind::Path,
+                n / 5,
+                seed,
+            )),
+            "waypoint" => Box::new(RandomWaypointGen::new(n, WaypointConfig::default(), seed)),
+            "manhattan" => Box::new(ManhattanGen::new(n, ManhattanConfig::default(), seed)),
+            "emdg" => Box::new(EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed)),
+            other => return Err(format!("unknown dynamics '{other}'")),
+        })
+    }
+
+    /// Attach the scenario parameters to a trace's header metadata. The
+    /// `scenario` key records the CLI algorithm name (distinct from the
+    /// `algorithm` label the runner stamps), so [`Scenario::from_meta`]
+    /// can rebuild this exact struct from the artifact alone.
+    pub fn stamp_meta(&self, tracer: &mut Tracer) {
+        tracer.meta("scenario", self.algorithm.as_str());
+        tracer.meta("dynamics", self.dynamics.as_str());
+        tracer.meta("n", self.n.to_string());
+        tracer.meta("k", self.k.to_string());
+        tracer.meta("alpha", self.alpha.to_string());
+        tracer.meta("l", self.l.to_string());
+        tracer.meta("theta", self.theta.to_string());
+        tracer.meta("seed", self.seed.to_string());
+    }
+
+    /// Execute the scenario, streaming events and meta stamps into
+    /// `tracer`: the engine path for token-forwarding algorithms, the
+    /// coded executor for `rlnc`. All runs use the default round-robin
+    /// token assignment and [`CostWeights::default`].
+    pub fn run_traced(&self, tracer: &mut Tracer) -> Result<ScenarioReport, String> {
+        self.stamp_meta(tracer);
+        let assignment = round_robin_assignment(self.n, self.k);
+        if self.algorithm == "rlnc" {
+            let mut provider = self.rlnc_provider()?;
+            let report = run_rlnc_traced(
+                provider.as_mut(),
+                &assignment,
+                self.budget,
+                self.seed,
+                CostWeights::default(),
+                tracer,
+            );
+            return Ok(ScenarioReport::Rlnc(report));
+        }
+        let kind = self.kind()?;
+        let mut provider = self.provider(&kind)?;
+        let report = run_algorithm_traced(
+            &kind,
+            provider.as_mut(),
+            &assignment,
+            RunConfig::new().max_rounds(self.budget),
+            tracer,
+        );
+        Ok(ScenarioReport::Engine(report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinet_rt::obs::{ObsConfig, ParsedTrace};
+
+    fn small(algorithm: &str, dynamics: &str) -> Scenario {
+        let (k, alpha, l) = (3, 2, 2);
+        let t = required_phase_length(k, alpha, l);
+        Scenario {
+            n: 20,
+            k,
+            alpha,
+            l,
+            theta: 7,
+            seed: 11,
+            algorithm: algorithm.into(),
+            dynamics: dynamics.into(),
+            t,
+            budget: 4 * 20 + 4 * t,
+        }
+    }
+
+    #[test]
+    fn meta_round_trips_through_a_trace() {
+        let sc = small("alg1", "hinet");
+        let mut tracer = Tracer::new(ObsConfig::full());
+        sc.run_traced(&mut tracer).unwrap();
+        let parsed = ParsedTrace::parse_jsonl(&tracer.to_jsonl()).unwrap();
+        let rebuilt = Scenario::from_meta(&parsed).unwrap();
+        assert_eq!(rebuilt, sc);
+        // The runner's label rides along, distinct from the CLI name.
+        assert_eq!(parsed.meta_get("scenario"), Some("alg1"));
+        assert_eq!(parsed.meta_get("algorithm"), Some("alg1-hinet-phased"));
+        assert_eq!(parsed.meta_get("token_bytes"), Some("16"));
+    }
+
+    #[test]
+    fn rlnc_runs_traced_end_to_end() {
+        let sc = small("rlnc", "flat-1");
+        let mut tracer = Tracer::new(ObsConfig::full());
+        let report = sc.run_traced(&mut tracer).unwrap();
+        assert!(report.completed());
+        assert!(report.rlnc().is_some());
+        let parsed = ParsedTrace::parse_jsonl(&tracer.to_jsonl()).unwrap();
+        assert_eq!(parsed.meta_get("algorithm"), Some("rlnc"));
+        assert_eq!(
+            parsed.counters.packets_sent,
+            report.rlnc().unwrap().packets_sent
+        );
+        assert_eq!(Scenario::from_meta(&parsed).unwrap(), sc);
+    }
+
+    #[test]
+    fn same_scenario_reruns_identically() {
+        let sc = small("klo-flood", "flat-1");
+        let run = || {
+            let mut tracer = Tracer::new(ObsConfig::full());
+            sc.run_traced(&mut tracer).unwrap();
+            tracer.to_jsonl()
+        };
+        assert_eq!(run(), run(), "traces must be byte-identical per seed");
+    }
+
+    #[test]
+    fn from_meta_rejects_untagged_traces() {
+        let mut tracer = Tracer::new(ObsConfig::full());
+        tracer.meta("algorithm", "alg1-hinet-phased");
+        tracer.run_end(0, true);
+        let parsed = ParsedTrace::parse_jsonl(&tracer.to_jsonl()).unwrap();
+        let err = Scenario::from_meta(&parsed).unwrap_err();
+        assert!(err.contains("scenario"), "{err}");
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(small("magic", "hinet").kind().is_err());
+        let sc = small("alg1", "mystery");
+        assert!(sc.provider(&sc.kind().unwrap()).is_err());
+        assert!(small("rlnc", "mystery").rlnc_provider().is_err());
+    }
+}

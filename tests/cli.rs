@@ -212,19 +212,153 @@ fn trace_stability_reports_windows() {
 }
 
 #[test]
-fn trace_rejects_rlnc_and_bad_input_file() {
+fn trace_supports_rlnc_end_to_end() {
     let out = hinet()
-        .args(["trace", "--algorithm", "rlnc"])
+        .args([
+            "trace",
+            "--algorithm",
+            "rlnc",
+            "--dynamics",
+            "flat-1",
+            "--n",
+            "16",
+            "--k",
+            "4",
+            "--seed",
+            "5",
+            "--summary",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("traced rlnc"), "{text}");
+    assert!(text.contains("head_broadcast"), "{text}");
+
+    // But stability verification still has no meaning for a flat coded run.
+    let out = hinet()
+        .args(["trace", "--algorithm", "rlnc", "--stability"])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8(out.stderr).unwrap().contains("rlnc"));
+}
 
+#[test]
+fn trace_rejects_bad_input_file() {
     let out = hinet()
         .args(["trace", "--in", "/nonexistent/trace.jsonl"])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
+}
+
+/// The trace-diff acceptance chain: a trace diffed against itself is empty
+/// (exit 0); against a run with one engine parameter changed it exits 1 and
+/// names the first diverging round; `--json` emits the
+/// `hinet-trace-diff/v1` document; the live re-run form reproduces the
+/// artifact from its own metadata.
+#[test]
+fn trace_diff_detects_parameter_changes() {
+    let dir = std::env::temp_dir().join(format!("hinet-cli-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+
+    let record = |path: &std::path::Path, seed: &str| {
+        let out = hinet()
+            .args([
+                "trace",
+                "--n",
+                "30",
+                "--k",
+                "3",
+                "--seed",
+                seed,
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    record(&a, "3");
+    record(&b, "4");
+
+    // Identical traces: exit 0, empty report.
+    let out = hinet()
+        .args(["trace", "--diff", a.to_str().unwrap(), a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("behaviourally identical"));
+
+    // Changed seed: exit 1, first diverging round named.
+    let out = hinet()
+        .args(["trace", "--diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("meta.seed"), "{text}");
+    assert!(text.contains("first diverging round:"), "{text}");
+
+    // Machine-readable form carries the diff schema and divergence list.
+    let out = hinet()
+        .args([
+            "trace",
+            "--diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("hinet-trace-diff/v1"), "{text}");
+    assert!(text.contains("\"equal\": false"), "{text}");
+
+    // Live re-run form: the artifact's own metadata reproduces it.
+    let out = hinet()
+        .args(["trace", "--diff", a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // --update-golden refuses the two-file form.
+    let out = hinet()
+        .args([
+            "trace",
+            "--diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--update-golden",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
