@@ -69,3 +69,38 @@ for golden in tests/golden/*.jsonl; do
     fi
 done
 echo "golden self-diff: OK"
+
+# Chaos smoke: the fault plane must be invisible when disabled — spelling
+# every fault flag out at its default value must yield a byte-identical
+# artifact — and a seeded lossy run must complete under retransmission,
+# report fault counters, and replay byte-for-byte under the same
+# --fault-seed. (The golden self-diff above already pins the zero-fault
+# path against the pre-fault-plane corpus.)
+rm -rf target/ci-chaos
+./target/release/hinet trace --n 24 --k 3 --seed 7 \
+    --out target/ci-chaos/plain.jsonl >/dev/null
+./target/release/hinet trace --n 24 --k 3 --seed 7 \
+    --loss 0 --crash-rate 0 --fault-seed 0 \
+    --out target/ci-chaos/zeroed.jsonl >/dev/null
+cmp -s target/ci-chaos/plain.jsonl target/ci-chaos/zeroed.jsonl || {
+    echo "chaos smoke: zero-valued fault flags perturbed the trace" >&2
+    exit 1
+}
+for i in 1 2; do
+    ./target/release/hinet run --algorithm alg2 --n 24 --k 3 --seed 7 \
+        --loss 0.1 --retransmit --fault-seed 1 \
+        --trace-out "target/ci-chaos/lossy$i.jsonl" >"target/ci-chaos/lossy$i.txt"
+done
+grep -q 'completed: true' target/ci-chaos/lossy1.txt || {
+    echo "chaos smoke: lossy alg2 run with --retransmit did not complete" >&2
+    exit 1
+}
+grep -q 'retransmits' target/ci-chaos/lossy1.txt || {
+    echo "chaos smoke: lossy run reported no fault counters" >&2
+    exit 1
+}
+cmp -s target/ci-chaos/lossy1.jsonl target/ci-chaos/lossy2.jsonl || {
+    echo "chaos smoke: the same --fault-seed produced different traces" >&2
+    exit 1
+}
+echo "chaos smoke: OK"

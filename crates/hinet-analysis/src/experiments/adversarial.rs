@@ -31,19 +31,13 @@ pub fn e13_quiescence_trap() -> ExperimentResult {
 
     let mut table = Table::new(
         format!("Quiescence trap vs benign churn (n={n}, k=1 at node 0, budget {budget} rounds)"),
-        &[
-            "dynamics",
-            "algorithm",
-            "completed",
-            "rounds",
-            "tokens sent",
-        ],
+        &["dynamics", "algorithm", "outcome", "rounds", "tokens sent"],
     );
     let mut record = |dynamics: &str, algorithm: &str, report: &RunReport| {
         table.push_row(vec![
             dynamics.into(),
             algorithm.into(),
-            report.completed().to_string(),
+            report.outcome.to_string(),
             report
                 .completion_round
                 .map_or("never".into(), |r| r.to_string()),
@@ -136,14 +130,16 @@ mod tests {
     fn trap_starves_delta_but_not_flooding() {
         let r = e13_quiescence_trap();
         let t = &r.tables[0];
-        // Row 0: delta on trap — incomplete.
-        assert_eq!(t.cell(0, 2), "false");
+        // Row 0: delta on trap — stalled, and attributably so (no faults
+        // were injected, so the structured outcome names the protocol, not
+        // the round budget's arbitrariness, as what to investigate).
+        assert!(t.cell(0, 2).starts_with("stalled"), "{}", t.cell(0, 2));
         assert_eq!(t.cell(0, 3), "never");
         // Row 1: flooding on trap — complete.
-        assert_eq!(t.cell(1, 2), "true");
+        assert!(t.cell(1, 2).starts_with("completed"), "{}", t.cell(1, 2));
         // Rows 2-3: both complete on benign churn.
-        assert_eq!(t.cell(2, 2), "true");
-        assert_eq!(t.cell(3, 2), "true");
+        assert!(t.cell(2, 2).starts_with("completed"), "{}", t.cell(2, 2));
+        assert!(t.cell(3, 2).starts_with("completed"), "{}", t.cell(3, 2));
     }
 
     #[test]

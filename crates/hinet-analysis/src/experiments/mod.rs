@@ -1,4 +1,4 @@
-//! The experiment registry (E1–E16).
+//! The experiment registry (E1–E17).
 //!
 //! Each experiment regenerates one artifact of the paper's evaluation (or
 //! one of the sweep "figures" the analysis implies but never measured —
@@ -8,6 +8,7 @@
 
 mod adversarial;
 mod analytic;
+mod faults;
 mod lattice;
 mod multihop;
 mod netcode;
@@ -17,6 +18,7 @@ mod sweeps;
 
 pub use adversarial::e13_quiescence_trap;
 pub use analytic::{e1_table2, e2_table3};
+pub use faults::e17_loss_resilience;
 pub use lattice::e4_definition_lattice;
 pub use multihop::e14_multihop_clusters;
 pub use netcode::e15_network_coding;
@@ -164,6 +166,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Figure — dissemination progress curves",
             run: e16_progress_curves,
         },
+        Experiment {
+            id: "E17",
+            title: "Robustness — graceful degradation under message loss",
+            run: e17_loss_resilience,
+        },
     ]
 }
 
@@ -174,13 +181,13 @@ mod tests {
     #[test]
     fn registry_ids_unique_and_ordered() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 16);
+        assert_eq!(exps.len(), 17);
         let ids: Vec<_> = exps.iter().map(|e| e.id).collect();
         let mut sorted = ids.clone();
         sorted.dedup();
         assert_eq!(ids, sorted);
         assert_eq!(ids[0], "E1");
-        assert_eq!(ids[15], "E16");
+        assert_eq!(ids[16], "E17");
     }
 
     #[test]

@@ -176,6 +176,9 @@ pub fn e9_sweep_churn() -> ExperimentResult {
             hinet_comm.to_string(),
             fmt_pct(reduction),
             fmt_pct(measured_reduction),
+            // The structured outcome, not a completed bool: under extreme
+            // churn a stall would be attributable (no faults injected).
+            hinet.run.outcome.to_string(),
         ]
     });
     let mut table = Table::new(
@@ -186,6 +189,7 @@ pub fn e9_sweep_churn() -> ExperimentResult {
             "Alg2 comm",
             "analytic reduction",
             "measured reduction",
+            "Alg2 outcome",
         ],
     );
     for r in rows {
@@ -281,12 +285,19 @@ mod tests {
         let r = e9_sweep_churn();
         assert!(r.notes[0].contains("99"));
         let t = &r.tables[0];
-        // Reduction decreases monotonically with n_r.
+        // Reduction decreases monotonically with n_r, and the outcome
+        // column carries the structured verdict for every churn level.
         let mut prev = f64::INFINITY;
         for row in t.rows() {
             let red = parse_pct(&row[3]);
             assert!(red <= prev);
             prev = red;
+            assert!(
+                row[5].starts_with("completed") || row[5].starts_with("stalled"),
+                "outcome cell at {}: {}",
+                row[0],
+                row[5]
+            );
         }
     }
 

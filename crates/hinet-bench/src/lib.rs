@@ -66,6 +66,11 @@ pub fn suites() -> Vec<Suite> {
             run: suites::sweep_churn::bench,
         },
         Suite {
+            name: "sweep_loss",
+            about: "E17 — degradation under message loss (fault plane + ARQ)",
+            run: suites::sweep_loss::bench,
+        },
+        Suite {
             name: "headline",
             about: "E10 — the headline reduction grid (analytic cost model)",
             run: suites::headline::bench,
@@ -140,10 +145,10 @@ mod tests {
         }
     }
 
-    /// The registry covers exactly the twelve criterion targets that were
-    /// ported (DESIGN.md §4's artifact list).
+    /// The registry covers the twelve ported criterion targets (DESIGN.md
+    /// §4's artifact list) plus the fault-plane degradation sweep.
     #[test]
-    fn registry_has_all_twelve_suites() {
-        assert_eq!(suites().len(), 12);
+    fn registry_has_every_suite() {
+        assert_eq!(suites().len(), 13);
     }
 }

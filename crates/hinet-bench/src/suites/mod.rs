@@ -1,4 +1,4 @@
-//! The twelve benchmark suites, one module per retired criterion target.
+//! The thirteen benchmark suites, one module per retired criterion target.
 //! Register new suites in [`crate::suites()`].
 
 pub mod ablation_remark1;
@@ -10,6 +10,7 @@ pub mod sweep_alpha;
 pub mod sweep_churn;
 pub mod sweep_k;
 pub mod sweep_l;
+pub mod sweep_loss;
 pub mod sweep_n;
 pub mod table2_models;
 pub mod table3_simulated;

@@ -1,0 +1,70 @@
+//! Bench: E17 — degradation under seeded message loss; times the faulted
+//! engine path (loss checks + ARQ retransmission) against the clean one,
+//! and prints the degradation table once.
+
+use crate::small_params;
+use hinet_analysis::experiments::e17_loss_resilience;
+use hinet_analysis::scenarios::{self, heads_for_members};
+use hinet_cluster::generators::{HiNetConfig, HiNetGen};
+use hinet_core::runner::{run_algorithm_faulted, AlgorithmKind};
+use hinet_rt::bench::{Bench, BenchmarkId};
+use hinet_rt::obs::Tracer;
+use hinet_sim::engine::RunConfig;
+use hinet_sim::fault::FaultPlan;
+use hinet_sim::token::round_robin_assignment;
+use std::hint::black_box;
+
+pub fn bench(c: &mut Bench) {
+    c.print_table("sweep_loss", || e17_loss_resilience().to_text());
+    let p = small_params();
+    let n = p.n0 as usize;
+    let budget = 3 * n;
+    let mut group = c.benchmark_group("sweep_loss");
+    group.sample_size(10);
+    // 0 ppm exercises the trivial-plan fast path (the `--baseline` gate's
+    // evidence that the fault plane costs nothing when disabled); the lossy
+    // points pay for per-delivery checks plus the retransmissions they cause.
+    for loss_ppm in [0u32, 50_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("alg2_retransmit", loss_ppm),
+            &loss_ppm,
+            |b, &ppm| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut provider = HiNetGen::new(HiNetConfig {
+                        n,
+                        num_heads: heads_for_members(&p),
+                        theta: p.theta as usize,
+                        l: p.l as usize,
+                        t: 1,
+                        reaffil_prob: 0.1,
+                        rotate_heads: true,
+                        noise_edges: n / 5,
+                        seed,
+                    });
+                    let assignment = round_robin_assignment(n, p.k as usize);
+                    let faults = FaultPlan::new(seed).with_loss_ppm(ppm);
+                    black_box(run_algorithm_faulted(
+                        &AlgorithmKind::HiNetFullExchange { rounds: budget },
+                        &mut provider,
+                        &assignment,
+                        RunConfig::new(),
+                        &faults,
+                        ppm > 0,
+                        &mut Tracer::disabled(),
+                    ))
+                })
+            },
+        );
+    }
+    // The clean reference scenario, for eyeballing the 0-ppm overhead.
+    group.bench_with_input(BenchmarkId::new("alg2_clean", 0u32), &p, |b, p| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenarios::run_hinet_1l(p, seed))
+        })
+    });
+    group.finish();
+}

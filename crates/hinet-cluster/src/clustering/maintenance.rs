@@ -99,6 +99,73 @@ impl LccMaintainer {
     }
 }
 
+/// Repair a hierarchy after node crashes: given per-node `down` flags,
+/// re-elect so that no *live* node depends on a crashed head.
+///
+/// This is the LCC orphan-repair pass specialised for the fault plane's
+/// head-assassination scenarios:
+///
+/// * live heads keep their role; crashed heads are deposed;
+/// * a live node whose head is crashed (or no longer adjacent) joins the
+///   lowest-id adjacent live head, or promotes itself if none is in range
+///   (ascending id, so later orphans can join heads created moments
+///   earlier);
+/// * crashed nodes keep their affiliation while their head stays live, and
+///   otherwise become inert singleton clusters (they neither send nor
+///   receive while down, so no live node ever joins them);
+/// * gateways are re-designated over the repaired assignment with `policy`.
+///
+/// Deterministic: same `(g, h, down)` always yields the same hierarchy.
+///
+/// # Panics
+/// Panics if `down.len() != g.n()` or the hierarchy covers a different
+/// node count.
+pub fn re_elect(g: &Graph, h: &Hierarchy, down: &[bool], policy: GatewayPolicy) -> Hierarchy {
+    let n = g.n();
+    assert_eq!(down.len(), n, "one down flag per node");
+    assert_eq!(h.n(), n, "hierarchy and graph must cover the same nodes");
+
+    let mut is_head = vec![false; n];
+    for u in g.nodes() {
+        if !down[u.index()] && h.is_head(u) {
+            is_head[u.index()] = true;
+        }
+    }
+
+    let mut assignment: Vec<NodeId> = g.nodes().collect();
+    for u in g.nodes() {
+        let i = u.index();
+        if is_head[i] {
+            continue; // assigned to itself already
+        }
+        // The node's current head, if it is still a live, adjacent head.
+        let live_head = h
+            .head_of(u)
+            .filter(|&x| !down[x.index()] && is_head[x.index()] && g.has_edge(u, x));
+        if down[i] {
+            match live_head {
+                Some(x) => assignment[i] = x,
+                // Inert singleton: down nodes never send, and live nodes
+                // never join a down head (the `!down` guard below).
+                None => is_head[i] = true,
+            }
+            continue;
+        }
+        match live_head.or_else(|| {
+            g.neighbors(u)
+                .iter()
+                .copied()
+                .find(|v| !down[v.index()] && is_head[v.index()])
+        }) {
+            Some(x) => assignment[i] = x,
+            None => is_head[i] = true,
+        }
+    }
+
+    let heads: Vec<NodeId> = g.nodes().filter(|u| is_head[u.index()]).collect();
+    assemble(g, &heads, &assignment, policy)
+}
+
 /// Provider adapter: LCC maintenance over any topology provider.
 pub struct LccMobilityGen<P> {
     inner: P,
@@ -237,6 +304,69 @@ mod tests {
             sl.total_reaffiliations,
             sf.total_reaffiliations
         );
+    }
+
+    #[test]
+    fn re_elect_with_nobody_down_changes_nothing() {
+        let g = Graph::path(9);
+        let h = cluster(ClusteringKind::LowestId, &g);
+        let r = re_elect(&g, &h, &vec![false; 9], GatewayPolicy::MinimalPairwise);
+        assert_eq!(r.heads(), h.heads());
+        for u in g.nodes() {
+            assert_eq!(r.head_of(u), h.head_of(u));
+            assert_eq!(r.role(u), h.role(u));
+        }
+    }
+
+    #[test]
+    fn crashed_head_is_deposed_and_members_rehomed() {
+        // Star: head 0, members 1..=4. Kill the head.
+        let g = Graph::star(5);
+        let h = cluster(ClusteringKind::LowestId, &g);
+        assert_eq!(h.heads(), &[NodeId(0)]);
+        let mut down = vec![false; 5];
+        down[0] = true;
+        let r = re_elect(&g, &h, &down, GatewayPolicy::MinimalPairwise);
+        // Leaves are only adjacent to the dead hub, so each self-promotes.
+        for u in 1..5 {
+            assert!(r.is_head(NodeId(u)), "leaf {u} must self-promote");
+        }
+        // The crashed ex-head is parked as an inert singleton.
+        assert!(r.is_head(NodeId(0)));
+        assert_eq!(r.head_of(NodeId(0)), Some(NodeId(0)));
+        assert_eq!(r.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn orphans_join_live_adjacent_head_after_crash() {
+        // Path 0-1-2: lowest-ID gives heads {0, 2}, member 1 under 0.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let h = cluster(ClusteringKind::LowestId, &g);
+        assert_eq!(h.head_of(NodeId(1)), Some(NodeId(0)));
+        let down = vec![true, false, false];
+        let r = re_elect(&g, &h, &down, GatewayPolicy::MinimalPairwise);
+        assert_eq!(
+            r.head_of(NodeId(1)),
+            Some(NodeId(2)),
+            "orphan joins the surviving head"
+        );
+        assert_eq!(r.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn live_nodes_never_join_a_down_singleton() {
+        // Path 0-1-2-3, heads {0, 2}. Crash both heads: 1 and 3 must end
+        // up under live heads (each other or themselves), never under a
+        // crashed node.
+        let g = Graph::path(4);
+        let h = cluster(ClusteringKind::LowestId, &g);
+        let down = vec![true, false, true, false];
+        let r = re_elect(&g, &h, &down, GatewayPolicy::MinimalPairwise);
+        for u in [NodeId(1), NodeId(3)] {
+            let head = r.head_of(u).expect("clustered");
+            assert!(!down[head.index()], "live node {u} joined down head {head}");
+        }
+        assert_eq!(r.validate(&g), Ok(()));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use degree::highest_degree;
 pub use dhop::dhop_lowest_id;
 pub use dominating::greedy_dominating;
 pub use lowest::lowest_id;
-pub use maintenance::{LccMaintainer, LccMobilityGen};
+pub use maintenance::{re_elect, LccMaintainer, LccMobilityGen};
 
 use crate::hierarchy::{ClusterId, Hierarchy, Role};
 use hinet_graph::graph::NodeId;

@@ -4,7 +4,7 @@ use crate::params::PhasePlan;
 use hinet_cluster::hierarchy::Role;
 use hinet_graph::graph::NodeId;
 use hinet_sim::protocol::{Incoming, LocalView, Outgoing, Protocol};
-use hinet_sim::token::{max_not_in_either, min_not_in, TokenId, TokenSet};
+use hinet_sim::token::{max_not_in, max_not_in_either, min_not_in, TokenId, TokenSet};
 
 /// Algorithm 1 of the paper (Fig. 4): k-token dissemination in a
 /// (T, L)-HiNet, `M` phases of `T` rounds each.
@@ -30,10 +30,31 @@ use hinet_sim::token::{max_not_in_either, min_not_in, TokenId, TokenSet};
 /// Nodes whose role changes across phases (head rotation) reset their
 /// per-phase state at the phase boundary, which is exactly when a
 /// (T, L)-HiNet permits the hierarchy to change.
+///
+/// # Retransmission recovery
+///
+/// With [`HiNetPhased::with_retransmit`] the protocol tolerates lossy links
+/// and crash/restart faults that the paper's fault-free model rules out:
+///
+/// * a **member** that has pushed every token at least once falls back to
+///   stop-and-wait ARQ — it re-pushes the largest token the head has not
+///   yet echoed back (the head's broadcast doubles as the acknowledgement)
+///   until the echo arrives;
+/// * a **head** that has drained its broadcast queue starts another pass
+///   over `TA` instead of going silent, so members that lost a broadcast
+///   get it again within the same phase;
+/// * Remark 1's never-re-send economy is suspended: a crash can replace a
+///   "stable" head, so re-affiliated members must re-deliver.
+///
+/// Recovery messages are tagged via [`Outgoing::mark_retransmit`] so the
+/// engine can count them separately; in a fault-free run the protocol's
+/// primary sends are unchanged.
 #[derive(Clone, Debug)]
 pub struct HiNetPhased {
     plan: PhasePlan,
     assume_stable_heads: bool,
+    retransmit: bool,
+    recovery_pass: bool,
     me: NodeId,
     ta: TokenSet,
     ts: TokenSet,
@@ -49,6 +70,8 @@ impl HiNetPhased {
         HiNetPhased {
             plan,
             assume_stable_heads: false,
+            retransmit: false,
+            recovery_pass: false,
             me: NodeId(0),
             ta: TokenSet::new(),
             ts: TokenSet::new(),
@@ -72,6 +95,13 @@ impl HiNetPhased {
         self.plan
     }
 
+    /// Enable (or disable) retransmission recovery for lossy or crash-prone
+    /// runs. See the type-level docs for the recovery rules.
+    pub fn with_retransmit(mut self, on: bool) -> Self {
+        self.retransmit = on;
+        self
+    }
+
     fn phase_start_bookkeeping(&mut self, view: &LocalView<'_>) {
         if !self.plan.is_phase_start(view.round) {
             return;
@@ -80,7 +110,11 @@ impl HiNetPhased {
         match view.role {
             Role::Member => {
                 let head_changed = self.last_head != view.head;
-                let must_reset = role_changed || (head_changed && !self.assume_stable_heads);
+                // Remark 1's never-re-send rule presumes the backbone is
+                // stable forever; under retransmission recovery a head change
+                // may be a crash replacement, so the rule is suspended.
+                let trust_stable_heads = self.assume_stable_heads && !self.retransmit;
+                let must_reset = role_changed || (head_changed && !trust_stable_heads);
                 if must_reset && view.round > 0 {
                     self.ts.clear();
                     self.tr.clear();
@@ -91,6 +125,7 @@ impl HiNetPhased {
                 // continuing heads this matches the pseudocode's phase-end
                 // clear, and for freshly rotated-in heads it initialises it.
                 self.ts.clear();
+                self.recovery_pass = false;
             }
         }
         self.last_head = view.head;
@@ -116,21 +151,44 @@ impl Protocol for HiNetPhased {
                     return vec![];
                 };
                 debug_assert_ne!(head, self.me, "a member is not its own head");
-                match max_not_in_either(&self.ta, &self.ts, &self.tr) {
+                if let Some(t) = max_not_in_either(&self.ta, &self.ts, &self.tr) {
+                    self.ts.insert(t);
+                    return vec![Outgoing::unicast_one(head, t)];
+                }
+                if self.retransmit {
+                    // ARQ fallback: every token went out once, but the head
+                    // has not echoed all of them back — a push may have been
+                    // lost, or the head may have restarted. Re-push the
+                    // largest unacknowledged token until its echo arrives.
+                    if let Some(t) = max_not_in(&self.ta, &self.tr) {
+                        return vec![Outgoing::unicast_one(head, t).mark_retransmit()];
+                    }
+                }
+                vec![]
+            }
+            Role::Head | Role::Gateway => {
+                let mut pick = min_not_in(&self.ta, &self.ts);
+                if pick.is_none() && self.retransmit && !self.ta.is_empty() {
+                    // The broadcast queue drained, but under faults some
+                    // deliveries may have been lost: start another pass over
+                    // TA instead of going silent for the rest of the phase.
+                    self.ts.clear();
+                    self.recovery_pass = true;
+                    pick = min_not_in(&self.ta, &self.ts);
+                }
+                match pick {
                     Some(t) => {
                         self.ts.insert(t);
-                        vec![Outgoing::unicast_one(head, t)]
+                        let out = Outgoing::broadcast_one(t);
+                        vec![if self.recovery_pass {
+                            out.mark_retransmit()
+                        } else {
+                            out
+                        }]
                     }
                     None => vec![],
                 }
             }
-            Role::Head | Role::Gateway => match min_not_in(&self.ta, &self.ts) {
-                Some(t) => {
-                    self.ts.insert(t);
-                    vec![Outgoing::broadcast_one(t)]
-                }
-                None => vec![],
-            },
         }
     }
 
@@ -302,6 +360,121 @@ mod tests {
         assert!(!p.send(&head_view(0, NodeId(0), &nbrs)).is_empty());
         assert!(p.send(&head_view(2, NodeId(0), &nbrs)).is_empty());
         assert!(p.send(&head_view(100, NodeId(0), &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn retransmit_member_re_pushes_until_acknowledged() {
+        let plan = alg1_plan(4, 1, 1, 2); // T = 5
+        let mut p = HiNetPhased::new(plan).with_retransmit(true);
+        p.on_start(NodeId(5), &[TokenId(3)]);
+        let head = NodeId(0);
+        let nbrs = [head];
+        // Primary push: unmarked.
+        let out = p.send(&member_view(0, head, &nbrs));
+        assert_eq!(out, vec![Outgoing::unicast_one(head, TokenId(3))]);
+        // No echo yet: ARQ fallback re-pushes, marked as a retransmission.
+        let out = p.send(&member_view(1, head, &nbrs));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].retransmit);
+        assert_eq!(out[0].tokens, vec![TokenId(3)]);
+        // The head's broadcast echoes token 3 — acknowledged, so silence.
+        let view = member_view(1, head, &nbrs);
+        p.receive(
+            &view,
+            &[Incoming {
+                from: head,
+                directed: false,
+                tokens: vec![TokenId(3)],
+            }],
+        );
+        assert!(p.send(&member_view(2, head, &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn retransmit_head_restarts_broadcast_pass_instead_of_going_silent() {
+        let plan = alg1_plan(4, 1, 1, 2); // T = 5
+        let mut p = HiNetPhased::new(plan).with_retransmit(true);
+        p.on_start(NodeId(0), &[TokenId(1), TokenId(2)]);
+        let nbrs = [NodeId(1)];
+        // Primary pass: min-id first, unmarked.
+        let out = p.send(&head_view(0, NodeId(0), &nbrs));
+        assert_eq!(out, vec![Outgoing::broadcast_one(TokenId(1))]);
+        let out = p.send(&head_view(1, NodeId(0), &nbrs));
+        assert_eq!(out, vec![Outgoing::broadcast_one(TokenId(2))]);
+        // Queue drained: recovery pass restarts from the minimum, marked.
+        let out = p.send(&head_view(2, NodeId(0), &nbrs));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].retransmit);
+        assert_eq!(out[0].tokens, vec![TokenId(1)]);
+        let out = p.send(&head_view(3, NodeId(0), &nbrs));
+        assert!(out[0].retransmit);
+        assert_eq!(out[0].tokens, vec![TokenId(2)]);
+    }
+
+    #[test]
+    fn retransmit_suspends_remark1_resend_economy() {
+        let plan = alg1_plan(2, 1, 1, 3);
+        let mut p = HiNetPhased::remark1(plan).with_retransmit(true);
+        p.on_start(NodeId(5), &[TokenId(4)]);
+        let (h1, h2) = (NodeId(0), NodeId(1));
+        let nbrs = [h1, h2];
+        assert_eq!(
+            p.send(&member_view(0, h1, &nbrs)),
+            vec![Outgoing::unicast_one(h1, TokenId(4))]
+        );
+        // Under plain Remark 1 this send would be skipped; a head change may
+        // now be a crash replacement, so the token must be re-delivered.
+        let out = p.send(&member_view(3, h2, &nbrs));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tokens, vec![TokenId(4)]);
+    }
+
+    #[test]
+    fn duplicate_pushes_from_restarted_member_do_not_poison_head_send_log() {
+        // A member crashes mid-phase, restarts with volatile state lost and
+        // re-pushes a token the head already received and broadcast. The
+        // head's min-id-first selection must skip it — no re-broadcast, no
+        // panic, and the rest of the queue still drains in order.
+        let plan = alg1_plan(4, 1, 1, 2); // T = 5
+        let mut p = HiNetPhased::new(plan);
+        p.on_start(NodeId(0), &[TokenId(2), TokenId(6)]);
+        let nbrs = [NodeId(1)];
+        let view = head_view(0, NodeId(0), &nbrs);
+        assert_eq!(p.send(&view), vec![Outgoing::broadcast_one(TokenId(2))]);
+        // The restarted member re-delivers token 2 (already in TA and TS).
+        p.receive(
+            &view,
+            &[Incoming {
+                from: NodeId(1),
+                directed: true,
+                tokens: vec![TokenId(2)],
+            }],
+        );
+        // Selection skips the duplicate and moves on to token 6.
+        assert_eq!(
+            p.send(&head_view(1, NodeId(0), &nbrs)),
+            vec![Outgoing::broadcast_one(TokenId(6))]
+        );
+        assert!(p.send(&head_view(2, NodeId(0), &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn member_crash_restart_resends_from_initial_tokens() {
+        // Simulate the engine's crash/restart: a fresh protocol instance is
+        // started with the retained (initial) tokens mid-phase. Its clean
+        // TS/TR must make it re-push from scratch without tripping the
+        // phase-start bookkeeping.
+        let plan = alg1_plan(4, 1, 1, 2);
+        let mut p = HiNetPhased::new(plan).with_retransmit(true);
+        p.on_start(NodeId(5), &[TokenId(8)]);
+        let head = NodeId(0);
+        let nbrs = [head];
+        let _ = p.send(&member_view(0, head, &nbrs)); // TS = {8}
+        let mut restarted = HiNetPhased::new(plan).with_retransmit(true);
+        restarted.on_start(NodeId(5), &[TokenId(8)]);
+        // Restarted mid-phase (round 2, not a phase boundary).
+        let out = restarted.send(&member_view(2, head, &nbrs));
+        assert_eq!(out, vec![Outgoing::unicast_one(head, TokenId(8))]);
     }
 
     #[test]

@@ -21,11 +21,23 @@ use hinet_sim::token::{TokenId, TokenSet};
 /// under (α·L)-interval head connectivity (Theorem 3), and `M ≥ θ·L + 1`
 /// under an L-interval stable hierarchy (Theorem 4) — pick `M` with the
 /// helpers in [`crate::params`].
+///
+/// # Retransmission recovery
+///
+/// Heads already re-broadcast their whole `TA` every round, so they need no
+/// extra recovery. With [`HiNetFullExchange::with_retransmit`] the *member*
+/// side is hardened too: instead of sending only once per affiliation, a
+/// member keeps re-sending its `TA` — tagged via
+/// [`Outgoing::mark_retransmit`] — until every token it holds has been
+/// echoed back in its current head's broadcast, so a lost push or a head
+/// restart no longer strands tokens.
 #[derive(Clone, Debug)]
 pub struct HiNetFullExchange {
     rounds: usize,
+    retransmit: bool,
     me: NodeId,
     ta: TokenSet,
+    from_head: TokenSet,
     last_head: Option<NodeId>,
     started: bool,
     done: bool,
@@ -36,8 +48,10 @@ impl HiNetFullExchange {
     pub fn new(rounds: usize) -> Self {
         HiNetFullExchange {
             rounds,
+            retransmit: false,
             me: NodeId(0),
             ta: TokenSet::new(),
+            from_head: TokenSet::new(),
             last_head: None,
             started: false,
             done: false,
@@ -47,6 +61,13 @@ impl HiNetFullExchange {
     /// The configured round budget `M`.
     pub fn rounds(&self) -> usize {
         self.rounds
+    }
+
+    /// Enable (or disable) retransmission recovery for lossy or crash-prone
+    /// runs. See the type-level docs for the recovery rule.
+    pub fn with_retransmit(mut self, on: bool) -> Self {
+        self.retransmit = on;
+        self
     }
 }
 
@@ -72,9 +93,25 @@ impl Protocol for HiNetFullExchange {
             Role::Member => {
                 let first = !self.started;
                 let head_changed = self.last_head != view.head;
+                if head_changed {
+                    // Echoes from the previous head say nothing about the
+                    // new one's state.
+                    self.from_head.clear();
+                }
                 match view.head {
                     Some(h) if (first || head_changed) && !self.ta.is_empty() => {
                         vec![Outgoing::unicast_set(h, &self.ta)]
+                    }
+                    Some(h)
+                        if self.retransmit
+                            && !self.ta.is_empty()
+                            && !self.ta.is_subset(&self.from_head) =>
+                    {
+                        // Recovery: the one-shot push may have been lost, or
+                        // the head restarted without its volatile state.
+                        // Keep re-sending until the head's broadcast echoes
+                        // everything we hold.
+                        vec![Outgoing::unicast_set(h, &self.ta).mark_retransmit()]
                     }
                     _ => vec![],
                 }
@@ -85,9 +122,12 @@ impl Protocol for HiNetFullExchange {
         out
     }
 
-    fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
+    fn receive(&mut self, view: &LocalView<'_>, inbox: &[Incoming]) {
         for m in inbox {
             self.ta.extend(m.tokens.iter().copied());
+            if view.role == Role::Member && Some(m.from) == view.head {
+                self.from_head.extend(m.tokens.iter().copied());
+            }
         }
     }
 
@@ -199,6 +239,62 @@ mod tests {
         let nbrs = [NodeId(1)];
         assert!(p.send(&head_view(0, NodeId(0), &nbrs)).is_empty());
         assert!(p.send(&member_view(1, NodeId(1), &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn retransmit_member_resends_until_echoed() {
+        let mut p = HiNetFullExchange::new(10).with_retransmit(true);
+        p.on_start(NodeId(5), &[TokenId(3)]);
+        let h = NodeId(0);
+        let nbrs = [h];
+        // Round 0: the primary one-shot push, unmarked.
+        let out = p.send(&member_view(0, h, &nbrs));
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].retransmit);
+        // Round 1: no echo yet — recovery re-send, marked.
+        let out = p.send(&member_view(1, h, &nbrs));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].retransmit);
+        assert_eq!(out[0].tokens, vec![TokenId(3)]);
+        // The head's broadcast echoes everything we hold: silence resumes.
+        let view = member_view(1, h, &nbrs);
+        p.receive(
+            &view,
+            &[Incoming {
+                from: h,
+                directed: false,
+                tokens: vec![TokenId(3), TokenId(9)],
+            }],
+        );
+        assert!(p.send(&member_view(2, h, &nbrs)).is_empty());
+    }
+
+    #[test]
+    fn retransmit_member_restarts_arq_for_a_new_head() {
+        let mut p = HiNetFullExchange::new(10).with_retransmit(true);
+        p.on_start(NodeId(5), &[TokenId(3)]);
+        let (h1, h2) = (NodeId(0), NodeId(1));
+        let nbrs = [h1, h2];
+        let view = member_view(0, h1, &nbrs);
+        let _ = p.send(&view);
+        p.receive(
+            &view,
+            &[Incoming {
+                from: h1,
+                directed: false,
+                tokens: vec![TokenId(3)],
+            }],
+        );
+        assert!(p.send(&member_view(1, h1, &nbrs)).is_empty());
+        // Re-affiliation: the normal once-per-affiliation push fires...
+        let out = p.send(&member_view(2, h2, &nbrs));
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].retransmit);
+        // ...and the old head's echoes no longer count as acknowledgements,
+        // so ARQ keeps going until the *new* head echoes.
+        let out = p.send(&member_view(3, h2, &nbrs));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].retransmit);
     }
 
     #[test]

@@ -67,6 +67,7 @@ impl Protocol for KActiveFlood {
         vec![Outgoing {
             dest: hinet_sim::protocol::Destination::Broadcast,
             tokens: payload,
+            retransmit: false,
         }]
     }
 

@@ -20,8 +20,9 @@ use gf2::{Gf2Basis, Gf2Vec};
 use hinet_graph::graph::NodeId;
 use hinet_graph::rng::stream_rng;
 use hinet_graph::trace::TopologyProvider;
-use hinet_rt::obs::{Role, Tracer};
+use hinet_rt::obs::{FaultKind, Role, Tracer};
 use hinet_sim::engine::CostWeights;
+use hinet_sim::fault::FaultPlan;
 use hinet_sim::token::TokenId;
 
 /// Outcome of an RLNC run.
@@ -96,6 +97,36 @@ pub fn run_rlnc_traced(
     weights: CostWeights,
     tracer: &mut Tracer,
 ) -> RlncReport {
+    run_rlnc_faulted(
+        provider,
+        assignment,
+        max_rounds,
+        seed,
+        weights,
+        &FaultPlan::none(),
+        tracer,
+    )
+}
+
+/// [`run_rlnc_traced`] under a deterministic [`FaultPlan`]: per-delivery
+/// loss and partition cuts suppress basis inserts at the receiver (the
+/// sender still pays for the packet), and crashed nodes go silent for
+/// `down_rounds` rounds — losing their accumulated basis unless the plan
+/// declares tokens durable, in which case only in-flight protocol progress
+/// is lost. The dissemination RNG streams are never consulted by the fault
+/// plane, so a trivial plan is byte-identical to [`run_rlnc_traced`].
+///
+/// RLNC is flat, so `target_heads` never matches a hazard crash here;
+/// scheduled [`FaultPlan::with_crash_at`] entries still fire.
+pub fn run_rlnc_faulted(
+    provider: &mut dyn TopologyProvider,
+    assignment: &[Vec<TokenId>],
+    max_rounds: usize,
+    seed: u64,
+    weights: CostWeights,
+    faults: &FaultPlan,
+    tracer: &mut Tracer,
+) -> RlncReport {
     let n = provider.n();
     assert_eq!(assignment.len(), n, "one initial token list per node");
     let k = assignment
@@ -134,15 +165,52 @@ pub fn run_rlnc_traced(
         };
     }
 
+    let trivial = faults.is_trivial();
+    let mut down_until = vec![0usize; n];
+    let mut was_down = vec![false; n];
+
     let mut packets_sent = 0u64;
     let mut completion_round = None;
     let mut rounds_executed = 0;
     for round in 0..max_rounds {
         let graph = provider.graph_at(round);
         tracer.round_start(round as u64);
+        if !trivial {
+            for u in 0..n {
+                if was_down[u] && round >= down_until[u] {
+                    was_down[u] = false;
+                    tracer.recover(round as u64, u as u64);
+                }
+            }
+            for u in 0..n {
+                if round < down_until[u] {
+                    continue;
+                }
+                if faults.crashes(round, u, false) {
+                    tracer.crash(round as u64, u as u64, faults.durable_tokens);
+                    if !faults.durable_tokens {
+                        // Volatile storage: the restarted node is back to
+                        // its initially assigned unit vectors.
+                        let mut b = Gf2Basis::new(k);
+                        for t in &assignment[u] {
+                            b.insert(Gf2Vec::unit(k, t.0 as usize));
+                        }
+                        bases[u] = b;
+                    }
+                    down_until[u] = round + faults.down_rounds;
+                    was_down[u] = true;
+                }
+            }
+        }
         // Send phase: simultaneous, so collect first.
         let outgoing: Vec<Option<Gf2Vec>> = (0..n)
-            .map(|u| bases[u].random_combination(&mut rngs[u]))
+            .map(|u| {
+                if !trivial && round < down_until[u] {
+                    None
+                } else {
+                    bases[u].random_combination(&mut rngs[u])
+                }
+            })
             .collect();
         for (u, pkt) in outgoing.iter().enumerate() {
             let Some(pkt) = pkt else { continue };
@@ -152,6 +220,22 @@ pub fn run_rlnc_traced(
                 tracer.head_broadcast(round as u64, u as u64, pivot, 1, Role::Member, packet_bytes);
             }
             for &v in graph.neighbors(NodeId::from_index(u)) {
+                if !trivial {
+                    if round < down_until[v.index()] {
+                        continue; // deliveries to crashed nodes are lost
+                    }
+                    let kind = if faults.partitioned(round, u, v.index()) {
+                        Some(FaultKind::Partition)
+                    } else if faults.drops_message(round, u, v.index()) {
+                        Some(FaultKind::Loss)
+                    } else {
+                        None
+                    };
+                    if let Some(kind) = kind {
+                        tracer.fault_injected(round as u64, u as u64, Some(v.0 as u64), kind);
+                        continue;
+                    }
+                }
                 bases[v.index()].insert(pkt.clone());
             }
         }
@@ -326,6 +410,84 @@ mod tests {
                 .all(|e| !matches!(e.event, Event::TokenPush { .. })),
             "coded packets are broadcasts, never pushes"
         );
+    }
+
+    #[test]
+    fn lossy_rlnc_still_completes_and_reports_faults() {
+        use hinet_rt::obs::ObsConfig;
+
+        let run = |faults: &FaultPlan, tracer: &mut Tracer| {
+            let mut p = StaticProvider::new(Graph::complete(10));
+            let assignment = round_robin_assignment(10, 4);
+            run_rlnc_faulted(
+                &mut p,
+                &assignment,
+                400,
+                1,
+                CostWeights::default(),
+                faults,
+                tracer,
+            )
+        };
+        let clean = run(&FaultPlan::none(), &mut Tracer::disabled());
+        let faults = FaultPlan::new(3).with_loss_ppm(200_000);
+        let mut tracer = Tracer::new(ObsConfig::full());
+        let lossy = run(&faults, &mut tracer);
+        // Coded redundancy absorbs 20% loss; it just takes longer.
+        assert!(lossy.completed());
+        assert!(lossy.completion_round.unwrap() >= clean.completion_round.unwrap());
+        assert!(tracer.counters().faults_injected > 0);
+
+        // Replay: same plan, same counters.
+        let mut again = Tracer::new(ObsConfig::full());
+        let replay = run(&faults, &mut again);
+        assert_eq!(replay.packets_sent, lossy.packets_sent);
+        assert_eq!(
+            again.counters().faults_injected,
+            tracer.counters().faults_injected
+        );
+    }
+
+    #[test]
+    fn trivial_fault_plan_is_identical_to_plain_rlnc() {
+        let mut p = OneIntervalGen::new(16, false, 3, 9);
+        let assignment = round_robin_assignment(16, 4);
+        let plain = run_rlnc(&mut p, &assignment, 200, 4);
+        let mut p = OneIntervalGen::new(16, false, 3, 9);
+        let faulted = run_rlnc_faulted(
+            &mut p,
+            &assignment,
+            200,
+            4,
+            CostWeights::default(),
+            &FaultPlan::none(),
+            &mut Tracer::disabled(),
+        );
+        assert_eq!(plain.completion_round, faulted.completion_round);
+        assert_eq!(plain.packets_sent, faulted.packets_sent);
+    }
+
+    #[test]
+    fn crashed_rlnc_node_loses_volatile_basis_and_recovers() {
+        use hinet_rt::obs::ObsConfig;
+
+        let mut p = StaticProvider::new(Graph::complete(8));
+        let assignment = round_robin_assignment(8, 4);
+        let faults = FaultPlan::new(0).with_crash_at(0, 3).with_down_rounds(2);
+        let mut tracer = Tracer::new(ObsConfig::full());
+        let r = run_rlnc_faulted(
+            &mut p,
+            &assignment,
+            400,
+            1,
+            CostWeights::default(),
+            &faults,
+            &mut tracer,
+        );
+        assert!(r.completed(), "a dense graph re-fills the lost basis");
+        let c = tracer.counters();
+        assert_eq!(c.crashes, 1);
+        assert_eq!(c.recoveries, 1);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::params::PhasePlan;
 use hinet_cluster::ctvg::HierarchyProvider;
 use hinet_rt::obs::Tracer;
 use hinet_sim::engine::{Engine, RunConfig, RunReport};
+use hinet_sim::fault::FaultPlan;
 use hinet_sim::protocol::Protocol;
 use hinet_sim::token::TokenId;
 
@@ -79,27 +80,37 @@ impl AlgorithmKind {
 
     /// Instantiate one protocol per node.
     pub fn build(&self, n: usize) -> Vec<Box<dyn Protocol>> {
-        (0..n)
-            .map(|_| -> Box<dyn Protocol> {
-                match *self {
-                    AlgorithmKind::HiNetPhased(plan) => Box::new(HiNetPhased::new(plan)),
-                    AlgorithmKind::HiNetRemark1(plan) => Box::new(HiNetPhased::remark1(plan)),
-                    AlgorithmKind::HiNetFullExchange { rounds } => {
-                        Box::new(HiNetFullExchange::new(rounds))
-                    }
-                    AlgorithmKind::KloPhased(plan) => Box::new(KloPhased::new(plan)),
-                    AlgorithmKind::KloFlood { rounds } => Box::new(KloFlood::new(rounds)),
-                    AlgorithmKind::Gossip { rounds, seed } => Box::new(Gossip::new(rounds, seed)),
-                    AlgorithmKind::KActiveFlood { activity, rounds } => {
-                        Box::new(KActiveFlood::new(activity, rounds))
-                    }
-                    AlgorithmKind::DeltaFlood { rounds } => Box::new(DeltaFlood::new(rounds)),
-                    AlgorithmKind::HiNetFullExchangeMH { rounds } => {
-                        Box::new(HiNetFullExchangeMH::new(rounds))
-                    }
-                }
-            })
-            .collect()
+        (0..n).map(|_| self.build_node(false)).collect()
+    }
+
+    /// Instantiate a single protocol instance — the factory behind
+    /// [`AlgorithmKind::build`] and the restart hook of faulted runs.
+    ///
+    /// With `retransmit` set, the HiNet algorithms (1, Remark 1 and 2) are
+    /// built in their retransmission-recovery mode; the flag is a no-op for
+    /// the baselines, which have no recovery variant.
+    pub fn build_node(&self, retransmit: bool) -> Box<dyn Protocol> {
+        match *self {
+            AlgorithmKind::HiNetPhased(plan) => {
+                Box::new(HiNetPhased::new(plan).with_retransmit(retransmit))
+            }
+            AlgorithmKind::HiNetRemark1(plan) => {
+                Box::new(HiNetPhased::remark1(plan).with_retransmit(retransmit))
+            }
+            AlgorithmKind::HiNetFullExchange { rounds } => {
+                Box::new(HiNetFullExchange::new(rounds).with_retransmit(retransmit))
+            }
+            AlgorithmKind::KloPhased(plan) => Box::new(KloPhased::new(plan)),
+            AlgorithmKind::KloFlood { rounds } => Box::new(KloFlood::new(rounds)),
+            AlgorithmKind::Gossip { rounds, seed } => Box::new(Gossip::new(rounds, seed)),
+            AlgorithmKind::KActiveFlood { activity, rounds } => {
+                Box::new(KActiveFlood::new(activity, rounds))
+            }
+            AlgorithmKind::DeltaFlood { rounds } => Box::new(DeltaFlood::new(rounds)),
+            AlgorithmKind::HiNetFullExchangeMH { rounds } => {
+                Box::new(HiNetFullExchangeMH::new(rounds))
+            }
+        }
     }
 }
 
@@ -138,6 +149,31 @@ pub fn run_algorithm_traced(
     cfg: RunConfig,
     tracer: &mut Tracer,
 ) -> RunReport {
+    run_algorithm_faulted(
+        kind,
+        provider,
+        assignment,
+        cfg,
+        &FaultPlan::none(),
+        false,
+        tracer,
+    )
+}
+
+/// Like [`run_algorithm_traced`], but executes under the fault plan via
+/// [`Engine::run_faulted`]: crashed nodes are restarted from
+/// [`AlgorithmKind::build_node`] and, with `retransmit` set, the HiNet
+/// algorithms run in their retransmission-recovery mode. A trivial plan
+/// with `retransmit = false` is byte-identical to [`run_algorithm_traced`].
+pub fn run_algorithm_faulted(
+    kind: &AlgorithmKind,
+    provider: &mut dyn HierarchyProvider,
+    assignment: &[Vec<TokenId>],
+    cfg: RunConfig,
+    faults: &FaultPlan,
+    retransmit: bool,
+    tracer: &mut Tracer,
+) -> RunReport {
     if tracer.enabled() {
         tracer.meta("algorithm", kind.label());
         if let Some(t) = kind.phase_len() {
@@ -145,8 +181,17 @@ pub fn run_algorithm_traced(
             tracer.meta("rounds_per_phase", t.to_string());
         }
     }
-    let mut protocols = kind.build(provider.n());
-    Engine::new(cfg).run_traced(provider, &mut protocols, assignment, tracer)
+    let mut protocols: Vec<Box<dyn Protocol>> = (0..provider.n())
+        .map(|_| kind.build_node(retransmit))
+        .collect();
+    Engine::new(cfg).run_faulted(
+        provider,
+        &mut protocols,
+        assignment,
+        faults,
+        &mut |_| kind.build_node(retransmit),
+        tracer,
+    )
 }
 
 #[cfg(test)]
@@ -288,6 +333,86 @@ mod tests {
             RunConfig::default(),
         );
         assert!(ka.completed());
+    }
+
+    #[test]
+    fn hinet_algorithms_recover_from_loss_with_retransmission() {
+        let k = 4;
+        let (alpha, l, theta) = (2, 2, 8);
+        let base = alg1_plan(k, alpha, l, theta);
+        // Loss voids Theorem 1's round bound; give recovery extra phases.
+        let plan = PhasePlan {
+            phases: base.phases * 3,
+            ..base
+        };
+        let assignment = round_robin_assignment(24, k);
+        let faults = hinet_sim::fault::FaultPlan::new(11).with_loss_ppm(100_000);
+
+        let mut provider = small_hinet(plan.rounds_per_phase, true);
+        let report = run_algorithm_faulted(
+            &AlgorithmKind::HiNetPhased(plan),
+            &mut provider,
+            &assignment,
+            RunConfig::default(),
+            &faults,
+            true,
+            &mut Tracer::disabled(),
+        );
+        assert!(
+            report.completed(),
+            "alg1 must heal 10% loss via retransmission, got {}",
+            report.outcome
+        );
+        assert!(report.metrics.faults_injected > 0);
+        assert!(report.metrics.retransmits > 0);
+
+        let mut provider = small_hinet(1, true);
+        let report = run_algorithm_faulted(
+            &AlgorithmKind::HiNetFullExchange { rounds: 69 },
+            &mut provider,
+            &assignment,
+            RunConfig::default(),
+            &faults,
+            true,
+            &mut Tracer::disabled(),
+        );
+        assert!(
+            report.completed(),
+            "alg2 must heal 10% loss via retransmission, got {}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn faulted_run_with_trivial_plan_matches_traced_run() {
+        use hinet_rt::obs::ObsConfig;
+
+        let k = 4;
+        let plan = alg1_plan(k, 2, 2, 8);
+        let assignment = round_robin_assignment(24, k);
+
+        let mut provider = small_hinet(plan.rounds_per_phase, true);
+        let mut plain = Tracer::new(ObsConfig::full());
+        run_algorithm_traced(
+            &AlgorithmKind::HiNetPhased(plan),
+            &mut provider,
+            &assignment,
+            RunConfig::default(),
+            &mut plain,
+        );
+
+        let mut provider = small_hinet(plan.rounds_per_phase, true);
+        let mut faulted = Tracer::new(ObsConfig::full());
+        run_algorithm_faulted(
+            &AlgorithmKind::HiNetPhased(plan),
+            &mut provider,
+            &assignment,
+            RunConfig::default(),
+            &hinet_sim::fault::FaultPlan::none(),
+            false,
+            &mut faulted,
+        );
+        assert_eq!(plain.to_jsonl(), faulted.to_jsonl());
     }
 
     #[test]

@@ -97,8 +97,37 @@ impl Role {
     }
 }
 
+/// Which fault class dropped a delivery (see [`Event::FaultInjected`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Seeded random message loss.
+    Loss,
+    /// A partition window severed the link.
+    Partition,
+}
+
+impl FaultKind {
+    /// Stable wire name (`"loss"` / `"partition"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Loss => "loss",
+            FaultKind::Partition => "partition",
+        }
+    }
+
+    /// Inverse of [`FaultKind::as_str`].
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "loss" => Some(FaultKind::Loss),
+            "partition" => Some(FaultKind::Partition),
+            _ => None,
+        }
+    }
+}
+
 /// One trace event. High-volume *data* events ([`Event::TokenPush`],
-/// [`Event::HeadBroadcast`]) may be sampled under [`ObsMode::Sampled`];
+/// [`Event::HeadBroadcast`], [`Event::FaultInjected`],
+/// [`Event::Retransmit`]) may be sampled under [`ObsMode::Sampled`];
 /// *structural* events (everything else) are always recorded, so per-phase
 /// round counts stay exact even in sampled traces.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -157,6 +186,38 @@ pub enum Event {
         /// Whether the definition held over the window.
         held: bool,
     },
+    /// The fault plane dropped a delivery.
+    FaultInjected {
+        /// Sending node id.
+        node: u64,
+        /// Dropped delivery's target (`None` when the whole send was
+        /// suppressed rather than one receiver's copy).
+        dst: Option<u64>,
+        /// Which fault class fired.
+        kind: FaultKind,
+    },
+    /// A node crashed: volatile protocol state lost, silent while down.
+    Crash {
+        /// The crashed node.
+        node: u64,
+        /// Whether its learned tokens survive the crash.
+        durable: bool,
+    },
+    /// A crashed node restarted and rejoined the run.
+    Recover {
+        /// The recovering node.
+        node: u64,
+    },
+    /// A recovery retransmission was sent (the send itself is also traced
+    /// as a [`Event::TokenPush`]/[`Event::HeadBroadcast`]; this marks it).
+    Retransmit {
+        /// Sending node id.
+        node: u64,
+        /// Payload size in tokens.
+        count: u64,
+        /// Unicast target, `None` for broadcasts.
+        dst: Option<u64>,
+    },
     /// The run finished.
     RunEnd {
         /// Rounds executed.
@@ -176,6 +237,10 @@ impl Event {
             Event::PhaseAdvance { .. } => "phase_advance",
             Event::Reaffiliation { .. } => "reaffiliation",
             Event::StabilityWindow { .. } => "stability_window",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::Crash { .. } => "crash",
+            Event::Recover { .. } => "recover",
+            Event::Retransmit { .. } => "retransmit",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -183,7 +248,13 @@ impl Event {
     /// Whether this event is high-volume data (eligible for sampling)
     /// rather than structural.
     pub fn is_data(&self) -> bool {
-        matches!(self, Event::TokenPush { .. } | Event::HeadBroadcast { .. })
+        matches!(
+            self,
+            Event::TokenPush { .. }
+                | Event::HeadBroadcast { .. }
+                | Event::FaultInjected { .. }
+                | Event::Retransmit { .. }
+        )
     }
 }
 
@@ -294,6 +365,17 @@ pub struct Counters {
     pub rounds: u64,
     /// Phases started.
     pub phases: u64,
+    /// Deliveries dropped by the fault plane (loss + partitions).
+    ///
+    /// The four fault counters are serialised only when nonzero, so
+    /// fault-free artifacts are byte-identical to pre-fault-plane ones.
+    pub faults_injected: u64,
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Node recoveries (restarts after a crash window).
+    pub recoveries: u64,
+    /// Recovery retransmissions sent.
+    pub retransmits: u64,
 }
 
 /// A power-of-two-bucket histogram (bucket `i` counts values `v` with
@@ -467,6 +549,22 @@ pub struct Tracer {
     rounds_in_phase: u64,
     /// Data-event sequence number, for sampling.
     data_seq: u64,
+    /// Incremental disk sink (see [`Tracer::stream_to`]); when set,
+    /// recorded events bypass the ring and go straight to the spill file.
+    sink: Option<StreamSink>,
+}
+
+/// Incremental event sink: recorded events are appended to a spill file
+/// (`<path>.part`) as they happen; [`Tracer::finish_stream`] prepends the
+/// final header and renames into place. See [`Tracer::stream_to`].
+#[derive(Debug)]
+struct StreamSink {
+    /// Final artifact path.
+    path: std::path::PathBuf,
+    /// Spill-file writer (`<path>.part`).
+    writer: std::io::BufWriter<std::fs::File>,
+    /// Events written so far.
+    written: u64,
 }
 
 impl Tracer {
@@ -487,6 +585,7 @@ impl Tracer {
             next_auto_phase: 0,
             rounds_in_phase: 0,
             data_seq: 0,
+            sink: None,
         }
     }
 
@@ -538,6 +637,10 @@ impl Tracer {
             }
             Event::PhaseAdvance { .. } => self.counters.phases += 1,
             Event::Reaffiliation { .. } => self.counters.reaffiliations += 1,
+            Event::FaultInjected { .. } => self.counters.faults_injected += 1,
+            Event::Crash { .. } => self.counters.crashes += 1,
+            Event::Recover { .. } => self.counters.recoveries += 1,
+            Event::Retransmit { .. } => self.counters.retransmits += 1,
             Event::StabilityWindow { .. } | Event::RunEnd { .. } => {}
         }
         let record = if event.is_data() {
@@ -552,7 +655,17 @@ impl Tracer {
             true
         };
         if record {
-            self.ring.push(TraceEvent { round, event });
+            let te = TraceEvent { round, event };
+            match &mut self.sink {
+                Some(sink) => {
+                    use std::io::Write;
+                    // Streaming mode: the ring is bypassed entirely, so
+                    // event retention no longer depends on its capacity.
+                    let _ = writeln!(sink.writer, "{}", event_json(&te));
+                    sink.written += 1;
+                }
+                None => self.ring.push(te),
+            }
         }
     }
 
@@ -634,6 +747,26 @@ impl Tracer {
         self.emit(round, Event::Reaffiliation { node, from, to });
     }
 
+    /// Emit [`Event::FaultInjected`].
+    pub fn fault_injected(&mut self, round: u64, node: u64, dst: Option<u64>, kind: FaultKind) {
+        self.emit(round, Event::FaultInjected { node, dst, kind });
+    }
+
+    /// Emit [`Event::Crash`].
+    pub fn crash(&mut self, round: u64, node: u64, durable: bool) {
+        self.emit(round, Event::Crash { node, durable });
+    }
+
+    /// Emit [`Event::Recover`].
+    pub fn recover(&mut self, round: u64, node: u64) {
+        self.emit(round, Event::Recover { node });
+    }
+
+    /// Emit [`Event::Retransmit`].
+    pub fn retransmit(&mut self, round: u64, node: u64, count: u64, dst: Option<u64>) {
+        self.emit(round, Event::Retransmit { node, count, dst });
+    }
+
     /// Emit [`Event::StabilityWindow`].
     pub fn stability_window(&mut self, round: u64, def: u8, open: bool, held: bool) {
         self.emit(round, Event::StabilityWindow { def, open, held });
@@ -710,10 +843,82 @@ impl Tracer {
         }
         out
     }
+
+    /// Switch to incremental disk streaming: from now on, recorded events
+    /// are appended to a spill file (`<path>.part`) as they are emitted
+    /// instead of being held in the ring, so the trace no longer has to fit
+    /// in memory (fault-heavy runs emit many more events than clean ones).
+    ///
+    /// Call [`Tracer::finish_stream`] after the run to assemble the final
+    /// artifact at `path`: the header line — whose counters are only known
+    /// at the end — followed by the spilled events. For runs that would not
+    /// have overflowed the ring, the streamed artifact is byte-identical to
+    /// [`Tracer::to_jsonl`].
+    ///
+    /// Parent directories are created. Events already held in the ring are
+    /// spilled first, so switching mid-run loses nothing that was recorded.
+    pub fn stream_to(&mut self, path: impl Into<std::path::PathBuf>) -> std::io::Result<()> {
+        use std::io::Write;
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut part = path.clone().into_os_string();
+        part.push(".part");
+        let file = std::fs::File::create(std::path::PathBuf::from(part))?;
+        let mut sink = StreamSink {
+            path,
+            writer: std::io::BufWriter::new(file),
+            written: 0,
+        };
+        for te in self.ring.iter() {
+            writeln!(sink.writer, "{}", event_json(te))?;
+            sink.written += 1;
+        }
+        self.ring = Ring::new(0);
+        self.sink = Some(sink);
+        Ok(())
+    }
+
+    /// Finish incremental streaming (see [`Tracer::stream_to`]): write the
+    /// header with the final counters to the target path, append the
+    /// spilled events, remove the spill file, and return the number of
+    /// events in the artifact. Errors leave the spill file in place for
+    /// inspection. No-op returning `None` if streaming was never enabled.
+    pub fn finish_stream(&mut self) -> std::io::Result<Option<u64>> {
+        use std::io::Write;
+        let Some(mut sink) = self.sink.take() else {
+            return Ok(None);
+        };
+        sink.writer.flush()?;
+        drop(sink.writer);
+        let mut part = sink.path.clone().into_os_string();
+        part.push(".part");
+        let part = std::path::PathBuf::from(part);
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&sink.path)?);
+        writeln!(
+            out,
+            "{}",
+            header_json(&self.meta, &self.counters, self.dropped(), self.cfg.mode)
+        )?;
+        let mut spill = std::fs::File::open(&part)?;
+        std::io::copy(&mut spill, &mut out)?;
+        out.flush()?;
+        std::fs::remove_file(&part)?;
+        Ok(Some(sink.written))
+    }
+
+    /// Number of events written to the stream sink so far (`None` when not
+    /// streaming).
+    pub fn streamed(&self) -> Option<u64> {
+        self.sink.as_ref().map(|s| s.written)
+    }
 }
 
 fn counters_json(c: &Counters) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("tokens_sent".into(), Json::Num(c.tokens_sent as f64)),
         ("packets_sent".into(), Json::Num(c.packets_sent as f64)),
         ("bytes_sent".into(), Json::Num(c.bytes_sent as f64)),
@@ -729,7 +934,20 @@ fn counters_json(c: &Counters) -> Json {
         ("reaffiliations".into(), Json::Num(c.reaffiliations as f64)),
         ("rounds".into(), Json::Num(c.rounds as f64)),
         ("phases".into(), Json::Num(c.phases as f64)),
-    ])
+    ];
+    // Fault counters are written only when nonzero: fault-free artifacts
+    // stay byte-identical to those written before the fault plane existed.
+    for (name, v) in [
+        ("faults_injected", c.faults_injected),
+        ("crashes", c.crashes),
+        ("recoveries", c.recoveries),
+        ("retransmits", c.retransmits),
+    ] {
+        if v > 0 {
+            fields.push((name.into(), Json::Num(v as f64)));
+        }
+    }
+    Json::Obj(fields)
 }
 
 fn header_json(
@@ -804,6 +1022,23 @@ fn event_json(te: &TraceEvent) -> Json {
             fields.push(("def".into(), Json::Num(*def as f64)));
             fields.push(("open".into(), Json::Bool(*open)));
             fields.push(("held".into(), Json::Bool(*held)));
+        }
+        Event::FaultInjected { node, dst, kind } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+            fields.push(("dst".into(), opt_num(*dst)));
+            fields.push(("kind".into(), Json::Str(kind.as_str().into())));
+        }
+        Event::Crash { node, durable } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+            fields.push(("durable".into(), Json::Bool(*durable)));
+        }
+        Event::Recover { node } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+        }
+        Event::Retransmit { node, count, dst } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+            fields.push(("count".into(), Json::Num(*count as f64)));
+            fields.push(("dst".into(), opt_num(*dst)));
         }
         Event::RunEnd { rounds, completed } => {
             fields.push(("rounds".into(), Json::Num(*rounds as f64)));
@@ -881,6 +1116,10 @@ impl ParsedTrace {
         for (i, r) in roles.iter().enumerate() {
             tokens_by_role[i] = r.as_u64().ok_or("non-integer tokens_by_role entry")?;
         }
+        // Fault counters default to 0 when absent: they are only written
+        // when nonzero, and older traces predate them entirely.
+        let opt_counter =
+            |v: &Json, key: &str| -> u64 { v.get(key).and_then(Json::as_u64).unwrap_or(0) };
         let counters = Counters {
             tokens_sent: num(c, "tokens_sent")?,
             packets_sent: num(c, "packets_sent")?,
@@ -889,6 +1128,10 @@ impl ParsedTrace {
             reaffiliations: num(c, "reaffiliations")?,
             rounds: num(c, "rounds")?,
             phases: num(c, "phases")?,
+            faults_injected: opt_counter(c, "faults_injected"),
+            crashes: opt_counter(c, "crashes"),
+            recoveries: opt_counter(c, "recoveries"),
+            retransmits: opt_counter(c, "retransmits"),
         };
         let dropped = header
             .get("dropped")
@@ -946,6 +1189,10 @@ impl ParsedTrace {
                 }
                 Event::PhaseAdvance { .. } => c.phases += 1,
                 Event::Reaffiliation { .. } => c.reaffiliations += 1,
+                Event::FaultInjected { .. } => c.faults_injected += 1,
+                Event::Crash { .. } => c.crashes += 1,
+                Event::Recover { .. } => c.recoveries += 1,
+                Event::Retransmit { .. } => c.retransmits += 1,
                 Event::StabilityWindow { .. } | Event::RunEnd { .. } => {}
             }
         }
@@ -1008,6 +1255,27 @@ fn parse_event(v: &Json) -> Result<TraceEvent, String> {
             def: num("def")? as u8,
             open: boolean("open")?,
             held: boolean("held")?,
+        },
+        "fault_injected" => Event::FaultInjected {
+            node: num("node")?,
+            dst: opt("dst")?,
+            kind: {
+                let s = v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("missing 'kind'")?;
+                FaultKind::parse(s).ok_or(format!("unknown fault kind '{s}'"))?
+            },
+        },
+        "crash" => Event::Crash {
+            node: num("node")?,
+            durable: boolean("durable")?,
+        },
+        "recover" => Event::Recover { node: num("node")? },
+        "retransmit" => Event::Retransmit {
+            node: num("node")?,
+            count: num("count")?,
+            dst: opt("dst")?,
         },
         "run_end" => Event::RunEnd {
             rounds: num("rounds")?,
@@ -1115,6 +1383,12 @@ impl TraceSummary {
             c.tokens_by_role[2],
         ));
         out.push_str(&format!("re-affiliations: {}\n", c.reaffiliations));
+        if c.faults_injected + c.crashes + c.recoveries + c.retransmits > 0 {
+            out.push_str(&format!(
+                "faults: {} dropped deliveries, {} crashes, {} recoveries, {} retransmits\n",
+                c.faults_injected, c.crashes, c.recoveries, c.retransmits,
+            ));
+        }
         if !self.per_phase_rounds.is_empty() {
             out.push_str("rounds per phase:");
             for (i, r) in self.per_phase_rounds.iter().enumerate() {
@@ -1317,5 +1591,152 @@ mod tests {
             assert_eq!(Role::parse(role.as_str()), Some(role));
         }
         assert_eq!(Role::parse("router"), None);
+    }
+
+    #[test]
+    fn fault_events_round_trip_and_count() {
+        let mut t = Tracer::new(ObsConfig::full());
+        t.round_start(0);
+        t.fault_injected(0, 3, Some(1), FaultKind::Loss);
+        t.fault_injected(0, 4, None, FaultKind::Partition);
+        t.crash(1, 2, true);
+        t.retransmit(2, 3, 2, Some(0));
+        t.recover(3, 2);
+        t.run_end(4, false);
+        let c = t.counters();
+        assert_eq!(c.faults_injected, 2);
+        assert_eq!(c.crashes, 1);
+        assert_eq!(c.recoveries, 1);
+        assert_eq!(c.retransmits, 1);
+
+        let text = t.to_jsonl();
+        let parsed = ParsedTrace::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.counters, *t.counters());
+        assert_eq!(
+            parsed.events[1].event,
+            Event::FaultInjected {
+                node: 3,
+                dst: Some(1),
+                kind: FaultKind::Loss
+            }
+        );
+        // Recount from events must agree with the header for a full trace.
+        assert_eq!(parsed.recount_events(), parsed.counters);
+        let summary = TraceSummary::from_trace(&parsed);
+        assert!(summary.to_text().contains("faults: 2 dropped deliveries"));
+    }
+
+    #[test]
+    fn fault_free_artifacts_omit_fault_counters() {
+        let mut t = Tracer::new(ObsConfig::full());
+        t.round_start(0);
+        t.run_end(1, true);
+        let text = t.to_jsonl();
+        assert!(
+            !text.contains("faults_injected") && !text.contains("retransmits"),
+            "zero fault counters must not appear on the wire"
+        );
+        // ... and parse back as zeros.
+        let parsed = ParsedTrace::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.counters.faults_injected, 0);
+        assert_eq!(parsed.counters.retransmits, 0);
+
+        let mut t = Tracer::new(ObsConfig::full());
+        t.round_start(0);
+        t.crash(0, 1, false);
+        t.run_end(1, false);
+        assert!(t.to_jsonl().contains("\"crashes\":1"));
+    }
+
+    #[test]
+    fn fault_kinds_are_sampled_as_data_events() {
+        let ev = Event::FaultInjected {
+            node: 0,
+            dst: None,
+            kind: FaultKind::Loss,
+        };
+        assert!(ev.is_data());
+        assert!(Event::Retransmit {
+            node: 0,
+            count: 1,
+            dst: None
+        }
+        .is_data());
+        assert!(!Event::Crash {
+            node: 0,
+            durable: false
+        }
+        .is_data());
+        assert!(!Event::Recover { node: 0 }.is_data());
+        for kind in [FaultKind::Loss, FaultKind::Partition] {
+            assert_eq!(FaultKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(FaultKind::parse("gremlin"), None);
+    }
+
+    fn emit_sample_run(t: &mut Tracer) {
+        t.meta("algorithm", "alg1");
+        t.set_phase_len(2);
+        for round in 0..5 {
+            t.round_start(round);
+            t.token_push(round, round, round, 1, Role::Member, 0, 40);
+            if round == 2 {
+                t.fault_injected(round, 1, Some(0), FaultKind::Loss);
+                t.retransmit(round, 1, 1, Some(0));
+            }
+        }
+        t.run_end(5, true);
+    }
+
+    #[test]
+    fn streamed_artifact_is_byte_identical_to_in_memory() {
+        let path = std::env::temp_dir().join(format!(
+            "hinet-obs-stream-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+
+        let mut mem = Tracer::new(ObsConfig::full());
+        emit_sample_run(&mut mem);
+
+        let mut streamed = Tracer::new(ObsConfig::full());
+        streamed.stream_to(&path).unwrap();
+        assert_eq!(streamed.streamed(), Some(0));
+        emit_sample_run(&mut streamed);
+        assert!(streamed.streamed().unwrap() > 0);
+        let written = streamed.finish_stream().unwrap().unwrap();
+
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(on_disk, mem.to_jsonl(), "streamed bytes differ");
+        assert_eq!(written as usize, mem.len());
+        assert!(
+            !path.with_extension("jsonl.part").exists(),
+            "spill file must be cleaned up"
+        );
+        // Finishing twice is a no-op.
+        assert_eq!(streamed.finish_stream().unwrap(), None);
+    }
+
+    #[test]
+    fn switching_to_streaming_mid_run_spills_the_ring() {
+        let path = std::env::temp_dir().join(format!(
+            "hinet-obs-midrun-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut t = Tracer::new(ObsConfig::full());
+        t.round_start(0);
+        t.round_start(1);
+        t.stream_to(&path).unwrap();
+        assert_eq!(t.streamed(), Some(2), "ring events spill into the sink");
+        assert!(t.is_empty(), "ring is drained after the switch");
+        t.round_start(2);
+        t.run_end(3, true);
+        t.finish_stream().unwrap();
+        let parsed = ParsedTrace::parse_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(parsed.counters.rounds, 3);
+        assert_eq!(parsed.events.len(), 4);
     }
 }

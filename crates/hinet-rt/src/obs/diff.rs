@@ -401,6 +401,25 @@ fn diff_counters(a: &Counters, b: &Counters, report: &mut DiffReport) {
         b.reaffiliations,
         "re-affiliations",
     );
+    check(
+        "counters.faults_injected",
+        a.faults_injected,
+        b.faults_injected,
+        "fault-dropped deliveries",
+    );
+    check("counters.crashes", a.crashes, b.crashes, "node crashes");
+    check(
+        "counters.recoveries",
+        a.recoveries,
+        b.recoveries,
+        "node recoveries",
+    );
+    check(
+        "counters.retransmits",
+        a.retransmits,
+        b.retransmits,
+        "recovery retransmissions",
+    );
     for (slot, role) in ["head", "gateway", "member"].iter().enumerate() {
         check(
             &format!("counters.tokens_by_role.{role}"),

@@ -1,12 +1,16 @@
 //! The synchronous round engine: message delivery, cost accounting, and the
 //! completion oracle.
 
+use crate::fault::FaultPlan;
 use crate::protocol::{Destination, Incoming, LocalView, Outgoing, Protocol};
 use crate::token::{TokenId, TokenSet};
+use hinet_cluster::clustering::{re_elect, GatewayPolicy};
 use hinet_cluster::ctvg::HierarchyProvider;
 use hinet_cluster::hierarchy::Role;
 use hinet_graph::graph::NodeId;
-use hinet_rt::obs::{self, Tracer};
+use hinet_rt::obs::{self, FaultKind, Tracer};
+use std::fmt;
+use std::sync::Arc;
 
 /// Engine configuration — every per-run knob in one place, built with
 /// chained constructors:
@@ -166,6 +170,15 @@ pub struct Metrics {
     /// Unicasts whose target was not a neighbor this round (dropped; still
     /// counted as sent — the radio transmitted).
     pub dropped_unicasts: u64,
+    /// Deliveries dropped by the fault plane (loss + partitions). The
+    /// sender still pays the send cost — the radio transmitted.
+    pub faults_injected: u64,
+    /// Node crashes injected by the fault plane.
+    pub crashes: u64,
+    /// Node recoveries (restarts after a crash window).
+    pub recoveries: u64,
+    /// Messages marked as recovery retransmissions by the protocols.
+    pub retransmits: u64,
     /// Optional per-round series (see [`RunConfig::record_rounds`]).
     pub rounds: Vec<RoundMetrics>,
     /// Optional full message log (see [`RunConfig::record_messages`]).
@@ -196,6 +209,64 @@ fn obs_role(role: Role) -> obs::Role {
     }
 }
 
+/// How a run ended — the structured replacement for a bare "completed"
+/// bool, so degraded runs report *how* they failed instead of just timing
+/// out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every node learned every token.
+    Completed {
+        /// 1-based count of rounds needed (0 when already complete).
+        round: usize,
+    },
+    /// The run ended incomplete with no fault ever injected: the protocol
+    /// itself stalled (quiesced with tokens undelivered) or ran out of
+    /// round budget.
+    Stalled {
+        /// Distinct tokens still unknown to at least one node.
+        missing_tokens: usize,
+        /// `true` when the [`RunConfig::max_rounds`] cap ended the run;
+        /// `false` when every protocol went quiescent first (stalled
+        /// forever — more budget would not have helped).
+        budget_exhausted: bool,
+    },
+    /// The run ended incomplete after the fault plane violated the paper's
+    /// assumptions — the failure is attributable to injected faults, not
+    /// to the protocol.
+    AssumptionViolated {
+        /// `(first, last)` round in which a fault fired.
+        window: (u64, u64),
+        /// Which assumption broke: `1` = per-round delivery (message loss
+        /// only), `2` = backbone stability (crashes or partitions fired).
+        def: u8,
+    },
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Completed { round } => write!(f, "completed in {round} rounds"),
+            Outcome::Stalled {
+                missing_tokens,
+                budget_exhausted,
+            } => write!(
+                f,
+                "stalled ({missing_tokens} tokens undelivered, {})",
+                if *budget_exhausted {
+                    "budget exhausted"
+                } else {
+                    "quiescent"
+                }
+            ),
+            Outcome::AssumptionViolated { window, def } => write!(
+                f,
+                "assumption violated (def {def}, faults in rounds {}..={})",
+                window.0, window.1
+            ),
+        }
+    }
+}
+
 /// Outcome of a run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -212,10 +283,13 @@ pub struct RunReport {
     /// The byte-cost weights the run was configured with (see
     /// [`RunConfig::cost_weights`]).
     pub cost_weights: CostWeights,
+    /// How the run ended (see [`Outcome`]).
+    pub outcome: Outcome,
 }
 
 impl RunReport {
-    /// Whether dissemination completed.
+    /// Whether dissemination completed. Equivalent to
+    /// `matches!(self.outcome, Outcome::Completed { .. })`.
     pub fn completed(&self) -> bool {
         self.completion_round.is_some()
     }
@@ -284,6 +358,52 @@ impl Engine {
         assignment: &[Vec<TokenId>],
         tracer: &mut Tracer,
     ) -> RunReport {
+        self.run_faulted(
+            provider,
+            protocols,
+            assignment,
+            &FaultPlan::none(),
+            &mut |_| unreachable!("a trivial fault plan never restarts a node"),
+            tracer,
+        )
+    }
+
+    /// Like [`Engine::run_traced`], but with a [`FaultPlan`] injected into
+    /// the round loop:
+    ///
+    /// * **crashes** — at the start of a round, each scheduled or
+    ///   hazard-selected node is replaced with a fresh protocol instance
+    ///   from `restart` (its volatile state is lost; it keeps its learned
+    ///   tokens only under [`FaultPlan::durable_tokens`], its initial
+    ///   tokens otherwise) and stays silent — no send, no receive — for
+    ///   [`FaultPlan::down_rounds`] rounds;
+    /// * **re-election** — while a crashed node heads a cluster, the
+    ///   round's hierarchy is repaired with
+    ///   [`hinet_cluster::clustering::re_elect`] so live members re-home to
+    ///   live heads (traced as re-affiliations);
+    /// * **losses/partitions** — each delivery (per receiver for
+    ///   broadcasts) is dropped per [`FaultPlan::drops_message`]; the
+    ///   sender still pays the send cost;
+    /// * **accounting** — every injected fault is counted in
+    ///   [`Metrics`]/[`hinet_rt::obs::Counters`] and traced as
+    ///   `fault_injected`/`crash`/`recover` events; protocol messages
+    ///   marked [`crate::protocol::Outgoing::retransmit`] are counted and
+    ///   traced as `retransmit`.
+    ///
+    /// The report's [`RunReport::outcome`] distinguishes completion,
+    /// fault-free stalls and fault-attributed failures. With a
+    /// [trivial](FaultPlan::is_trivial) plan this is *bit-identical* to
+    /// [`Engine::run_traced`] — same protocol evolution, same trace bytes —
+    /// and `restart` is never called.
+    pub fn run_faulted<P: Protocol>(
+        &self,
+        provider: &mut dyn HierarchyProvider,
+        protocols: &mut [P],
+        assignment: &[Vec<TokenId>],
+        faults: &FaultPlan,
+        restart: &mut dyn FnMut(usize) -> P,
+        tracer: &mut Tracer,
+    ) -> RunReport {
         let n = provider.n();
         assert_eq!(protocols.len(), n, "one protocol per node");
         assert_eq!(assignment.len(), n, "one initial token list per node");
@@ -310,6 +430,19 @@ impl Engine {
         // Previous round's head per node, for re-affiliation events.
         let mut prev_heads: Vec<Option<NodeId>> = Vec::new();
 
+        // Fault-plane state. A trivial plan skips every fault branch, so
+        // the clean path stays bit-identical to the pre-fault engine.
+        let trivial = faults.is_trivial();
+        // Node `i` is down (crashed, silent) while `round < down_until[i]`.
+        let mut down_until = vec![0usize; n];
+        let mut was_down = vec![false; n];
+        // `(first, last)` round in which any fault fired.
+        let mut fault_window: Option<(u64, u64)> = None;
+        // Whether a backbone-level fault (crash or partition) fired, vs
+        // message loss only — selects the violated-assumption class.
+        let mut backbone_fault = false;
+        let mut budget_exhausted = true;
+
         // Degenerate case: everyone informed before any round.
         if Self::all_informed(protocols, &universe) {
             tracer.run_end(0, true);
@@ -319,20 +452,68 @@ impl Engine {
                 metrics,
                 k,
                 cost_weights: self.cfg.cost_weights,
+                outcome: Outcome::Completed { round: 0 },
             };
         }
 
         for round in 0..self.cfg.max_rounds {
             let graph = provider.graph_at(round);
-            let hierarchy = provider.hierarchy_at(round);
+            let mut hierarchy = provider.hierarchy_at(round);
             if self.cfg.validate_hierarchy {
                 hierarchy
                     .validate(&graph)
                     .unwrap_or_else(|e| panic!("round {round}: invalid hierarchy: {e}"));
             }
 
+            tracer.round_start(round as u64);
+
+            if !trivial {
+                // Recoveries first: a node whose down window just elapsed
+                // rejoins this round (and is immediately re-crashable).
+                for i in 0..n {
+                    if was_down[i] && round >= down_until[i] {
+                        was_down[i] = false;
+                        metrics.recoveries += 1;
+                        tracer.recover(round as u64, i as u64);
+                    }
+                }
+                for i in 0..n {
+                    if round < down_until[i] {
+                        continue; // still down; cannot crash again yet
+                    }
+                    let me = NodeId::from_index(i);
+                    if faults.crashes(round, i, hierarchy.is_head(me)) {
+                        metrics.crashes += 1;
+                        backbone_fault = true;
+                        note_fault(&mut fault_window, round as u64);
+                        tracer.crash(round as u64, i as u64, faults.durable_tokens);
+                        // Volatile protocol state dies with the node; the
+                        // tokens it carries survive per the durability flag.
+                        let retained: Vec<TokenId> = if faults.durable_tokens {
+                            protocols[i].known().iter().copied().collect()
+                        } else {
+                            assignment[i].clone()
+                        };
+                        protocols[i] = restart(i);
+                        protocols[i].on_start(me, &retained);
+                        down_until[i] = round + faults.down_rounds;
+                        was_down[i] = true;
+                    }
+                }
+                // While a crashed node heads a cluster, repair the round's
+                // hierarchy so live members re-home to live heads.
+                let down: Vec<bool> = (0..n).map(|i| round < down_until[i]).collect();
+                if (0..n).any(|i| down[i] && hierarchy.is_head(NodeId::from_index(i))) {
+                    hierarchy = Arc::new(re_elect(
+                        &graph,
+                        &hierarchy,
+                        &down,
+                        GatewayPolicy::default(),
+                    ));
+                }
+            }
+
             if tracer.enabled() {
-                tracer.round_start(round as u64);
                 let heads: Vec<Option<NodeId>> = (0..n)
                     .map(|i| hierarchy.head_of(NodeId::from_index(i)))
                     .collect();
@@ -366,6 +547,9 @@ impl Engine {
             // Send phase.
             for i in 0..n {
                 let me = NodeId::from_index(i);
+                if !trivial && round < down_until[i] {
+                    continue; // crashed nodes are silent
+                }
                 if protocols[i].finished() {
                     continue;
                 }
@@ -412,6 +596,16 @@ impl Engine {
                             ),
                         }
                     }
+                    if out.retransmit {
+                        metrics.retransmits += 1;
+                        if tracer.enabled() {
+                            let dst = match out.dest {
+                                Destination::Broadcast => None,
+                                Destination::Unicast(v) => Some(v.0 as u64),
+                            };
+                            tracer.retransmit(round as u64, me.0 as u64, cost, dst);
+                        }
+                    }
                     match out.dest {
                         Destination::Broadcast => {
                             if self.cfg.record_messages {
@@ -424,6 +618,21 @@ impl Engine {
                                 });
                             }
                             for &v in graph.neighbors(me) {
+                                if !trivial
+                                    && self.faulted_delivery(
+                                        faults,
+                                        round,
+                                        me,
+                                        v,
+                                        &mut metrics,
+                                        &mut fault_window,
+                                        &mut backbone_fault,
+                                        &down_until,
+                                        tracer,
+                                    )
+                                {
+                                    continue;
+                                }
                                 inboxes[v.index()].push(Incoming {
                                     from: me,
                                     directed: false,
@@ -443,6 +652,21 @@ impl Engine {
                                 });
                             }
                             if delivered {
+                                if !trivial
+                                    && self.faulted_delivery(
+                                        faults,
+                                        round,
+                                        me,
+                                        v,
+                                        &mut metrics,
+                                        &mut fault_window,
+                                        &mut backbone_fault,
+                                        &down_until,
+                                        tracer,
+                                    )
+                                {
+                                    continue;
+                                }
                                 inboxes[v.index()].push(Incoming {
                                     from: me,
                                     directed: true,
@@ -458,6 +682,9 @@ impl Engine {
 
             // Receive phase.
             for i in 0..n {
+                if !trivial && round < down_until[i] {
+                    continue; // deliveries to crashed nodes are lost
+                }
                 let me = NodeId::from_index(i);
                 let view = LocalView {
                     me,
@@ -485,15 +712,36 @@ impl Engine {
             if completion_round.is_none() && Self::all_informed(protocols, &universe) {
                 completion_round = Some(rounds_executed);
                 if self.cfg.stop_on_completion {
+                    budget_exhausted = false;
                     break;
                 }
             }
             // All protocols locally finished and nothing further can change.
             if protocols.iter().all(|p| p.finished()) {
+                budget_exhausted = false;
                 break;
             }
         }
 
+        let outcome = match completion_round {
+            Some(round) => Outcome::Completed { round },
+            None => {
+                let missing_tokens = universe
+                    .iter()
+                    .filter(|t| protocols.iter().any(|p| !p.known().contains(t)))
+                    .count();
+                match fault_window {
+                    Some(window) => Outcome::AssumptionViolated {
+                        window,
+                        def: if backbone_fault { 2 } else { 1 },
+                    },
+                    None => Outcome::Stalled {
+                        missing_tokens,
+                        budget_exhausted,
+                    },
+                }
+            }
+        };
         tracer.run_end(rounds_executed as u64, completion_round.is_some());
         RunReport {
             rounds_executed,
@@ -501,12 +749,57 @@ impl Engine {
             metrics,
             k,
             cost_weights: self.cfg.cost_weights,
+            outcome,
         }
+    }
+
+    /// Fault-plane delivery gate: returns `true` when the `from → to`
+    /// delivery is lost this round, accounting and tracing the fault.
+    /// Deliveries to crashed receivers are lost silently — the crash event
+    /// already explains them.
+    #[allow(clippy::too_many_arguments)]
+    fn faulted_delivery(
+        &self,
+        faults: &FaultPlan,
+        round: usize,
+        from: NodeId,
+        to: NodeId,
+        metrics: &mut Metrics,
+        fault_window: &mut Option<(u64, u64)>,
+        backbone_fault: &mut bool,
+        down_until: &[usize],
+        tracer: &mut Tracer,
+    ) -> bool {
+        if round < down_until[to.index()] {
+            return true;
+        }
+        let kind = if faults.partitioned(round, from.index(), to.index()) {
+            FaultKind::Partition
+        } else if faults.drops_message(round, from.index(), to.index()) {
+            FaultKind::Loss
+        } else {
+            return false;
+        };
+        if kind == FaultKind::Partition {
+            *backbone_fault = true;
+        }
+        metrics.faults_injected += 1;
+        note_fault(fault_window, round as u64);
+        tracer.fault_injected(round as u64, from.0 as u64, Some(to.0 as u64), kind);
+        true
     }
 
     fn all_informed<P: Protocol>(protocols: &[P], universe: &TokenSet) -> bool {
         protocols.iter().all(|p| universe.is_subset(p.known()))
     }
+}
+
+/// Widen the `(first, last)` fault window to include `round`.
+fn note_fault(window: &mut Option<(u64, u64)>, round: u64) {
+    *window = Some(match *window {
+        None => (round, round),
+        Some((first, _)) => (first, round),
+    });
 }
 
 #[cfg(test)]
@@ -783,5 +1076,205 @@ mod tests {
         let report = Engine::with_defaults().run(&mut provider, &mut protocols, &assignment);
         assert_eq!(report.rounds_executed, 1, "all finished after first round");
         assert!(!report.completed());
+    }
+
+    #[test]
+    fn outcome_reports_completion_and_stall() {
+        let mut provider = star_provider(5, 10);
+        let mut protocols: Vec<Flood> = (0..5).map(|_| Flood::new()).collect();
+        let assignment = round_robin_assignment(5, 5);
+        let report = Engine::with_defaults().run(&mut provider, &mut protocols, &assignment);
+        assert_eq!(report.outcome, Outcome::Completed { round: 2 });
+
+        // Disconnected pair: the token never crosses, no faults involved.
+        let g = Arc::new(Graph::from_edges(2, []));
+        let h = Arc::new({
+            use hinet_cluster::hierarchy::{ClusterId, Hierarchy, Role};
+            Hierarchy::new(
+                vec![Role::Head, Role::Head],
+                vec![Some(ClusterId(NodeId(0))), Some(ClusterId(NodeId(1)))],
+            )
+        });
+        let t = TvgTrace::new(vec![Arc::clone(&g)]);
+        let mut provider = CtvgTraceProvider::new(CtvgTrace::new(t, vec![h]));
+        let mut protocols: Vec<Flood> = (0..2).map(|_| Flood::new()).collect();
+        let assignment = vec![vec![TokenId(0)], vec![]];
+        let cfg = RunConfig::new().max_rounds(5);
+        let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
+        assert_eq!(
+            report.outcome,
+            Outcome::Stalled {
+                missing_tokens: 1,
+                budget_exhausted: true
+            }
+        );
+        assert_eq!(
+            report.outcome.to_string(),
+            "stalled (1 tokens undelivered, budget exhausted)"
+        );
+    }
+
+    #[test]
+    fn total_loss_blocks_dissemination_and_violates_assumption() {
+        use crate::fault::FaultPlan;
+
+        let mut provider = star_provider(3, 4);
+        let mut protocols: Vec<Flood> = (0..3).map(|_| Flood::new()).collect();
+        let assignment = vec![vec![TokenId(0)], vec![], vec![]];
+        let cfg = RunConfig::new().max_rounds(4);
+        let faults = FaultPlan::new(9).with_loss_ppm(1_000_000);
+        let report = Engine::new(cfg).run_faulted(
+            &mut provider,
+            &mut protocols,
+            &assignment,
+            &faults,
+            &mut |_| Flood::new(),
+            &mut Tracer::disabled(),
+        );
+        assert!(!report.completed());
+        assert!(report.metrics.faults_injected > 0);
+        assert_eq!(
+            report.outcome,
+            Outcome::AssumptionViolated {
+                window: (0, 3),
+                def: 1
+            },
+            "pure message loss is a Definition-1 (per-round delivery) violation"
+        );
+    }
+
+    #[test]
+    fn scheduled_crash_counts_and_recovers() {
+        use crate::fault::FaultPlan;
+
+        let mut provider = star_provider(3, 20);
+        let mut protocols: Vec<Flood> = (0..3).map(|_| Flood::new()).collect();
+        let assignment = vec![vec![], vec![TokenId(0)], vec![]];
+        // Crash the hub (the head) in round 1 for one round.
+        let faults = FaultPlan::new(0).with_crash_at(1, 0).with_down_rounds(1);
+        let report = Engine::with_defaults().run_faulted(
+            &mut provider,
+            &mut protocols,
+            &assignment,
+            &faults,
+            &mut |_| Flood::new(),
+            &mut Tracer::disabled(),
+        );
+        assert_eq!(report.metrics.crashes, 1);
+        assert_eq!(report.metrics.recoveries, 1);
+        assert!(report.completed(), "the run heals after the hub restarts");
+        assert!(matches!(report.outcome, Outcome::Completed { .. }));
+    }
+
+    #[test]
+    fn durable_tokens_survive_a_crash_volatile_ones_do_not() {
+        use crate::fault::FaultPlan;
+
+        let run = |durable: bool| {
+            let mut provider = star_provider(3, 20);
+            let mut protocols: Vec<Flood> = (0..3).map(|_| Flood::new()).collect();
+            let assignment = vec![vec![], vec![TokenId(0)], vec![]];
+            let mut faults = FaultPlan::new(0).with_crash_at(1, 0).with_down_rounds(1);
+            if durable {
+                faults = faults.with_durable_tokens(true);
+            }
+            Engine::with_defaults()
+                .run_faulted(
+                    &mut provider,
+                    &mut protocols,
+                    &assignment,
+                    &faults,
+                    &mut |_| Flood::new(),
+                    &mut Tracer::disabled(),
+                )
+                .completion_round
+                .unwrap()
+        };
+        // The hub learns the token in round 0 and crashes in round 1. With
+        // durable storage it re-broadcasts right after recovery; without, it
+        // must first re-learn the token from the leaf.
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn faulted_runs_replay_exactly() {
+        use crate::fault::FaultPlan;
+
+        let run = || {
+            let mut provider = star_provider(4, 30);
+            let mut protocols: Vec<Flood> = (0..4).map(|_| Flood::new()).collect();
+            let assignment = round_robin_assignment(4, 4);
+            let faults = FaultPlan::new(42).with_loss_ppm(300_000);
+            Engine::with_defaults().run_faulted(
+                &mut provider,
+                &mut protocols,
+                &assignment,
+                &faults,
+                &mut |_| Flood::new(),
+                &mut Tracer::disabled(),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.metrics.faults_injected, b.metrics.faults_injected);
+        assert_eq!(a.metrics.tokens_sent, b.metrics.tokens_sent);
+        assert!(a.metrics.faults_injected > 0, "30% loss must bite");
+    }
+
+    #[test]
+    fn trivial_plan_is_byte_identical_to_plain_tracing() {
+        use crate::fault::FaultPlan;
+        use hinet_rt::obs::ObsConfig;
+
+        let assignment = round_robin_assignment(5, 5);
+        let mut provider = star_provider(5, 10);
+        let mut protocols: Vec<Flood> = (0..5).map(|_| Flood::new()).collect();
+        let mut plain = Tracer::new(ObsConfig::full());
+        Engine::with_defaults().run_traced(&mut provider, &mut protocols, &assignment, &mut plain);
+
+        let mut provider = star_provider(5, 10);
+        let mut protocols: Vec<Flood> = (0..5).map(|_| Flood::new()).collect();
+        let mut faulted = Tracer::new(ObsConfig::full());
+        Engine::with_defaults().run_faulted(
+            &mut provider,
+            &mut protocols,
+            &assignment,
+            &FaultPlan::none(),
+            &mut |_| Flood::new(),
+            &mut faulted,
+        );
+        assert_eq!(plain.to_jsonl(), faulted.to_jsonl());
+    }
+
+    #[test]
+    fn partition_severs_cross_traffic_and_flags_backbone() {
+        use crate::fault::{FaultPlan, Partition};
+
+        let mut provider = star_provider(4, 6);
+        let mut protocols: Vec<Flood> = (0..4).map(|_| Flood::new()).collect();
+        let assignment = round_robin_assignment(4, 4);
+        let cfg = RunConfig::new().max_rounds(6);
+        // Cut {0,1} from {2,3} for the whole run: leaves 2,3 can never learn
+        // token 0 or 1 (and vice versa) because every path crosses the hub cut.
+        let faults = FaultPlan::new(1).with_partition(Partition {
+            start: 0,
+            end: 6,
+            cut: 2,
+        });
+        let report = Engine::new(cfg).run_faulted(
+            &mut provider,
+            &mut protocols,
+            &assignment,
+            &faults,
+            &mut |_| Flood::new(),
+            &mut Tracer::disabled(),
+        );
+        assert!(!report.completed());
+        assert!(report.metrics.faults_injected > 0);
+        assert!(
+            matches!(report.outcome, Outcome::AssumptionViolated { def: 2, .. }),
+            "partitions violate Definition 2 (backbone stability), got {:?}",
+            report.outcome
+        );
     }
 }

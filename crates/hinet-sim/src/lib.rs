@@ -19,6 +19,12 @@
 //!   sent** (a broadcast of one token counts once, not once per receiver),
 //!   with packets and per-role breakdowns recorded alongside.
 //!
+//! The [`fault`] module adds a deterministic, seeded fault-injection plane
+//! ([`fault::FaultPlan`]): message loss, crash/restart schedules and hazard
+//! rates, head-targeted crashes, and partition windows — threaded through
+//! [`engine::Engine::run_faulted`] so degraded runs replay exactly and
+//! report a structured [`engine::Outcome`] instead of a bare bool.
+//!
 //! For per-round visibility, [`engine::Engine::run_traced`] additionally
 //! streams typed [`hinet_rt::obs`] events (round starts, token pushes,
 //! head broadcasts, re-affiliations, run end) into a
@@ -26,9 +32,13 @@
 //! disabled tracer.
 
 pub mod engine;
+pub mod fault;
 pub mod protocol;
 pub mod token;
 
-pub use engine::{CostWeights, Engine, MessageRecord, Metrics, RoundMetrics, RunConfig, RunReport};
+pub use engine::{
+    CostWeights, Engine, MessageRecord, Metrics, Outcome, RoundMetrics, RunConfig, RunReport,
+};
+pub use fault::{FaultPlan, Partition};
 pub use protocol::{Incoming, LocalView, Outgoing, Protocol};
 pub use token::{TokenId, TokenSet};

@@ -47,6 +47,10 @@ pub struct Outgoing {
     pub dest: Destination,
     /// Token payload.
     pub tokens: Vec<TokenId>,
+    /// Whether this message repeats a payload the protocol already sent
+    /// (recovery retransmission). The engine counts and traces marked
+    /// messages separately; delivery is unaffected.
+    pub retransmit: bool,
 }
 
 impl Outgoing {
@@ -55,6 +59,7 @@ impl Outgoing {
         Outgoing {
             dest: Destination::Broadcast,
             tokens: vec![t],
+            retransmit: false,
         }
     }
 
@@ -63,6 +68,7 @@ impl Outgoing {
         Outgoing {
             dest: Destination::Broadcast,
             tokens: ts.iter().copied().collect(),
+            retransmit: false,
         }
     }
 
@@ -71,6 +77,7 @@ impl Outgoing {
         Outgoing {
             dest: Destination::Unicast(to),
             tokens: vec![t],
+            retransmit: false,
         }
     }
 
@@ -79,7 +86,14 @@ impl Outgoing {
         Outgoing {
             dest: Destination::Unicast(to),
             tokens: ts.iter().copied().collect(),
+            retransmit: false,
         }
+    }
+
+    /// Mark this message as a recovery retransmission.
+    pub fn mark_retransmit(mut self) -> Self {
+        self.retransmit = true;
+        self
     }
 }
 
@@ -157,6 +171,12 @@ mod tests {
         assert_eq!(
             Outgoing::unicast_set(NodeId(1), &ts).tokens,
             vec![TokenId(1), TokenId(2)]
+        );
+        assert!(!b.retransmit, "constructors build fresh sends");
+        assert!(
+            Outgoing::broadcast_one(TokenId(5))
+                .mark_retransmit()
+                .retransmit
         );
     }
 }

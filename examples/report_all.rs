@@ -1,4 +1,4 @@
-//! Run every registered experiment (E1–E12) and print the full report —
+//! Run every registered experiment (E1–E17) and print the full report —
 //! the markdown form of this output is the body of EXPERIMENTS.md.
 //!
 //! Run with: `cargo run --release --example report_all [--markdown]`

@@ -24,6 +24,13 @@
 //! --l L              hop bound                                     [2]
 //! --theta TH         head-capable pool                             [n/3]
 //! --seed S           RNG seed                                      [42]
+//! --loss P           per-delivery drop probability (fraction)      [0]
+//! --crash-rate P     per-node per-round crash hazard (fraction)    [0]
+//! --crash-at R:U,..  scheduled crashes (round:node pairs)          [none]
+//! --target-heads     hazard crashes only hit current heads
+//! --fault-seed S     fault decision seed                           [0]
+//! --retransmit       HiNet algorithms recover via retransmission
+//! --durable-tokens   accumulated tokens survive crashes
 //! ```
 //!
 //! `hinet run` additionally accepts `--trace` (record a `hinet-trace/v1`
@@ -32,7 +39,9 @@
 //! running), `--events`, `--summary`, `--out FILE`, `--filter KIND`,
 //! `--stability`, `--sample N`, and the trace-diff mode `--diff A [B]`
 //! (with `--json`, `--ignore`, `--max-divergences`, `--context` and
-//! `--update-golden`); see `docs/OBSERVABILITY.md`.
+//! `--update-golden`); see `docs/OBSERVABILITY.md`. Artifacts written via
+//! `--trace-out`/`--out` are streamed to disk incrementally, so arbitrarily
+//! long runs never need the whole event stream in memory.
 //!
 //! Each command declares its flags in a [`FlagSpec`] table; unknown flags
 //! and malformed values are rejected with exit code 2 rather than silently
@@ -62,7 +71,9 @@ USAGE:
   hinet export [DIR]                write experiment tables as md/csv
   hinet run [--algorithm A] [--dynamics D] [--n N] [--k K]
             [--alpha A] [--l L] [--theta TH] [--seed S]
-            [--trace] [--trace-out FILE]
+            [--loss P] [--crash-rate P] [--crash-at R:U,..]
+            [--target-heads] [--fault-seed S] [--retransmit]
+            [--durable-tokens] [--trace] [--trace-out FILE]
   hinet trace [scenario flags as for run] [--in FILE] [--events]
             [--summary] [--out FILE] [--filter KIND] [--stability]
             [--sample N]
@@ -91,6 +102,29 @@ const RUN_FLAGS: &[FlagSpec] = &[
     flag("l", true, "hop bound [2]"),
     flag("theta", true, "head-capable pool [n/3]"),
     flag("seed", true, "RNG seed [42]"),
+    flag("loss", true, "per-delivery drop probability, fraction [0]"),
+    flag(
+        "crash-rate",
+        true,
+        "per-node per-round crash hazard, fraction [0]",
+    ),
+    flag("crash-at", true, "scheduled crashes, round:node[,..]"),
+    flag(
+        "target-heads",
+        false,
+        "hazard crashes only hit current heads",
+    ),
+    flag("fault-seed", true, "fault decision seed [0]"),
+    flag(
+        "retransmit",
+        false,
+        "HiNet algorithms recover via retransmission",
+    ),
+    flag(
+        "durable-tokens",
+        false,
+        "accumulated tokens survive crashes",
+    ),
     flag("trace", false, "record a hinet-trace/v1 JSONL artifact"),
     flag(
         "trace-out",
@@ -108,6 +142,29 @@ const TRACE_FLAGS: &[FlagSpec] = &[
     flag("l", true, "hop bound [2]"),
     flag("theta", true, "head-capable pool [n/3]"),
     flag("seed", true, "RNG seed [42]"),
+    flag("loss", true, "per-delivery drop probability, fraction [0]"),
+    flag(
+        "crash-rate",
+        true,
+        "per-node per-round crash hazard, fraction [0]",
+    ),
+    flag("crash-at", true, "scheduled crashes, round:node[,..]"),
+    flag(
+        "target-heads",
+        false,
+        "hazard crashes only hit current heads",
+    ),
+    flag("fault-seed", true, "fault decision seed [0]"),
+    flag(
+        "retransmit",
+        false,
+        "HiNet algorithms recover via retransmission",
+    ),
+    flag(
+        "durable-tokens",
+        false,
+        "accumulated tokens survive crashes",
+    ),
     flag(
         "in",
         true,
@@ -308,6 +365,7 @@ fn print_report(sc: &Scenario, label: &str, report: &RunReport) {
             .completion_round
             .map_or("never".into(), |r| r.to_string())
     );
+    println!("outcome: {}", report.outcome);
     println!(
         "tokens sent: {}  packets: {}  (heads {}, gateways {}, members {})",
         report.metrics.tokens_sent,
@@ -316,6 +374,13 @@ fn print_report(sc: &Scenario, label: &str, report: &RunReport) {
         report.metrics.tokens_by_role[1],
         report.metrics.tokens_by_role[2],
     );
+    let m = &report.metrics;
+    if m.faults_injected + m.crashes + m.recoveries + m.retransmits > 0 {
+        println!(
+            "faults: {} dropped deliveries, {} crashes, {} recoveries, {} retransmits",
+            m.faults_injected, m.crashes, m.recoveries, m.retransmits
+        );
+    }
 }
 
 /// Write a trace artifact, creating parent directories on demand.
@@ -333,6 +398,32 @@ fn write_trace(path: &str, tracer: &Tracer) -> Result<(), String> {
     Ok(())
 }
 
+/// Switch `tracer` to incremental on-disk spilling: events stream to
+/// `path.part` as they are recorded instead of accumulating in the ring.
+fn stream_trace(path: &str, tracer: &mut Tracer) -> Result<(), String> {
+    tracer
+        .stream_to(path)
+        .map_err(|e| format!("cannot stream trace to {path}: {e}"))
+}
+
+/// Finalise a streamed artifact (header + spilled events); falls back to
+/// [`write_trace`] when the tracer never streamed.
+fn finish_trace(path: &str, tracer: &mut Tracer) -> Result<(), String> {
+    match tracer
+        .finish_stream()
+        .map_err(|e| format!("cannot finalise trace {path}: {e}"))?
+    {
+        Some(written) => {
+            println!(
+                "trace: wrote {path} ({written} events streamed, {} dropped)",
+                tracer.dropped()
+            );
+            Ok(())
+        }
+        None => write_trace(path, tracer),
+    }
+}
+
 fn cmd_run(flags: &FlagSet) -> ExitCode {
     let want_trace = flags.has("trace") || flags.get("trace-out").is_some();
     let run = || -> Result<(), String> {
@@ -342,6 +433,10 @@ fn cmd_run(flags: &FlagSet) -> ExitCode {
         } else {
             Tracer::disabled()
         };
+        let out_path = flags.get("trace-out").unwrap_or("target/trace/run.jsonl");
+        if want_trace {
+            stream_trace(out_path, &mut tracer)?;
+        }
         let report = sc.run_traced(&mut tracer)?;
         match &report {
             ScenarioReport::Engine(r) => {
@@ -361,8 +456,7 @@ fn cmd_run(flags: &FlagSet) -> ExitCode {
             }
         }
         if want_trace {
-            let path = flags.get("trace-out").unwrap_or("target/trace/run.jsonl");
-            write_trace(path, &tracer)?;
+            finish_trace(out_path, &mut tracer)?;
         }
         Ok(())
     };
@@ -449,6 +543,13 @@ fn cmd_trace(pos: &[String], flags: &FlagSet) -> ExitCode {
             Some(_) => Tracer::new(ObsConfig::sampled(flags.parsed("sample", 1u32)?)),
             None => Tracer::new(ObsConfig::full()),
         };
+        // Pure artifact-recording runs stream events straight to disk;
+        // --events/--summary need the in-memory ring for display.
+        if let Some(path) = flags.get("out") {
+            if !events_wanted && !summary_wanted {
+                stream_trace(path, &mut tracer)?;
+            }
+        }
         let report = sc.run_traced(&mut tracer)?;
         if flags.has("stability") {
             // Providers are deterministic in the scenario seed, so a fresh
@@ -459,7 +560,7 @@ fn cmd_trace(pos: &[String], flags: &FlagSet) -> ExitCode {
         }
         Ok((sc, tracer, report))
     };
-    let (sc, tracer, report) = match run() {
+    let (sc, mut tracer, report) = match run() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
@@ -472,10 +573,10 @@ fn cmd_trace(pos: &[String], flags: &FlagSet) -> ExitCode {
         sc.algorithm,
         sc.dynamics,
         report.rounds_executed(),
-        tracer.len(),
+        tracer.len().max(tracer.streamed().unwrap_or(0) as usize),
     );
     if let Some(path) = flags.get("out") {
-        if let Err(e) = write_trace(path, &tracer) {
+        if let Err(e) = finish_trace(path, &mut tracer) {
             eprintln!("{e}");
             return ExitCode::from(1);
         }

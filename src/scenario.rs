@@ -18,9 +18,9 @@
 use hinet_cluster::clustering::ClusteringKind;
 use hinet_cluster::ctvg::{FlatProvider, HierarchyProvider};
 use hinet_cluster::generators::{ClusteredMobilityGen, HiNetConfig, HiNetGen};
-use hinet_core::netcode::{run_rlnc_traced, RlncReport};
+use hinet_core::netcode::{run_rlnc_faulted, RlncReport};
 use hinet_core::params::{alg1_plan, klo_plan, remark1_phases, required_phase_length, PhasePlan};
-use hinet_core::runner::{run_algorithm_traced, AlgorithmKind};
+use hinet_core::runner::{run_algorithm_faulted, AlgorithmKind};
 use hinet_graph::generators::{
     BackboneKind, EdgeMarkovianGen, ManhattanConfig, ManhattanGen, OneIntervalGen,
     RandomWaypointGen, TIntervalGen, WaypointConfig,
@@ -29,6 +29,7 @@ use hinet_graph::trace::TopologyProvider;
 use hinet_rt::flags::FlagSet;
 use hinet_rt::obs::{ParsedTrace, Tracer};
 use hinet_sim::engine::{CostWeights, RunConfig, RunReport};
+use hinet_sim::fault::FaultPlan;
 use hinet_sim::token::round_robin_assignment;
 
 /// One simulation's full parameterisation (see the module docs). Both
@@ -59,6 +60,65 @@ pub struct Scenario {
     pub t: usize,
     /// Hard round budget for unbounded baselines.
     pub budget: usize,
+    /// Per-delivery message-loss probability in parts per million
+    /// (`--loss`, fraction, ×10⁶; 0 disables).
+    pub loss_ppm: u32,
+    /// Per-node per-round crash hazard in parts per million
+    /// (`--crash-rate`, fraction, ×10⁶; 0 disables).
+    pub crash_ppm: u32,
+    /// Scheduled crashes as `(round, node)` pairs (`--crash-at R:U,…`).
+    pub crash_at: Vec<(usize, usize)>,
+    /// Restrict hazard crashes to nodes currently serving as heads
+    /// (`--target-heads`).
+    pub target_heads: bool,
+    /// Seed for the fault decision streams (`--fault-seed`), independent
+    /// of the dynamics seed so fault patterns vary per replicate.
+    pub fault_seed: u64,
+    /// Run HiNet algorithms in retransmission-recovery mode
+    /// (`--retransmit`).
+    pub retransmit: bool,
+    /// Whether accumulated tokens survive a crash (`--durable-tokens`);
+    /// otherwise a restarted node retains only its initial assignment.
+    pub durable_tokens: bool,
+}
+
+/// Parse a `--crash-at` spec: comma-separated `round:node` pairs, e.g.
+/// `"3:0,7:12"`.
+pub fn parse_crash_spec(spec: &str) -> Result<Vec<(usize, usize)>, String> {
+    spec.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (r, u) = part
+                .split_once(':')
+                .ok_or(format!("crash-at entry '{part}' is not round:node"))?;
+            Ok((
+                r.parse()
+                    .map_err(|e| format!("crash-at round '{r}': {e}"))?,
+                u.parse().map_err(|e| format!("crash-at node '{u}': {e}"))?,
+            ))
+        })
+        .collect()
+}
+
+/// Render `(round, node)` pairs back into the `--crash-at` spec format.
+/// Inverse of [`parse_crash_spec`]; used to stamp trace metadata.
+pub fn crash_spec_string(crash_at: &[(usize, usize)]) -> String {
+    crash_at
+        .iter()
+        .map(|(r, u)| format!("{r}:{u}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parse a probability flag given as a fraction (`0.05` = 5 %) into parts
+/// per million.
+fn fraction_to_ppm(name: &str, value: f64) -> Result<u32, String> {
+    if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+        return Err(format!(
+            "--{name} must be a fraction in [0, 1], got {value}"
+        ));
+    }
+    Ok((value * 1_000_000.0).round() as u32)
 }
 
 /// Outcome of [`Scenario::run_traced`]: the engine report for
@@ -125,6 +185,12 @@ impl Scenario {
         let theta = flags.parsed("theta", (n / 3).max(1))?;
         let seed = flags.parsed("seed", 42u64)?;
         let t = required_phase_length(k, alpha, l);
+        let loss_ppm = fraction_to_ppm("loss", flags.parsed("loss", 0.0f64)?)?;
+        let crash_ppm = fraction_to_ppm("crash-rate", flags.parsed("crash-rate", 0.0f64)?)?;
+        let crash_at = match flags.get("crash-at") {
+            Some(spec) => parse_crash_spec(spec)?,
+            None => vec![],
+        };
         Ok(Scenario {
             n,
             k,
@@ -136,6 +202,13 @@ impl Scenario {
             dynamics: flags.get("dynamics").unwrap_or("hinet").to_string(),
             t,
             budget: 4 * n + 4 * t,
+            loss_ppm,
+            crash_ppm,
+            crash_at,
+            target_heads: flags.has("target-heads"),
+            fault_seed: flags.parsed("fault-seed", 0u64)?,
+            retransmit: flags.has("retransmit"),
+            durable_tokens: flags.has("durable-tokens"),
         })
     }
 
@@ -159,6 +232,18 @@ impl Scenario {
         let dynamics = get("dynamics")?.to_string();
         let (n, k, alpha, l) = (num("n")?, num("k")?, num("alpha")?, num("l")?);
         let t = required_phase_length(k, alpha, l);
+        // Fault stamps are written only when non-default, so absence means
+        // "no faults" — old fault-free artifacts stay readable.
+        let opt_num = |key: &str| -> Result<u64, String> {
+            match trace.meta_get(key) {
+                Some(s) => s.parse().map_err(|e| format!("trace meta '{key}': {e}")),
+                None => Ok(0),
+            }
+        };
+        let crash_at = match trace.meta_get("crash_at") {
+            Some(spec) => parse_crash_spec(spec)?,
+            None => vec![],
+        };
         Ok(Scenario {
             n,
             k,
@@ -172,7 +257,30 @@ impl Scenario {
             dynamics,
             t,
             budget: 4 * n + 4 * t,
+            loss_ppm: opt_num("loss_ppm")? as u32,
+            crash_ppm: opt_num("crash_ppm")? as u32,
+            crash_at,
+            target_heads: opt_num("target_heads")? != 0,
+            fault_seed: opt_num("fault_seed")?,
+            retransmit: opt_num("retransmit")? != 0,
+            durable_tokens: opt_num("durable_tokens")? != 0,
         })
+    }
+
+    /// The deterministic fault plan the scenario's fault fields describe.
+    /// Trivial (injecting nothing) when every fault field is at its
+    /// default, which keeps fault-free runs byte-identical to older
+    /// artifacts.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.fault_seed)
+            .with_loss_ppm(self.loss_ppm)
+            .with_crash_ppm(self.crash_ppm)
+            .with_target_heads(self.target_heads)
+            .with_durable_tokens(self.durable_tokens);
+        for &(round, node) in &self.crash_at {
+            plan = plan.with_crash_at(round, node);
+        }
+        plan
     }
 
     /// The algorithm selector with its derived parameterisation. Errors on
@@ -288,6 +396,29 @@ impl Scenario {
         tracer.meta("l", self.l.to_string());
         tracer.meta("theta", self.theta.to_string());
         tracer.meta("seed", self.seed.to_string());
+        // Fault stamps only when non-default: fault-free artifacts stay
+        // byte-identical to those from before the fault plane existed.
+        if self.loss_ppm > 0 {
+            tracer.meta("loss_ppm", self.loss_ppm.to_string());
+        }
+        if self.crash_ppm > 0 {
+            tracer.meta("crash_ppm", self.crash_ppm.to_string());
+        }
+        if !self.crash_at.is_empty() {
+            tracer.meta("crash_at", crash_spec_string(&self.crash_at));
+        }
+        if self.target_heads {
+            tracer.meta("target_heads", "1");
+        }
+        if self.fault_seed != 0 {
+            tracer.meta("fault_seed", self.fault_seed.to_string());
+        }
+        if self.retransmit {
+            tracer.meta("retransmit", "1");
+        }
+        if self.durable_tokens {
+            tracer.meta("durable_tokens", "1");
+        }
     }
 
     /// Execute the scenario, streaming events and meta stamps into
@@ -297,25 +428,29 @@ impl Scenario {
     pub fn run_traced(&self, tracer: &mut Tracer) -> Result<ScenarioReport, String> {
         self.stamp_meta(tracer);
         let assignment = round_robin_assignment(self.n, self.k);
+        let faults = self.fault_plan();
         if self.algorithm == "rlnc" {
             let mut provider = self.rlnc_provider()?;
-            let report = run_rlnc_traced(
+            let report = run_rlnc_faulted(
                 provider.as_mut(),
                 &assignment,
                 self.budget,
                 self.seed,
                 CostWeights::default(),
+                &faults,
                 tracer,
             );
             return Ok(ScenarioReport::Rlnc(report));
         }
         let kind = self.kind()?;
         let mut provider = self.provider(&kind)?;
-        let report = run_algorithm_traced(
+        let report = run_algorithm_faulted(
             &kind,
             provider.as_mut(),
             &assignment,
             RunConfig::new().max_rounds(self.budget),
+            &faults,
+            self.retransmit,
             tracer,
         );
         Ok(ScenarioReport::Engine(report))
@@ -341,6 +476,13 @@ mod tests {
             dynamics: dynamics.into(),
             t,
             budget: 4 * 20 + 4 * t,
+            loss_ppm: 0,
+            crash_ppm: 0,
+            crash_at: vec![],
+            target_heads: false,
+            fault_seed: 0,
+            retransmit: false,
+            durable_tokens: false,
         }
     }
 
@@ -393,6 +535,79 @@ mod tests {
         let parsed = ParsedTrace::parse_jsonl(&tracer.to_jsonl()).unwrap();
         let err = Scenario::from_meta(&parsed).unwrap_err();
         assert!(err.contains("scenario"), "{err}");
+    }
+
+    #[test]
+    fn fault_meta_round_trips_and_is_absent_when_default() {
+        let mut sc = small("alg2", "hinet");
+        sc.loss_ppm = 50_000;
+        sc.fault_seed = 3;
+        sc.retransmit = true;
+        sc.crash_at = vec![(3, 0), (7, 12)];
+        sc.budget = 8 * 20; // loss voids the theorem bounds
+        let mut tracer = Tracer::new(ObsConfig::full());
+        sc.run_traced(&mut tracer).unwrap();
+        let parsed = ParsedTrace::parse_jsonl(&tracer.to_jsonl()).unwrap();
+        assert_eq!(parsed.meta_get("loss_ppm"), Some("50000"));
+        assert_eq!(parsed.meta_get("crash_at"), Some("3:0,7:12"));
+        assert_eq!(parsed.meta_get("retransmit"), Some("1"));
+        let rebuilt = Scenario::from_meta(&parsed).unwrap();
+        assert_eq!(
+            Scenario {
+                budget: rebuilt.budget, // budget is derived, not stamped
+                ..rebuilt
+            },
+            Scenario {
+                budget: 4 * 20 + 4 * sc.t,
+                ..sc.clone()
+            }
+        );
+
+        // Fault-free runs stamp none of the fault keys.
+        let sc = small("alg1", "hinet");
+        let mut tracer = Tracer::new(ObsConfig::full());
+        sc.run_traced(&mut tracer).unwrap();
+        let parsed = ParsedTrace::parse_jsonl(&tracer.to_jsonl()).unwrap();
+        for key in [
+            "loss_ppm",
+            "crash_ppm",
+            "crash_at",
+            "target_heads",
+            "fault_seed",
+            "retransmit",
+            "durable_tokens",
+        ] {
+            assert_eq!(parsed.meta_get(key), None, "{key} must not be stamped");
+        }
+    }
+
+    #[test]
+    fn crash_spec_round_trips_and_rejects_garbage() {
+        let spec = "3:0,7:12";
+        let parsed = parse_crash_spec(spec).unwrap();
+        assert_eq!(parsed, vec![(3, 0), (7, 12)]);
+        assert_eq!(crash_spec_string(&parsed), spec);
+        assert_eq!(parse_crash_spec("").unwrap(), vec![]);
+        assert!(parse_crash_spec("7").is_err());
+        assert!(parse_crash_spec("a:b").is_err());
+    }
+
+    #[test]
+    fn lossy_scenario_with_retransmit_completes_reproducibly() {
+        let mut sc = small("alg2", "hinet");
+        sc.loss_ppm = 100_000;
+        sc.fault_seed = 1;
+        sc.retransmit = true;
+        sc.budget = 8 * 20;
+        let run = || {
+            let mut tracer = Tracer::new(ObsConfig::full());
+            let report = sc.run_traced(&mut tracer).unwrap();
+            (report.completed(), tracer.to_jsonl())
+        };
+        let (completed, a) = run();
+        assert!(completed, "alg2 + retransmit must heal 10% loss");
+        let (_, b) = run();
+        assert_eq!(a, b, "same fault seed, same trace bytes");
     }
 
     #[test]

@@ -103,6 +103,10 @@ fn obs_fingerprint(tracer: &hinet::rt::obs::Tracer) -> u64 {
             Event::Reaffiliation { node, .. } => mix(4, node),
             Event::StabilityWindow { def, .. } => mix(5, def as u64),
             Event::RunEnd { rounds, .. } => mix(6, rounds),
+            Event::FaultInjected { node, .. } => mix(7, node),
+            Event::Crash { node, .. } => mix(8, node),
+            Event::Recover { node } => mix(9, node),
+            Event::Retransmit { node, count, .. } => mix(10, mix(node, count)),
         };
         h = mix(h, mix(te.round, ordinal));
     }

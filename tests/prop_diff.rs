@@ -42,6 +42,13 @@ fn scenario(algorithm: &str, dynamics: &str, n: usize, k: usize, seed: u64) -> S
         dynamics: dynamics.into(),
         t,
         budget: 4 * n + 4 * t,
+        loss_ppm: 0,
+        crash_ppm: 0,
+        crash_at: vec![],
+        target_heads: false,
+        fault_seed: 0,
+        retransmit: false,
+        durable_tokens: false,
     }
 }
 

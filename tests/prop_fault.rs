@@ -1,0 +1,166 @@
+//! Chaos property suite for the deterministic fault plane, on the seeded
+//! `hinet_rt::check` harness (replay any failure with
+//! `HINET_CHECK_SEED=<seed printed on failure>`).
+//!
+//! Three contracts: (a) bounded message loss plus the ARQ retransmission
+//! wrapper still completes dissemination; (b) a fault plan with a seed but
+//! no rates is indistinguishable from no plan at all — events and counters
+//! identical, meta unchanged except for the `fault_seed` stamp; (c) a
+//! faulted run replays byte-for-byte under the same `--fault-seed`.
+
+use hinet::rt::check::check;
+use hinet::rt::obs::{ObsConfig, ParsedTrace, Tracer};
+use hinet::scenario::{Scenario, ScenarioReport};
+use hinet::sim::engine::Outcome;
+
+fn scenario(algorithm: &str, dynamics: &str, n: usize, k: usize, seed: u64) -> Scenario {
+    let (alpha, l) = (2, 2);
+    let t = hinet::core::params::required_phase_length(k, alpha, l);
+    Scenario {
+        n,
+        k,
+        alpha,
+        l,
+        theta: (n / 3).max(1),
+        seed,
+        algorithm: algorithm.into(),
+        dynamics: dynamics.into(),
+        t,
+        budget: 4 * n + 4 * t,
+        loss_ppm: 0,
+        crash_ppm: 0,
+        crash_at: vec![],
+        target_heads: false,
+        fault_seed: 0,
+        retransmit: false,
+        durable_tokens: false,
+    }
+}
+
+fn record(sc: &Scenario) -> (ScenarioReport, String) {
+    let mut tracer = Tracer::new(ObsConfig::full());
+    let report = sc.run_traced(&mut tracer).expect("scenario must run");
+    (report, tracer.to_jsonl())
+}
+
+/// (a) Bounded loss + retransmission completes. Flooding-free algorithms
+/// (Algorithms 1 and 2) rely on the ARQ wrapper; RLNC absorbs the same
+/// loss through coding redundancy with no wrapper at all.
+#[test]
+fn bounded_loss_with_retransmission_still_completes() {
+    check("fault_bounded_loss_completes", 12, |ctx| {
+        let &algorithm = ctx.pick(&["alg1", "alg2", "rlnc"]);
+        let &loss_ppm = ctx.pick(&[20_000u32, 50_000, 100_000]);
+        let &seed = ctx.pick(&[1u64, 5, 9, 13]);
+        let &fault_seed = ctx.pick(&[1u64, 2, 7]);
+        let &n = ctx.pick(&[16usize, 20]);
+        let dynamics = if algorithm == "rlnc" {
+            "flat-1"
+        } else {
+            "hinet"
+        };
+        let base = scenario(algorithm, dynamics, n, 3, seed);
+        let sc = Scenario {
+            loss_ppm,
+            fault_seed,
+            retransmit: algorithm != "rlnc",
+            budget: 3 * base.budget,
+            ..base
+        };
+        let (report, _) = record(&sc);
+        assert!(
+            report.completed(),
+            "{algorithm} at {loss_ppm} ppm (n={n}, seed={seed}, fault_seed={fault_seed}) \
+             did not complete"
+        );
+        if let ScenarioReport::Engine(r) = &report {
+            assert!(
+                matches!(r.outcome, Outcome::Completed { .. }),
+                "completed run must report Outcome::Completed, got: {}",
+                r.outcome
+            );
+            // Any loss that mattered was recovered by the wrapper; losses
+            // only ever *delay*, so drops and retransmits move together.
+            if r.metrics.retransmits > 0 {
+                assert!(
+                    r.metrics.faults_injected > 0,
+                    "retransmissions without any injected fault at {loss_ppm} ppm"
+                );
+            }
+        }
+    });
+}
+
+/// (b) A seeded but rate-free plan is trivial: behaviour is identical to
+/// the unfaulted run — same events, same counters — and the only metadata
+/// difference is the `fault_seed` stamp itself.
+#[test]
+fn rate_free_plans_are_indistinguishable_from_no_plan() {
+    check("fault_trivial_identity", 12, |ctx| {
+        let &(algorithm, dynamics) = ctx.pick(&[
+            ("alg1", "hinet"),
+            ("alg2", "hinet"),
+            ("klo-flood", "flat-1"),
+            ("rlnc", "flat-1"),
+        ]);
+        let &seed = ctx.pick(&[1u64, 4, 9, 16]);
+        let &fault_seed = ctx.pick(&[5u64, 77, 1234]);
+        let plain = scenario(algorithm, dynamics, 18, 3, seed);
+        let seeded = Scenario {
+            fault_seed,
+            ..scenario(algorithm, dynamics, 18, 3, seed)
+        };
+        let (_, a) = record(&plain);
+        let (_, b) = record(&seeded);
+        let a = ParsedTrace::parse_jsonl(&a).expect("plain trace parses");
+        let b = ParsedTrace::parse_jsonl(&b).expect("seeded trace parses");
+        assert_eq!(
+            a.events, b.events,
+            "{algorithm} (seed={seed}): a rate-free plan changed the event stream"
+        );
+        assert_eq!(a.counters, b.counters, "{algorithm} (seed={seed})");
+        let stamp = ("fault_seed".to_string(), fault_seed.to_string());
+        assert!(
+            b.meta.contains(&stamp),
+            "{algorithm}: the seeded plan must stamp its fault_seed"
+        );
+        let without_stamp: Vec<_> = b.meta.iter().filter(|kv| **kv != stamp).cloned().collect();
+        assert_eq!(
+            without_stamp, a.meta,
+            "{algorithm} (seed={seed}): a rate-free plan changed the metadata \
+             beyond its own fault_seed stamp"
+        );
+    });
+}
+
+/// (c) Same fault seed → same trace, byte for byte, including crash and
+/// retransmission schedules.
+#[test]
+fn same_fault_seed_replays_byte_for_byte() {
+    check("fault_seed_replay", 12, |ctx| {
+        let &(algorithm, dynamics) = ctx.pick(&[
+            ("alg1", "hinet"),
+            ("alg2", "hinet"),
+            ("klo-flood", "flat-1"),
+            ("rlnc", "flat-1"),
+        ]);
+        let &seed = ctx.pick(&[2u64, 6, 11]);
+        let &fault_seed = ctx.pick(&[3u64, 8, 21]);
+        let &loss_ppm = ctx.pick(&[30_000u32, 80_000]);
+        let with_crash = *ctx.pick(&[false, true]);
+        let sc = Scenario {
+            loss_ppm,
+            fault_seed,
+            retransmit: dynamics == "hinet",
+            crash_at: if with_crash { vec![(2, 1)] } else { vec![] },
+            ..scenario(algorithm, dynamics, 18, 3, seed)
+        };
+        let (_, first) = record(&sc);
+        let (_, second) = record(&sc);
+        assert_eq!(
+            first, second,
+            "{algorithm} (seed={seed}, fault_seed={fault_seed}, loss={loss_ppm}, \
+             crash={with_crash}) did not replay identically"
+        );
+    });
+}
