@@ -104,3 +104,42 @@ cmp -s target/ci-chaos/lossy1.jsonl target/ci-chaos/lossy2.jsonl || {
     exit 1
 }
 echo "chaos smoke: OK"
+
+# Fuzz smoke: a fixed-seed adversarial campaign must be deterministic —
+# two runs with the same seed classify and shrink identically and find at
+# least one offender — and archiving into a scratch directory twice must
+# not rewrite anything (the second campaign re-finds the same shrunk
+# offenders byte-for-byte and reports them as already known).
+rm -rf target/ci-fuzz
+./target/release/hinet fuzz --seed 1 --cases 25 --out target/ci-fuzz \
+    >target/ci-fuzz-first.txt
+./target/release/hinet fuzz --seed 1 --cases 25 --out target/ci-fuzz \
+    >target/ci-fuzz-second.txt
+grep -q 'offender' target/ci-fuzz-first.txt || {
+    echo "fuzz smoke: seed 1 found no offenders" >&2
+    exit 1
+}
+grep -q '(new)' target/ci-fuzz-first.txt || {
+    echo "fuzz smoke: first campaign archived nothing" >&2
+    exit 1
+}
+if grep -q '(new)' target/ci-fuzz-second.txt; then
+    echo "fuzz smoke: second identical campaign re-archived an offender" >&2
+    exit 1
+fi
+if ! diff <(sed 's/(already known)/(new)/' target/ci-fuzz-second.txt) \
+        target/ci-fuzz-first.txt >/dev/null; then
+    echo "fuzz smoke: the same --seed produced different campaigns" >&2
+    exit 1
+fi
+echo "fuzz smoke: OK"
+
+# Corpus replay: every offender the fuzzer has archived under tests/corpus/
+# must still reproduce its recorded outcome classification exactly. Bless
+# an intentional behaviour change by deleting the stale file and re-running
+# the recorded fuzz seed (see docs/SCENARIOS.md).
+./target/release/hinet fuzz --replay tests/corpus || {
+    echo "corpus replay: an archived scenario no longer reproduces its recorded outcome" >&2
+    exit 1
+}
+echo "corpus replay: OK"

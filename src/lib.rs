@@ -5,6 +5,7 @@
 //! the experiment harness. See the README for a tour and `examples/` for
 //! runnable entry points.
 
+pub mod fuzz;
 pub mod scenario;
 
 pub use hinet_analysis as analysis;

@@ -7,6 +7,7 @@
 //! hinet run [options]                 one simulation, report costs
 //! hinet trace [options]               one traced simulation (hinet-trace/v1)
 //! hinet audit [options]               stability report for a dynamics trace
+//! hinet fuzz [options]                seeded adversarial scenario search
 //! hinet bench [options]               timing benchmarks (see `hinet bench --help`)
 //! hinet help                          this text
 //! ```
@@ -14,6 +15,8 @@
 //! `hinet run` and `hinet trace` share the scenario options (all optional):
 //!
 //! ```text
+//! --scenario FILE    load a hinet-scenario/v1 file as the base; any
+//!                    other scenario flag overrides the file's value
 //! --algorithm NAME   alg1 | remark1 | alg2 | alg2-mh | klo-phased |
 //!                    klo-flood | gossip | kactive | delta | rlnc   [alg1]
 //! --dynamics NAME    hinet | flat-t | flat-1 | waypoint | manhattan |
@@ -24,9 +27,12 @@
 //! --l L              hop bound                                     [2]
 //! --theta TH         head-capable pool                             [n/3]
 //! --seed S           RNG seed                                      [42]
+//! --budget R         round budget                                  [4n+4T]
 //! --loss P           per-delivery drop probability (fraction)      [0]
 //! --crash-rate P     per-node per-round crash hazard (fraction)    [0]
 //! --crash-at R:U,..  scheduled crashes (round:node pairs)          [none]
+//! --partition S:E:C,..  sever links across cut C in rounds [S, E)  [none]
+//! --down-rounds N    rounds a hazard-crashed node stays down       [1]
 //! --target-heads     hazard crashes only hit current heads
 //! --fault-seed S     fault decision seed                           [0]
 //! --retransmit       HiNet algorithms recover via retransmission
@@ -42,6 +48,13 @@
 //! `--update-golden`); see `docs/OBSERVABILITY.md`. Artifacts written via
 //! `--trace-out`/`--out` are streamed to disk incrementally, so arbitrarily
 //! long runs never need the whole event stream in memory.
+//!
+//! `hinet fuzz` mutates a base scenario under a seeded RNG, classifies
+//! every mutant against the paper's analytic bounds and the engine's
+//! structured outcome, auto-shrinks each offender, and archives it as a
+//! replayable scenario file carrying an `expect_outcome` stamp; `hinet
+//! fuzz --replay PATH` re-checks an archived corpus. See
+//! `docs/SCENARIOS.md` for the file format and the corpus workflow.
 //!
 //! Each command declares its flags in a [`FlagSpec`] table; unknown flags
 //! and malformed values are rejected with exit code 2 rather than silently
@@ -80,6 +93,9 @@ USAGE:
   hinet trace --diff A [B] [--json] [--ignore TIERS]
             [--max-divergences N] [--context N] [--update-golden]
   hinet audit [--dynamics D] [--n N] [--rounds R] [--seed S]
+  hinet fuzz [--seed S] [--cases N] [--scenario FILE] [--out DIR]
+            [--max-offenders N] [--no-archive]
+  hinet fuzz --replay PATH          re-check an archived scenario corpus
   hinet bench [--filter S] [--json] [--baseline FILE] ...  (see bench --help)
   hinet help
 
@@ -94,6 +110,11 @@ const TABLES_FLAGS: &[FlagSpec] = &[flag(
 )];
 
 const RUN_FLAGS: &[FlagSpec] = &[
+    flag(
+        "scenario",
+        true,
+        "load a hinet-scenario/v1 FILE as the base scenario",
+    ),
     flag("algorithm", true, "algorithm to run [alg1]"),
     flag("dynamics", true, "dynamics model [hinet]"),
     flag("n", true, "nodes [100]"),
@@ -102,6 +123,7 @@ const RUN_FLAGS: &[FlagSpec] = &[
     flag("l", true, "hop bound [2]"),
     flag("theta", true, "head-capable pool [n/3]"),
     flag("seed", true, "RNG seed [42]"),
+    flag("budget", true, "round budget [4n+4T]"),
     flag("loss", true, "per-delivery drop probability, fraction [0]"),
     flag(
         "crash-rate",
@@ -109,6 +131,16 @@ const RUN_FLAGS: &[FlagSpec] = &[
         "per-node per-round crash hazard, fraction [0]",
     ),
     flag("crash-at", true, "scheduled crashes, round:node[,..]"),
+    flag(
+        "partition",
+        true,
+        "sever links across a cut, start:end:cut[,..]",
+    ),
+    flag(
+        "down-rounds",
+        true,
+        "rounds a hazard-crashed node stays down [1]",
+    ),
     flag(
         "target-heads",
         false,
@@ -134,6 +166,11 @@ const RUN_FLAGS: &[FlagSpec] = &[
 ];
 
 const TRACE_FLAGS: &[FlagSpec] = &[
+    flag(
+        "scenario",
+        true,
+        "load a hinet-scenario/v1 FILE as the base scenario",
+    ),
     flag("algorithm", true, "algorithm to run [alg1]"),
     flag("dynamics", true, "dynamics model [hinet]"),
     flag("n", true, "nodes [100]"),
@@ -142,6 +179,7 @@ const TRACE_FLAGS: &[FlagSpec] = &[
     flag("l", true, "hop bound [2]"),
     flag("theta", true, "head-capable pool [n/3]"),
     flag("seed", true, "RNG seed [42]"),
+    flag("budget", true, "round budget [4n+4T]"),
     flag("loss", true, "per-delivery drop probability, fraction [0]"),
     flag(
         "crash-rate",
@@ -149,6 +187,16 @@ const TRACE_FLAGS: &[FlagSpec] = &[
         "per-node per-round crash hazard, fraction [0]",
     ),
     flag("crash-at", true, "scheduled crashes, round:node[,..]"),
+    flag(
+        "partition",
+        true,
+        "sever links across a cut, start:end:cut[,..]",
+    ),
+    flag(
+        "down-rounds",
+        true,
+        "rounds a hazard-crashed node stays down [1]",
+    ),
     flag(
         "target-heads",
         false,
@@ -219,6 +267,32 @@ const AUDIT_FLAGS: &[FlagSpec] = &[
     flag("seed", true, "RNG seed [42]"),
 ];
 
+const FUZZ_FLAGS: &[FlagSpec] = &[
+    flag("seed", true, "fuzz campaign seed [1]"),
+    flag("cases", true, "mutated scenarios to execute [50]"),
+    flag(
+        "scenario",
+        true,
+        "base scenario FILE to mutate [built-in alg1/hinet base]",
+    ),
+    flag(
+        "out",
+        true,
+        "archive directory for shrunk offenders [tests/corpus]",
+    ),
+    flag(
+        "max-offenders",
+        true,
+        "stop shrinking/archiving after N offenders [8]",
+    ),
+    flag("no-archive", false, "classify and shrink but write nothing"),
+    flag(
+        "replay",
+        true,
+        "replay an archived corpus (dir or file) instead of fuzzing",
+    ),
+];
+
 const NO_FLAGS: &[FlagSpec] = &[];
 
 /// A parsed top-level command, with its validated flags.
@@ -236,6 +310,7 @@ enum Command {
     /// Positionals (only the optional second trace of `--diff`) + flags.
     Trace(Vec<String>, FlagSet),
     Audit(FlagSet),
+    Fuzz(FlagSet),
     /// Raw args, forwarded to `hinet_bench::cli` (which owns the flag table).
     Bench(Vec<String>),
     Help,
@@ -290,6 +365,29 @@ impl Command {
                 let (pos, flags) = parse_flags(AUDIT_FLAGS, rest)?;
                 reject_positionals("audit", &pos)?;
                 Ok(Command::Audit(flags))
+            }
+            "fuzz" => {
+                let (pos, flags) = parse_flags(FUZZ_FLAGS, rest)?;
+                reject_positionals("fuzz", &pos)?;
+                if flags.get("replay").is_some() {
+                    for conflicting in ["seed", "cases", "scenario", "out", "max-offenders"] {
+                        if flags.get(conflicting).is_some() {
+                            return Err(format!(
+                                "fuzz --replay re-checks an existing corpus and takes no \
+                                 --{conflicting}"
+                            ));
+                        }
+                    }
+                    if flags.has("no-archive") {
+                        return Err("fuzz --replay re-checks an existing corpus and takes no \
+                             --no-archive"
+                            .into());
+                    }
+                }
+                if flags.has("no-archive") && flags.get("out").is_some() {
+                    return Err("--no-archive and --out DIR contradict each other".into());
+                }
+                Ok(Command::Fuzz(flags))
             }
             "bench" => Ok(Command::Bench(rest.to_vec())),
             "help" | "--help" | "-h" => Ok(Command::Help),
@@ -734,6 +832,83 @@ fn cmd_audit(flags: &FlagSet) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `hinet fuzz`: seeded adversarial scenario search (or, with `--replay`,
+/// corpus re-verification). Exit codes: 0 done (offenders are the product,
+/// not an error), 1 a replayed corpus entry no longer reproduces its
+/// recorded classification, 2 usage/IO error.
+fn cmd_fuzz(flags: &FlagSet) -> ExitCode {
+    use hinet::fuzz::{fuzz, replay_corpus, FuzzConfig};
+    use hinet::scenario::ScenarioFile;
+
+    let run = || -> Result<ExitCode, String> {
+        if let Some(path) = flags.get("replay") {
+            let outcomes = replay_corpus(std::path::Path::new(path))?;
+            let mut mismatched = 0usize;
+            for o in &outcomes {
+                if o.ok() {
+                    println!("ok   {} — {}", o.path.display(), o.actual);
+                } else {
+                    mismatched += 1;
+                    println!(
+                        "FAIL {} — expected '{}', got '{}'",
+                        o.path.display(),
+                        o.expected,
+                        o.actual
+                    );
+                }
+            }
+            println!(
+                "replayed {} scenario file(s): {} ok, {} mismatched",
+                outcomes.len(),
+                outcomes.len() - mismatched,
+                mismatched
+            );
+            return Ok(if mismatched == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            });
+        }
+
+        let base = match flags.get("scenario") {
+            Some(path) => ScenarioFile::load(std::path::Path::new(path))?.scenario,
+            None => FuzzConfig::default_base(),
+        };
+        let cfg = FuzzConfig {
+            seed: flags.parsed("seed", 1u64)?,
+            cases: flags.parsed("cases", 50usize)?,
+            base,
+            archive_dir: if flags.has("no-archive") {
+                None
+            } else {
+                Some(flags.get("out").unwrap_or("tests/corpus").into())
+            },
+            max_offenders: flags.parsed("max-offenders", 8usize)?,
+        };
+        println!(
+            "fuzz: seed={} cases={} base={} on {} (n={} k={} α={} L={} θ={})",
+            cfg.seed,
+            cfg.cases,
+            cfg.base.algorithm,
+            cfg.base.dynamics,
+            cfg.base.n,
+            cfg.base.k,
+            cfg.base.alpha,
+            cfg.base.l,
+            cfg.base.theta
+        );
+        print!("{}", fuzz(&cfg)?.to_text());
+        Ok(ExitCode::SUCCESS)
+    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match Command::parse(&args) {
@@ -753,6 +928,7 @@ fn main() -> ExitCode {
         Command::Run(flags) => cmd_run(&flags),
         Command::Trace(pos, flags) => cmd_trace(&pos, &flags),
         Command::Audit(flags) => cmd_audit(&flags),
+        Command::Fuzz(flags) => cmd_fuzz(&flags),
         Command::Bench(args) => hinet_bench::cli::run_from_args(&args),
         Command::Help => {
             println!("{HELP}");

@@ -29,8 +29,13 @@ use hinet_graph::trace::TopologyProvider;
 use hinet_rt::flags::FlagSet;
 use hinet_rt::obs::{ParsedTrace, Tracer};
 use hinet_sim::engine::{CostWeights, RunConfig, RunReport};
-use hinet_sim::fault::FaultPlan;
+use hinet_sim::fault::{FaultPlan, Partition};
 use hinet_sim::token::round_robin_assignment;
+use std::path::Path;
+
+/// Schema tag of the declarative scenario file format (first key of every
+/// file; see [`ScenarioFile`] and `docs/SCENARIOS.md`).
+pub const SCENARIO_SCHEMA: &str = "hinet-scenario/v1";
 
 /// One simulation's full parameterisation (see the module docs). Both
 /// providers and protocols built from a scenario are deterministic in
@@ -80,12 +85,21 @@ pub struct Scenario {
     /// Whether accumulated tokens survive a crash (`--durable-tokens`);
     /// otherwise a restarted node retains only its initial assignment.
     pub durable_tokens: bool,
+    /// Partition windows (`--partition START:END:CUT,…`): every link
+    /// between id ranges `[0, cut)` and `[cut, n)` is severed for rounds
+    /// `start..end`.
+    pub partitions: Vec<Partition>,
+    /// Rounds a crashed node stays down before restarting
+    /// (`--down-rounds`, minimum and default 1).
+    pub down_rounds: usize,
 }
 
 /// Parse a `--crash-at` spec: comma-separated `round:node` pairs, e.g.
-/// `"3:0,7:12"`.
+/// `"3:0,7:12"`. Rejects malformed entries and duplicate pairs (crashing
+/// the same node twice in the same round is always a spec typo).
 pub fn parse_crash_spec(spec: &str) -> Result<Vec<(usize, usize)>, String> {
-    spec.split(',')
+    let pairs: Vec<(usize, usize)> = spec
+        .split(',')
         .filter(|part| !part.is_empty())
         .map(|part| {
             let (r, u) = part
@@ -97,7 +111,16 @@ pub fn parse_crash_spec(spec: &str) -> Result<Vec<(usize, usize)>, String> {
                 u.parse().map_err(|e| format!("crash-at node '{u}': {e}"))?,
             ))
         })
-        .collect()
+        .collect::<Result<_, String>>()?;
+    for (i, pair) in pairs.iter().enumerate() {
+        if pairs[..i].contains(pair) {
+            return Err(format!(
+                "crash-at entry '{}:{}' is duplicated",
+                pair.0, pair.1
+            ));
+        }
+    }
+    Ok(pairs)
 }
 
 /// Render `(round, node)` pairs back into the `--crash-at` spec format.
@@ -106,6 +129,39 @@ pub fn crash_spec_string(crash_at: &[(usize, usize)]) -> String {
     crash_at
         .iter()
         .map(|(r, u)| format!("{r}:{u}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parse a `--partition` spec: comma-separated `start:end:cut` windows,
+/// e.g. `"0:20:10"` (rounds 0..20, nodes `< 10` cut off from the rest).
+pub fn parse_partition_spec(spec: &str) -> Result<Vec<Partition>, String> {
+    spec.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let fields: Vec<&str> = part.split(':').collect();
+            let [start, end, cut] = fields.as_slice() else {
+                return Err(format!("partition entry '{part}' is not start:end:cut"));
+            };
+            let num = |name: &str, raw: &str| -> Result<usize, String> {
+                raw.parse()
+                    .map_err(|e| format!("partition {name} '{raw}': {e}"))
+            };
+            Ok(Partition {
+                start: num("start", start)?,
+                end: num("end", end)?,
+                cut: num("cut", cut)?,
+            })
+        })
+        .collect()
+}
+
+/// Render partition windows back into the `--partition` spec format.
+/// Inverse of [`parse_partition_spec`]; used to stamp trace metadata.
+pub fn partition_spec_string(partitions: &[Partition]) -> String {
+    partitions
+        .iter()
+        .map(|p| format!("{}:{}:{}", p.start, p.end, p.cut))
         .collect::<Vec<_>>()
         .join(",")
 }
@@ -173,43 +229,214 @@ impl ScenarioReport {
     }
 }
 
+/// Algorithm names the CLI accepts (every [`Scenario::kind`] selector plus
+/// the out-of-engine `rlnc` executor).
+pub const ALGORITHMS: &[&str] = &[
+    "alg1",
+    "remark1",
+    "alg2",
+    "alg2-mh",
+    "klo-phased",
+    "klo-flood",
+    "gossip",
+    "kactive",
+    "delta",
+    "rlnc",
+];
+
+/// Algorithms the ARQ retransmission wrapper applies to (the HiNet
+/// family; see `AlgorithmKind::build_node`).
+pub const RETRANSMIT_ALGORITHMS: &[&str] = &["alg1", "remark1", "alg2"];
+
+/// Dynamics model names the CLI accepts.
+pub const DYNAMICS: &[&str] = &["hinet", "flat-t", "flat-1", "waypoint", "manhattan", "emdg"];
+
 impl Scenario {
-    /// Build from parsed CLI flags, applying the documented defaults
-    /// (`n=100`, `k=8`, `α=5`, `L=2`, `θ=n/3`, `seed=42`, `alg1` on
-    /// `hinet` dynamics).
-    pub fn from_flags(flags: &FlagSet) -> Result<Scenario, String> {
-        let n = flags.parsed("n", 100usize)?;
-        let k = flags.parsed("k", 8usize)?;
-        let alpha = flags.parsed("alpha", 5usize)?;
-        let l = flags.parsed("l", 2usize)?;
-        let theta = flags.parsed("theta", (n / 3).max(1))?;
-        let seed = flags.parsed("seed", 42u64)?;
+    /// The documented CLI defaults: `alg1` on `hinet` dynamics with
+    /// `n=100`, `k=8`, `α=5`, `L=2`, `θ=n/3`, `seed=42`, no faults.
+    pub fn defaults() -> Scenario {
+        let (n, k, alpha, l) = (100, 8, 5, 2);
         let t = required_phase_length(k, alpha, l);
-        let loss_ppm = fraction_to_ppm("loss", flags.parsed("loss", 0.0f64)?)?;
-        let crash_ppm = fraction_to_ppm("crash-rate", flags.parsed("crash-rate", 0.0f64)?)?;
+        Scenario {
+            n,
+            k,
+            alpha,
+            l,
+            theta: n / 3,
+            seed: 42,
+            algorithm: "alg1".into(),
+            dynamics: "hinet".into(),
+            t,
+            budget: 4 * n + 4 * t,
+            loss_ppm: 0,
+            crash_ppm: 0,
+            crash_at: vec![],
+            target_heads: false,
+            fault_seed: 0,
+            retransmit: false,
+            durable_tokens: false,
+            partitions: vec![],
+            down_rounds: 1,
+        }
+    }
+
+    /// The default round budget for the scenario's size: `4n + 4T`.
+    pub fn derived_budget(&self) -> usize {
+        4 * self.n + 4 * self.t
+    }
+
+    /// Build from parsed CLI flags, applying the documented defaults
+    /// (see [`Scenario::defaults`]). When `--scenario FILE` is given the
+    /// file supplies the defaults instead, and any explicit flag overrides
+    /// the corresponding file value.
+    pub fn from_flags(flags: &FlagSet) -> Result<Scenario, String> {
+        let base = match flags.get("scenario") {
+            Some(path) => Some(ScenarioFile::load(path)?.scenario),
+            None => None,
+        };
+        Scenario::from_flags_over(flags, base)
+    }
+
+    /// [`Scenario::from_flags`] with an explicit base scenario supplying
+    /// the per-flag defaults (`None` = the stock defaults). Boolean flags
+    /// can only switch a behaviour *on* over the base. The result is
+    /// validated (see [`Scenario::validate`]).
+    pub fn from_flags_over(flags: &FlagSet, base: Option<Scenario>) -> Result<Scenario, String> {
+        let stock = Scenario::defaults();
+        // With no base, θ and the budget derive from the (possibly flagged)
+        // n rather than the stock n; a base pins them explicitly.
+        let derive = base.is_none();
+        let base = base.unwrap_or(stock);
+        let n = flags.parsed("n", base.n)?;
+        let k = flags.parsed("k", base.k)?;
+        let alpha = flags.parsed("alpha", base.alpha)?;
+        let l = flags.parsed("l", base.l)?;
+        let theta = flags.parsed("theta", if derive { (n / 3).max(1) } else { base.theta })?;
+        let seed = flags.parsed("seed", base.seed)?;
+        let t = required_phase_length(k, alpha, l);
+        let loss_ppm = match flags.get("loss") {
+            Some(_) => fraction_to_ppm("loss", flags.parsed("loss", 0.0f64)?)?,
+            None => base.loss_ppm,
+        };
+        let crash_ppm = match flags.get("crash-rate") {
+            Some(_) => fraction_to_ppm("crash-rate", flags.parsed("crash-rate", 0.0f64)?)?,
+            None => base.crash_ppm,
+        };
         let crash_at = match flags.get("crash-at") {
             Some(spec) => parse_crash_spec(spec)?,
-            None => vec![],
+            None => base.crash_at,
         };
-        Ok(Scenario {
+        let partitions = match flags.get("partition") {
+            Some(spec) => parse_partition_spec(spec)?,
+            None => base.partitions,
+        };
+        let budget = flags.parsed("budget", if derive { 4 * n + 4 * t } else { base.budget })?;
+        let sc = Scenario {
             n,
             k,
             alpha,
             l,
             theta,
             seed,
-            algorithm: flags.get("algorithm").unwrap_or("alg1").to_string(),
-            dynamics: flags.get("dynamics").unwrap_or("hinet").to_string(),
+            algorithm: flags
+                .get("algorithm")
+                .unwrap_or(&base.algorithm)
+                .to_string(),
+            dynamics: flags.get("dynamics").unwrap_or(&base.dynamics).to_string(),
             t,
-            budget: 4 * n + 4 * t,
+            budget,
             loss_ppm,
             crash_ppm,
             crash_at,
-            target_heads: flags.has("target-heads"),
-            fault_seed: flags.parsed("fault-seed", 0u64)?,
-            retransmit: flags.has("retransmit"),
-            durable_tokens: flags.has("durable-tokens"),
-        })
+            target_heads: flags.has("target-heads") || base.target_heads,
+            fault_seed: flags.parsed("fault-seed", base.fault_seed)?,
+            retransmit: flags.has("retransmit") || base.retransmit,
+            durable_tokens: flags.has("durable-tokens") || base.durable_tokens,
+            partitions,
+            down_rounds: flags.parsed("down-rounds", base.down_rounds)?,
+        };
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// Reject conflicting or nonsensical parameter combinations with a
+    /// usage-grade message (the CLI maps these to exit code 2). Called by
+    /// [`Scenario::from_flags_over`] and [`ScenarioFile::parse`];
+    /// [`Scenario::from_meta`] stays lenient so old artifacts keep
+    /// parsing.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("--n must be at least 1".into());
+        }
+        if self.k == 0 {
+            return Err("--k must be at least 1".into());
+        }
+        if self.alpha == 0 {
+            return Err("--alpha must be a positive integer".into());
+        }
+        if self.l == 0 {
+            return Err("--l must be a positive integer".into());
+        }
+        if self.theta == 0 || self.theta > self.n {
+            return Err(format!(
+                "--theta must be in 1..=n, got {} with n={}",
+                self.theta, self.n
+            ));
+        }
+        if self.budget == 0 {
+            return Err("--budget must be at least 1".into());
+        }
+        if self.down_rounds == 0 {
+            return Err("--down-rounds must be at least 1".into());
+        }
+        if !ALGORITHMS.contains(&self.algorithm.as_str()) {
+            return Err(format!("unknown algorithm '{}'", self.algorithm));
+        }
+        if !DYNAMICS.contains(&self.dynamics.as_str()) {
+            return Err(format!("unknown dynamics '{}'", self.dynamics));
+        }
+        for &(round, node) in &self.crash_at {
+            if node >= self.n {
+                return Err(format!(
+                    "crash-at node {node} (round {round}) out of range for n={}",
+                    self.n
+                ));
+            }
+        }
+        for p in &self.partitions {
+            if p.start >= p.end {
+                return Err(format!(
+                    "partition window {}:{}:{} is empty (start must precede end)",
+                    p.start, p.end, p.cut
+                ));
+            }
+            if p.cut == 0 || p.cut >= self.n {
+                return Err(format!(
+                    "partition cut {} leaves one side empty for n={} (need 1..n)",
+                    p.cut, self.n
+                ));
+            }
+        }
+        if self.target_heads && self.crash_ppm == 0 {
+            return Err(
+                "--target-heads gates hazard crashes and needs a nonzero --crash-rate".into(),
+            );
+        }
+        if self.retransmit && !RETRANSMIT_ALGORITHMS.contains(&self.algorithm.as_str()) {
+            return Err(format!(
+                "--retransmit only applies to the HiNet algorithms ({}), not '{}'",
+                RETRANSMIT_ALGORITHMS.join("/"),
+                self.algorithm
+            ));
+        }
+        if self.durable_tokens && self.crash_ppm == 0 && self.crash_at.is_empty() {
+            return Err(
+                "--durable-tokens only matters when crashes can happen; add --crash-rate or \
+                 --crash-at"
+                    .into(),
+            );
+        }
+        Ok(())
     }
 
     /// Reconstruct the scenario a trace was recorded under, from the meta
@@ -244,6 +471,23 @@ impl Scenario {
             Some(spec) => parse_crash_spec(spec)?,
             None => vec![],
         };
+        let partitions = match trace.meta_get("partitions") {
+            Some(spec) => parse_partition_spec(spec)?,
+            None => vec![],
+        };
+        // `budget` and `down_rounds` are stamped only when non-default.
+        let budget = match trace.meta_get("budget") {
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("trace meta 'budget': {e}"))?,
+            None => 4 * n + 4 * t,
+        };
+        let down_rounds = match trace.meta_get("down_rounds") {
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("trace meta 'down_rounds': {e}"))?,
+            None => 1,
+        };
         Ok(Scenario {
             n,
             k,
@@ -256,7 +500,7 @@ impl Scenario {
             algorithm,
             dynamics,
             t,
-            budget: 4 * n + 4 * t,
+            budget,
             loss_ppm: opt_num("loss_ppm")? as u32,
             crash_ppm: opt_num("crash_ppm")? as u32,
             crash_at,
@@ -264,6 +508,8 @@ impl Scenario {
             fault_seed: opt_num("fault_seed")?,
             retransmit: opt_num("retransmit")? != 0,
             durable_tokens: opt_num("durable_tokens")? != 0,
+            partitions,
+            down_rounds,
         })
     }
 
@@ -276,9 +522,13 @@ impl Scenario {
             .with_loss_ppm(self.loss_ppm)
             .with_crash_ppm(self.crash_ppm)
             .with_target_heads(self.target_heads)
-            .with_durable_tokens(self.durable_tokens);
+            .with_durable_tokens(self.durable_tokens)
+            .with_down_rounds(self.down_rounds);
         for &(round, node) in &self.crash_at {
             plan = plan.with_crash_at(round, node);
+        }
+        for &p in &self.partitions {
+            plan = plan.with_partition(p);
         }
         plan
     }
@@ -419,6 +669,15 @@ impl Scenario {
         if self.durable_tokens {
             tracer.meta("durable_tokens", "1");
         }
+        if !self.partitions.is_empty() {
+            tracer.meta("partitions", partition_spec_string(&self.partitions));
+        }
+        if self.down_rounds != 1 {
+            tracer.meta("down_rounds", self.down_rounds.to_string());
+        }
+        if self.budget != self.derived_budget() {
+            tracer.meta("budget", self.budget.to_string());
+        }
     }
 
     /// Execute the scenario, streaming events and meta stamps into
@@ -457,6 +716,245 @@ impl Scenario {
     }
 }
 
+/// A declarative scenario file: a [`Scenario`] plus an optional recorded
+/// outcome classification, serialised as line-oriented `key = value` text
+/// (schema [`SCENARIO_SCHEMA`], hand-rolled per the zero-dep policy).
+///
+/// Files are written by [`ScenarioFile::render`] and read back by
+/// [`ScenarioFile::parse`]; the two round-trip exactly. Blank lines and
+/// `#`-prefixed comment lines are ignored; every other line must be
+/// `key = value` with a known key, keys must not repeat, and the required
+/// parameter keys must all be present. This is the format behind
+/// `hinet run --scenario FILE` and the fuzzer's regression corpus under
+/// `tests/corpus/` (see `docs/SCENARIOS.md`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioFile {
+    /// The scenario proper.
+    pub scenario: Scenario,
+    /// Recorded outcome classification (`expect_outcome` key) — what the
+    /// fuzzer observed when it archived the scenario; the corpus replay
+    /// gate requires a re-run to reproduce it verbatim.
+    pub expect: Option<String>,
+}
+
+/// Keys [`ScenarioFile::parse`] requires. `budget` is explicit in files
+/// (unlike trace metadata) so a file pins the whole run even when `n`
+/// is later overridden from the command line.
+const REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "algorithm",
+    "dynamics",
+    "n",
+    "k",
+    "alpha",
+    "l",
+    "theta",
+    "seed",
+    "budget",
+];
+
+/// Optional keys (defaulting to "off"/1) plus the outcome annotation.
+const OPTIONAL_KEYS: &[&str] = &[
+    "loss_ppm",
+    "crash_ppm",
+    "crash_at",
+    "target_heads",
+    "fault_seed",
+    "retransmit",
+    "durable_tokens",
+    "partitions",
+    "down_rounds",
+    "expect_outcome",
+];
+
+impl ScenarioFile {
+    /// Wrap a scenario with no recorded outcome.
+    pub fn new(scenario: Scenario) -> ScenarioFile {
+        ScenarioFile {
+            scenario,
+            expect: None,
+        }
+    }
+
+    /// Serialise to the `key = value` file format. Optional keys are
+    /// written only when non-default, mirroring [`Scenario::stamp_meta`].
+    pub fn render(&self) -> String {
+        let sc = &self.scenario;
+        let mut out = String::new();
+        out.push_str("# hinet scenario file — see docs/SCENARIOS.md\n");
+        out.push_str(&format!("schema = {SCENARIO_SCHEMA}\n"));
+        out.push_str(&format!("algorithm = {}\n", sc.algorithm));
+        out.push_str(&format!("dynamics = {}\n", sc.dynamics));
+        out.push_str(&format!("n = {}\n", sc.n));
+        out.push_str(&format!("k = {}\n", sc.k));
+        out.push_str(&format!("alpha = {}\n", sc.alpha));
+        out.push_str(&format!("l = {}\n", sc.l));
+        out.push_str(&format!("theta = {}\n", sc.theta));
+        out.push_str(&format!("seed = {}\n", sc.seed));
+        out.push_str(&format!("budget = {}\n", sc.budget));
+        if sc.loss_ppm > 0 {
+            out.push_str(&format!("loss_ppm = {}\n", sc.loss_ppm));
+        }
+        if sc.crash_ppm > 0 {
+            out.push_str(&format!("crash_ppm = {}\n", sc.crash_ppm));
+        }
+        if !sc.crash_at.is_empty() {
+            out.push_str(&format!("crash_at = {}\n", crash_spec_string(&sc.crash_at)));
+        }
+        if sc.target_heads {
+            out.push_str("target_heads = true\n");
+        }
+        if sc.fault_seed != 0 {
+            out.push_str(&format!("fault_seed = {}\n", sc.fault_seed));
+        }
+        if sc.retransmit {
+            out.push_str("retransmit = true\n");
+        }
+        if sc.durable_tokens {
+            out.push_str("durable_tokens = true\n");
+        }
+        if !sc.partitions.is_empty() {
+            out.push_str(&format!(
+                "partitions = {}\n",
+                partition_spec_string(&sc.partitions)
+            ));
+        }
+        if sc.down_rounds != 1 {
+            out.push_str(&format!("down_rounds = {}\n", sc.down_rounds));
+        }
+        if let Some(expect) = &self.expect {
+            out.push_str(&format!("expect_outcome = {expect}\n"));
+        }
+        out
+    }
+
+    /// Parse the `key = value` format back into a validated scenario.
+    /// Inverse of [`ScenarioFile::render`]; see the type docs for the
+    /// accepted grammar.
+    pub fn parse(text: &str) -> Result<ScenarioFile, String> {
+        let mut seen: Vec<(String, String)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "scenario file line {}: '{line}' is not 'key = value'",
+                    lineno + 1
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if !REQUIRED_KEYS.contains(&key) && !OPTIONAL_KEYS.contains(&key) {
+                return Err(format!(
+                    "scenario file line {}: unknown key '{key}'",
+                    lineno + 1
+                ));
+            }
+            if seen.iter().any(|(k, _)| k == key) {
+                return Err(format!(
+                    "scenario file line {}: duplicate key '{key}'",
+                    lineno + 1
+                ));
+            }
+            seen.push((key.to_string(), value.to_string()));
+        }
+        let get = |key: &str| seen.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+        for key in REQUIRED_KEYS {
+            if get(key).is_none() {
+                return Err(format!("scenario file lacks required key '{key}'"));
+            }
+        }
+        let schema = get("schema").unwrap();
+        if schema != SCENARIO_SCHEMA {
+            return Err(format!(
+                "scenario file schema '{schema}' is not {SCENARIO_SCHEMA}"
+            ));
+        }
+        let num = |key: &str| -> Result<usize, String> {
+            get(key)
+                .unwrap()
+                .parse()
+                .map_err(|e| format!("scenario file key '{key}': {e}"))
+        };
+        let opt_u64 = |key: &str| -> Result<u64, String> {
+            match get(key) {
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|e| format!("scenario file key '{key}': {e}")),
+                None => Ok(0),
+            }
+        };
+        let boolean = |key: &str| -> Result<bool, String> {
+            match get(key) {
+                Some("true") | Some("1") => Ok(true),
+                Some("false") | Some("0") | None => Ok(false),
+                Some(other) => Err(format!(
+                    "scenario file key '{key}': '{other}' is not a boolean (true/false/1/0)"
+                )),
+            }
+        };
+        let (k, alpha, l) = (num("k")?, num("alpha")?, num("l")?);
+        let scenario = Scenario {
+            n: num("n")?,
+            k,
+            alpha,
+            l,
+            theta: num("theta")?,
+            seed: opt_u64("seed")?,
+            algorithm: get("algorithm").unwrap().to_string(),
+            dynamics: get("dynamics").unwrap().to_string(),
+            t: required_phase_length(k, alpha, l),
+            budget: num("budget")?,
+            loss_ppm: opt_u64("loss_ppm")? as u32,
+            crash_ppm: opt_u64("crash_ppm")? as u32,
+            crash_at: match get("crash_at") {
+                Some(spec) => parse_crash_spec(spec)?,
+                None => vec![],
+            },
+            target_heads: boolean("target_heads")?,
+            fault_seed: opt_u64("fault_seed")?,
+            retransmit: boolean("retransmit")?,
+            durable_tokens: boolean("durable_tokens")?,
+            partitions: match get("partitions") {
+                Some(spec) => parse_partition_spec(spec)?,
+                None => vec![],
+            },
+            down_rounds: match get("down_rounds") {
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|e| format!("scenario file key 'down_rounds': {e}"))?,
+                None => 1,
+            },
+        };
+        scenario.validate()?;
+        Ok(ScenarioFile {
+            scenario,
+            expect: get("expect_outcome").map(str::to_string),
+        })
+    }
+
+    /// Read and parse a scenario file from disk.
+    pub fn load(path: impl AsRef<Path>) -> Result<ScenarioFile, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read scenario {}: {e}", path.display()))?;
+        ScenarioFile::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Render and write a scenario file, creating parent directories on
+    /// demand.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(path, self.render())
+            .map_err(|e| format!("cannot write scenario {}: {e}", path.display()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +981,8 @@ mod tests {
             fault_seed: 0,
             retransmit: false,
             durable_tokens: false,
+            partitions: vec![],
+            down_rounds: 1,
         }
     }
 
@@ -552,16 +1052,7 @@ mod tests {
         assert_eq!(parsed.meta_get("crash_at"), Some("3:0,7:12"));
         assert_eq!(parsed.meta_get("retransmit"), Some("1"));
         let rebuilt = Scenario::from_meta(&parsed).unwrap();
-        assert_eq!(
-            Scenario {
-                budget: rebuilt.budget, // budget is derived, not stamped
-                ..rebuilt
-            },
-            Scenario {
-                budget: 4 * 20 + 4 * sc.t,
-                ..sc.clone()
-            }
-        );
+        assert_eq!(rebuilt, sc, "non-default budget must round-trip via meta");
 
         // Fault-free runs stamp none of the fault keys.
         let sc = small("alg1", "hinet");
@@ -576,6 +1067,9 @@ mod tests {
             "fault_seed",
             "retransmit",
             "durable_tokens",
+            "partitions",
+            "down_rounds",
+            "budget",
         ] {
             assert_eq!(parsed.meta_get(key), None, "{key} must not be stamped");
         }
@@ -588,8 +1082,197 @@ mod tests {
         assert_eq!(parsed, vec![(3, 0), (7, 12)]);
         assert_eq!(crash_spec_string(&parsed), spec);
         assert_eq!(parse_crash_spec("").unwrap(), vec![]);
-        assert!(parse_crash_spec("7").is_err());
-        assert!(parse_crash_spec("a:b").is_err());
+        assert_eq!(parse_crash_spec(",,").unwrap(), vec![], "empty entries");
+        assert_eq!(crash_spec_string(&[]), "");
+        // Trailing comma tolerated like the other list specs.
+        assert_eq!(parse_crash_spec("3:0,").unwrap(), vec![(3, 0)]);
+    }
+
+    #[test]
+    fn crash_spec_error_paths_name_the_offender() {
+        let no_colon = parse_crash_spec("7").unwrap_err();
+        assert!(no_colon.contains("not round:node"), "{no_colon}");
+        let bad_round = parse_crash_spec("a:b").unwrap_err();
+        assert!(bad_round.contains("round 'a'"), "{bad_round}");
+        let bad_node = parse_crash_spec("3:x").unwrap_err();
+        assert!(bad_node.contains("node 'x'"), "{bad_node}");
+        let negative = parse_crash_spec("3:-1").unwrap_err();
+        assert!(negative.contains("node '-1'"), "{negative}");
+        let extra = parse_crash_spec("1:2:3");
+        // `1:2:3` splits at the first colon: node "2:3" fails to parse.
+        assert!(extra.is_err());
+    }
+
+    #[test]
+    fn crash_spec_rejects_duplicate_pairs() {
+        let err = parse_crash_spec("3:0,7:12,3:0").unwrap_err();
+        assert!(err.contains("'3:0' is duplicated"), "{err}");
+        // Same node at different rounds (and vice versa) is fine.
+        assert_eq!(
+            parse_crash_spec("3:0,4:0,3:1").unwrap(),
+            vec![(3, 0), (4, 0), (3, 1)]
+        );
+    }
+
+    #[test]
+    fn partition_spec_round_trips_and_rejects_garbage() {
+        let spec = "0:20:10,30:40:5";
+        let parsed = parse_partition_spec(spec).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                Partition {
+                    start: 0,
+                    end: 20,
+                    cut: 10
+                },
+                Partition {
+                    start: 30,
+                    end: 40,
+                    cut: 5
+                },
+            ]
+        );
+        assert_eq!(partition_spec_string(&parsed), spec);
+        assert_eq!(parse_partition_spec("").unwrap(), vec![]);
+        assert!(parse_partition_spec("0:20").is_err(), "missing cut");
+        assert!(parse_partition_spec("0:20:10:4").is_err(), "extra field");
+        assert!(parse_partition_spec("a:20:10").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nonsense_combinations() {
+        let assert_rejects = |mutate: fn(&mut Scenario), needle: &str| {
+            let mut sc = small("alg1", "hinet");
+            mutate(&mut sc);
+            let err = sc.validate().unwrap_err();
+            assert!(err.contains(needle), "expected '{needle}' in: {err}");
+        };
+        assert!(small("alg1", "hinet").validate().is_ok());
+        assert_rejects(|sc| sc.k = 0, "--k");
+        assert_rejects(|sc| sc.alpha = 0, "--alpha");
+        assert_rejects(|sc| sc.theta = 21, "--theta");
+        assert_rejects(|sc| sc.budget = 0, "--budget");
+        assert_rejects(|sc| sc.crash_at = vec![(3, 99)], "out of range");
+        assert_rejects(
+            |sc| {
+                sc.partitions = vec![Partition {
+                    start: 5,
+                    end: 5,
+                    cut: 3,
+                }]
+            },
+            "empty",
+        );
+        assert_rejects(
+            |sc| {
+                sc.partitions = vec![Partition {
+                    start: 0,
+                    end: 5,
+                    cut: 20,
+                }]
+            },
+            "leaves one side empty",
+        );
+        assert_rejects(|sc| sc.target_heads = true, "--crash-rate");
+        assert_rejects(|sc| sc.durable_tokens = true, "--durable-tokens");
+        assert_rejects(
+            |sc| {
+                sc.algorithm = "rlnc".into();
+                sc.retransmit = true;
+            },
+            "--retransmit",
+        );
+        assert_rejects(|sc| sc.algorithm = "magic".into(), "unknown algorithm");
+        assert_rejects(|sc| sc.dynamics = "mystery".into(), "unknown dynamics");
+    }
+
+    #[test]
+    fn scenario_file_round_trips_minimal_and_fully_loaded() {
+        let minimal = ScenarioFile::new(small("alg1", "hinet"));
+        let parsed = ScenarioFile::parse(&minimal.render()).unwrap();
+        assert_eq!(parsed, minimal);
+
+        let mut sc = small("alg2", "flat-1");
+        sc.loss_ppm = 50_000;
+        sc.crash_ppm = 1_000;
+        sc.crash_at = vec![(3, 0), (7, 12)];
+        sc.target_heads = true;
+        sc.fault_seed = 9;
+        sc.retransmit = true;
+        sc.durable_tokens = true;
+        sc.partitions = vec![Partition {
+            start: 2,
+            end: 9,
+            cut: 10,
+        }];
+        sc.down_rounds = 3;
+        sc.budget = 500;
+        let full = ScenarioFile {
+            scenario: sc,
+            expect: Some("stalled (2 tokens undelivered, budget exhausted)".into()),
+        };
+        let rendered = full.render();
+        assert_eq!(ScenarioFile::parse(&rendered).unwrap(), full);
+        // Optional keys appear only when non-default.
+        assert!(rendered.contains("partitions = 2:9:10"), "{rendered}");
+        assert!(!minimal.render().contains("partitions"), "defaults elided");
+    }
+
+    #[test]
+    fn scenario_file_parser_rejects_malformed_input() {
+        let good = ScenarioFile::new(small("alg1", "hinet")).render();
+        let expect_err = |text: &str, needle: &str| {
+            let err = ScenarioFile::parse(text).unwrap_err();
+            assert!(err.contains(needle), "expected '{needle}' in: {err}");
+        };
+        expect_err(&good.replace("schema = hinet-scenario/v1\n", ""), "schema");
+        expect_err(&good.replace("n = 20\n", ""), "required key 'n'");
+        expect_err(&format!("{good}n = 21\n"), "duplicate key 'n'");
+        expect_err(&format!("{good}frobnicate = 1\n"), "unknown key");
+        expect_err(&format!("{good}just words\n"), "not 'key = value'");
+        expect_err(&good.replace("n = 20", "n = lots"), "key 'n'");
+        expect_err(&format!("{good}retransmit = maybe\n"), "not a boolean");
+        expect_err(
+            &good.replace("hinet-scenario/v1", "hinet-scenario/v9"),
+            "is not hinet-scenario/v1",
+        );
+        // Validation runs on parse: a well-formed file with nonsense
+        // parameters is still rejected.
+        expect_err(&good.replace("theta = 7", "theta = 99"), "--theta");
+    }
+
+    #[test]
+    fn scenario_file_saves_and_loads_from_disk() {
+        let dir = std::env::temp_dir().join(format!("hinet-scenario-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sub/case.scenario");
+        let file = ScenarioFile::new(small("klo-flood", "flat-1"));
+        file.save(&path).unwrap();
+        assert_eq!(ScenarioFile::load(&path).unwrap(), file);
+        assert!(ScenarioFile::load(dir.join("absent.scenario")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partitioned_scenario_round_trips_meta_and_reaches_fault_plan() {
+        let mut sc = small("alg2", "hinet");
+        sc.partitions = vec![Partition {
+            start: 1,
+            end: 6,
+            cut: 10,
+        }];
+        sc.down_rounds = 2;
+        sc.fault_seed = 4;
+        let plan = sc.fault_plan();
+        assert_eq!(plan.partitions, sc.partitions);
+        assert_eq!(plan.down_rounds, 2);
+        let mut tracer = Tracer::new(ObsConfig::full());
+        sc.run_traced(&mut tracer).unwrap();
+        let parsed = ParsedTrace::parse_jsonl(&tracer.to_jsonl()).unwrap();
+        assert_eq!(parsed.meta_get("partitions"), Some("1:6:10"));
+        assert_eq!(parsed.meta_get("down_rounds"), Some("2"));
+        assert_eq!(Scenario::from_meta(&parsed).unwrap(), sc);
     }
 
     #[test]

@@ -524,6 +524,236 @@ fn bench_json_artifact_and_regression_gate() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Every conflicting or nonsensical scenario flag combination exits 2
+/// with a usage message naming the offending flag, case by case.
+#[test]
+fn run_rejects_nonsense_scenario_flag_combinations() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["--retransmit", "--algorithm", "rlnc"],
+            "--retransmit only applies",
+        ),
+        (&["--target-heads"], "--target-heads"),
+        (&["--durable-tokens"], "--durable-tokens"),
+        (&["--crash-at", "5"], "not round:node"),
+        (
+            &["--crash-at", "2:1,2:1", "--n", "10"],
+            "'2:1' is duplicated",
+        ),
+        (&["--crash-at", "1:99", "--n", "10"], "out of range"),
+        (&["--crash-at", "1:x"], "crash-at node 'x'"),
+        (&["--partition", "3:3:2"], "is empty"),
+        (
+            &["--partition", "0:5:0", "--n", "10"],
+            "leaves one side empty",
+        ),
+        (
+            &["--partition", "0:5:25", "--n", "10"],
+            "leaves one side empty",
+        ),
+        (&["--partition", "0:5"], "not start:end:cut"),
+        (&["--theta", "50", "--n", "10"], "--theta"),
+        (&["--down-rounds", "0"], "--down-rounds"),
+        (&["--budget", "0"], "--budget"),
+        (&["--loss", "1.5"], "--loss"),
+        (&["--dynamics", "teleport"], "unknown dynamics"),
+    ];
+    for (args, needle) in cases {
+        let out = hinet().arg("run").args(*args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "run {args:?} must exit 2, stdout: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains(needle),
+            "run {args:?}: stderr must name '{needle}', got:\n{err}"
+        );
+    }
+}
+
+/// `--scenario FILE` loads a scenario file as the base for both `run` and
+/// `trace`, other flags override the file's values, and broken files are
+/// rejected with exit 2 and a line-numbered message.
+#[test]
+fn run_and_trace_load_scenario_files() {
+    let dir = std::env::temp_dir().join(format!("hinet-cli-scenario-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("base.scenario");
+    std::fs::write(
+        &path,
+        "schema = hinet-scenario/v1\n\
+         algorithm = alg2\n\
+         dynamics = hinet\n\
+         n = 24\n\
+         k = 3\n\
+         alpha = 2\n\
+         l = 2\n\
+         theta = 8\n\
+         seed = 11\n\
+         budget = 120\n",
+    )
+    .unwrap();
+
+    let out = hinet()
+        .args(["run", "--scenario", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("n=24 k=3"), "{text}");
+    assert!(text.contains("seed=11"), "{text}");
+
+    // A flag on top of the file overrides just that value.
+    let out = hinet()
+        .args(["run", "--scenario", path.to_str().unwrap(), "--seed", "99"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("seed=99"), "{text}");
+    assert!(text.contains("n=24"), "{text}");
+
+    // `trace` accepts the same base.
+    let out = hinet()
+        .args(["trace", "--scenario", path.to_str().unwrap(), "--summary"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("traced alg2"));
+
+    // Broken file: unknown key, named with its line number.
+    let bad = dir.join("bad.scenario");
+    std::fs::write(&bad, "schema = hinet-scenario/v1\nwarp = 9\n").unwrap();
+    let out = hinet()
+        .args(["run", "--scenario", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 2") && err.contains("warp"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fuzz acceptance chain: a fixed seed deterministically finds and
+/// shrinks offenders; archived offenders replay to their recorded
+/// classification through the CLI; conflicting fuzz flags exit 2.
+#[test]
+fn fuzz_is_deterministic_and_replays_its_archive() {
+    let dir = std::env::temp_dir().join(format!("hinet-cli-fuzz-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let campaign = || {
+        let out = hinet()
+            .args([
+                "fuzz",
+                "--seed",
+                "1",
+                "--cases",
+                "20",
+                "--out",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let first = campaign();
+    assert!(first.contains("offender"), "{first}");
+    assert!(first.contains("(new)"), "{first}");
+
+    // Same seed, second campaign: byte-identical classification, nothing
+    // re-archived.
+    let second = campaign();
+    assert_eq!(
+        first.replace("(new)", "(already known)"),
+        second,
+        "a fixed fuzz seed must reproduce the campaign exactly"
+    );
+
+    // The archive replays cleanly through the CLI gate.
+    let out = hinet()
+        .args(["fuzz", "--replay", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 mismatched"), "{text}");
+
+    // Corrupt one expectation: replay exits 1 and names the file.
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    let tampered = std::fs::read_to_string(&victim)
+        .unwrap()
+        .lines()
+        .map(|l| {
+            if l.starts_with("expect_outcome") {
+                "expect_outcome = completed (round 1)".to_string()
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write(&victim, tampered).unwrap();
+    let out = hinet()
+        .args(["fuzz", "--replay", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("FAIL"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fuzz_rejects_conflicting_flags() {
+    let cases: &[&[&str]] = &[
+        &["fuzz", "--replay", "tests/corpus", "--cases", "5"],
+        &["fuzz", "--replay", "tests/corpus", "--seed", "3"],
+        &["fuzz", "--replay", "tests/corpus", "--no-archive"],
+        &["fuzz", "--no-archive", "--out", "somewhere"],
+        &["fuzz", "--cases", "many"],
+    ];
+    for args in cases {
+        let out = hinet().args(*args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, stdout: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        assert!(!String::from_utf8(out.stderr).unwrap().is_empty());
+    }
+}
+
 #[test]
 fn export_writes_requested_experiment_dir() {
     let dir = std::env::temp_dir().join(format!("hinet-cli-export-{}", std::process::id()));

@@ -49,6 +49,8 @@ fn scenario(algorithm: &str, dynamics: &str, n: usize, k: usize, seed: u64) -> S
         fault_seed: 0,
         retransmit: false,
         durable_tokens: false,
+        partitions: vec![],
+        down_rounds: 1,
     }
 }
 

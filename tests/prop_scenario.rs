@@ -1,0 +1,179 @@
+//! Round-trip property suite for the scenario layer, on the seeded
+//! `hinet_rt::check` harness (replay any failure with
+//! `HINET_CHECK_SEED=<seed printed on failure>`).
+//!
+//! Two identities, exercised across every algorithm × dynamics pairing
+//! and a menu of non-trivial fault plans:
+//!
+//! * `Scenario::from_flags → stamp_meta → from_meta` is the identity —
+//!   whatever the CLI accepts, a recorded trace describes exactly;
+//! * `ScenarioFile::render → parse` is the identity — whatever the
+//!   fuzzer archives, a later replay loads exactly.
+//!
+//! Neither identity requires running a simulation, so the suite sweeps
+//! the whole combination space cheaply.
+
+use hinet::rt::check::check;
+use hinet::rt::flags::{flag, parse_flags, FlagSpec};
+use hinet::rt::obs::{ObsConfig, ParsedTrace, Tracer};
+use hinet::scenario::{Scenario, ScenarioFile, ALGORITHMS, DYNAMICS, RETRANSMIT_ALGORITHMS};
+
+/// The scenario subset of the CLI's `run`/`trace` flag tables.
+const SCENARIO_FLAGS: &[FlagSpec] = &[
+    flag("algorithm", true, ""),
+    flag("dynamics", true, ""),
+    flag("n", true, ""),
+    flag("k", true, ""),
+    flag("alpha", true, ""),
+    flag("l", true, ""),
+    flag("theta", true, ""),
+    flag("seed", true, ""),
+    flag("budget", true, ""),
+    flag("loss", true, ""),
+    flag("crash-rate", true, ""),
+    flag("crash-at", true, ""),
+    flag("partition", true, ""),
+    flag("down-rounds", true, ""),
+    flag("target-heads", false, ""),
+    flag("fault-seed", true, ""),
+    flag("retransmit", false, ""),
+    flag("durable-tokens", false, ""),
+];
+
+/// A named non-trivial fault plan, as extra CLI arguments.
+const FAULT_COMBOS: &[(&str, &[&str])] = &[
+    ("loss", &["--loss", "0.05", "--fault-seed", "7"]),
+    ("hazard", &["--crash-rate", "0.01", "--fault-seed", "3"]),
+    (
+        "assassin",
+        &[
+            "--crash-rate",
+            "0.02",
+            "--target-heads",
+            "--down-rounds",
+            "3",
+        ],
+    ),
+    ("scheduled", &["--crash-at", "2:0,5:3", "--durable-tokens"]),
+    ("partition", &["--partition", "0:6:4,9:12:7"]),
+    (
+        "everything",
+        &[
+            "--loss",
+            "0.1",
+            "--crash-rate",
+            "0.005",
+            "--crash-at",
+            "1:2",
+            "--partition",
+            "3:9:5",
+            "--fault-seed",
+            "11",
+            "--down-rounds",
+            "2",
+            "--budget",
+            "77",
+        ],
+    ),
+];
+
+fn scenario_from_args(args: &[String]) -> Scenario {
+    let (pos, flags) = parse_flags(SCENARIO_FLAGS, args).expect("test args must parse");
+    assert!(pos.is_empty());
+    Scenario::from_flags(&flags).unwrap_or_else(|e| panic!("args {args:?} must validate: {e}"))
+}
+
+#[test]
+fn from_flags_stamp_meta_from_meta_is_the_identity() {
+    check("scenario_meta_round_trip", 16, |ctx| {
+        let &algorithm = ctx.pick(ALGORITHMS);
+        let &dynamics = ctx.pick(DYNAMICS);
+        let &(combo, fault_args) = ctx.pick(FAULT_COMBOS);
+        let &seed = ctx.pick(&[1u64, 42, 977]);
+        let mut args: Vec<String> = [
+            "--algorithm",
+            algorithm,
+            "--dynamics",
+            dynamics,
+            "--n",
+            "14",
+            "--k",
+            "3",
+            "--alpha",
+            "2",
+            "--l",
+            "2",
+            "--theta",
+            "5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        args.extend(["--seed".to_string(), seed.to_string()]);
+        args.extend(fault_args.iter().map(|s| s.to_string()));
+        // The ARQ wrapper only exists for the HiNet algorithms; everywhere
+        // else the flag is (correctly) rejected, so only add it there.
+        if RETRANSMIT_ALGORITHMS.contains(&algorithm) {
+            args.push("--retransmit".to_string());
+        }
+        let sc = scenario_from_args(&args);
+
+        // Identity 1: CLI → trace metadata → scenario.
+        let mut tracer = Tracer::new(ObsConfig::full());
+        sc.stamp_meta(&mut tracer);
+        tracer.run_end(0, true);
+        let parsed = ParsedTrace::parse_jsonl(&tracer.to_jsonl()).expect("meta trace parses");
+        let rebuilt = Scenario::from_meta(&parsed).expect("stamped meta must reconstruct");
+        assert_eq!(
+            rebuilt, sc,
+            "{algorithm} on {dynamics} with the '{combo}' plan (seed={seed}): \
+             from_meta(stamp_meta(sc)) differs from sc"
+        );
+
+        // Identity 2: scenario file writer → parser.
+        let file = ScenarioFile::new(sc.clone());
+        let reparsed = ScenarioFile::parse(&file.render())
+            .unwrap_or_else(|e| panic!("rendered file must parse: {e}\n{}", file.render()));
+        assert_eq!(
+            reparsed.scenario, sc,
+            "{algorithm} on {dynamics} with the '{combo}' plan (seed={seed}): \
+             parse(render(sc)) differs from sc"
+        );
+        assert_eq!(reparsed.expect, None);
+    });
+}
+
+/// The `expect_outcome` stamp rides the same round-trip unchanged — the
+/// corpus-replay gate depends on it surviving re-serialisation exactly.
+#[test]
+fn expect_outcome_survives_render_parse() {
+    check("scenario_expect_round_trip", 12, |ctx| {
+        let &algorithm = ctx.pick(&["alg1", "alg2", "rlnc"]);
+        let &expect = ctx.pick(&[
+            "completed (round 6)",
+            "stalled (budget exhausted)",
+            "assumption-violated (def 2)",
+        ]);
+        let sc = scenario_from_args(&[
+            "--algorithm".to_string(),
+            algorithm.to_string(),
+            "--n".to_string(),
+            "12".to_string(),
+            "--k".to_string(),
+            "2".to_string(),
+            "--alpha".to_string(),
+            "2".to_string(),
+            "--l".to_string(),
+            "1".to_string(),
+            "--theta".to_string(),
+            "4".to_string(),
+        ]);
+        let file = ScenarioFile {
+            scenario: sc,
+            expect: Some(expect.to_string()),
+        };
+        let reparsed = ScenarioFile::parse(&file.render()).expect("rendered file parses");
+        assert_eq!(reparsed.expect.as_deref(), Some(expect));
+        assert_eq!(reparsed.scenario, file.scenario);
+    });
+}
