@@ -38,6 +38,21 @@ test -s target/ci-bench/BENCH_headline.json
     --baseline target/ci-bench/BENCH_headline.json --max-regress 10000 >/dev/null
 echo "bench smoke: OK"
 
+# Scale smoke: the sweep_scale suite at a CI-sized point (the env knobs
+# shrink the headline n=10^6, k=10^4 target) must run, emit its JSON
+# artifact, and gate against itself — the same flow that guards the
+# packed-bitset engine at full scale.
+rm -rf target/ci-scale
+HINET_SCALE_N=20000 HINET_SCALE_K=200 \
+    ./target/release/hinet bench --filter sweep_scale --sample-size 5 \
+    --budget-ms 200 --json --out-dir target/ci-scale >/dev/null
+test -s target/ci-scale/BENCH_sweep_scale.json
+HINET_SCALE_N=20000 HINET_SCALE_K=200 \
+    ./target/release/hinet bench --filter sweep_scale --sample-size 5 \
+    --budget-ms 200 --baseline target/ci-scale/BENCH_sweep_scale.json \
+    --max-regress 10000 >/dev/null
+echo "scale smoke: OK"
+
 # Trace smoke: a traced seeded run must produce a hinet-trace/v1 artifact
 # whose summary is internally consistent with the engine's own run report.
 rm -rf target/ci-trace

@@ -27,7 +27,6 @@ pub fn e13_quiescence_trap() -> ExperimentResult {
     let n = 30;
     let budget = 4 * n; // generous: n−1 suffices for the guaranteed one
     let assignment = single_source_assignment(n, 1, 0);
-    let cfg = RunConfig::new();
 
     let mut table = Table::new(
         format!("Quiescence trap vs benign churn (n={n}, k=1 at node 0, budget {budget} rounds)"),
@@ -51,7 +50,7 @@ pub fn e13_quiescence_trap() -> ExperimentResult {
         &AlgorithmKind::DeltaFlood { rounds: budget },
         &mut trap,
         &assignment,
-        cfg,
+        RunConfig::new(),
     );
     record("quiescence trap", "delta-flood", &delta_trap);
     let mut trap = FlatProvider::new(QuiescenceTrapGen::new(n));
@@ -59,7 +58,7 @@ pub fn e13_quiescence_trap() -> ExperimentResult {
         &AlgorithmKind::KloFlood { rounds: budget },
         &mut trap,
         &assignment,
-        cfg,
+        RunConfig::new(),
     );
     record("quiescence trap", "klo-flood", &flood_trap);
 
@@ -81,7 +80,7 @@ pub fn e13_quiescence_trap() -> ExperimentResult {
         &AlgorithmKind::DeltaFlood { rounds: budget },
         &mut churn,
         &assignment,
-        cfg,
+        RunConfig::new(),
     );
     record("slow mobility", "delta-flood", &delta_churn);
     let mut churn = benign();
@@ -89,7 +88,7 @@ pub fn e13_quiescence_trap() -> ExperimentResult {
         &AlgorithmKind::KloFlood { rounds: budget },
         &mut churn,
         &assignment,
-        cfg,
+        RunConfig::new(),
     );
     record("slow mobility", "klo-flood", &flood_churn);
 

@@ -5,11 +5,11 @@ use super::ExperimentResult;
 use crate::report::Table;
 use hinet_cluster::ctvg::FlatProvider;
 use hinet_cluster::generators::{HiNetConfig, HiNetGen};
-use hinet_core::netcode::run_rlnc_faulted;
-use hinet_core::runner::{run_algorithm_faulted, AlgorithmKind};
+use hinet_core::netcode::run_rlnc;
+use hinet_core::runner::{run_algorithm, AlgorithmKind};
 use hinet_graph::generators::OneIntervalGen;
 use hinet_rt::obs::{ObsConfig, Tracer};
-use hinet_sim::engine::{CostWeights, RunConfig};
+use hinet_sim::engine::RunConfig;
 use hinet_sim::fault::FaultPlan;
 use hinet_sim::token::round_robin_assignment;
 
@@ -40,7 +40,6 @@ pub fn e17_loss_resilience() -> ExperimentResult {
     let k = 8;
     let budget = 3 * n;
     let assignment = round_robin_assignment(n, k);
-    let cfg = RunConfig::new();
 
     let mut table = Table::new(
         format!(
@@ -66,14 +65,11 @@ pub fn e17_loss_resilience() -> ExperimentResult {
         // ACK to wait on, so the retransmission wrapper does not apply —
         // its redundancy *is* the recovery mechanism.
         let mut flat = FlatProvider::new(OneIntervalGen::new(n, true, n / 5, SEED));
-        let flood = run_algorithm_faulted(
+        let flood = run_algorithm(
             &AlgorithmKind::KloFlood { rounds: budget },
             &mut flat,
             &assignment,
-            cfg,
-            &faults,
-            false,
-            &mut Tracer::disabled(),
+            RunConfig::new().faults(faults.clone()),
         );
         table.push_row(vec![
             loss_label.clone(),
@@ -104,14 +100,13 @@ pub fn e17_loss_resilience() -> ExperimentResult {
             noise_edges: n / 5,
             seed: SEED,
         });
-        let alg2 = run_algorithm_faulted(
+        let alg2 = run_algorithm(
             &AlgorithmKind::HiNetFullExchange { rounds: budget },
             &mut hinet,
             &assignment,
-            cfg,
-            &faults,
-            retransmit,
-            &mut Tracer::disabled(),
+            RunConfig::new()
+                .faults(faults.clone())
+                .retransmit(retransmit),
         );
         table.push_row(vec![
             loss_label.clone(),
@@ -132,14 +127,14 @@ pub fn e17_loss_resilience() -> ExperimentResult {
         // counters, so drops come from the tracer's exact totals.
         let mut flat = OneIntervalGen::new(n, true, n / 5, SEED);
         let mut tracer = Tracer::new(ObsConfig::full());
-        let rlnc = run_rlnc_faulted(
+        let rlnc = run_rlnc(
             &mut flat,
             &assignment,
-            budget,
             SEED,
-            CostWeights::default(),
-            &faults,
-            &mut tracer,
+            RunConfig::new()
+                .max_rounds(budget)
+                .faults(faults.clone())
+                .tracer(&mut tracer),
         );
         table.push_row(vec![
             loss_label.clone(),

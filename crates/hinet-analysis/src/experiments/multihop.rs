@@ -40,7 +40,6 @@ pub fn e14_multihop_clusters() -> ExperimentResult {
     let n = 70;
     let k = 8;
     let budget = n - 1;
-    let cfg = RunConfig::new();
 
     struct Cell {
         completed: bool,
@@ -90,7 +89,7 @@ pub fn e14_multihop_clusters() -> ExperimentResult {
                             AlgorithmKind::HiNetFullExchangeMH { rounds: budget }
                         }
                     };
-                    let report = run_algorithm(&kind, &mut provider, &assignment, cfg);
+                    let report = run_algorithm(&kind, &mut provider, &assignment, RunConfig::new());
                     let trace = CtvgTrace::capture(&mut provider, 4);
                     let heads = trace.hierarchy(0).heads().len();
                     Cell {
@@ -106,7 +105,7 @@ pub fn e14_multihop_clusters() -> ExperimentResult {
                         &AlgorithmKind::KloFlood { rounds: budget },
                         &mut provider,
                         &assignment,
-                        cfg,
+                        RunConfig::new(),
                     );
                     Cell {
                         completed: report.completed(),

@@ -39,7 +39,6 @@ pub fn e15_network_coding() -> ExperimentResult {
 
     let runs: Vec<Vec<Cell>> = run_sweep(&SEEDS, 0, |&seed| {
         let assignment = round_robin_assignment(n, k);
-        let cfg = RunConfig::new().cost_weights(weights);
         let mut out = Vec::new();
 
         // Flat flooding.
@@ -48,7 +47,7 @@ pub fn e15_network_coding() -> ExperimentResult {
             &AlgorithmKind::KloFlood { rounds: budget },
             &mut flat,
             &assignment,
-            cfg,
+            RunConfig::new().cost_weights(weights),
         );
         out.push(Cell {
             completed: flood.completed(),
@@ -73,7 +72,7 @@ pub fn e15_network_coding() -> ExperimentResult {
             &AlgorithmKind::HiNetFullExchange { rounds: budget },
             &mut hinet,
             &assignment,
-            cfg,
+            RunConfig::new().cost_weights(weights),
         );
         out.push(Cell {
             completed: alg2.completed(),
@@ -84,7 +83,12 @@ pub fn e15_network_coding() -> ExperimentResult {
 
         // RLNC on the same flat dynamics as flooding.
         let mut flat = OneIntervalGen::new(n, true, n / 5, seed);
-        let rlnc = run_rlnc(&mut flat, &assignment, budget, seed);
+        let rlnc = run_rlnc(
+            &mut flat,
+            &assignment,
+            seed,
+            RunConfig::new().max_rounds(budget),
+        );
         out.push(Cell {
             completed: rlnc.completed(),
             rounds: rlnc.completion_round,

@@ -22,7 +22,6 @@ pub fn e16_progress_curves() -> ExperimentResult {
     let k = 6;
     let seed = 12;
     let budget = 3 * n;
-    let cfg = RunConfig::new().record_rounds(true);
     let assignment = round_robin_assignment(n, k);
 
     let mut runs: Vec<(&'static str, RunReport)> = Vec::new();
@@ -34,7 +33,7 @@ pub fn e16_progress_curves() -> ExperimentResult {
             &AlgorithmKind::KloFlood { rounds: budget },
             &mut flat,
             &assignment,
-            cfg,
+            RunConfig::new().record_rounds(true),
         ),
     ));
 
@@ -55,7 +54,7 @@ pub fn e16_progress_curves() -> ExperimentResult {
             &AlgorithmKind::HiNetFullExchange { rounds: budget },
             &mut hinet,
             &assignment,
-            cfg,
+            RunConfig::new().record_rounds(true),
         ),
     ));
 
@@ -69,7 +68,7 @@ pub fn e16_progress_curves() -> ExperimentResult {
             },
             &mut flat,
             &assignment,
-            cfg,
+            RunConfig::new().record_rounds(true),
         ),
     ));
 

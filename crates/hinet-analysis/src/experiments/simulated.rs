@@ -144,7 +144,6 @@ pub fn e12_emdg_clusters() -> ExperimentResult {
     let k = 6;
     let outcomes: Vec<(u64, u64, u64, u64)> = run_sweep(&SEEDS, 0, |&seed| {
         let assignment = round_robin_assignment(n, k);
-        let cfg = RunConfig::new().stop_on_completion(false);
         let make_emdg = || EdgeMarkovianGen::new(n, 0.002, 0.05, 0.04, true, seed);
 
         let mut clustered =
@@ -153,14 +152,14 @@ pub fn e12_emdg_clusters() -> ExperimentResult {
             &AlgorithmKind::HiNetFullExchange { rounds: n - 1 },
             &mut clustered,
             &assignment,
-            cfg,
+            RunConfig::new().stop_on_completion(false),
         );
         let mut flat = FlatProvider::new(make_emdg());
         let flood = run_algorithm(
             &AlgorithmKind::KloFlood { rounds: n - 1 },
             &mut flat,
             &assignment,
-            cfg,
+            RunConfig::new().stop_on_completion(false),
         );
         (
             alg2.completion_round

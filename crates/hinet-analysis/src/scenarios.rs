@@ -43,7 +43,7 @@ impl ScenarioReport {
     }
 }
 
-fn default_cfg() -> RunConfig {
+fn default_cfg() -> RunConfig<'static> {
     RunConfig::new().stop_on_completion(false)
 }
 

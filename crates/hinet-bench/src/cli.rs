@@ -262,7 +262,7 @@ pub fn run(opts: &BenchOptions) -> ExitCode {
 fn write_reference_trace(path: &std::path::Path, seed: u64) -> Result<usize, String> {
     use hinet_cluster::generators::{HiNetConfig, HiNetGen};
     use hinet_core::params::alg1_plan;
-    use hinet_core::runner::{run_algorithm_traced, AlgorithmKind};
+    use hinet_core::runner::{run_algorithm, AlgorithmKind};
     use hinet_rt::obs::{ObsConfig, Tracer};
     use hinet_sim::engine::RunConfig;
     use hinet_sim::token::round_robin_assignment;
@@ -286,12 +286,11 @@ fn write_reference_trace(path: &std::path::Path, seed: u64) -> Result<usize, Str
     tracer.meta("k", k.to_string());
     tracer.meta("seed", seed.to_string());
     let assignment = round_robin_assignment(n, k);
-    run_algorithm_traced(
+    run_algorithm(
         &AlgorithmKind::HiNetPhased(plan),
         &mut provider,
         &assignment,
-        RunConfig::new().max_rounds(4 * n),
-        &mut tracer,
+        RunConfig::new().max_rounds(4 * n).tracer(&mut tracer),
     );
     if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(parent)
@@ -309,7 +308,7 @@ mod tests {
     #[test]
     fn filter_selects_by_substring() {
         assert_eq!(select(Some("sweep_n")).len(), 1);
-        assert_eq!(select(Some("sweep")).len(), 6);
+        assert_eq!(select(Some("sweep")).len(), 7);
         assert_eq!(select(Some("nope")).len(), 0);
         assert_eq!(select(None).len(), suites().len());
     }

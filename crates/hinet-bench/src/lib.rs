@@ -71,6 +71,11 @@ pub fn suites() -> Vec<Suite> {
             run: suites::sweep_loss::bench,
         },
         Suite {
+            name: "sweep_scale",
+            about: "engine scale — packed bitsets at n=10^6, k=10^4 (HINET_SCALE_N/K shrink)",
+            run: suites::sweep_scale::bench,
+        },
+        Suite {
             name: "headline",
             about: "E10 — the headline reduction grid (analytic cost model)",
             run: suites::headline::bench,
@@ -146,9 +151,10 @@ mod tests {
     }
 
     /// The registry covers the twelve ported criterion targets (DESIGN.md
-    /// §4's artifact list) plus the fault-plane degradation sweep.
+    /// §4's artifact list) plus the fault-plane degradation sweep and the
+    /// engine scale gate.
     #[test]
     fn registry_has_every_suite() {
-        assert_eq!(suites().len(), 13);
+        assert_eq!(suites().len(), 14);
     }
 }

@@ -17,7 +17,6 @@ pub fn bench(c: &mut Bench) {
     let n = 40;
     let k = 6;
     let assignment = round_robin_assignment(n, k);
-    let cfg = RunConfig::default();
 
     let mut group = c.benchmark_group("emdg");
     group.sample_size(10);
@@ -31,7 +30,7 @@ pub fn bench(c: &mut Bench) {
                 &AlgorithmKind::HiNetFullExchange { rounds: n - 1 },
                 &mut provider,
                 &assignment,
-                cfg,
+                RunConfig::new(),
             ))
         })
     });
@@ -45,7 +44,7 @@ pub fn bench(c: &mut Bench) {
                 &AlgorithmKind::KloFlood { rounds: n - 1 },
                 &mut provider,
                 &assignment,
-                cfg,
+                RunConfig::new(),
             ))
         })
     });

@@ -10,6 +10,7 @@ use hinet_graph::generators::{
 };
 use hinet_graph::trace::TopologyProvider;
 use hinet_rt::bench::{Bench, BenchmarkId};
+use hinet_sim::engine::RunConfig;
 use hinet_sim::token::round_robin_assignment;
 use std::hint::black_box;
 
@@ -69,7 +70,12 @@ fn bench_manhattan_and_rlnc(c: &mut Bench) {
         b.iter(|| {
             seed += 1;
             let mut gen = OneIntervalGen::new(40, true, 8, seed);
-            black_box(run_rlnc(&mut gen, &assignment, 200, seed))
+            black_box(run_rlnc(
+                &mut gen,
+                &assignment,
+                seed,
+                RunConfig::new().max_rounds(200),
+            ))
         })
     });
     group.finish();

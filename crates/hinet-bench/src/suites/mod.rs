@@ -1,4 +1,4 @@
-//! The thirteen benchmark suites, one module per retired criterion target.
+//! The fourteen benchmark suites, one module per retired criterion target.
 //! Register new suites in [`crate::suites()`].
 
 pub mod ablation_remark1;
@@ -12,5 +12,6 @@ pub mod sweep_k;
 pub mod sweep_l;
 pub mod sweep_loss;
 pub mod sweep_n;
+pub mod sweep_scale;
 pub mod table2_models;
 pub mod table3_simulated;

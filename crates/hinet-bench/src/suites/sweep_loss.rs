@@ -6,9 +6,8 @@ use crate::small_params;
 use hinet_analysis::experiments::e17_loss_resilience;
 use hinet_analysis::scenarios::{self, heads_for_members};
 use hinet_cluster::generators::{HiNetConfig, HiNetGen};
-use hinet_core::runner::{run_algorithm_faulted, AlgorithmKind};
+use hinet_core::runner::{run_algorithm, AlgorithmKind};
 use hinet_rt::bench::{Bench, BenchmarkId};
-use hinet_rt::obs::Tracer;
 use hinet_sim::engine::RunConfig;
 use hinet_sim::fault::FaultPlan;
 use hinet_sim::token::round_robin_assignment;
@@ -45,14 +44,11 @@ pub fn bench(c: &mut Bench) {
                     });
                     let assignment = round_robin_assignment(n, p.k as usize);
                     let faults = FaultPlan::new(seed).with_loss_ppm(ppm);
-                    black_box(run_algorithm_faulted(
+                    black_box(run_algorithm(
                         &AlgorithmKind::HiNetFullExchange { rounds: budget },
                         &mut provider,
                         &assignment,
-                        RunConfig::new(),
-                        &faults,
-                        ppm > 0,
-                        &mut Tracer::disabled(),
+                        RunConfig::new().faults(faults).retransmit(ppm > 0),
                     ))
                 })
             },

@@ -1,0 +1,156 @@
+//! Bench: engine scale — packed token bitsets and SoA arenas at the
+//! ROADMAP's headline point (n = 10^6 nodes, k = 10^4 tokens).
+//!
+//! The workloads are the two protocols whose asymptotic separation the
+//! paper proves: Algorithm 2 on a single star cluster (only the head
+//! broadcasts the full set) and KLO full flooding on the same star with
+//! the all-heads flat hierarchy. Both must complete in seconds at the
+//! headline point — word-packed [`hinet_sim::token::TokenSet`] unions and
+//! `Arc`-shared broadcast payloads are what make that possible; the
+//! `--baseline` gate on `BENCH_sweep_scale.json` keeps it true.
+//!
+//! CI smoke runs shrink the point via `HINET_SCALE_N` / `HINET_SCALE_K`
+//! (see `ci.sh`); the benchmark ids carry the effective `n` so artifacts
+//! from different scales never gate against each other.
+
+use hinet_cluster::ctvg::{CtvgTrace, CtvgTraceProvider, FlatProvider};
+use hinet_cluster::hierarchy::single_cluster;
+use hinet_core::runner::{run_algorithm, AlgorithmKind};
+use hinet_graph::graph::{Graph, NodeId};
+use hinet_graph::trace::{StaticProvider, TvgTrace};
+use hinet_rt::bench::{Bench, BenchmarkId};
+use hinet_sim::engine::{RunConfig, RunReport};
+use hinet_sim::token::round_robin_assignment;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Round budget: both protocols finish a star in 2–3 rounds; the slack
+/// only matters if a regression breaks completion, which the report check
+/// in [`scale_table`] then surfaces.
+const BUDGET: usize = 16;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// The headline scale point, shrinkable for CI smoke runs.
+fn scale_point() -> (usize, usize) {
+    (
+        env_usize("HINET_SCALE_N", 1_000_000),
+        env_usize("HINET_SCALE_K", 10_000),
+    )
+}
+
+/// Algorithm 2 on one star-shaped cluster: node 0 is the head, everyone
+/// else a member one hop away — the (1, L)-HiNet with the thinnest
+/// possible backbone, so the run cost is dominated by the head's full-set
+/// broadcast and the members' packed unions.
+fn run_alg2_star(n: usize, k: usize) -> RunReport {
+    let trace = CtvgTrace::new(
+        TvgTrace::new(vec![Arc::new(Graph::star(n))]),
+        vec![Arc::new(single_cluster(n, NodeId(0)))],
+    );
+    let mut provider = CtvgTraceProvider::new(trace);
+    let assignment = round_robin_assignment(n, k);
+    run_algorithm(
+        &AlgorithmKind::HiNetFullExchange { rounds: BUDGET },
+        &mut provider,
+        &assignment,
+        RunConfig::new().max_rounds(BUDGET),
+    )
+}
+
+/// KLO full flooding on the same star with the flat all-heads hierarchy:
+/// every informed node rebroadcasts its whole set every round, the
+/// redundancy-heavy baseline the packed representation must also carry.
+fn run_klo_flood_star(n: usize, k: usize) -> RunReport {
+    let mut provider = FlatProvider::new(StaticProvider::new(Graph::star(n)));
+    let assignment = round_robin_assignment(n, k);
+    run_algorithm(
+        &AlgorithmKind::KloFlood { rounds: BUDGET },
+        &mut provider,
+        &assignment,
+        RunConfig::new().max_rounds(BUDGET),
+    )
+}
+
+/// One-shot demonstration table: wall time, rounds and traffic for each
+/// protocol at the effective scale point, with a loud marker if either
+/// fails to complete.
+fn scale_table(n: usize, k: usize) -> String {
+    let mut out = format!("Engine scale point (n={n}, k={k}, star topology)\n");
+    for (label, run) in [
+        (
+            "alg2 single-cluster",
+            run_alg2_star as fn(usize, usize) -> RunReport,
+        ),
+        ("klo-flood flat", run_klo_flood_star),
+    ] {
+        let t0 = Instant::now();
+        let report = run(n, k);
+        let secs = t0.elapsed().as_secs_f64();
+        out.push_str(&format!(
+            "  {label:<22} {} in {:.2} s — {} rounds, {} tokens, {} packets\n",
+            report.outcome,
+            secs,
+            report.rounds_executed,
+            report.metrics.tokens_sent,
+            report.metrics.packets_sent,
+        ));
+    }
+    out
+}
+
+pub fn bench(c: &mut Bench) {
+    let (n, k) = scale_point();
+    c.print_table("sweep_scale", || scale_table(n, k));
+    let mut group = c.benchmark_group("sweep_scale");
+    group.sample_size(5);
+    group.bench_with_input(BenchmarkId::new("alg2_star", n), &(n, k), |b, &(n, k)| {
+        b.iter(|| black_box(run_alg2_star(n, k)))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("klo_flood_star", n),
+        &(n, k),
+        |b, &(n, k)| b.iter(|| black_box(run_klo_flood_star(n, k))),
+    );
+    group.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced point of the same shape as the headline run: both
+    /// protocols must complete on the star within the round budget.
+    #[test]
+    fn both_protocols_complete_on_the_star() {
+        for (n, k) in [(512, 64), (2_000, 100)] {
+            let alg2 = run_alg2_star(n, k);
+            assert!(alg2.completed(), "alg2 n={n} k={k}: {}", alg2.outcome);
+            let flood = run_klo_flood_star(n, k);
+            assert!(flood.completed(), "flood n={n} k={k}: {}", flood.outcome);
+            // The backbone saves traffic even on a star: only the head
+            // repeats the full set, members push once.
+            assert!(
+                alg2.metrics.tokens_sent < flood.metrics.tokens_sent,
+                "n={n} k={k}: alg2 {} !< flood {}",
+                alg2.metrics.tokens_sent,
+                flood.metrics.tokens_sent
+            );
+        }
+    }
+
+    #[test]
+    fn star_runs_finish_in_a_handful_of_rounds() {
+        let report = run_alg2_star(1_000, 50);
+        assert!(report.completion_round.unwrap() <= 3);
+        let report = run_klo_flood_star(1_000, 50);
+        assert!(report.completion_round.unwrap() <= 3);
+    }
+}

@@ -194,9 +194,9 @@ impl Protocol for HiNetPhased {
 
     fn receive(&mut self, view: &LocalView<'_>, inbox: &[Incoming]) {
         for m in inbox {
-            self.ta.extend(m.tokens.iter().copied());
+            m.payload.union_into(&mut self.ta);
             if view.role == Role::Member && Some(m.from) == view.head {
-                self.tr.extend(m.tokens.iter().copied());
+                m.payload.union_into(&mut self.tr);
             }
         }
     }
@@ -207,6 +207,15 @@ impl Protocol for HiNetPhased {
 
     fn finished(&self) -> bool {
         self.done
+    }
+
+    fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+        *self = HiNetPhased {
+            assume_stable_heads: self.assume_stable_heads,
+            retransmit: self.retransmit,
+            ..Self::new(self.plan)
+        };
+        self.on_start(me, retained);
     }
 }
 
@@ -267,14 +276,7 @@ mod tests {
         // Head broadcasts token 9 to us in round 0.
         let view = member_view(0, head, &nbrs);
         let _ = p.send(&view);
-        p.receive(
-            &view,
-            &[Incoming {
-                from: head,
-                directed: false,
-                tokens: vec![TokenId(9)],
-            }],
-        );
+        p.receive(&view, &[Incoming::one(head, false, TokenId(9))]);
         // Round 1: token 9 is in TR — head already knows it; nothing to send
         // (2 already sent in round 0).
         assert!(p.send(&member_view(1, head, &nbrs)).is_empty());
@@ -376,17 +378,10 @@ mod tests {
         let out = p.send(&member_view(1, head, &nbrs));
         assert_eq!(out.len(), 1);
         assert!(out[0].retransmit);
-        assert_eq!(out[0].tokens, vec![TokenId(3)]);
+        assert_eq!(out[0].payload.to_vec(), vec![TokenId(3)]);
         // The head's broadcast echoes token 3 — acknowledged, so silence.
         let view = member_view(1, head, &nbrs);
-        p.receive(
-            &view,
-            &[Incoming {
-                from: head,
-                directed: false,
-                tokens: vec![TokenId(3)],
-            }],
-        );
+        p.receive(&view, &[Incoming::one(head, false, TokenId(3))]);
         assert!(p.send(&member_view(2, head, &nbrs)).is_empty());
     }
 
@@ -405,10 +400,10 @@ mod tests {
         let out = p.send(&head_view(2, NodeId(0), &nbrs));
         assert_eq!(out.len(), 1);
         assert!(out[0].retransmit);
-        assert_eq!(out[0].tokens, vec![TokenId(1)]);
+        assert_eq!(out[0].payload.to_vec(), vec![TokenId(1)]);
         let out = p.send(&head_view(3, NodeId(0), &nbrs));
         assert!(out[0].retransmit);
-        assert_eq!(out[0].tokens, vec![TokenId(2)]);
+        assert_eq!(out[0].payload.to_vec(), vec![TokenId(2)]);
     }
 
     #[test]
@@ -426,7 +421,7 @@ mod tests {
         // now be a crash replacement, so the token must be re-delivered.
         let out = p.send(&member_view(3, h2, &nbrs));
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].tokens, vec![TokenId(4)]);
+        assert_eq!(out[0].payload.to_vec(), vec![TokenId(4)]);
     }
 
     #[test]
@@ -442,14 +437,7 @@ mod tests {
         let view = head_view(0, NodeId(0), &nbrs);
         assert_eq!(p.send(&view), vec![Outgoing::broadcast_one(TokenId(2))]);
         // The restarted member re-delivers token 2 (already in TA and TS).
-        p.receive(
-            &view,
-            &[Incoming {
-                from: NodeId(1),
-                directed: true,
-                tokens: vec![TokenId(2)],
-            }],
-        );
+        p.receive(&view, &[Incoming::one(NodeId(1), true, TokenId(2))]);
         // Selection skips the duplicate and moves on to token 6.
         assert_eq!(
             p.send(&head_view(1, NodeId(0), &nbrs)),

@@ -124,9 +124,9 @@ impl Protocol for HiNetFullExchange {
 
     fn receive(&mut self, view: &LocalView<'_>, inbox: &[Incoming]) {
         for m in inbox {
-            self.ta.extend(m.tokens.iter().copied());
+            m.payload.union_into(&mut self.ta);
             if view.role == Role::Member && Some(m.from) == view.head {
-                self.from_head.extend(m.tokens.iter().copied());
+                m.payload.union_into(&mut self.from_head);
             }
         }
     }
@@ -137,6 +137,11 @@ impl Protocol for HiNetFullExchange {
 
     fn finished(&self) -> bool {
         self.done
+    }
+
+    fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+        *self = Self::new(self.rounds).with_retransmit(self.retransmit);
+        self.on_start(me, retained);
     }
 }
 
@@ -177,7 +182,7 @@ mod tests {
         for r in 0..5 {
             let out = p.send(&head_view(r, NodeId(0), &nbrs));
             assert_eq!(out.len(), 1, "round {r}");
-            assert_eq!(out[0].tokens, vec![TokenId(1), TokenId(2)]);
+            assert_eq!(out[0].payload.to_vec(), vec![TokenId(1), TokenId(2)]);
         }
         assert!(p.send(&head_view(5, NodeId(0), &nbrs)).is_empty());
         assert!(p.finished());
@@ -216,16 +221,8 @@ mod tests {
         p.receive(
             &view,
             &[
-                Incoming {
-                    from: h,
-                    directed: false,
-                    tokens: vec![TokenId(1)],
-                },
-                Incoming {
-                    from: NodeId(2),
-                    directed: false,
-                    tokens: vec![TokenId(2)],
-                },
+                Incoming::one(h, false, TokenId(1)),
+                Incoming::one(NodeId(2), false, TokenId(2)),
             ],
         );
         assert!(p.known().contains(&TokenId(1)));
@@ -255,17 +252,10 @@ mod tests {
         let out = p.send(&member_view(1, h, &nbrs));
         assert_eq!(out.len(), 1);
         assert!(out[0].retransmit);
-        assert_eq!(out[0].tokens, vec![TokenId(3)]);
+        assert_eq!(out[0].payload.to_vec(), vec![TokenId(3)]);
         // The head's broadcast echoes everything we hold: silence resumes.
         let view = member_view(1, h, &nbrs);
-        p.receive(
-            &view,
-            &[Incoming {
-                from: h,
-                directed: false,
-                tokens: vec![TokenId(3), TokenId(9)],
-            }],
-        );
+        p.receive(&view, &[Incoming::set(h, false, &[TokenId(3), TokenId(9)])]);
         assert!(p.send(&member_view(2, h, &nbrs)).is_empty());
     }
 
@@ -277,14 +267,7 @@ mod tests {
         let nbrs = [h1, h2];
         let view = member_view(0, h1, &nbrs);
         let _ = p.send(&view);
-        p.receive(
-            &view,
-            &[Incoming {
-                from: h1,
-                directed: false,
-                tokens: vec![TokenId(3)],
-            }],
-        );
+        p.receive(&view, &[Incoming::one(h1, false, TokenId(3))]);
         assert!(p.send(&member_view(1, h1, &nbrs)).is_empty());
         // Re-affiliation: the normal once-per-affiliation push fires...
         let out = p.send(&member_view(2, h2, &nbrs));

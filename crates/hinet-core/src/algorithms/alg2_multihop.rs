@@ -100,7 +100,7 @@ impl Protocol for HiNetFullExchangeMH {
 
     fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
         for m in inbox {
-            for &t in &m.tokens {
+            for t in m.payload.iter() {
                 if self.ta.insert(t) {
                     self.grew = true;
                 }
@@ -114,6 +114,11 @@ impl Protocol for HiNetFullExchangeMH {
 
     fn finished(&self) -> bool {
         self.done
+    }
+
+    fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+        *self = Self::new(self.rounds);
+        self.on_start(me, retained);
     }
 }
 
@@ -161,14 +166,7 @@ mod tests {
         let nbrs = [parent, NodeId(5)];
         let v0 = deep_member_view(0, head, parent, &nbrs);
         let _ = p.send(&v0);
-        p.receive(
-            &v0,
-            &[Incoming {
-                from: parent,
-                directed: false,
-                tokens: vec![TokenId(7)],
-            }],
-        );
+        p.receive(&v0, &[Incoming::one(parent, false, TokenId(7))]);
         let out = p.send(&deep_member_view(1, head, parent, &nbrs));
         assert_eq!(out.len(), 2, "unicast up + broadcast down");
         assert!(out

@@ -59,7 +59,7 @@ impl Protocol for DeltaFlood {
 
     fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
         for m in inbox {
-            for &t in &m.tokens {
+            for t in m.payload.iter() {
                 if self.ta.insert(t) {
                     self.grew = true;
                 }
@@ -73,6 +73,11 @@ impl Protocol for DeltaFlood {
 
     fn finished(&self) -> bool {
         self.done
+    }
+
+    fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+        *self = Self::new(self.rounds);
+        self.on_start(me, retained);
     }
 }
 
@@ -102,11 +107,7 @@ mod tests {
         assert!(p.send(&view(1, &nbrs)).is_empty(), "no growth, silent");
         p.receive(
             &view(1, &nbrs),
-            &[Incoming {
-                from: NodeId(1),
-                directed: false,
-                tokens: vec![TokenId(2)],
-            }],
+            &[Incoming::one(NodeId(1), false, TokenId(2))],
         );
         assert_eq!(p.send(&view(2, &nbrs)).len(), 1, "grew, speaks again");
         assert!(p.send(&view(3, &nbrs)).is_empty());
@@ -120,11 +121,7 @@ mod tests {
         let _ = p.send(&view(0, &nbrs));
         p.receive(
             &view(0, &nbrs),
-            &[Incoming {
-                from: NodeId(1),
-                directed: false,
-                tokens: vec![TokenId(1)],
-            }],
+            &[Incoming::one(NodeId(1), false, TokenId(1))],
         );
         assert!(p.send(&view(1, &nbrs)).is_empty());
     }

@@ -57,7 +57,7 @@ impl Protocol for Gossip {
 
     fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
         for m in inbox {
-            self.ta.extend(m.tokens.iter().copied());
+            m.payload.union_into(&mut self.ta);
         }
     }
 
@@ -67,6 +67,11 @@ impl Protocol for Gossip {
 
     fn finished(&self) -> bool {
         self.done
+    }
+
+    fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+        *self = Self::new(self.rounds, self.seed);
+        self.on_start(me, retained);
     }
 }
 

@@ -58,22 +58,18 @@ impl Protocol for KActiveFlood {
         if self.active.is_empty() {
             return vec![];
         }
-        let payload: Vec<TokenId> = self.active.keys().copied().collect();
+        let payload: TokenSet = self.active.keys().copied().collect();
         // Age the batch that was just sent.
         self.active.retain(|_, left| {
             *left -= 1;
             *left > 0
         });
-        vec![Outgoing {
-            dest: hinet_sim::protocol::Destination::Broadcast,
-            tokens: payload,
-            retransmit: false,
-        }]
+        vec![Outgoing::broadcast_set(&payload)]
     }
 
     fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
         for m in inbox {
-            for &t in &m.tokens {
+            for t in m.payload.iter() {
                 if self.ta.insert(t) {
                     self.active.insert(t, self.activity);
                 }
@@ -87,6 +83,11 @@ impl Protocol for KActiveFlood {
 
     fn finished(&self) -> bool {
         self.done || self.active.is_empty()
+    }
+
+    fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+        *self = Self::new(self.activity, self.max_rounds);
+        self.on_start(me, retained);
     }
 }
 
@@ -112,8 +113,14 @@ mod tests {
         let mut p = KActiveFlood::new(2, 100);
         p.on_start(NodeId(0), &[TokenId(1)]);
         let nbrs = [NodeId(1)];
-        assert_eq!(p.send(&view(0, &nbrs))[0].tokens, vec![TokenId(1)]);
-        assert_eq!(p.send(&view(1, &nbrs))[0].tokens, vec![TokenId(1)]);
+        assert_eq!(
+            p.send(&view(0, &nbrs))[0].payload.to_vec(),
+            vec![TokenId(1)]
+        );
+        assert_eq!(
+            p.send(&view(1, &nbrs))[0].payload.to_vec(),
+            vec![TokenId(1)]
+        );
         assert!(p.send(&view(2, &nbrs)).is_empty(), "retired after 2 sends");
         assert!(p.finished(), "nothing active anymore");
         assert!(p.known().contains(&TokenId(1)), "still known");
@@ -127,11 +134,7 @@ mod tests {
         let _ = p.send(&view(0, &nbrs));
         p.receive(
             &view(0, &nbrs),
-            &[Incoming {
-                from: NodeId(1),
-                directed: false,
-                tokens: vec![TokenId(1)],
-            }],
+            &[Incoming::one(NodeId(1), false, TokenId(1))],
         );
         assert!(
             p.send(&view(1, &nbrs)).is_empty(),
@@ -147,13 +150,12 @@ mod tests {
         assert!(p.send(&view(0, &nbrs)).is_empty());
         p.receive(
             &view(0, &nbrs),
-            &[Incoming {
-                from: NodeId(1),
-                directed: false,
-                tokens: vec![TokenId(9)],
-            }],
+            &[Incoming::one(NodeId(1), false, TokenId(9))],
         );
-        assert_eq!(p.send(&view(1, &nbrs))[0].tokens, vec![TokenId(9)]);
+        assert_eq!(
+            p.send(&view(1, &nbrs))[0].payload.to_vec(),
+            vec![TokenId(9)]
+        );
     }
 
     #[test]

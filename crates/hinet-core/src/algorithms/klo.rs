@@ -58,7 +58,7 @@ impl Protocol for KloPhased {
 
     fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
         for m in inbox {
-            self.ta.extend(m.tokens.iter().copied());
+            m.payload.union_into(&mut self.ta);
         }
     }
 
@@ -68,6 +68,11 @@ impl Protocol for KloPhased {
 
     fn finished(&self) -> bool {
         self.done
+    }
+
+    fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+        *self = Self::new(self.plan);
+        self.on_start(me, retained);
     }
 }
 
@@ -112,7 +117,7 @@ impl Protocol for KloFlood {
 
     fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
         for m in inbox {
-            self.ta.extend(m.tokens.iter().copied());
+            m.payload.union_into(&mut self.ta);
         }
     }
 
@@ -122,6 +127,11 @@ impl Protocol for KloFlood {
 
     fn finished(&self) -> bool {
         self.done
+    }
+
+    fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+        *self = Self::new(self.rounds);
+        self.on_start(me, retained);
     }
 }
 
@@ -186,17 +196,10 @@ mod tests {
         p.on_start(NodeId(0), &[TokenId(1)]);
         let nbrs = [NodeId(1)];
         let view = flat_view(0, NodeId(0), &nbrs);
-        assert_eq!(p.send(&view)[0].tokens, vec![TokenId(1)]);
-        p.receive(
-            &view,
-            &[Incoming {
-                from: NodeId(1),
-                directed: false,
-                tokens: vec![TokenId(5)],
-            }],
-        );
+        assert_eq!(p.send(&view)[0].payload.to_vec(), vec![TokenId(1)]);
+        p.receive(&view, &[Incoming::one(NodeId(1), false, TokenId(5))]);
         assert_eq!(
-            p.send(&flat_view(1, NodeId(0), &nbrs))[0].tokens,
+            p.send(&flat_view(1, NodeId(0), &nbrs))[0].payload.to_vec(),
             vec![TokenId(1), TokenId(5)]
         );
         assert!(p.send(&flat_view(3, NodeId(0), &nbrs)).is_empty());

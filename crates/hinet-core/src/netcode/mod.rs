@@ -21,8 +21,7 @@ use hinet_graph::graph::NodeId;
 use hinet_graph::rng::stream_rng;
 use hinet_graph::trace::TopologyProvider;
 use hinet_rt::obs::{FaultKind, Role, Tracer};
-use hinet_sim::engine::CostWeights;
-use hinet_sim::fault::FaultPlan;
+use hinet_sim::engine::{CostWeights, RunConfig};
 use hinet_sim::token::TokenId;
 
 /// Outcome of an RLNC run.
@@ -54,79 +53,47 @@ impl RlncReport {
     }
 }
 
-/// Run RLNC dissemination over `provider` for at most `max_rounds` rounds.
+/// Run RLNC dissemination over `provider` — the single RLNC entry point,
+/// mirroring [`hinet_sim::engine::Engine::run`].
 ///
 /// `assignment[u]` are node `u`'s initial tokens (ids must lie in
 /// `0..k` where `k` is the total distinct token count — use
 /// [`hinet_sim::token::round_robin_assignment`]). Fully deterministic
-/// given `seed`.
+/// given `seed`. The round budget, byte-cost weights, fault plan and
+/// optional tracer all come from `cfg`:
+///
+/// * **tracing** ([`RunConfig::tracer`]) — identical dissemination (the
+///   tracer never touches the RNG streams); each coded broadcast is
+///   emitted as an [`hinet_rt::obs::Event::HeadBroadcast`] with
+///   `count = 1` (a packet carries one token-payload's worth of data in
+///   the paper's metric), `token` set to the packet's leading coordinate
+///   (its pivot under GF(2) reduction) and role [`Role::Member`] — RLNC is
+///   flat, there is no hierarchy to attribute. Byte accounting uses
+///   [`RunConfig::cost_weights`] plus the `⌈k/8⌉`-byte coefficient header
+///   (see [`RlncReport::total_bytes`]).
+/// * **faults** ([`RunConfig::faults`]) — per-delivery loss and partition
+///   cuts suppress basis inserts at the receiver (the sender still pays
+///   for the packet), and crashed nodes go silent for `down_rounds`
+///   rounds, losing their accumulated basis unless the plan declares
+///   tokens durable. The dissemination RNG streams are never consulted by
+///   the fault plane, so a trivial plan is byte-identical to a plain run.
+///   RLNC is flat, so `target_heads` never matches a hazard crash here;
+///   scheduled [`hinet_sim::fault::FaultPlan::with_crash_at`] entries
+///   still fire.
 pub fn run_rlnc(
     provider: &mut dyn TopologyProvider,
     assignment: &[Vec<TokenId>],
-    max_rounds: usize,
     seed: u64,
+    mut cfg: RunConfig<'_>,
 ) -> RlncReport {
-    run_rlnc_traced(
-        provider,
-        assignment,
-        max_rounds,
-        seed,
-        CostWeights::default(),
-        &mut Tracer::disabled(),
-    )
-}
-
-/// [`run_rlnc`] with an observability sink: identical dissemination (the
-/// tracer never touches the RNG streams), but each coded broadcast is
-/// emitted as an [`hinet_rt::obs::Event::HeadBroadcast`] so `hinet trace`
-/// and the trace-diff engine cover RLNC like every token-forwarding
-/// algorithm.
-///
-/// Mapping onto the token-forwarding event taxonomy: one coded packet is
-/// one broadcast with `count = 1` (a packet carries one token-payload's
-/// worth of data in the paper's metric), `token` set to the packet's
-/// leading coordinate (its pivot token under GF(2) reduction) and role
-/// [`Role::Member`] — RLNC is flat, there is no hierarchy to attribute.
-/// Byte accounting uses `weights` plus the `⌈k/8⌉`-byte coefficient header
-/// (see [`RlncReport::total_bytes`]).
-pub fn run_rlnc_traced(
-    provider: &mut dyn TopologyProvider,
-    assignment: &[Vec<TokenId>],
-    max_rounds: usize,
-    seed: u64,
-    weights: CostWeights,
-    tracer: &mut Tracer,
-) -> RlncReport {
-    run_rlnc_faulted(
-        provider,
-        assignment,
-        max_rounds,
-        seed,
-        weights,
-        &FaultPlan::none(),
-        tracer,
-    )
-}
-
-/// [`run_rlnc_traced`] under a deterministic [`FaultPlan`]: per-delivery
-/// loss and partition cuts suppress basis inserts at the receiver (the
-/// sender still pays for the packet), and crashed nodes go silent for
-/// `down_rounds` rounds — losing their accumulated basis unless the plan
-/// declares tokens durable, in which case only in-flight protocol progress
-/// is lost. The dissemination RNG streams are never consulted by the fault
-/// plane, so a trivial plan is byte-identical to [`run_rlnc_traced`].
-///
-/// RLNC is flat, so `target_heads` never matches a hazard crash here;
-/// scheduled [`FaultPlan::with_crash_at`] entries still fire.
-pub fn run_rlnc_faulted(
-    provider: &mut dyn TopologyProvider,
-    assignment: &[Vec<TokenId>],
-    max_rounds: usize,
-    seed: u64,
-    weights: CostWeights,
-    faults: &FaultPlan,
-    tracer: &mut Tracer,
-) -> RlncReport {
+    let mut disabled = Tracer::disabled();
+    let tracer: &mut Tracer = match cfg.tracer.take() {
+        Some(t) => t,
+        None => &mut disabled,
+    };
+    let weights = cfg.cost_weights;
+    let faults = &cfg.faults;
+    let max_rounds = cfg.max_rounds;
     let n = provider.n();
     assert_eq!(assignment.len(), n, "one initial token list per node");
     let k = assignment
@@ -300,13 +267,14 @@ mod tests {
     use hinet_graph::generators::{BackboneKind, OneIntervalGen, TIntervalGen};
     use hinet_graph::trace::StaticProvider;
     use hinet_graph::Graph;
+    use hinet_sim::fault::FaultPlan;
     use hinet_sim::token::round_robin_assignment;
 
     #[test]
     fn completes_on_static_complete_graph() {
         let mut p = StaticProvider::new(Graph::complete(10));
         let assignment = round_robin_assignment(10, 6);
-        let r = run_rlnc(&mut p, &assignment, 200, 1);
+        let r = run_rlnc(&mut p, &assignment, 1, RunConfig::new().max_rounds(200));
         assert!(r.completed(), "dense static graph must decode quickly");
         assert!(r.completion_round.unwrap() <= 30);
         assert_eq!(r.k, 6);
@@ -316,7 +284,7 @@ mod tests {
     fn completes_under_adversarial_churn() {
         let mut p = OneIntervalGen::new(24, true, 4, 5);
         let assignment = round_robin_assignment(24, 5);
-        let r = run_rlnc(&mut p, &assignment, 500, 2);
+        let r = run_rlnc(&mut p, &assignment, 2, RunConfig::new().max_rounds(500));
         assert!(r.completed(), "RLNC tolerates 1-interval churn w.h.p.");
     }
 
@@ -324,7 +292,7 @@ mod tests {
     fn completes_on_t_interval_adversary() {
         let mut p = TIntervalGen::new(30, 6, BackboneKind::Path, 6, 8);
         let assignment = round_robin_assignment(30, 8);
-        let r = run_rlnc(&mut p, &assignment, 1000, 3);
+        let r = run_rlnc(&mut p, &assignment, 3, RunConfig::new().max_rounds(1000));
         assert!(r.completed());
     }
 
@@ -332,7 +300,7 @@ mod tests {
     fn zero_tokens_complete_immediately() {
         let mut p = StaticProvider::new(Graph::complete(4));
         let assignment = vec![vec![]; 4];
-        let r = run_rlnc(&mut p, &assignment, 10, 0);
+        let r = run_rlnc(&mut p, &assignment, 0, RunConfig::new().max_rounds(10));
         assert_eq!(r.completion_round, Some(0));
         assert_eq!(r.packets_sent, 0);
     }
@@ -342,7 +310,7 @@ mod tests {
         let run = |seed| {
             let mut p = OneIntervalGen::new(16, false, 3, 9);
             let assignment = round_robin_assignment(16, 4);
-            run_rlnc(&mut p, &assignment, 200, seed)
+            run_rlnc(&mut p, &assignment, seed, RunConfig::new().max_rounds(200))
         };
         let (a, b, c) = (run(4), run(4), run(1));
         assert_eq!(a.completion_round, b.completion_round);
@@ -376,7 +344,12 @@ mod tests {
         let run = |tracer: &mut Tracer| {
             let mut p = OneIntervalGen::new(16, false, 3, 9);
             let assignment = round_robin_assignment(16, 4);
-            run_rlnc_traced(&mut p, &assignment, 200, 4, CostWeights::default(), tracer)
+            run_rlnc(
+                &mut p,
+                &assignment,
+                4,
+                RunConfig::new().max_rounds(200).tracer(tracer),
+            )
         };
         let plain = run(&mut Tracer::disabled());
         let mut tracer = Tracer::new(ObsConfig::full());
@@ -419,14 +392,14 @@ mod tests {
         let run = |faults: &FaultPlan, tracer: &mut Tracer| {
             let mut p = StaticProvider::new(Graph::complete(10));
             let assignment = round_robin_assignment(10, 4);
-            run_rlnc_faulted(
+            run_rlnc(
                 &mut p,
                 &assignment,
-                400,
                 1,
-                CostWeights::default(),
-                faults,
-                tracer,
+                RunConfig::new()
+                    .max_rounds(400)
+                    .faults(faults.clone())
+                    .tracer(tracer),
             )
         };
         let clean = run(&FaultPlan::none(), &mut Tracer::disabled());
@@ -452,16 +425,13 @@ mod tests {
     fn trivial_fault_plan_is_identical_to_plain_rlnc() {
         let mut p = OneIntervalGen::new(16, false, 3, 9);
         let assignment = round_robin_assignment(16, 4);
-        let plain = run_rlnc(&mut p, &assignment, 200, 4);
+        let plain = run_rlnc(&mut p, &assignment, 4, RunConfig::new().max_rounds(200));
         let mut p = OneIntervalGen::new(16, false, 3, 9);
-        let faulted = run_rlnc_faulted(
+        let faulted = run_rlnc(
             &mut p,
             &assignment,
-            200,
             4,
-            CostWeights::default(),
-            &FaultPlan::none(),
-            &mut Tracer::disabled(),
+            RunConfig::new().max_rounds(200).faults(FaultPlan::none()),
         );
         assert_eq!(plain.completion_round, faulted.completion_round);
         assert_eq!(plain.packets_sent, faulted.packets_sent);
@@ -475,14 +445,14 @@ mod tests {
         let assignment = round_robin_assignment(8, 4);
         let faults = FaultPlan::new(0).with_crash_at(0, 3).with_down_rounds(2);
         let mut tracer = Tracer::new(ObsConfig::full());
-        let r = run_rlnc_faulted(
+        let r = run_rlnc(
             &mut p,
             &assignment,
-            400,
             1,
-            CostWeights::default(),
-            &faults,
-            &mut tracer,
+            RunConfig::new()
+                .max_rounds(400)
+                .faults(faults)
+                .tracer(&mut tracer),
         );
         assert!(r.completed(), "a dense graph re-fills the lost basis");
         let c = tracer.counters();

@@ -10,9 +10,7 @@ use crate::algorithms::{
 };
 use crate::params::PhasePlan;
 use hinet_cluster::ctvg::HierarchyProvider;
-use hinet_rt::obs::Tracer;
 use hinet_sim::engine::{Engine, RunConfig, RunReport};
-use hinet_sim::fault::FaultPlan;
 use hinet_sim::protocol::Protocol;
 use hinet_sim::token::TokenId;
 
@@ -79,17 +77,17 @@ impl AlgorithmKind {
     }
 
     /// Instantiate one protocol per node.
-    pub fn build(&self, n: usize) -> Vec<Box<dyn Protocol>> {
+    pub fn build(&self, n: usize) -> Vec<Box<dyn Protocol + Send>> {
         (0..n).map(|_| self.build_node(false)).collect()
     }
 
     /// Instantiate a single protocol instance — the factory behind
-    /// [`AlgorithmKind::build`] and the restart hook of faulted runs.
+    /// [`AlgorithmKind::build`] and [`run_algorithm`].
     ///
     /// With `retransmit` set, the HiNet algorithms (1, Remark 1 and 2) are
     /// built in their retransmission-recovery mode; the flag is a no-op for
     /// the baselines, which have no recovery variant.
-    pub fn build_node(&self, retransmit: bool) -> Box<dyn Protocol> {
+    pub fn build_node(&self, retransmit: bool) -> Box<dyn Protocol + Send> {
         match *self {
             AlgorithmKind::HiNetPhased(plan) => {
                 Box::new(HiNetPhased::new(plan).with_retransmit(retransmit))
@@ -114,16 +112,6 @@ impl AlgorithmKind {
     }
 }
 
-/// Run `kind` on `provider` with the given initial token `assignment`.
-pub fn run_algorithm(
-    kind: &AlgorithmKind,
-    provider: &mut dyn HierarchyProvider,
-    assignment: &[Vec<TokenId>],
-    cfg: RunConfig,
-) -> RunReport {
-    run_algorithm_traced(kind, provider, assignment, cfg, &mut Tracer::disabled())
-}
-
 impl AlgorithmKind {
     /// The phase length `T` the algorithm operates in, if it is phased.
     /// This is what the tracer uses to segment a run into phases.
@@ -137,61 +125,35 @@ impl AlgorithmKind {
     }
 }
 
-/// Like [`run_algorithm`], but streams [`hinet_rt::obs`] events into
-/// `tracer`. For phased algorithms the tracer's phase length is set from
-/// the plan, so the trace carries `PhaseAdvance` markers at rounds
-/// `0, T, 2T, …` and a rounds-per-phase histogram. The algorithm label is
-/// attached to the trace metadata.
-pub fn run_algorithm_traced(
+/// Run `kind` on `provider` with the given initial token `assignment` —
+/// the single algorithm entry point, mirroring [`Engine::run`].
+///
+/// Everything rides on `cfg`: attach a tracer with [`RunConfig::tracer`]
+/// (for phased algorithms the tracer's phase length is set from the plan,
+/// so the trace carries `PhaseAdvance` markers and the algorithm label in
+/// its metadata), a fault plan with [`RunConfig::faults`] (crashed nodes
+/// restart through [`hinet_sim::protocol::Protocol::on_restart`]), and
+/// [`RunConfig::retransmit`] to build the HiNet algorithms in their
+/// retransmission-recovery mode. A default config runs the plain path.
+pub fn run_algorithm(
     kind: &AlgorithmKind,
     provider: &mut dyn HierarchyProvider,
     assignment: &[Vec<TokenId>],
-    cfg: RunConfig,
-    tracer: &mut Tracer,
+    mut cfg: RunConfig<'_>,
 ) -> RunReport {
-    run_algorithm_faulted(
-        kind,
-        provider,
-        assignment,
-        cfg,
-        &FaultPlan::none(),
-        false,
-        tracer,
-    )
-}
-
-/// Like [`run_algorithm_traced`], but executes under the fault plan via
-/// [`Engine::run_faulted`]: crashed nodes are restarted from
-/// [`AlgorithmKind::build_node`] and, with `retransmit` set, the HiNet
-/// algorithms run in their retransmission-recovery mode. A trivial plan
-/// with `retransmit = false` is byte-identical to [`run_algorithm_traced`].
-pub fn run_algorithm_faulted(
-    kind: &AlgorithmKind,
-    provider: &mut dyn HierarchyProvider,
-    assignment: &[Vec<TokenId>],
-    cfg: RunConfig,
-    faults: &FaultPlan,
-    retransmit: bool,
-    tracer: &mut Tracer,
-) -> RunReport {
-    if tracer.enabled() {
-        tracer.meta("algorithm", kind.label());
-        if let Some(t) = kind.phase_len() {
-            tracer.set_phase_len(t as u64);
-            tracer.meta("rounds_per_phase", t.to_string());
+    if let Some(tracer) = cfg.tracer.as_deref_mut() {
+        if tracer.enabled() {
+            tracer.meta("algorithm", kind.label());
+            if let Some(t) = kind.phase_len() {
+                tracer.set_phase_len(t as u64);
+                tracer.meta("rounds_per_phase", t.to_string());
+            }
         }
     }
-    let mut protocols: Vec<Box<dyn Protocol>> = (0..provider.n())
-        .map(|_| kind.build_node(retransmit))
+    let mut protocols: Vec<Box<dyn Protocol + Send>> = (0..provider.n())
+        .map(|_| kind.build_node(cfg.retransmit))
         .collect();
-    Engine::new(cfg).run_faulted(
-        provider,
-        &mut protocols,
-        assignment,
-        faults,
-        &mut |_| kind.build_node(retransmit),
-        tracer,
-    )
+    Engine::new(cfg).run(provider, &mut protocols, assignment)
 }
 
 #[cfg(test)]
@@ -349,14 +311,11 @@ mod tests {
         let faults = hinet_sim::fault::FaultPlan::new(11).with_loss_ppm(100_000);
 
         let mut provider = small_hinet(plan.rounds_per_phase, true);
-        let report = run_algorithm_faulted(
+        let report = run_algorithm(
             &AlgorithmKind::HiNetPhased(plan),
             &mut provider,
             &assignment,
-            RunConfig::default(),
-            &faults,
-            true,
-            &mut Tracer::disabled(),
+            RunConfig::new().faults(faults.clone()).retransmit(true),
         );
         assert!(
             report.completed(),
@@ -367,14 +326,11 @@ mod tests {
         assert!(report.metrics.retransmits > 0);
 
         let mut provider = small_hinet(1, true);
-        let report = run_algorithm_faulted(
+        let report = run_algorithm(
             &AlgorithmKind::HiNetFullExchange { rounds: 69 },
             &mut provider,
             &assignment,
-            RunConfig::default(),
-            &faults,
-            true,
-            &mut Tracer::disabled(),
+            RunConfig::new().faults(faults).retransmit(true),
         );
         assert!(
             report.completed(),
@@ -385,7 +341,7 @@ mod tests {
 
     #[test]
     fn faulted_run_with_trivial_plan_matches_traced_run() {
-        use hinet_rt::obs::ObsConfig;
+        use hinet_rt::obs::{ObsConfig, Tracer};
 
         let k = 4;
         let plan = alg1_plan(k, 2, 2, 8);
@@ -393,24 +349,22 @@ mod tests {
 
         let mut provider = small_hinet(plan.rounds_per_phase, true);
         let mut plain = Tracer::new(ObsConfig::full());
-        run_algorithm_traced(
+        run_algorithm(
             &AlgorithmKind::HiNetPhased(plan),
             &mut provider,
             &assignment,
-            RunConfig::default(),
-            &mut plain,
+            RunConfig::new().tracer(&mut plain),
         );
 
         let mut provider = small_hinet(plan.rounds_per_phase, true);
         let mut faulted = Tracer::new(ObsConfig::full());
-        run_algorithm_faulted(
+        run_algorithm(
             &AlgorithmKind::HiNetPhased(plan),
             &mut provider,
             &assignment,
-            RunConfig::default(),
-            &hinet_sim::fault::FaultPlan::none(),
-            false,
-            &mut faulted,
+            RunConfig::new()
+                .faults(hinet_sim::fault::FaultPlan::none())
+                .tracer(&mut faulted),
         );
         assert_eq!(plain.to_jsonl(), faulted.to_jsonl());
     }

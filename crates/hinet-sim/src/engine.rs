@@ -1,19 +1,48 @@
 //! The synchronous round engine: message delivery, cost accounting, and the
 //! completion oracle.
+//!
+//! There is exactly **one** way to run the engine: build a [`RunConfig`]
+//! (which carries every knob — round budget, fault plan, optional tracer,
+//! thread count) and call [`Engine::run`]. A default config reproduces the
+//! plain path byte-for-byte; attaching a tracer streams
+//! [`hinet_rt::obs`] events; a non-trivial [`FaultPlan`] injects
+//! deterministic faults. The former `run`/`run_traced`/`run_faulted`
+//! matrix collapsed into this single entry point.
+//!
+//! # Scale
+//!
+//! Per-node engine state lives in flat arenas indexed by node id (the
+//! private `NodeArenas`), neighborhoods are iterated through a cached
+//! [`CsrGraph`] view, and the send/receive phases fan out over
+//! [`hinet_rt::pool::map_mut`] when the network is large. Event emission
+//! and fault accounting stay on a single sequential pass in node-id order,
+//! so traced and faulted runs are **byte-identical regardless of thread
+//! count**.
 
 use crate::fault::FaultPlan;
 use crate::protocol::{Destination, Incoming, LocalView, Outgoing, Protocol};
 use crate::token::{TokenId, TokenSet};
 use hinet_cluster::clustering::{re_elect, GatewayPolicy};
 use hinet_cluster::ctvg::HierarchyProvider;
-use hinet_cluster::hierarchy::Role;
+use hinet_cluster::hierarchy::{Hierarchy, Role};
+use hinet_graph::csr::CsrGraph;
 use hinet_graph::graph::NodeId;
+use hinet_graph::Graph;
 use hinet_rt::obs::{self, FaultKind, Tracer};
+use hinet_rt::pool;
 use std::fmt;
 use std::sync::Arc;
 
+/// Node count from which the auto thread policy (`threads = 0`) fans the
+/// round phases out over the pool; below it, thread spawn overhead beats
+/// the parallel win on every workload we measure.
+const PARALLEL_NODE_THRESHOLD: usize = 4096;
+
 /// Engine configuration — every per-run knob in one place, built with
-/// chained constructors:
+/// chained constructors. The config *is* the run request: it carries the
+/// round budget, the cost weights, the [`FaultPlan`] and (optionally) a
+/// mutably borrowed [`Tracer`], so one [`Engine::run`] call covers plain,
+/// traced and faulted execution:
 ///
 /// ```
 /// use hinet_sim::engine::{CostWeights, RunConfig};
@@ -23,9 +52,9 @@ use std::sync::Arc;
 ///     .record_rounds(true)
 ///     .cost_weights(CostWeights::default());
 /// assert_eq!(cfg.max_rounds, 500);
+/// assert!(cfg.faults.is_trivial());
 /// ```
-#[derive(Clone, Copy, Debug)]
-pub struct RunConfig {
+pub struct RunConfig<'t> {
     /// Hard cap on simulated rounds (a safety net; completion normally
     /// stops the run earlier).
     pub max_rounds: usize,
@@ -40,14 +69,37 @@ pub struct RunConfig {
     pub validate_hierarchy: bool,
     /// Record every transmission into [`Metrics::log`] (sender, receiver
     /// set, payload) — costs memory proportional to traffic; used by the
-    /// walkthrough example and message-level debugging.
+    /// walkthrough example and message-level debugging. Recording stops
+    /// with a loud warning once [`RunConfig::message_log_cap`] records
+    /// accumulate (see [`Metrics::log_truncated`]).
     pub record_messages: bool,
+    /// Upper bound on [`Metrics::log`] length. Without a cap a large-n
+    /// run with `record_messages` silently exhausts memory; at the cap the
+    /// engine warns once on stderr and drops further records.
+    pub message_log_cap: usize,
     /// Byte-level cost weights carried into the [`RunReport`] so byte
     /// metrics always use the weights the run was configured with.
     pub cost_weights: CostWeights,
+    /// Deterministic fault plan. The default ([`FaultPlan::none`]) is
+    /// [trivial](FaultPlan::is_trivial): every fault branch is skipped and
+    /// the run is bit-identical to one with no plan at all.
+    pub faults: FaultPlan,
+    /// Build protocols in retransmission-recovery mode. The engine itself
+    /// ignores this — it is read by protocol factories
+    /// (`hinet_core::runner`) so the whole run request still travels as
+    /// one config value.
+    pub retransmit: bool,
+    /// Worker threads for the per-node round phases. `0` (default) picks
+    /// automatically: sequential below a fixed node-count threshold,
+    /// all available cores above. Any value yields identical results and
+    /// identical trace bytes — parallelism never touches observable order.
+    pub threads: usize,
+    /// Observability sink. `None` (default) disables tracing at zero cost;
+    /// `Some` streams one structured event per round/message/fault.
+    pub tracer: Option<&'t mut Tracer>,
 }
 
-impl Default for RunConfig {
+impl Default for RunConfig<'_> {
     fn default() -> Self {
         RunConfig {
             max_rounds: 100_000,
@@ -55,14 +107,37 @@ impl Default for RunConfig {
             record_rounds: false,
             validate_hierarchy: false,
             record_messages: false,
+            message_log_cap: 100_000,
             cost_weights: CostWeights::default(),
+            faults: FaultPlan::none(),
+            retransmit: false,
+            threads: 0,
+            tracer: None,
         }
     }
 }
 
-impl RunConfig {
+impl fmt::Debug for RunConfig<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("max_rounds", &self.max_rounds)
+            .field("stop_on_completion", &self.stop_on_completion)
+            .field("record_rounds", &self.record_rounds)
+            .field("validate_hierarchy", &self.validate_hierarchy)
+            .field("record_messages", &self.record_messages)
+            .field("message_log_cap", &self.message_log_cap)
+            .field("cost_weights", &self.cost_weights)
+            .field("faults", &self.faults)
+            .field("retransmit", &self.retransmit)
+            .field("threads", &self.threads)
+            .field("tracer", &self.tracer.as_ref().map(|t| t.enabled()))
+            .finish()
+    }
+}
+
+impl<'t> RunConfig<'t> {
     /// Alias for [`RunConfig::default`], the builder entry point.
-    pub fn new() -> Self {
+    pub fn new() -> RunConfig<'static> {
         RunConfig::default()
     }
 
@@ -90,9 +165,16 @@ impl RunConfig {
         self
     }
 
-    /// Enable/disable the full message log.
+    /// Enable/disable the full message log (capped at
+    /// [`RunConfig::message_log_cap`]).
     pub fn record_messages(mut self, record: bool) -> Self {
         self.record_messages = record;
+        self
+    }
+
+    /// Set the message-log record cap.
+    pub fn message_log_cap(mut self, cap: usize) -> Self {
+        self.message_log_cap = cap;
         self
     }
 
@@ -100,6 +182,45 @@ impl RunConfig {
     pub fn cost_weights(mut self, weights: CostWeights) -> Self {
         self.cost_weights = weights;
         self
+    }
+
+    /// Set the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Request retransmission-recovery protocol variants (read by protocol
+    /// factories, not by the engine itself).
+    pub fn retransmit(mut self, retransmit: bool) -> Self {
+        self.retransmit = retransmit;
+        self
+    }
+
+    /// Set the worker thread count (`0` = automatic).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attach an observability sink for the run.
+    pub fn tracer<'u>(self, tracer: &'u mut Tracer) -> RunConfig<'u>
+    where
+        't: 'u,
+    {
+        RunConfig {
+            max_rounds: self.max_rounds,
+            stop_on_completion: self.stop_on_completion,
+            record_rounds: self.record_rounds,
+            validate_hierarchy: self.validate_hierarchy,
+            record_messages: self.record_messages,
+            message_log_cap: self.message_log_cap,
+            cost_weights: self.cost_weights,
+            faults: self.faults,
+            retransmit: self.retransmit,
+            threads: self.threads,
+            tracer: Some(tracer),
+        }
     }
 }
 
@@ -183,6 +304,9 @@ pub struct Metrics {
     pub rounds: Vec<RoundMetrics>,
     /// Optional full message log (see [`RunConfig::record_messages`]).
     pub log: Vec<MessageRecord>,
+    /// Whether [`Metrics::log`] hit [`RunConfig::message_log_cap`] and
+    /// later records were dropped.
+    pub log_truncated: bool,
 }
 
 impl Metrics {
@@ -300,6 +424,40 @@ impl RunReport {
     }
 }
 
+/// Flat per-node engine state, one arena column per field (SoA layout):
+/// everything the round loop touches per node sits in contiguous memory
+/// indexed by node id, so the hot phases stream instead of chasing
+/// pointers. Protocol-internal state (`TA`/`TS`/`TR`, phase counters) lives
+/// in the caller's equally flat `Vec<P>`.
+struct NodeArenas {
+    /// Node `i` is down (crashed, silent) while `round < down_until[i]`.
+    down_until: Vec<usize>,
+    /// Whether node `i` is inside a crash window (for recovery events).
+    was_down: Vec<bool>,
+    /// Whether node `i` currently knows the whole universe — the
+    /// incremental completion oracle. Maintained at receive/restart time so
+    /// the engine never rescans all n nodes per round.
+    informed: Vec<bool>,
+    /// Previous round's head per node, for re-affiliation events.
+    prev_heads: Vec<Option<NodeId>>,
+}
+
+impl NodeArenas {
+    fn new(n: usize) -> Self {
+        NodeArenas {
+            down_until: vec![0; n],
+            was_down: vec![false; n],
+            informed: vec![false; n],
+            prev_heads: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn is_down(&self, round: usize, i: usize) -> bool {
+        round < self.down_until[i]
+    }
+}
+
 /// The synchronous round engine.
 ///
 /// Drives one [`Protocol`] instance per node over the `(graph, hierarchy)`
@@ -311,19 +469,22 @@ impl RunReport {
 /// 3. every node's `receive` runs;
 /// 4. the oracle checks global completion.
 ///
-/// Nodes are processed in id order throughout, so runs are deterministic.
-pub struct Engine {
-    cfg: RunConfig,
+/// Observable behaviour (metrics, trace bytes, protocol evolution) is
+/// deterministic and independent of [`RunConfig::threads`]: the parallel
+/// phases only touch per-node state, and all accounting happens on a
+/// sequential pass in node-id order.
+pub struct Engine<'t> {
+    cfg: RunConfig<'t>,
 }
 
-impl Engine {
+impl<'t> Engine<'t> {
     /// Engine with the given config.
-    pub fn new(cfg: RunConfig) -> Self {
+    pub fn new(cfg: RunConfig<'t>) -> Self {
         Engine { cfg }
     }
 
     /// Engine with [`RunConfig::default`].
-    pub fn with_defaults() -> Self {
+    pub fn with_defaults() -> Engine<'static> {
         Engine::new(RunConfig::default())
     }
 
@@ -331,51 +492,15 @@ impl Engine {
     /// the given initial token assignment. The token universe is the union
     /// of all initial tokens.
     ///
-    /// # Panics
-    /// Panics if `protocols`/`assignment` lengths disagree with the node
-    /// count, or (with `validate_hierarchy`) on an invalid hierarchy.
-    pub fn run<P: Protocol>(
-        &self,
-        provider: &mut dyn HierarchyProvider,
-        protocols: &mut [P],
-        assignment: &[Vec<TokenId>],
-    ) -> RunReport {
-        self.run_traced(provider, protocols, assignment, &mut Tracer::disabled())
-    }
-
-    /// Like [`Engine::run`], but emits structured [`hinet_rt::obs`] events
-    /// into `tracer` as the run executes: a [`obs::Event::RoundStart`] per
-    /// round, an [`obs::Event::TokenPush`] per unicast and an
-    /// [`obs::Event::HeadBroadcast`] per broadcast (with byte costs from the
-    /// configured [`CostWeights`]), an [`obs::Event::Reaffiliation`]
-    /// whenever a node's head changes between rounds, and a final
-    /// [`obs::Event::RunEnd`]. With a disabled tracer every emission site
-    /// reduces to one branch, so `run` pays no measurable overhead.
-    pub fn run_traced<P: Protocol>(
-        &self,
-        provider: &mut dyn HierarchyProvider,
-        protocols: &mut [P],
-        assignment: &[Vec<TokenId>],
-        tracer: &mut Tracer,
-    ) -> RunReport {
-        self.run_faulted(
-            provider,
-            protocols,
-            assignment,
-            &FaultPlan::none(),
-            &mut |_| unreachable!("a trivial fault plan never restarts a node"),
-            tracer,
-        )
-    }
-
-    /// Like [`Engine::run_traced`], but with a [`FaultPlan`] injected into
-    /// the round loop:
+    /// This is the engine's **only** entry point; the config decides
+    /// whether the run is plain, traced ([`RunConfig::tracer`]) and/or
+    /// faulted ([`RunConfig::faults`]):
     ///
     /// * **crashes** — at the start of a round, each scheduled or
-    ///   hazard-selected node is replaced with a fresh protocol instance
-    ///   from `restart` (its volatile state is lost; it keeps its learned
-    ///   tokens only under [`FaultPlan::durable_tokens`], its initial
-    ///   tokens otherwise) and stays silent — no send, no receive — for
+    ///   hazard-selected node is reset through [`Protocol::on_restart`]
+    ///   (its volatile state is lost; it keeps its learned tokens only
+    ///   under [`FaultPlan::durable_tokens`], its initial tokens
+    ///   otherwise) and stays silent — no send, no receive — for
     ///   [`FaultPlan::down_rounds`] rounds;
     /// * **re-election** — while a crashed node heads a cluster, the
     ///   round's hierarchy is repaired with
@@ -384,29 +509,38 @@ impl Engine {
     /// * **losses/partitions** — each delivery (per receiver for
     ///   broadcasts) is dropped per [`FaultPlan::drops_message`]; the
     ///   sender still pays the send cost;
-    /// * **accounting** — every injected fault is counted in
-    ///   [`Metrics`]/[`hinet_rt::obs::Counters`] and traced as
-    ///   `fault_injected`/`crash`/`recover` events; protocol messages
-    ///   marked [`crate::protocol::Outgoing::retransmit`] are counted and
-    ///   traced as `retransmit`.
+    /// * **tracing** — one [`obs::Event::RoundStart`] per round, an
+    ///   [`obs::Event::TokenPush`] per unicast and an
+    ///   [`obs::Event::HeadBroadcast`] per broadcast (with byte costs from
+    ///   the configured [`CostWeights`]), an [`obs::Event::Reaffiliation`]
+    ///   whenever a node's head changes between rounds, fault/crash/recover
+    ///   events as they fire, and a final [`obs::Event::RunEnd`].
     ///
-    /// The report's [`RunReport::outcome`] distinguishes completion,
-    /// fault-free stalls and fault-attributed failures. With a
-    /// [trivial](FaultPlan::is_trivial) plan this is *bit-identical* to
-    /// [`Engine::run_traced`] — same protocol evolution, same trace bytes —
-    /// and `restart` is never called.
-    pub fn run_faulted<P: Protocol>(
-        &self,
+    /// A [trivial](FaultPlan::is_trivial) plan skips every fault branch and
+    /// never calls `on_restart`; together with `tracer: None` the run is
+    /// bit-identical to the historical plain path.
+    ///
+    /// # Panics
+    /// Panics if `protocols`/`assignment` lengths disagree with the node
+    /// count, or (with `validate_hierarchy`) on an invalid hierarchy.
+    pub fn run<P: Protocol + Send>(
+        self,
         provider: &mut dyn HierarchyProvider,
         protocols: &mut [P],
         assignment: &[Vec<TokenId>],
-        faults: &FaultPlan,
-        restart: &mut dyn FnMut(usize) -> P,
-        tracer: &mut Tracer,
     ) -> RunReport {
+        let mut cfg = self.cfg;
+        let mut disabled = Tracer::disabled();
+        let tracer: &mut Tracer = match cfg.tracer.take() {
+            Some(t) => t,
+            None => &mut disabled,
+        };
+        let faults = cfg.faults.clone();
+
         let n = provider.n();
         assert_eq!(protocols.len(), n, "one protocol per node");
         assert_eq!(assignment.len(), n, "one initial token list per node");
+        let threads = resolve_threads(cfg.threads, n);
 
         let universe: TokenSet = assignment.iter().flatten().copied().collect();
         let k = universe.len();
@@ -414,7 +548,7 @@ impl Engine {
             // Stable stamps so two traces can be aligned (or refused) by the
             // diff engine: byte counters are only comparable under the same
             // cost weights.
-            let w = self.cfg.cost_weights;
+            let w = cfg.cost_weights;
             tracer.meta("token_bytes", w.token_bytes.to_string());
             tracer.meta("packet_header_bytes", w.packet_header_bytes.to_string());
         }
@@ -427,15 +561,17 @@ impl Engine {
         let mut rounds_executed = 0;
         let mut inboxes: Vec<Vec<Incoming>> = vec![Vec::new(); n];
 
-        // Previous round's head per node, for re-affiliation events.
-        let mut prev_heads: Vec<Option<NodeId>> = Vec::new();
+        let mut arenas = NodeArenas::new(n);
+        let mut informed_count = 0usize;
+        for (i, p) in protocols.iter().enumerate() {
+            let inf = universe.is_subset(p.known());
+            arenas.informed[i] = inf;
+            informed_count += usize::from(inf);
+        }
 
         // Fault-plane state. A trivial plan skips every fault branch, so
         // the clean path stays bit-identical to the pre-fault engine.
         let trivial = faults.is_trivial();
-        // Node `i` is down (crashed, silent) while `round < down_until[i]`.
-        let mut down_until = vec![0usize; n];
-        let mut was_down = vec![false; n];
         // `(first, last)` round in which any fault fired.
         let mut fault_window: Option<(u64, u64)> = None;
         // Whether a backbone-level fault (crash or partition) fired, vs
@@ -443,27 +579,40 @@ impl Engine {
         let mut backbone_fault = false;
         let mut budget_exhausted = true;
 
+        // Cached CSR view of the round topology, rebuilt only when the
+        // provider hands out a different graph (static providers share one
+        // `Arc` across rounds, so the flat view is built once).
+        let mut csr_cache: Option<(Arc<Graph>, CsrGraph)> = None;
+
         // Degenerate case: everyone informed before any round.
-        if Self::all_informed(protocols, &universe) {
+        if informed_count == n {
             tracer.run_end(0, true);
             return RunReport {
                 rounds_executed: 0,
                 completion_round: Some(0),
                 metrics,
                 k,
-                cost_weights: self.cfg.cost_weights,
+                cost_weights: cfg.cost_weights,
                 outcome: Outcome::Completed { round: 0 },
             };
         }
 
-        for round in 0..self.cfg.max_rounds {
+        let mut warned_log_cap = false;
+        for round in 0..cfg.max_rounds {
             let graph = provider.graph_at(round);
             let mut hierarchy = provider.hierarchy_at(round);
-            if self.cfg.validate_hierarchy {
+            if cfg.validate_hierarchy {
                 hierarchy
                     .validate(&graph)
                     .unwrap_or_else(|e| panic!("round {round}: invalid hierarchy: {e}"));
             }
+            let rebuild = csr_cache
+                .as_ref()
+                .is_none_or(|(src, _)| !Arc::ptr_eq(src, &graph));
+            if rebuild {
+                csr_cache = Some((Arc::clone(&graph), CsrGraph::from(&*graph)));
+            }
+            let csr = &csr_cache.as_ref().expect("csr cache primed").1;
 
             tracer.round_start(round as u64);
 
@@ -471,14 +620,14 @@ impl Engine {
                 // Recoveries first: a node whose down window just elapsed
                 // rejoins this round (and is immediately re-crashable).
                 for i in 0..n {
-                    if was_down[i] && round >= down_until[i] {
-                        was_down[i] = false;
+                    if arenas.was_down[i] && round >= arenas.down_until[i] {
+                        arenas.was_down[i] = false;
                         metrics.recoveries += 1;
                         tracer.recover(round as u64, i as u64);
                     }
                 }
                 for i in 0..n {
-                    if round < down_until[i] {
+                    if arenas.is_down(round, i) {
                         continue; // still down; cannot crash again yet
                     }
                     let me = NodeId::from_index(i);
@@ -490,19 +639,29 @@ impl Engine {
                         // Volatile protocol state dies with the node; the
                         // tokens it carries survive per the durability flag.
                         let retained: Vec<TokenId> = if faults.durable_tokens {
-                            protocols[i].known().iter().copied().collect()
+                            protocols[i].known().iter().collect()
                         } else {
                             assignment[i].clone()
                         };
-                        protocols[i] = restart(i);
-                        protocols[i].on_start(me, &retained);
-                        down_until[i] = round + faults.down_rounds;
-                        was_down[i] = true;
+                        protocols[i].on_restart(me, &retained);
+                        arenas.down_until[i] = round + faults.down_rounds;
+                        arenas.was_down[i] = true;
+                        // A volatile restart can forget tokens: re-derive the
+                        // node's completion-oracle flag.
+                        let inf = universe.is_subset(protocols[i].known());
+                        if inf != arenas.informed[i] {
+                            arenas.informed[i] = inf;
+                            if inf {
+                                informed_count += 1;
+                            } else {
+                                informed_count -= 1;
+                            }
+                        }
                     }
                 }
                 // While a crashed node heads a cluster, repair the round's
                 // hierarchy so live members re-home to live heads.
-                let down: Vec<bool> = (0..n).map(|i| round < down_until[i]).collect();
+                let down: Vec<bool> = (0..n).map(|i| arenas.is_down(round, i)).collect();
                 if (0..n).any(|i| down[i] && hierarchy.is_head(NodeId::from_index(i))) {
                     hierarchy = Arc::new(re_elect(
                         &graph,
@@ -518,7 +677,7 @@ impl Engine {
                     .map(|i| hierarchy.head_of(NodeId::from_index(i)))
                     .collect();
                 if round > 0 {
-                    for (i, (old, new)) in prev_heads.iter().zip(&heads).enumerate() {
+                    for (i, (old, new)) in arenas.prev_heads.iter().zip(&heads).enumerate() {
                         if old != new {
                             tracer.reaffiliation(
                                 round as u64,
@@ -529,13 +688,10 @@ impl Engine {
                         }
                     }
                 }
-                prev_heads = heads;
+                arenas.prev_heads = heads;
             }
 
-            let informed_at_start = protocols
-                .iter()
-                .filter(|p| universe.is_subset(p.known()))
-                .count();
+            let informed_at_start = informed_count;
 
             let mut round_tokens = 0u64;
             let mut round_packets = 0u64;
@@ -544,38 +700,47 @@ impl Engine {
                 inbox.clear();
             }
 
-            // Send phase.
-            for i in 0..n {
+            // Send phase: every live node computes its messages against its
+            // own view — node-independent, so it fans out over the pool.
+            let outs: Vec<Vec<Outgoing>> = {
+                let arenas = &arenas;
+                let hierarchy: &Hierarchy = &hierarchy;
+                pool::map_mut(protocols, threads, |i, p| {
+                    if (!trivial && arenas.is_down(round, i)) || p.finished() {
+                        return Vec::new();
+                    }
+                    let me = NodeId::from_index(i);
+                    let view = LocalView {
+                        me,
+                        round,
+                        role: hierarchy.role(me),
+                        cluster: hierarchy.cluster_of(me),
+                        head: hierarchy.head_of(me),
+                        parent: hierarchy.parent_of(me),
+                        neighbors: csr.neighbors(me),
+                    };
+                    p.send(&view)
+                })
+            };
+
+            // Accounting + delivery: one sequential pass in sender-id
+            // order, so metrics, trace events and inbox ordering are
+            // identical whatever the send phase's thread count was.
+            for (i, node_outs) in outs.into_iter().enumerate() {
                 let me = NodeId::from_index(i);
-                if !trivial && round < down_until[i] {
-                    continue; // crashed nodes are silent
-                }
-                if protocols[i].finished() {
-                    continue;
-                }
-                let view = LocalView {
-                    me,
-                    round,
-                    role: hierarchy.role(me),
-                    cluster: hierarchy.cluster_of(me),
-                    head: hierarchy.head_of(me),
-                    parent: hierarchy.parent_of(me),
-                    neighbors: graph.neighbors(me),
-                };
-                let outs: Vec<Outgoing> = protocols[i].send(&view);
-                for out in outs {
-                    if out.tokens.is_empty() {
+                for out in node_outs {
+                    if out.payload.is_empty() {
                         continue;
                     }
-                    let cost = out.tokens.len() as u64;
+                    let cost = out.payload.len() as u64;
                     round_tokens += cost;
                     round_packets += 1;
                     metrics.tokens_by_role[role_slot(hierarchy.role(me))] += cost;
                     if tracer.enabled() {
-                        let w = self.cfg.cost_weights;
+                        let w = cfg.cost_weights;
                         let bytes = cost * w.token_bytes + w.packet_header_bytes;
                         let role = obs_role(hierarchy.role(me));
-                        let first = out.tokens[0].0;
+                        let first = out.payload.first().expect("non-empty payload").0;
                         match out.dest {
                             Destination::Broadcast => tracer.head_broadcast(
                                 round as u64,
@@ -608,26 +773,31 @@ impl Engine {
                     }
                     match out.dest {
                         Destination::Broadcast => {
-                            if self.cfg.record_messages {
-                                metrics.log.push(MessageRecord {
-                                    round,
-                                    from: me,
-                                    to: None,
-                                    delivered: true,
-                                    tokens: out.tokens.clone(),
-                                });
+                            if cfg.record_messages {
+                                record_message(
+                                    &mut metrics,
+                                    &cfg,
+                                    &mut warned_log_cap,
+                                    MessageRecord {
+                                        round,
+                                        from: me,
+                                        to: None,
+                                        delivered: true,
+                                        tokens: out.payload.to_vec(),
+                                    },
+                                );
                             }
-                            for &v in graph.neighbors(me) {
+                            for &v in csr.neighbors(me) {
                                 if !trivial
-                                    && self.faulted_delivery(
-                                        faults,
+                                    && faulted_delivery(
+                                        &faults,
                                         round,
                                         me,
                                         v,
                                         &mut metrics,
                                         &mut fault_window,
                                         &mut backbone_fault,
-                                        &down_until,
+                                        &arenas.down_until,
                                         tracer,
                                     )
                                 {
@@ -636,32 +806,37 @@ impl Engine {
                                 inboxes[v.index()].push(Incoming {
                                     from: me,
                                     directed: false,
-                                    tokens: out.tokens.clone(),
+                                    payload: out.payload.clone(),
                                 });
                             }
                         }
                         Destination::Unicast(v) => {
-                            let delivered = graph.has_edge(me, v);
-                            if self.cfg.record_messages {
-                                metrics.log.push(MessageRecord {
-                                    round,
-                                    from: me,
-                                    to: Some(v),
-                                    delivered,
-                                    tokens: out.tokens.clone(),
-                                });
+                            let delivered = csr.has_edge(me, v);
+                            if cfg.record_messages {
+                                record_message(
+                                    &mut metrics,
+                                    &cfg,
+                                    &mut warned_log_cap,
+                                    MessageRecord {
+                                        round,
+                                        from: me,
+                                        to: Some(v),
+                                        delivered,
+                                        tokens: out.payload.to_vec(),
+                                    },
+                                );
                             }
                             if delivered {
                                 if !trivial
-                                    && self.faulted_delivery(
-                                        faults,
+                                    && faulted_delivery(
+                                        &faults,
                                         round,
                                         me,
                                         v,
                                         &mut metrics,
                                         &mut fault_window,
                                         &mut backbone_fault,
-                                        &down_until,
+                                        &arenas.down_until,
                                         tracer,
                                     )
                                 {
@@ -670,7 +845,7 @@ impl Engine {
                                 inboxes[v.index()].push(Incoming {
                                     from: me,
                                     directed: true,
-                                    tokens: out.tokens,
+                                    payload: out.payload,
                                 });
                             } else {
                                 metrics.dropped_unicasts += 1;
@@ -680,27 +855,41 @@ impl Engine {
                 }
             }
 
-            // Receive phase.
-            for i in 0..n {
-                if !trivial && round < down_until[i] {
-                    continue; // deliveries to crashed nodes are lost
+            // Receive phase: node-independent again — fan out, then fold
+            // the freshly-informed flags back into the oracle counter.
+            let newly_informed: Vec<bool> = {
+                let arenas = &arenas;
+                let inboxes = &inboxes;
+                let universe = &universe;
+                let hierarchy: &Hierarchy = &hierarchy;
+                pool::map_mut(protocols, threads, |i, p| {
+                    if !trivial && arenas.is_down(round, i) {
+                        return false; // deliveries to crashed nodes are lost
+                    }
+                    let me = NodeId::from_index(i);
+                    let view = LocalView {
+                        me,
+                        round,
+                        role: hierarchy.role(me),
+                        cluster: hierarchy.cluster_of(me),
+                        head: hierarchy.head_of(me),
+                        parent: hierarchy.parent_of(me),
+                        neighbors: csr.neighbors(me),
+                    };
+                    p.receive(&view, &inboxes[i]);
+                    !arenas.informed[i] && !inboxes[i].is_empty() && universe.is_subset(p.known())
+                })
+            };
+            for (i, fresh) in newly_informed.into_iter().enumerate() {
+                if fresh {
+                    arenas.informed[i] = true;
+                    informed_count += 1;
                 }
-                let me = NodeId::from_index(i);
-                let view = LocalView {
-                    me,
-                    round,
-                    role: hierarchy.role(me),
-                    cluster: hierarchy.cluster_of(me),
-                    head: hierarchy.head_of(me),
-                    parent: hierarchy.parent_of(me),
-                    neighbors: graph.neighbors(me),
-                };
-                protocols[i].receive(&view, &inboxes[i]);
             }
 
             metrics.tokens_sent += round_tokens;
             metrics.packets_sent += round_packets;
-            if self.cfg.record_rounds {
+            if cfg.record_rounds {
                 metrics.rounds.push(RoundMetrics {
                     tokens_sent: round_tokens,
                     packets_sent: round_packets,
@@ -709,9 +898,9 @@ impl Engine {
             }
             rounds_executed = round + 1;
 
-            if completion_round.is_none() && Self::all_informed(protocols, &universe) {
+            if completion_round.is_none() && informed_count == n {
                 completion_round = Some(rounds_executed);
-                if self.cfg.stop_on_completion {
+                if cfg.stop_on_completion {
                     budget_exhausted = false;
                     break;
                 }
@@ -726,10 +915,18 @@ impl Engine {
         let outcome = match completion_round {
             Some(round) => Outcome::Completed { round },
             None => {
-                let missing_tokens = universe
-                    .iter()
-                    .filter(|t| protocols.iter().any(|p| !p.known().contains(t)))
-                    .count();
+                // Tokens missing somewhere = universe minus the
+                // intersection of all nodes' known sets (word-parallel
+                // fold instead of a k × n membership scan).
+                let mut everywhere = universe.clone();
+                for p in protocols.iter() {
+                    if everywhere.is_empty() {
+                        break;
+                    }
+                    let known = p.known();
+                    everywhere = everywhere.iter().filter(|t| known.contains(t)).collect();
+                }
+                let missing_tokens = k - everywhere.len();
                 match fault_window {
                     Some(window) => Outcome::AssumptionViolated {
                         window,
@@ -748,50 +945,81 @@ impl Engine {
             completion_round,
             metrics,
             k,
-            cost_weights: self.cfg.cost_weights,
+            cost_weights: cfg.cost_weights,
             outcome,
         }
     }
+}
 
-    /// Fault-plane delivery gate: returns `true` when the `from → to`
-    /// delivery is lost this round, accounting and tracing the fault.
-    /// Deliveries to crashed receivers are lost silently — the crash event
-    /// already explains them.
-    #[allow(clippy::too_many_arguments)]
-    fn faulted_delivery(
-        &self,
-        faults: &FaultPlan,
-        round: usize,
-        from: NodeId,
-        to: NodeId,
-        metrics: &mut Metrics,
-        fault_window: &mut Option<(u64, u64)>,
-        backbone_fault: &mut bool,
-        down_until: &[usize],
-        tracer: &mut Tracer,
-    ) -> bool {
-        if round < down_until[to.index()] {
-            return true;
-        }
-        let kind = if faults.partitioned(round, from.index(), to.index()) {
-            FaultKind::Partition
-        } else if faults.drops_message(round, from.index(), to.index()) {
-            FaultKind::Loss
-        } else {
-            return false;
-        };
-        if kind == FaultKind::Partition {
-            *backbone_fault = true;
-        }
-        metrics.faults_injected += 1;
-        note_fault(fault_window, round as u64);
-        tracer.fault_injected(round as u64, from.0 as u64, Some(to.0 as u64), kind);
-        true
+/// Resolve the configured thread count: explicit values win; `0` goes
+/// parallel only past the node-count threshold.
+fn resolve_threads(threads: usize, n: usize) -> usize {
+    if threads != 0 {
+        return threads;
     }
+    if n >= PARALLEL_NODE_THRESHOLD {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        1
+    }
+}
 
-    fn all_informed<P: Protocol>(protocols: &[P], universe: &TokenSet) -> bool {
-        protocols.iter().all(|p| universe.is_subset(p.known()))
+/// Append to the message log, stopping with a loud warning at the cap.
+fn record_message(
+    metrics: &mut Metrics,
+    cfg: &RunConfig<'_>,
+    warned: &mut bool,
+    record: MessageRecord,
+) {
+    if metrics.log.len() >= cfg.message_log_cap {
+        metrics.log_truncated = true;
+        if !*warned {
+            *warned = true;
+            eprintln!(
+                "hinet-sim: message log reached RunConfig::message_log_cap ({}); \
+                 further MessageRecords are dropped — raise the cap or disable \
+                 record_messages for large runs",
+                cfg.message_log_cap
+            );
+        }
+        return;
     }
+    metrics.log.push(record);
+}
+
+/// Fault-plane delivery gate: returns `true` when the `from → to`
+/// delivery is lost this round, accounting and tracing the fault.
+/// Deliveries to crashed receivers are lost silently — the crash event
+/// already explains them.
+#[allow(clippy::too_many_arguments)]
+fn faulted_delivery(
+    faults: &FaultPlan,
+    round: usize,
+    from: NodeId,
+    to: NodeId,
+    metrics: &mut Metrics,
+    fault_window: &mut Option<(u64, u64)>,
+    backbone_fault: &mut bool,
+    down_until: &[usize],
+    tracer: &mut Tracer,
+) -> bool {
+    if round < down_until[to.index()] {
+        return true;
+    }
+    let kind = if faults.partitioned(round, from.index(), to.index()) {
+        FaultKind::Partition
+    } else if faults.drops_message(round, from.index(), to.index()) {
+        FaultKind::Loss
+    } else {
+        return false;
+    };
+    if kind == FaultKind::Partition {
+        *backbone_fault = true;
+    }
+    metrics.faults_injected += 1;
+    note_fault(fault_window, round as u64);
+    tracer.fault_injected(round as u64, from.0 as u64, Some(to.0 as u64), kind);
+    true
 }
 
 /// Widen the `(first, last)` fault window to include `round`.
@@ -838,11 +1066,15 @@ mod tests {
         }
         fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
             for m in inbox {
-                self.ta.extend(m.tokens.iter().copied());
+                m.payload.union_into(&mut self.ta);
             }
         }
         fn known(&self) -> &TokenSet {
             &self.ta
+        }
+        fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+            self.ta.clear();
+            self.on_start(me, retained);
         }
     }
 
@@ -929,12 +1161,26 @@ mod tests {
             report.metrics.packets_sent,
             "one record per packet"
         );
+        assert!(!report.metrics.log_truncated);
         let first = &report.metrics.log[0];
         assert_eq!(first.round, 0);
         assert!(first.delivered);
         assert_eq!(first.to, None, "flooding broadcasts");
         let total: usize = report.metrics.log.iter().map(|m| m.tokens.len()).sum();
         assert_eq!(total as u64, report.metrics.tokens_sent);
+    }
+
+    #[test]
+    fn message_log_cap_truncates_loudly() {
+        let mut provider = star_provider(4, 10);
+        let mut protocols: Vec<Flood> = (0..4).map(|_| Flood::new()).collect();
+        let assignment = round_robin_assignment(4, 4);
+        let cfg = RunConfig::new().record_messages(true).message_log_cap(2);
+        let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
+        assert!(report.completed(), "the cap must not perturb the run");
+        assert_eq!(report.metrics.log.len(), 2, "log stops at the cap");
+        assert!(report.metrics.log_truncated, "truncation is flagged");
+        assert!(report.metrics.packets_sent > 2);
     }
 
     #[test]
@@ -981,7 +1227,7 @@ mod tests {
             }
             fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
                 for m in inbox {
-                    self.ta.extend(m.tokens.iter().copied());
+                    m.payload.union_into(&mut self.ta);
                 }
             }
             fn known(&self) -> &TokenSet {
@@ -1018,11 +1264,10 @@ mod tests {
         let mut provider = star_provider(5, 10);
         let mut protocols: Vec<Flood> = (0..5).map(|_| Flood::new()).collect();
         let mut tracer = Tracer::new(ObsConfig::full());
-        let report = Engine::with_defaults().run_traced(
+        let report = Engine::new(RunConfig::new().tracer(&mut tracer)).run(
             &mut provider,
             &mut protocols,
             &assignment,
-            &mut tracer,
         );
 
         // Tracing must not perturb the run.
@@ -1044,6 +1289,27 @@ mod tests {
             .filter(|e| e.event == Event::RoundStart)
             .count();
         assert_eq!(starts, report.rounds_executed);
+    }
+
+    #[test]
+    fn parallel_round_loop_produces_identical_trace_bytes() {
+        use hinet_rt::obs::{ObsConfig, Tracer};
+
+        let assignment = round_robin_assignment(9, 7);
+        let jsonl = |threads: usize| {
+            let mut provider = star_provider(9, 10);
+            let mut protocols: Vec<Flood> = (0..9).map(|_| Flood::new()).collect();
+            let mut tracer = Tracer::new(ObsConfig::full());
+            Engine::new(RunConfig::new().threads(threads).tracer(&mut tracer)).run(
+                &mut provider,
+                &mut protocols,
+                &assignment,
+            );
+            tracer.to_jsonl()
+        };
+        let single = jsonl(1);
+        assert_eq!(single, jsonl(4), "4 threads must not perturb the trace");
+        assert_eq!(single, jsonl(3), "odd splits must not perturb the trace");
     }
 
     #[test]
@@ -1121,16 +1387,9 @@ mod tests {
         let mut provider = star_provider(3, 4);
         let mut protocols: Vec<Flood> = (0..3).map(|_| Flood::new()).collect();
         let assignment = vec![vec![TokenId(0)], vec![], vec![]];
-        let cfg = RunConfig::new().max_rounds(4);
         let faults = FaultPlan::new(9).with_loss_ppm(1_000_000);
-        let report = Engine::new(cfg).run_faulted(
-            &mut provider,
-            &mut protocols,
-            &assignment,
-            &faults,
-            &mut |_| Flood::new(),
-            &mut Tracer::disabled(),
-        );
+        let cfg = RunConfig::new().max_rounds(4).faults(faults);
+        let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
         assert!(!report.completed());
         assert!(report.metrics.faults_injected > 0);
         assert_eq!(
@@ -1152,13 +1411,10 @@ mod tests {
         let assignment = vec![vec![], vec![TokenId(0)], vec![]];
         // Crash the hub (the head) in round 1 for one round.
         let faults = FaultPlan::new(0).with_crash_at(1, 0).with_down_rounds(1);
-        let report = Engine::with_defaults().run_faulted(
+        let report = Engine::new(RunConfig::new().faults(faults)).run(
             &mut provider,
             &mut protocols,
             &assignment,
-            &faults,
-            &mut |_| Flood::new(),
-            &mut Tracer::disabled(),
         );
         assert_eq!(report.metrics.crashes, 1);
         assert_eq!(report.metrics.recoveries, 1);
@@ -1178,15 +1434,8 @@ mod tests {
             if durable {
                 faults = faults.with_durable_tokens(true);
             }
-            Engine::with_defaults()
-                .run_faulted(
-                    &mut provider,
-                    &mut protocols,
-                    &assignment,
-                    &faults,
-                    &mut |_| Flood::new(),
-                    &mut Tracer::disabled(),
-                )
+            Engine::new(RunConfig::new().faults(faults))
+                .run(&mut provider, &mut protocols, &assignment)
                 .completion_round
                 .unwrap()
         };
@@ -1205,13 +1454,10 @@ mod tests {
             let mut protocols: Vec<Flood> = (0..4).map(|_| Flood::new()).collect();
             let assignment = round_robin_assignment(4, 4);
             let faults = FaultPlan::new(42).with_loss_ppm(300_000);
-            Engine::with_defaults().run_faulted(
+            Engine::new(RunConfig::new().faults(faults)).run(
                 &mut provider,
                 &mut protocols,
                 &assignment,
-                &faults,
-                &mut |_| Flood::new(),
-                &mut Tracer::disabled(),
             )
         };
         let (a, b) = (run(), run());
@@ -1230,19 +1476,21 @@ mod tests {
         let mut provider = star_provider(5, 10);
         let mut protocols: Vec<Flood> = (0..5).map(|_| Flood::new()).collect();
         let mut plain = Tracer::new(ObsConfig::full());
-        Engine::with_defaults().run_traced(&mut provider, &mut protocols, &assignment, &mut plain);
+        Engine::new(RunConfig::new().tracer(&mut plain)).run(
+            &mut provider,
+            &mut protocols,
+            &assignment,
+        );
 
         let mut provider = star_provider(5, 10);
         let mut protocols: Vec<Flood> = (0..5).map(|_| Flood::new()).collect();
         let mut faulted = Tracer::new(ObsConfig::full());
-        Engine::with_defaults().run_faulted(
-            &mut provider,
-            &mut protocols,
-            &assignment,
-            &FaultPlan::none(),
-            &mut |_| Flood::new(),
-            &mut faulted,
-        );
+        Engine::new(
+            RunConfig::new()
+                .faults(FaultPlan::none())
+                .tracer(&mut faulted),
+        )
+        .run(&mut provider, &mut protocols, &assignment);
         assert_eq!(plain.to_jsonl(), faulted.to_jsonl());
     }
 
@@ -1253,7 +1501,6 @@ mod tests {
         let mut provider = star_provider(4, 6);
         let mut protocols: Vec<Flood> = (0..4).map(|_| Flood::new()).collect();
         let assignment = round_robin_assignment(4, 4);
-        let cfg = RunConfig::new().max_rounds(6);
         // Cut {0,1} from {2,3} for the whole run: leaves 2,3 can never learn
         // token 0 or 1 (and vice versa) because every path crosses the hub cut.
         let faults = FaultPlan::new(1).with_partition(Partition {
@@ -1261,14 +1508,8 @@ mod tests {
             end: 6,
             cut: 2,
         });
-        let report = Engine::new(cfg).run_faulted(
-            &mut provider,
-            &mut protocols,
-            &assignment,
-            &faults,
-            &mut |_| Flood::new(),
-            &mut Tracer::disabled(),
-        );
+        let cfg = RunConfig::new().max_rounds(6).faults(faults);
+        let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
         assert!(!report.completed());
         assert!(report.metrics.faults_injected > 0);
         assert!(

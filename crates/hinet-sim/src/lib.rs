@@ -8,28 +8,30 @@
 //! whom, and every node receives before round `r+1`. This crate implements
 //! exactly that model:
 //!
-//! * [`token::TokenId`] / [`token::TokenSet`] — the opaque, totally ordered
-//!   tokens of the k-token dissemination problem.
+//! * [`token::TokenId`] / [`token::TokenSet`] — the tokens of the k-token
+//!   dissemination problem; `TokenSet` is a word-packed bitset over the
+//!   dense id universe, sized for the n = 10^6, k = 10^4 scale target.
 //! * [`protocol::Protocol`] — the per-node state machine interface
 //!   (send/receive per round with a [`protocol::LocalView`] of the node's
-//!   role, cluster and neighborhood).
+//!   role, cluster and neighborhood), exchanging [`protocol::Payload`]
+//!   messages (`One` token or an `Arc`-shared packed `Set`).
 //! * [`engine`] — the round loop, message delivery (broadcast and
-//!   head-unicast), the completion oracle, and cost accounting. The
-//!   communication metric matches the paper's: **total number of tokens
-//!   sent** (a broadcast of one token counts once, not once per receiver),
-//!   with packets and per-role breakdowns recorded alongside.
+//!   head-unicast), the completion oracle, and cost accounting, behind the
+//!   single entry point [`engine::Engine::run`]. The communication metric
+//!   matches the paper's: **total number of tokens sent** (a broadcast of
+//!   one token counts once, not once per receiver), with packets and
+//!   per-role breakdowns recorded alongside.
 //!
-//! The [`fault`] module adds a deterministic, seeded fault-injection plane
-//! ([`fault::FaultPlan`]): message loss, crash/restart schedules and hazard
-//! rates, head-targeted crashes, and partition windows — threaded through
-//! [`engine::Engine::run_faulted`] so degraded runs replay exactly and
-//! report a structured [`engine::Outcome`] instead of a bare bool.
-//!
-//! For per-round visibility, [`engine::Engine::run_traced`] additionally
+//! Every execution mode is [`engine::RunConfig`] state on that one entry
+//! point: the [`fault`] module's deterministic, seeded fault-injection
+//! plane ([`fault::FaultPlan`] — message loss, crash/restart schedules and
+//! hazard rates, head-targeted crashes, partition windows) rides in via
+//! [`engine::RunConfig::faults`], so degraded runs replay exactly and
+//! report a structured [`engine::Outcome`] instead of a bare bool; and
+//! per-round visibility comes from handing the config a
+//! [`hinet_rt::obs::Tracer`] via [`engine::RunConfig::tracer`], which
 //! streams typed [`hinet_rt::obs`] events (round starts, token pushes,
-//! head broadcasts, re-affiliations, run end) into a
-//! [`hinet_rt::obs::Tracer`]; `Engine::run` is the same loop with a
-//! disabled tracer.
+//! head broadcasts, re-affiliations, run end) without perturbing the run.
 
 pub mod engine;
 pub mod fault;

@@ -3,6 +3,7 @@
 use crate::token::{TokenId, TokenSet};
 use hinet_cluster::hierarchy::{ClusterId, Role};
 use hinet_graph::graph::NodeId;
+use std::sync::Arc;
 
 /// What a node can observe about round `round` before sending — its own
 /// identity, its role and cluster under the current hierarchy, and its
@@ -39,14 +40,96 @@ pub enum Destination {
     Unicast(NodeId),
 }
 
+/// A message payload: either a single token (the per-round selections of
+/// Algorithm 1 and KLO) or a whole token set (Algorithm 2's `broadcast
+/// TA`, flooding).
+///
+/// Single-token pushes carry the id inline — no allocation per message.
+/// Set payloads are `Arc`-shared: a broadcast delivered to a thousand
+/// neighbors clones a refcount, not a bitset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// Exactly one token.
+    One(TokenId),
+    /// A whole token set, shared between all its deliveries.
+    Set(Arc<TokenSet>),
+}
+
+impl Payload {
+    /// Number of tokens carried — the paper's per-message cost.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::One(_) => 1,
+            Payload::Set(s) => s.len(),
+        }
+    }
+
+    /// Whether the payload carries no tokens (an empty set — the engine
+    /// drops such sends for free).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The smallest carried token id — what the trace schema records as
+    /// the message's representative `token`.
+    pub fn first(&self) -> Option<TokenId> {
+        match self {
+            Payload::One(t) => Some(*t),
+            Payload::Set(s) => s.min(),
+        }
+    }
+
+    /// Ascending iterator over the carried tokens.
+    pub fn iter(&self) -> PayloadIter<'_> {
+        match self {
+            Payload::One(t) => PayloadIter::One(Some(*t)),
+            Payload::Set(s) => PayloadIter::Set(s.iter()),
+        }
+    }
+
+    /// Union the carried tokens into `ta` — word-parallel for set
+    /// payloads, a single bit-set for one-token pushes.
+    pub fn union_into(&self, ta: &mut TokenSet) {
+        match self {
+            Payload::One(t) => {
+                ta.insert(*t);
+            }
+            Payload::Set(s) => ta.union_with(s),
+        }
+    }
+
+    /// Materialise the tokens in ascending order (test/debug helper).
+    pub fn to_vec(&self) -> Vec<TokenId> {
+        self.iter().collect()
+    }
+}
+
+/// Ascending iterator over a [`Payload`]'s tokens.
+pub enum PayloadIter<'a> {
+    /// Single-token payload.
+    One(Option<TokenId>),
+    /// Set payload.
+    Set(crate::token::Iter<'a>),
+}
+
+impl Iterator for PayloadIter<'_> {
+    type Item = TokenId;
+    fn next(&mut self) -> Option<TokenId> {
+        match self {
+            PayloadIter::One(t) => t.take(),
+            PayloadIter::Set(it) => it.next(),
+        }
+    }
+}
+
 /// An outgoing message: a destination plus the token payload. Communication
-/// cost is `tokens.len()` per the paper's metric.
+/// cost is `payload.len()` per the paper's metric.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Outgoing {
     /// Delivery mode.
     pub dest: Destination,
     /// Token payload.
-    pub tokens: Vec<TokenId>,
+    pub payload: Payload,
     /// Whether this message repeats a payload the protocol already sent
     /// (recovery retransmission). The engine counts and traces marked
     /// messages separately; delivery is unaffected.
@@ -58,7 +141,7 @@ impl Outgoing {
     pub fn broadcast_one(t: TokenId) -> Self {
         Outgoing {
             dest: Destination::Broadcast,
-            tokens: vec![t],
+            payload: Payload::One(t),
             retransmit: false,
         }
     }
@@ -67,7 +150,7 @@ impl Outgoing {
     pub fn broadcast_set(ts: &TokenSet) -> Self {
         Outgoing {
             dest: Destination::Broadcast,
-            tokens: ts.iter().copied().collect(),
+            payload: Payload::Set(Arc::new(ts.clone())),
             retransmit: false,
         }
     }
@@ -76,7 +159,7 @@ impl Outgoing {
     pub fn unicast_one(to: NodeId, t: TokenId) -> Self {
         Outgoing {
             dest: Destination::Unicast(to),
-            tokens: vec![t],
+            payload: Payload::One(t),
             retransmit: false,
         }
     }
@@ -85,7 +168,7 @@ impl Outgoing {
     pub fn unicast_set(to: NodeId, ts: &TokenSet) -> Self {
         Outgoing {
             dest: Destination::Unicast(to),
-            tokens: ts.iter().copied().collect(),
+            payload: Payload::Set(Arc::new(ts.clone())),
             retransmit: false,
         }
     }
@@ -105,8 +188,30 @@ pub struct Incoming {
     /// Whether the sender addressed this node specifically (unicast) rather
     /// than broadcasting.
     pub directed: bool,
-    /// Token payload.
-    pub tokens: Vec<TokenId>,
+    /// Token payload — shared with every other receiver of the same
+    /// broadcast.
+    pub payload: Payload,
+}
+
+impl Incoming {
+    /// A directed single-token delivery (test helper).
+    pub fn one(from: NodeId, directed: bool, t: TokenId) -> Self {
+        Incoming {
+            from,
+            directed,
+            payload: Payload::One(t),
+        }
+    }
+
+    /// A set delivery (test helper) — tokens are collected into a shared
+    /// set payload.
+    pub fn set(from: NodeId, directed: bool, tokens: &[TokenId]) -> Self {
+        Incoming {
+            from,
+            directed,
+            payload: Payload::Set(Arc::new(tokens.iter().copied().collect())),
+        }
+    }
 }
 
 /// A per-node dissemination protocol.
@@ -134,6 +239,20 @@ pub trait Protocol {
     fn finished(&self) -> bool {
         false
     }
+
+    /// Reset this node after a fault-plane crash: all volatile state is
+    /// discarded and the node restarts as if freshly constructed with
+    /// `retained` as its initial tokens (its originals, or everything it
+    /// had learned when the plan declares tokens durable). Must be
+    /// observably identical to constructing a new instance and calling
+    /// [`Protocol::on_start`] with `retained`.
+    ///
+    /// The default panics: only protocols run under crash-injecting
+    /// [`crate::fault::FaultPlan`]s need to implement it.
+    fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+        let _ = (me, retained);
+        panic!("this protocol does not support crash-restart");
+    }
 }
 
 impl<T: Protocol + ?Sized> Protocol for Box<T> {
@@ -152,6 +271,9 @@ impl<T: Protocol + ?Sized> Protocol for Box<T> {
     fn finished(&self) -> bool {
         (**self).finished()
     }
+    fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+        (**self).on_restart(me, retained)
+    }
 }
 
 #[cfg(test)]
@@ -163,13 +285,20 @@ mod tests {
         let ts: TokenSet = [TokenId(2), TokenId(1)].into_iter().collect();
         let b = Outgoing::broadcast_set(&ts);
         assert_eq!(b.dest, Destination::Broadcast);
-        assert_eq!(b.tokens, vec![TokenId(1), TokenId(2)], "sorted payload");
+        assert_eq!(
+            b.payload.to_vec(),
+            vec![TokenId(1), TokenId(2)],
+            "sorted payload"
+        );
         let u = Outgoing::unicast_one(NodeId(3), TokenId(9));
         assert_eq!(u.dest, Destination::Unicast(NodeId(3)));
-        assert_eq!(u.tokens.len(), 1);
-        assert_eq!(Outgoing::broadcast_one(TokenId(5)).tokens, vec![TokenId(5)]);
+        assert_eq!(u.payload.len(), 1);
         assert_eq!(
-            Outgoing::unicast_set(NodeId(1), &ts).tokens,
+            Outgoing::broadcast_one(TokenId(5)).payload.to_vec(),
+            vec![TokenId(5)]
+        );
+        assert_eq!(
+            Outgoing::unicast_set(NodeId(1), &ts).payload.to_vec(),
             vec![TokenId(1), TokenId(2)]
         );
         assert!(!b.retransmit, "constructors build fresh sends");
@@ -178,5 +307,39 @@ mod tests {
                 .mark_retransmit()
                 .retransmit
         );
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let one = Payload::One(TokenId(7));
+        assert_eq!(one.len(), 1);
+        assert!(!one.is_empty());
+        assert_eq!(one.first(), Some(TokenId(7)));
+        assert_eq!(one.to_vec(), vec![TokenId(7)]);
+
+        let set = Payload::Set(Arc::new([TokenId(9), TokenId(4)].into_iter().collect()));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.first(), Some(TokenId(4)), "first = smallest id");
+        assert_eq!(set.to_vec(), vec![TokenId(4), TokenId(9)]);
+
+        let empty = Payload::Set(Arc::new(TokenSet::new()));
+        assert!(empty.is_empty());
+        assert_eq!(empty.first(), None);
+
+        let mut ta = TokenSet::new();
+        one.union_into(&mut ta);
+        set.union_into(&mut ta);
+        assert_eq!(ta.len(), 3);
+        assert!(ta.contains(&TokenId(7)) && ta.contains(&TokenId(4)) && ta.contains(&TokenId(9)));
+    }
+
+    #[test]
+    fn incoming_helpers() {
+        let m = Incoming::one(NodeId(2), true, TokenId(5));
+        assert!(m.directed);
+        assert_eq!(m.payload.to_vec(), vec![TokenId(5)]);
+        let s = Incoming::set(NodeId(1), false, &[TokenId(3), TokenId(1)]);
+        assert!(!s.directed);
+        assert_eq!(s.payload.to_vec(), vec![TokenId(1), TokenId(3)]);
     }
 }

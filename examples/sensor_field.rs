@@ -39,7 +39,6 @@ fn main() {
     let seed = 20260706;
     let assignment = round_robin_assignment(n, k);
     let rounds_budget = n - 1;
-    let cfg = RunConfig::new().stop_on_completion(false);
 
     // First, audit the emergent stability of the clustered trace.
     let mut clustered = ClusteredMobilityGen::new(field(seed), ClusteringKind::LowestId, true);
@@ -108,10 +107,20 @@ fn main() {
     for (label, kind, clustered_run) in contenders {
         let report = if clustered_run {
             let mut provider = CtvgTraceProvider::new(trace.clone());
-            run_algorithm(&kind, &mut provider, &assignment, cfg)
+            run_algorithm(
+                &kind,
+                &mut provider,
+                &assignment,
+                RunConfig::new().stop_on_completion(false),
+            )
         } else {
             let mut provider = FlatProvider::new(field(seed));
-            run_algorithm(&kind, &mut provider, &assignment, cfg)
+            run_algorithm(
+                &kind,
+                &mut provider,
+                &assignment,
+                RunConfig::new().stop_on_completion(false),
+            )
         };
         results.push_row(vec![
             label.into(),
@@ -126,7 +135,12 @@ fn main() {
 
     // Network coding runs outside the token-payload protocol interface.
     let mut coded_field = field(seed);
-    let rlnc = hinet::core::netcode::run_rlnc(&mut coded_field, &assignment, rounds_budget, seed);
+    let rlnc = hinet::core::netcode::run_rlnc(
+        &mut coded_field,
+        &assignment,
+        seed,
+        hinet::sim::engine::RunConfig::new().max_rounds(rounds_budget),
+    );
     results.push_row(vec![
         "RLNC network coding (flat)".into(),
         rlnc.completed().to_string(),

@@ -18,9 +18,9 @@
 use hinet_cluster::clustering::ClusteringKind;
 use hinet_cluster::ctvg::{FlatProvider, HierarchyProvider};
 use hinet_cluster::generators::{ClusteredMobilityGen, HiNetConfig, HiNetGen};
-use hinet_core::netcode::{run_rlnc_faulted, RlncReport};
+use hinet_core::netcode::{run_rlnc, RlncReport};
 use hinet_core::params::{alg1_plan, klo_plan, remark1_phases, required_phase_length, PhasePlan};
-use hinet_core::runner::{run_algorithm_faulted, AlgorithmKind};
+use hinet_core::runner::{run_algorithm, AlgorithmKind};
 use hinet_graph::generators::{
     BackboneKind, EdgeMarkovianGen, ManhattanConfig, ManhattanGen, OneIntervalGen,
     RandomWaypointGen, TIntervalGen, WaypointConfig,
@@ -28,7 +28,7 @@ use hinet_graph::generators::{
 use hinet_graph::trace::TopologyProvider;
 use hinet_rt::flags::FlagSet;
 use hinet_rt::obs::{ParsedTrace, Tracer};
-use hinet_sim::engine::{CostWeights, RunConfig, RunReport};
+use hinet_sim::engine::{RunConfig, RunReport};
 use hinet_sim::fault::{FaultPlan, Partition};
 use hinet_sim::token::round_robin_assignment;
 use std::path::Path;
@@ -183,7 +183,7 @@ fn fraction_to_ppm(name: &str, value: f64) -> Result<u32, String> {
 pub enum ScenarioReport {
     /// A round-engine run ([`hinet_sim::engine::Engine`]).
     Engine(RunReport),
-    /// An RLNC run ([`hinet_core::netcode::run_rlnc_traced`]).
+    /// An RLNC run ([`hinet_core::netcode::run_rlnc`]).
     Rlnc(RlncReport),
 }
 
@@ -683,34 +683,35 @@ impl Scenario {
     /// Execute the scenario, streaming events and meta stamps into
     /// `tracer`: the engine path for token-forwarding algorithms, the
     /// coded executor for `rlnc`. All runs use the default round-robin
-    /// token assignment and [`CostWeights::default`].
+    /// token assignment and [`hinet_sim::CostWeights::default`].
     pub fn run_traced(&self, tracer: &mut Tracer) -> Result<ScenarioReport, String> {
         self.stamp_meta(tracer);
         let assignment = round_robin_assignment(self.n, self.k);
         let faults = self.fault_plan();
         if self.algorithm == "rlnc" {
             let mut provider = self.rlnc_provider()?;
-            let report = run_rlnc_faulted(
+            let report = run_rlnc(
                 provider.as_mut(),
                 &assignment,
-                self.budget,
                 self.seed,
-                CostWeights::default(),
-                &faults,
-                tracer,
+                RunConfig::new()
+                    .max_rounds(self.budget)
+                    .faults(faults)
+                    .tracer(tracer),
             );
             return Ok(ScenarioReport::Rlnc(report));
         }
         let kind = self.kind()?;
         let mut provider = self.provider(&kind)?;
-        let report = run_algorithm_faulted(
+        let report = run_algorithm(
             &kind,
             provider.as_mut(),
             &assignment,
-            RunConfig::new().max_rounds(self.budget),
-            &faults,
-            self.retransmit,
-            tracer,
+            RunConfig::new()
+                .max_rounds(self.budget)
+                .faults(faults)
+                .retransmit(self.retransmit)
+                .tracer(tracer),
         );
         Ok(ScenarioReport::Engine(report))
     }

@@ -120,7 +120,7 @@ fn obs_fingerprint(tracer: &hinet::rt::obs::Tracer) -> u64 {
 fn traced_run_event_stream_is_deterministic() {
     use hinet::cluster::generators::{HiNetConfig, HiNetGen};
     use hinet::core::params::alg1_plan;
-    use hinet::core::runner::{run_algorithm_traced, AlgorithmKind};
+    use hinet::core::runner::{run_algorithm, AlgorithmKind};
     use hinet::rt::obs::{ObsConfig, TraceSummary, Tracer};
     use hinet::sim::engine::RunConfig;
     use hinet::sim::token::round_robin_assignment;
@@ -141,12 +141,13 @@ fn traced_run_event_stream_is_deterministic() {
         });
         let mut tracer = Tracer::new(ObsConfig::full());
         let assignment = round_robin_assignment(n, k);
-        let report = run_algorithm_traced(
+        let report = run_algorithm(
             &AlgorithmKind::HiNetPhased(plan),
             &mut provider,
             &assignment,
-            RunConfig::new().max_rounds(plan.total_rounds()),
-            &mut tracer,
+            RunConfig::new()
+                .max_rounds(plan.total_rounds())
+                .tracer(&mut tracer),
         );
         (tracer, report)
     };

@@ -173,7 +173,6 @@ fn comm_ordering_alg2_at_most_flood_on_same_dynamics() {
     // and an identical round budget, Algorithm 2 can never send more.
     let n = 56;
     let k = 6;
-    let cfg = RunConfig::new().stop_on_completion(false);
     for seed in 0..3u64 {
         let assignment = round_robin_assignment(n, k);
         let mut p1 = hinet_gen(n, 1, seed);
@@ -181,14 +180,14 @@ fn comm_ordering_alg2_at_most_flood_on_same_dynamics() {
             &AlgorithmKind::HiNetFullExchange { rounds: n - 1 },
             &mut p1,
             &assignment,
-            cfg,
+            RunConfig::new().stop_on_completion(false),
         );
         let mut p2 = hinet_gen(n, 1, seed);
         let flood = run_algorithm(
             &AlgorithmKind::KloFlood { rounds: n - 1 },
             &mut p2,
             &assignment,
-            cfg,
+            RunConfig::new().stop_on_completion(false),
         );
         assert!(alg2.completed() && flood.completed());
         assert!(

@@ -184,21 +184,20 @@ fn measured_comm_never_exceeds_analytic_bound_for_klo() {
 fn alg2_cheaper_or_equal_to_flood_same_dynamics() {
     check("alg2_cheaper_or_equal_to_flood_same_dynamics", CASES, |c| {
         let p = arb_params(c);
-        let cfg = RunConfig::new().stop_on_completion(false);
         let assignment = round_robin_assignment(p.n, p.k);
         let mut p1 = hinet_provider(&p, 1, true);
         let alg2 = run_algorithm(
             &AlgorithmKind::HiNetFullExchange { rounds: p.n - 1 },
             &mut p1,
             &assignment,
-            cfg,
+            RunConfig::new().stop_on_completion(false),
         );
         let mut p2 = hinet_provider(&p, 1, true);
         let flood = run_algorithm(
             &AlgorithmKind::KloFlood { rounds: p.n - 1 },
             &mut p2,
             &assignment,
-            cfg,
+            RunConfig::new().stop_on_completion(false),
         );
         assert!(
             alg2.metrics.tokens_sent <= flood.metrics.tokens_sent,
