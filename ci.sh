@@ -120,6 +120,40 @@ cmp -s target/ci-chaos/lossy1.jsonl target/ci-chaos/lossy2.jsonl || {
 }
 echo "chaos smoke: OK"
 
+# Event-runtime smoke: a seeded event-mode run must produce the same
+# dissemination result as the lock-step engine — identical trace behaviour
+# (the headers differ only by the `mode` meta stamp and runtime gauges,
+# hence --ignore meta), wall-clock metrics reported, and the sweep_async
+# suite must emit its JSON artifact and gate against itself.
+rm -rf target/ci-event
+./target/release/hinet trace --algorithm alg2 --n 32 --k 4 --seed 5 \
+    --out target/ci-event/lockstep.jsonl >/dev/null
+./target/release/hinet trace --algorithm alg2 --n 32 --k 4 --seed 5 \
+    --mode event --out target/ci-event/event.jsonl >/dev/null
+./target/release/hinet trace --diff target/ci-event/lockstep.jsonl \
+    target/ci-event/event.jsonl --ignore meta >/dev/null || {
+    echo "event smoke: event-mode run diverged from lock-step" >&2
+    ./target/release/hinet trace --diff target/ci-event/lockstep.jsonl \
+        target/ci-event/event.jsonl --ignore meta >&2 || true
+    exit 1
+}
+./target/release/hinet run --algorithm klo-flood --n 32 --k 4 --seed 5 \
+    --mode event >target/ci-event/klo.txt
+grep -q 'completed: true' target/ci-event/klo.txt || {
+    echo "event smoke: klo-flood did not complete in event mode" >&2
+    exit 1
+}
+grep -q 'token latency' target/ci-event/klo.txt || {
+    echo "event smoke: event-mode run reported no latency metrics" >&2
+    exit 1
+}
+./target/release/hinet bench --filter sweep_async --sample-size 5 --budget-ms 50 \
+    --json --out-dir target/ci-event >/dev/null
+test -s target/ci-event/BENCH_sweep_async.json
+./target/release/hinet bench --filter sweep_async --sample-size 5 --budget-ms 50 \
+    --baseline target/ci-event/BENCH_sweep_async.json --max-regress 10000 >/dev/null
+echo "event smoke: OK"
+
 # Fuzz smoke: a fixed-seed adversarial campaign must be deterministic —
 # two runs with the same seed classify and shrink identically and find at
 # least one offender — and archiving into a scratch directory twice must

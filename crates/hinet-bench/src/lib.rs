@@ -71,6 +71,11 @@ pub fn suites() -> Vec<Suite> {
             run: suites::sweep_loss::bench,
         },
         Suite {
+            name: "sweep_async",
+            about: "E18 — lock-step vs event-mode wall-clock crossover (± loss)",
+            run: suites::sweep_async::bench,
+        },
+        Suite {
             name: "sweep_scale",
             about: "engine scale — packed bitsets at n=10^6, k=10^4 (HINET_SCALE_N/K shrink)",
             run: suites::sweep_scale::bench,
@@ -151,10 +156,10 @@ mod tests {
     }
 
     /// The registry covers the twelve ported criterion targets (DESIGN.md
-    /// §4's artifact list) plus the fault-plane degradation sweep and the
-    /// engine scale gate.
+    /// §4's artifact list) plus the fault-plane degradation sweep, the
+    /// engine scale gate and the event-runtime crossover sweep.
     #[test]
     fn registry_has_every_suite() {
-        assert_eq!(suites().len(), 14);
+        assert_eq!(suites().len(), 15);
     }
 }

@@ -1,4 +1,4 @@
-//! The fourteen benchmark suites, one module per retired criterion target.
+//! The fifteen benchmark suites, one module per retired criterion target.
 //! Register new suites in [`crate::suites()`].
 
 pub mod ablation_remark1;
@@ -7,6 +7,7 @@ pub mod extensions;
 pub mod headline;
 pub mod substrates;
 pub mod sweep_alpha;
+pub mod sweep_async;
 pub mod sweep_churn;
 pub mod sweep_k;
 pub mod sweep_l;

@@ -1,0 +1,71 @@
+//! Bench: lock-step vs event-mode wall-clock (E18) — the same seeded
+//! scenarios through both execution modes, so the `--baseline` gate tracks
+//! the mailbox runtime's crossover against the round-barrier engine. The
+//! event points also exercise the transport/reassembly plane end to end.
+
+use crate::small_params;
+use hinet_analysis::scenarios::heads_for_members;
+use hinet_cluster::generators::{HiNetConfig, HiNetGen};
+use hinet_core::runner::{run_algorithm, AlgorithmKind};
+use hinet_rt::bench::{Bench, BenchmarkId};
+use hinet_sim::engine::{ExecMode, RunConfig};
+use hinet_sim::fault::FaultPlan;
+use hinet_sim::token::round_robin_assignment;
+use std::hint::black_box;
+
+pub fn bench(c: &mut Bench) {
+    let p = small_params();
+    let n = p.n0 as usize;
+    let budget = 3 * n;
+    let mut group = c.benchmark_group("sweep_async");
+    group.sample_size(10);
+    // Alg 2 and the KLO flood baseline, each in both modes; loss_ppm > 0
+    // adds the fault-interception cost at the transport boundary.
+    let points: &[(&str, AlgorithmKind, u32)] = &[
+        (
+            "alg2",
+            AlgorithmKind::HiNetFullExchange { rounds: budget },
+            0,
+        ),
+        (
+            "alg2_loss",
+            AlgorithmKind::HiNetFullExchange { rounds: budget },
+            50_000,
+        ),
+        ("klo_flood", AlgorithmKind::KloFlood { rounds: budget }, 0),
+    ];
+    for mode in [ExecMode::Lockstep, ExecMode::Event] {
+        for (label, kind, loss_ppm) in points {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_{mode}"), n),
+                kind,
+                |b, kind| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut provider = HiNetGen::new(HiNetConfig {
+                            n,
+                            num_heads: heads_for_members(&p),
+                            theta: p.theta as usize,
+                            l: p.l as usize,
+                            t: 1,
+                            reaffil_prob: 0.1,
+                            rotate_heads: true,
+                            noise_edges: n / 5,
+                            seed,
+                        });
+                        let assignment = round_robin_assignment(n, p.k as usize);
+                        let faults = FaultPlan::new(seed).with_loss_ppm(*loss_ppm);
+                        black_box(run_algorithm(
+                            kind,
+                            &mut provider,
+                            &assignment,
+                            RunConfig::new().faults(faults).mode(mode),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}

@@ -137,7 +137,7 @@ impl AlgorithmKind {
 /// retransmission-recovery mode. A default config runs the plain path.
 pub fn run_algorithm(
     kind: &AlgorithmKind,
-    provider: &mut dyn HierarchyProvider,
+    provider: &mut (dyn HierarchyProvider + Send),
     assignment: &[Vec<TokenId>],
     mut cfg: RunConfig<'_>,
 ) -> RunReport {

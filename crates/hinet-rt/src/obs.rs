@@ -376,6 +376,15 @@ pub struct Counters {
     pub recoveries: u64,
     /// Recovery retransmissions sent.
     pub retransmits: u64,
+    /// Event-mode: steps that found their round quorum not yet assembled
+    /// and parked at least once waiting for it.
+    ///
+    /// The two runtime counters are serialised only when nonzero, so
+    /// lock-step artifacts are byte-identical to pre-event-runtime ones.
+    pub reassembly_stalls: u64,
+    /// Event-mode: high-water mark of any single mailbox's queued
+    /// envelope count.
+    pub mailbox_depth_max: u64,
 }
 
 /// A power-of-two-bucket histogram (bucket `i` counts values `v` with
@@ -605,6 +614,18 @@ impl Tracer {
     /// parameters, seeds, algorithm names).
     pub fn meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
         self.meta.push((key.into(), value.into()));
+    }
+
+    /// Record the event-runtime gauges (reassembly stalls and the mailbox
+    /// depth high-water mark) into the counters. Called once at the end of
+    /// an event-mode run; lock-step runs never call it, so their artifacts
+    /// are unchanged (the counters serialise only when nonzero).
+    pub fn note_runtime(&mut self, reassembly_stalls: u64, mailbox_depth_max: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.counters.reassembly_stalls = reassembly_stalls;
+        self.counters.mailbox_depth_max = mailbox_depth_max;
     }
 
     /// Declare the phase length `T`: [`Tracer::round_start`] then emits
@@ -942,6 +963,8 @@ fn counters_json(c: &Counters) -> Json {
         ("crashes", c.crashes),
         ("recoveries", c.recoveries),
         ("retransmits", c.retransmits),
+        ("reassembly_stalls", c.reassembly_stalls),
+        ("mailbox_depth_max", c.mailbox_depth_max),
     ] {
         if v > 0 {
             fields.push((name.into(), Json::Num(v as f64)));
@@ -1132,6 +1155,8 @@ impl ParsedTrace {
             crashes: opt_counter(c, "crashes"),
             recoveries: opt_counter(c, "recoveries"),
             retransmits: opt_counter(c, "retransmits"),
+            reassembly_stalls: opt_counter(c, "reassembly_stalls"),
+            mailbox_depth_max: opt_counter(c, "mailbox_depth_max"),
         };
         let dropped = header
             .get("dropped")
@@ -1169,14 +1194,18 @@ impl ParsedTrace {
 
     /// Recompute the counters from the recorded event stream.
     ///
-    /// `bytes_sent` is copied from the header — events do not carry byte
-    /// costs, so it cannot be recounted. For a complete trace
-    /// ([`ParsedTrace::is_complete`]) every other field must equal the
-    /// header's counters; a mismatch means the artifact was truncated or
-    /// hand-edited (the golden-corpus hygiene gate).
+    /// `bytes_sent` and the event-runtime gauges (`reassembly_stalls`,
+    /// `mailbox_depth_max`) are copied from the header — events carry
+    /// neither byte costs nor scheduler state, so they cannot be
+    /// recounted. For a complete trace ([`ParsedTrace::is_complete`])
+    /// every other field must equal the header's counters; a mismatch
+    /// means the artifact was truncated or hand-edited (the golden-corpus
+    /// hygiene gate).
     pub fn recount_events(&self) -> Counters {
         let mut c = Counters {
             bytes_sent: self.counters.bytes_sent,
+            reassembly_stalls: self.counters.reassembly_stalls,
+            mailbox_depth_max: self.counters.mailbox_depth_max,
             ..Counters::default()
         };
         for te in &self.events {
@@ -1387,6 +1416,12 @@ impl TraceSummary {
             out.push_str(&format!(
                 "faults: {} dropped deliveries, {} crashes, {} recoveries, {} retransmits\n",
                 c.faults_injected, c.crashes, c.recoveries, c.retransmits,
+            ));
+        }
+        if c.reassembly_stalls + c.mailbox_depth_max > 0 {
+            out.push_str(&format!(
+                "event runtime: {} reassembly stalls, mailbox depth high-water {}\n",
+                c.reassembly_stalls, c.mailbox_depth_max,
             ));
         }
         if !self.per_phase_rounds.is_empty() {

@@ -31,12 +31,105 @@ use hinet_graph::Graph;
 use hinet_rt::obs::{self, FaultKind, Tracer};
 use hinet_rt::pool;
 use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Node count from which the auto thread policy (`threads = 0`) fans the
 /// round phases out over the pool; below it, thread spawn overhead beats
 /// the parallel win on every workload we measure.
 const PARALLEL_NODE_THRESHOLD: usize = 4096;
+
+/// Which runtime executes the run (see `docs/RUNTIME.md`).
+///
+/// Both modes run the same protocols against the same round semantics and
+/// produce identical dissemination results (completion round, token sets,
+/// metrics, trace events); they differ in *how* rounds are driven:
+///
+/// * [`ExecMode::Lockstep`] — the synchronous reference loop: a global
+///   barrier between every round's send and receive phases.
+/// * [`ExecMode::Event`] — the event-driven message plane: per-node
+///   mailboxes behind a [`crate::transport::Transport`], rounds
+///   reassembled by [`crate::transport::RoundBuffer`] quorums, nodes
+///   progressing independently on concurrent workers. Adds wall-clock
+///   throughput and per-token latency to [`RunReport::wall`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Synchronous round barrier (the paper's model, and the default).
+    #[default]
+    Lockstep,
+    /// Mailbox/round-reassembly runtime with concurrent per-node progress.
+    Event,
+}
+
+impl ExecMode {
+    /// Canonical flag spelling (`lockstep` / `event`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecMode::Lockstep => "lockstep",
+            ExecMode::Event => "event",
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ExecMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "lockstep" => Ok(ExecMode::Lockstep),
+            "event" => Ok(ExecMode::Event),
+            other => Err(format!(
+                "unknown execution mode '{other}' (expected lockstep|event)"
+            )),
+        }
+    }
+}
+
+/// Per-token wall-clock completion latency (event mode only): for each
+/// token, the nanoseconds from run start until every node had learned it
+/// at least once. The "ever learned" cover is monotone, so volatile
+/// crash-forgetting cannot un-complete a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TokenLatency {
+    /// Tokens whose cover reached every node during the run.
+    pub covered: usize,
+    /// Tokens in the universe (`k`).
+    pub total: usize,
+    /// Median per-token completion latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile per-token completion latency in nanoseconds.
+    pub p95_ns: u64,
+    /// Worst per-token completion latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Wall-clock metrics for a run, alongside the round counts.
+///
+/// Lock-step fills the elapsed time and throughput; the event runtime
+/// additionally reports per-token latency and its mailbox/reassembly
+/// counters. All figures describe the message-plane execution itself —
+/// trace replay and serialisation happen after the clock stops.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WallClock {
+    /// Wall-clock nanoseconds the run took.
+    pub elapsed_ns: u64,
+    /// Tokens sent per wall-clock second (`tokens_sent / elapsed`).
+    pub tokens_per_sec: f64,
+    /// Per-token completion latency distribution (event mode only).
+    pub latency: Option<TokenLatency>,
+    /// Times a node's step found its round quorum not yet assembled
+    /// (event mode; counted once per blocked `(node, round)`).
+    pub reassembly_stalls: u64,
+    /// High-water mark of any single mailbox's queued-envelope count
+    /// (event mode).
+    pub mailbox_depth_max: u64,
+}
 
 /// Engine configuration — every per-run knob in one place, built with
 /// chained constructors. The config *is* the run request: it carries the
@@ -97,6 +190,10 @@ pub struct RunConfig<'t> {
     /// Observability sink. `None` (default) disables tracing at zero cost;
     /// `Some` streams one structured event per round/message/fault.
     pub tracer: Option<&'t mut Tracer>,
+    /// Which runtime drives the rounds (see [`ExecMode`]). Both modes
+    /// produce identical dissemination results; [`ExecMode::Event`] runs
+    /// the mailbox message plane and fills the wall-clock latency metrics.
+    pub mode: ExecMode,
 }
 
 impl Default for RunConfig<'_> {
@@ -113,6 +210,7 @@ impl Default for RunConfig<'_> {
             retransmit: false,
             threads: 0,
             tracer: None,
+            mode: ExecMode::Lockstep,
         }
     }
 }
@@ -131,6 +229,7 @@ impl fmt::Debug for RunConfig<'_> {
             .field("retransmit", &self.retransmit)
             .field("threads", &self.threads)
             .field("tracer", &self.tracer.as_ref().map(|t| t.enabled()))
+            .field("mode", &self.mode)
             .finish()
     }
 }
@@ -203,6 +302,13 @@ impl<'t> RunConfig<'t> {
         self
     }
 
+    /// Select the execution runtime (lock-step barrier or the event-driven
+    /// mailbox plane).
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Attach an observability sink for the run.
     pub fn tracer<'u>(self, tracer: &'u mut Tracer) -> RunConfig<'u>
     where
@@ -220,6 +326,7 @@ impl<'t> RunConfig<'t> {
             retransmit: self.retransmit,
             threads: self.threads,
             tracer: Some(tracer),
+            mode: self.mode,
         }
     }
 }
@@ -317,7 +424,7 @@ impl Metrics {
     }
 }
 
-fn role_slot(role: Role) -> usize {
+pub(crate) fn role_slot(role: Role) -> usize {
     match role {
         Role::Head => 0,
         Role::Gateway => 1,
@@ -325,7 +432,7 @@ fn role_slot(role: Role) -> usize {
     }
 }
 
-fn obs_role(role: Role) -> obs::Role {
+pub(crate) fn obs_role(role: Role) -> obs::Role {
     match role {
         Role::Head => obs::Role::Head,
         Role::Gateway => obs::Role::Gateway,
@@ -409,6 +516,9 @@ pub struct RunReport {
     pub cost_weights: CostWeights,
     /// How the run ended (see [`Outcome`]).
     pub outcome: Outcome,
+    /// Wall-clock metrics (throughput always; per-token latency and the
+    /// mailbox/reassembly counters in [`ExecMode::Event`] runs).
+    pub wall: WallClock,
 }
 
 impl RunReport {
@@ -525,11 +635,15 @@ impl<'t> Engine<'t> {
     /// count, or (with `validate_hierarchy`) on an invalid hierarchy.
     pub fn run<P: Protocol + Send>(
         self,
-        provider: &mut dyn HierarchyProvider,
+        provider: &mut (dyn HierarchyProvider + Send),
         protocols: &mut [P],
         assignment: &[Vec<TokenId>],
     ) -> RunReport {
         let mut cfg = self.cfg;
+        if cfg.mode == ExecMode::Event {
+            return crate::event::run(cfg, provider, protocols, assignment);
+        }
+        let start = Instant::now();
         let mut disabled = Tracer::disabled();
         let tracer: &mut Tracer = match cfg.tracer.take() {
             Some(t) => t,
@@ -594,6 +708,7 @@ impl<'t> Engine<'t> {
                 k,
                 cost_weights: cfg.cost_weights,
                 outcome: Outcome::Completed { round: 0 },
+                wall: lockstep_wall(start, 0),
             };
         }
 
@@ -940,6 +1055,7 @@ impl<'t> Engine<'t> {
             }
         };
         tracer.run_end(rounds_executed as u64, completion_round.is_some());
+        let wall = lockstep_wall(start, metrics.tokens_sent);
         RunReport {
             rounds_executed,
             completion_round,
@@ -947,8 +1063,40 @@ impl<'t> Engine<'t> {
             k,
             cost_weights: cfg.cost_weights,
             outcome,
+            wall,
         }
     }
+}
+
+/// Wall-clock summary for a lock-step run: elapsed time and throughput
+/// only. Per-token latency tracking is an event-mode feature — keeping it
+/// off the lock-step path leaves the million-node hot loop untouched.
+fn lockstep_wall(start: Instant, tokens_sent: u64) -> WallClock {
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let secs = elapsed_ns as f64 / 1e9;
+    WallClock {
+        elapsed_ns,
+        tokens_per_sec: if secs > 0.0 {
+            tokens_sent as f64 / secs
+        } else {
+            0.0
+        },
+        latency: None,
+        reassembly_stalls: 0,
+        mailbox_depth_max: 0,
+    }
+}
+
+/// Resolve the thread count for event mode: explicit values win (clamped
+/// to the node count); `0` always goes wide, because event mode exists to
+/// exercise true concurrency even on small scenarios.
+pub(crate) fn resolve_event_threads(threads: usize, n: usize) -> usize {
+    let t = if threads != 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    };
+    t.min(n).max(1)
 }
 
 /// Resolve the configured thread count: explicit values win; `0` goes
@@ -1023,7 +1171,7 @@ fn faulted_delivery(
 }
 
 /// Widen the `(first, last)` fault window to include `round`.
-fn note_fault(window: &mut Option<(u64, u64)>, round: u64) {
+pub(crate) fn note_fault(window: &mut Option<(u64, u64)>, round: u64) {
     *window = Some(match *window {
         None => (round, round),
         Some((first, _)) => (first, round),

@@ -1,0 +1,1408 @@
+//! Event-driven execution mode: mailboxes, round reassembly and a
+//! conservative completion oracle on top of the [`crate::transport`] plane.
+//!
+//! The driver replaces the lock-step engine's global round barrier with
+//! per-node progress: each node advances through its own round sequence as
+//! soon as its [`crate::transport::RoundBuffer`] quorum for the round is
+//! met, so different nodes can be in different rounds at the same wall
+//! instant and workers run truly concurrently on the [`hinet_rt::pool`].
+//!
+//! # Equivalence with lock-step
+//!
+//! Per-sender `(round, seq)` tagging plus the buffer's `(from, seq)` sort
+//! reproduce exactly the inbox the lock-step engine would have built, and a
+//! node's send for round `r` always runs against its state after its own
+//! round `r-1` receive — so every protocol instance evolves round-by-round
+//! identically to lock-step. Crash/recovery/re-election decisions are
+//! global per-round state; they are built round-sequentially by a shared
+//! context server (one [`RoundCtx`] per round, derived from its
+//! predecessor's down-state) so they too match lock-step bit for bit.
+//!
+//! Stopping is detected by an oracle that folds per-node round reports in
+//! round order; nodes past the eventually-final stop round ("overshoot")
+//! can only be nodes that already know the whole universe, so their extra
+//! sends and receives never change any final token set. The one exception
+//! — a fault-plane crash injected in an overshoot round, which would
+//! forget tokens lock-step never forgot — is repaired after the run by
+//! restarting the affected node with the full universe (exactly what it
+//! knew when it entered overshoot). Metrics and trace events are buffered
+//! per `(node, round)` and merged/replayed in lock-step order for rounds
+//! below the final stop, so reports and trace bytes match the lock-step
+//! engine exactly (the trace differs only in its `mode` meta stamp and the
+//! event-runtime counters).
+
+use crate::engine::{
+    note_fault, obs_role, resolve_event_threads, role_slot, MessageRecord, Metrics, Outcome,
+    RoundMetrics, RunConfig, RunReport, TokenLatency, WallClock,
+};
+use crate::fault::FaultPlan;
+use crate::protocol::{Destination, LocalView, Protocol};
+use crate::token::{TokenId, TokenSet};
+use crate::transport::{ChannelTransport, Envelope, EnvelopeKind, RoundBuffer, Transport};
+use hinet_cluster::clustering::{re_elect, GatewayPolicy};
+use hinet_cluster::ctvg::HierarchyProvider;
+use hinet_cluster::hierarchy::Hierarchy;
+use hinet_graph::csr::CsrGraph;
+use hinet_graph::graph::NodeId;
+use hinet_graph::Graph;
+use hinet_rt::obs::{self, FaultKind, Tracer};
+use hinet_rt::pool;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a parked worker sleeps before re-scanning its shard even
+/// without a doorbell ring — a liveness safety net, not the fast path.
+const PARK_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Keep at most this many round contexts cached before pruning the ones
+/// every node has already passed.
+const CTX_CACHE_SOFT_CAP: usize = 64;
+
+/// Per-round global context: topology view, repaired hierarchy and the
+/// round's crash/down state, identical to what the lock-step engine
+/// computes at the top of its round loop.
+struct RoundCtx {
+    csr: Arc<CsrGraph>,
+    hierarchy: Arc<Hierarchy>,
+    /// `down[i]`: node `i` is silent this round (inside a crash window).
+    down: Box<[bool]>,
+    /// `crashed[i]`: the fault plane crashes node `i` at the start of this
+    /// round (the node applies `on_restart` when it reaches the round).
+    crashed: Box<[bool]>,
+}
+
+/// Per-round builder-side event log, kept for the whole run (unlike the
+/// heavyweight [`RoundCtx`]s, which are pruned): everything the trace
+/// replay and the crash/recovery counters need.
+#[derive(Default)]
+struct RoundLog {
+    recoveries: Vec<usize>,
+    crashes: Vec<usize>,
+    /// `(node, old_head, new_head)` — recorded only when tracing.
+    reaffs: Vec<(u64, Option<u64>, Option<u64>)>,
+}
+
+/// Round-context server: owns the provider and builds [`RoundCtx`]s
+/// strictly in round order (crash state is a running fold over rounds).
+struct Builder<'p> {
+    provider: &'p mut (dyn HierarchyProvider + Send),
+    n: usize,
+    validate: bool,
+    tracing: bool,
+    faults: FaultPlan,
+    trivial: bool,
+    next: usize,
+    down_until: Vec<usize>,
+    was_down: Vec<bool>,
+    prev_heads: Vec<Option<NodeId>>,
+    graph_cache: Option<(Arc<Graph>, Arc<CsrGraph>)>,
+    ctxs: BTreeMap<usize, Arc<RoundCtx>>,
+    logs: Vec<RoundLog>,
+}
+
+impl Builder<'_> {
+    fn build_next(&mut self) {
+        let round = self.next;
+        let n = self.n;
+        let graph = self.provider.graph_at(round);
+        let mut hierarchy = self.provider.hierarchy_at(round);
+        if self.validate {
+            hierarchy
+                .validate(&graph)
+                .unwrap_or_else(|e| panic!("round {round}: invalid hierarchy: {e}"));
+        }
+        let rebuild = self
+            .graph_cache
+            .as_ref()
+            .is_none_or(|(src, _)| !Arc::ptr_eq(src, &graph));
+        if rebuild {
+            self.graph_cache = Some((Arc::clone(&graph), Arc::new(CsrGraph::from(&*graph))));
+        }
+        let csr = Arc::clone(&self.graph_cache.as_ref().expect("csr cache primed").1);
+
+        let mut log = RoundLog::default();
+        let mut crashed = vec![false; n].into_boxed_slice();
+        if !self.trivial {
+            for i in 0..n {
+                if self.was_down[i] && round >= self.down_until[i] {
+                    self.was_down[i] = false;
+                    log.recoveries.push(i);
+                }
+            }
+            for i in 0..n {
+                if round < self.down_until[i] {
+                    continue; // still down; cannot crash again yet
+                }
+                let me = NodeId::from_index(i);
+                if self.faults.crashes(round, i, hierarchy.is_head(me)) {
+                    crashed[i] = true;
+                    log.crashes.push(i);
+                    self.down_until[i] = round + self.faults.down_rounds;
+                    self.was_down[i] = true;
+                }
+            }
+        }
+        let down: Box<[bool]> = (0..n).map(|i| round < self.down_until[i]).collect();
+        if !self.trivial && (0..n).any(|i| down[i] && hierarchy.is_head(NodeId::from_index(i))) {
+            hierarchy = Arc::new(re_elect(
+                &graph,
+                &hierarchy,
+                &down,
+                GatewayPolicy::default(),
+            ));
+        }
+        if self.tracing {
+            let heads: Vec<Option<NodeId>> = (0..n)
+                .map(|i| hierarchy.head_of(NodeId::from_index(i)))
+                .collect();
+            if round > 0 {
+                for (i, (old, new)) in self.prev_heads.iter().zip(&heads).enumerate() {
+                    if old != new {
+                        log.reaffs.push((
+                            i as u64,
+                            old.map(|h| h.0 as u64),
+                            new.map(|h| h.0 as u64),
+                        ));
+                    }
+                }
+            }
+            self.prev_heads = heads;
+        }
+        self.logs.push(log);
+        self.ctxs.insert(
+            round,
+            Arc::new(RoundCtx {
+                csr,
+                hierarchy,
+                down,
+                crashed,
+            }),
+        );
+        self.next = round + 1;
+    }
+}
+
+/// One node's contribution to a round, accumulated across its send and
+/// receive steps and reported to the oracle once the round is done.
+#[derive(Default)]
+struct NodeReport {
+    tokens: u64,
+    packets: u64,
+    by_role: [u64; 3],
+    dropped_unicasts: u64,
+    faults: u64,
+    partition: bool,
+    retransmits: u64,
+    informed_start: i64,
+    informed_end: i64,
+    finished: i64,
+}
+
+/// Oracle bookkeeping for one not-yet-decided round.
+#[derive(Default)]
+struct PendingRound {
+    reports: usize,
+    agg: NodeReport,
+}
+
+/// The completion oracle: folds per-node round reports in strict round
+/// order, reproducing the lock-step engine's end-of-round checks (global
+/// completion, then all-finished) and its aggregate metrics.
+struct Oracle {
+    n: usize,
+    next: usize,
+    informed: usize,
+    finished: usize,
+    stopped: bool,
+    early_stop: bool,
+    rounds_executed: usize,
+    completion_round: Option<usize>,
+    metrics: Metrics,
+    fault_window: Option<(u64, u64)>,
+    backbone: bool,
+    pending: BTreeMap<usize, PendingRound>,
+    record_rounds: bool,
+    stop_on_completion: bool,
+}
+
+impl Oracle {
+    /// Fold `rep` for round `round`; returns `Some(stop_round)` when this
+    /// report decided that the run stops (completion or all-finished).
+    fn report(&mut self, round: usize, rep: NodeReport) -> Option<usize> {
+        let pr = self.pending.entry(round).or_default();
+        pr.reports += 1;
+        pr.agg.tokens += rep.tokens;
+        pr.agg.packets += rep.packets;
+        for s in 0..3 {
+            pr.agg.by_role[s] += rep.by_role[s];
+        }
+        pr.agg.dropped_unicasts += rep.dropped_unicasts;
+        pr.agg.faults += rep.faults;
+        pr.agg.partition |= rep.partition;
+        pr.agg.retransmits += rep.retransmits;
+        pr.agg.informed_start += rep.informed_start;
+        pr.agg.informed_end += rep.informed_end;
+        pr.agg.finished += rep.finished;
+
+        let mut stop = None;
+        while !self.stopped {
+            let ready = self
+                .pending
+                .get(&self.next)
+                .is_some_and(|pr| pr.reports == self.n);
+            if !ready {
+                break;
+            }
+            let pr = self.pending.remove(&self.next).expect("pending round");
+            let r = self.next;
+            let a = pr.agg;
+            self.informed = (self.informed as i64 + a.informed_start) as usize;
+            let informed_at_start = self.informed;
+            self.informed = (self.informed as i64 + a.informed_end) as usize;
+            self.finished = (self.finished as i64 + a.finished) as usize;
+            let m = &mut self.metrics;
+            m.tokens_sent += a.tokens;
+            m.packets_sent += a.packets;
+            for s in 0..3 {
+                m.tokens_by_role[s] += a.by_role[s];
+            }
+            m.dropped_unicasts += a.dropped_unicasts;
+            m.faults_injected += a.faults;
+            m.retransmits += a.retransmits;
+            if a.faults > 0 {
+                note_fault(&mut self.fault_window, r as u64);
+            }
+            self.backbone |= a.partition;
+            if self.record_rounds {
+                m.rounds.push(RoundMetrics {
+                    tokens_sent: a.tokens,
+                    packets_sent: a.packets,
+                    informed_nodes: informed_at_start,
+                });
+            }
+            self.rounds_executed = r + 1;
+            if self.completion_round.is_none() && self.informed == self.n {
+                self.completion_round = Some(r + 1);
+                if self.stop_on_completion {
+                    self.stopped = true;
+                    self.early_stop = true;
+                    stop = Some(r);
+                }
+            }
+            if !self.stopped && self.finished == self.n {
+                self.stopped = true;
+                self.early_stop = true;
+                stop = Some(r);
+            }
+            self.next = r + 1;
+        }
+        stop
+    }
+}
+
+/// Per-shard wakeup latch: workers park on it when their shard has no
+/// runnable node; the transport notifier and stop changes ring it.
+struct Doorbell {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Doorbell {
+    fn new() -> Doorbell {
+        Doorbell {
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        *self.epoch.lock().expect("doorbell lock")
+    }
+
+    fn ring(&self) {
+        *self.epoch.lock().expect("doorbell lock") += 1;
+        self.cv.notify_all();
+    }
+
+    /// Park until the epoch moves past `seen` or the timeout elapses.
+    fn wait(&self, seen: u64) {
+        let mut g = self.epoch.lock().expect("doorbell lock");
+        while *g == seen {
+            let (next, res) = self
+                .cv
+                .wait_timeout(g, PARK_TIMEOUT)
+                .expect("doorbell lock");
+            g = next;
+            if res.timed_out() {
+                break;
+            }
+        }
+    }
+}
+
+/// Buffered trace event, replayed through the real [`Tracer`] after the
+/// run in lock-step emission order.
+enum BufEvt {
+    Broadcast {
+        token: u64,
+        cost: u64,
+        role: obs::Role,
+        bytes: u64,
+    },
+    Push {
+        token: u64,
+        cost: u64,
+        role: obs::Role,
+        to: u64,
+        bytes: u64,
+    },
+    Retransmit {
+        cost: u64,
+        dst: Option<u64>,
+    },
+    Fault {
+        to: u64,
+        kind: FaultKind,
+    },
+}
+
+/// Per-node runtime state owned by its shard.
+struct NodeState {
+    round: usize,
+    sent: bool,
+    stalled: bool,
+    done: bool,
+    informed: bool,
+    finished: bool,
+    buffer: RoundBuffer,
+    scratch: Vec<Envelope>,
+    /// Ever-learned token superset (never shrinks across crashes) — the
+    /// per-token latency cover contribution guard.
+    learned: TokenSet,
+    rep: NodeReport,
+    /// Last round in which this node applied a crash restart.
+    crashed_at: Option<usize>,
+    /// Buffered trace events, `(round, events)` ascending.
+    evts: Vec<(usize, Vec<BufEvt>)>,
+    /// Buffered message records (rounds ascending).
+    msgs: Vec<MessageRecord>,
+}
+
+impl NodeState {
+    fn new() -> NodeState {
+        NodeState {
+            round: 0,
+            sent: false,
+            stalled: false,
+            done: false,
+            informed: false,
+            finished: false,
+            buffer: RoundBuffer::new(),
+            scratch: Vec::new(),
+            learned: TokenSet::new(),
+            rep: NodeReport::default(),
+            crashed_at: None,
+            evts: Vec::new(),
+            msgs: Vec::new(),
+        }
+    }
+}
+
+/// A contiguous node range plus its protocol instances — one worker
+/// thread's whole world.
+struct Shard<'a, P> {
+    base: usize,
+    protocols: &'a mut [P],
+    nodes: Vec<NodeState>,
+}
+
+/// Everything the workers share.
+struct Shared<'a> {
+    server: Mutex<Builder<'a>>,
+    oracle: Mutex<Oracle>,
+    transport: ChannelTransport,
+    doorbells: Arc<Vec<Doorbell>>,
+    stop_after: AtomicUsize,
+    abort: AtomicBool,
+    node_round: Vec<AtomicUsize>,
+    stalls: AtomicU64,
+    cover: Vec<AtomicUsize>,
+    covered_at: Vec<AtomicU64>,
+    start: Instant,
+    n: usize,
+    universe: &'a TokenSet,
+    assignment: &'a [Vec<TokenId>],
+    faults: &'a FaultPlan,
+    trivial: bool,
+    tracing: bool,
+    record_messages: bool,
+    token_bytes: u64,
+    packet_header_bytes: u64,
+}
+
+impl Shared<'_> {
+    /// Fetch (building as needed) the context for `round`, pruning cached
+    /// contexts every node has already passed.
+    fn ctx(&self, round: usize) -> Arc<RoundCtx> {
+        let mut b = self.server.lock().expect("context server lock");
+        while b.next <= round {
+            b.build_next();
+        }
+        if b.ctxs.len() > CTX_CACHE_SOFT_CAP {
+            let min = self
+                .node_round
+                .iter()
+                .map(|r| r.load(Ordering::Relaxed))
+                .min()
+                .unwrap_or(0);
+            b.ctxs.retain(|&r, _| r >= min);
+        }
+        Arc::clone(b.ctxs.get(&round).expect("context just built"))
+    }
+
+    fn ring_all(&self) {
+        for d in self.doorbells.iter() {
+            d.ring();
+        }
+    }
+}
+
+/// Sets the abort flag and wakes every worker if its owner unwinds, so a
+/// panicking shard cannot leave its peers parked on quorums that will
+/// never arrive.
+struct AbortGuard<'s, 'a> {
+    shared: &'s Shared<'a>,
+}
+
+impl Drop for AbortGuard<'_, '_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.abort.store(true, Ordering::SeqCst);
+            self.shared.ring_all();
+        }
+    }
+}
+
+/// Run the event-driven mode. Semantics and reports are identical to the
+/// lock-step engine on the same config (see the module docs for the
+/// argument); the returned [`RunReport`] additionally carries wall-clock
+/// throughput and per-token latency in [`RunReport::wall`].
+pub(crate) fn run<P: Protocol + Send>(
+    mut cfg: RunConfig<'_>,
+    provider: &mut (dyn HierarchyProvider + Send),
+    protocols: &mut [P],
+    assignment: &[Vec<TokenId>],
+) -> RunReport {
+    let start = Instant::now();
+    let mut disabled = Tracer::disabled();
+    let tracer: &mut Tracer = match cfg.tracer.take() {
+        Some(t) => t,
+        None => &mut disabled,
+    };
+    let faults = cfg.faults.clone();
+
+    let n = provider.n();
+    assert_eq!(protocols.len(), n, "one protocol per node");
+    assert_eq!(assignment.len(), n, "one initial token list per node");
+    let threads = resolve_event_threads(cfg.threads, n);
+
+    let universe: TokenSet = assignment.iter().flatten().copied().collect();
+    let k = universe.len();
+    if tracer.enabled() {
+        let w = cfg.cost_weights;
+        tracer.meta("token_bytes", w.token_bytes.to_string());
+        tracer.meta("packet_header_bytes", w.packet_header_bytes.to_string());
+        tracer.meta("mode", "event");
+    }
+    for (i, p) in protocols.iter_mut().enumerate() {
+        p.on_start(NodeId::from_index(i), &assignment[i]);
+    }
+
+    let trivial = faults.is_trivial();
+    let tracing = tracer.enabled();
+
+    // Initial census: informed/finished counts plus the latency cover
+    // (how many nodes have ever learned each token).
+    let id_space = universe.max().map_or(0, |t| t.0 as usize + 1);
+    let mut cover0 = vec![0usize; id_space];
+    let mut informed0 = 0usize;
+    let mut finished0 = 0usize;
+    for p in protocols.iter() {
+        informed0 += usize::from(universe.is_subset(p.known()));
+        finished0 += usize::from(p.finished());
+        for t in p.known() {
+            cover0[t.0 as usize] += 1;
+        }
+    }
+
+    let wall_degenerate = || WallClock {
+        elapsed_ns: start.elapsed().as_nanos() as u64,
+        tokens_per_sec: 0.0,
+        latency: None,
+        reassembly_stalls: 0,
+        mailbox_depth_max: 0,
+    };
+
+    // Degenerate cases the lock-step loop never enters: everyone informed
+    // before any round, or a zero round budget.
+    if informed0 == n {
+        tracer.run_end(0, true);
+        return RunReport {
+            rounds_executed: 0,
+            completion_round: Some(0),
+            metrics: Metrics::default(),
+            k,
+            cost_weights: cfg.cost_weights,
+            outcome: Outcome::Completed { round: 0 },
+            wall: wall_degenerate(),
+        };
+    }
+    if cfg.max_rounds == 0 {
+        tracer.run_end(0, false);
+        let flat: Vec<&P> = protocols.iter().collect();
+        let missing = missing_tokens(&universe, &flat, k);
+        return RunReport {
+            rounds_executed: 0,
+            completion_round: None,
+            metrics: Metrics::default(),
+            k,
+            cost_weights: cfg.cost_weights,
+            outcome: Outcome::Stalled {
+                missing_tokens: missing,
+                budget_exhausted: true,
+            },
+            wall: wall_degenerate(),
+        };
+    }
+
+    let shard_size = n.div_ceil(threads);
+    let doorbells: Arc<Vec<Doorbell>> = Arc::new(
+        (0..n.div_ceil(shard_size))
+            .map(|_| Doorbell::new())
+            .collect(),
+    );
+    let transport = ChannelTransport::new(n);
+    {
+        let doorbells = Arc::clone(&doorbells);
+        transport.set_notifier(Arc::new(move |node| doorbells[node / shard_size].ring()));
+    }
+
+    let shared = Shared {
+        server: Mutex::new(Builder {
+            provider,
+            n,
+            validate: cfg.validate_hierarchy,
+            tracing,
+            faults: faults.clone(),
+            trivial,
+            next: 0,
+            down_until: vec![0; n],
+            was_down: vec![false; n],
+            prev_heads: Vec::new(),
+            graph_cache: None,
+            ctxs: BTreeMap::new(),
+            logs: Vec::new(),
+        }),
+        oracle: Mutex::new(Oracle {
+            n,
+            next: 0,
+            informed: informed0,
+            finished: finished0,
+            stopped: false,
+            early_stop: false,
+            rounds_executed: 0,
+            completion_round: None,
+            metrics: Metrics::default(),
+            fault_window: None,
+            backbone: false,
+            pending: BTreeMap::new(),
+            record_rounds: cfg.record_rounds,
+            stop_on_completion: cfg.stop_on_completion,
+        }),
+        transport,
+        doorbells: Arc::clone(&doorbells),
+        stop_after: AtomicUsize::new(cfg.max_rounds - 1),
+        abort: AtomicBool::new(false),
+        node_round: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+        stalls: AtomicU64::new(0),
+        cover: cover0.into_iter().map(AtomicUsize::new).collect(),
+        covered_at: (0..id_space).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        start,
+        n,
+        universe: &universe,
+        assignment,
+        faults: &faults,
+        trivial,
+        tracing,
+        record_messages: cfg.record_messages,
+        token_bytes: cfg.cost_weights.token_bytes,
+        packet_header_bytes: cfg.cost_weights.packet_header_bytes,
+    };
+    // Tokens fully known at the start are covered at t = 0.
+    for t in &universe {
+        if shared.cover[t.0 as usize].load(Ordering::Relaxed) == n {
+            shared.covered_at[t.0 as usize].store(0, Ordering::Relaxed);
+        }
+    }
+
+    // Build shards: contiguous node ranges, one worker thread each. Each
+    // node carries its per-protocol learned set (seeded from its initial
+    // known tokens) into the latency cover diffing.
+    let mut shards: Vec<Shard<'_, P>> = Vec::new();
+    {
+        let mut rest = &mut protocols[..];
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = shard_size.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let mut nodes = Vec::with_capacity(take);
+            for p in chunk.iter() {
+                let mut st = NodeState::new();
+                st.learned = p.known().clone();
+                st.informed = universe.is_subset(p.known());
+                st.finished = p.finished();
+                nodes.push(st);
+            }
+            shards.push(Shard {
+                base,
+                protocols: chunk,
+                nodes,
+            });
+            base += take;
+            rest = tail;
+        }
+    }
+
+    let nshards = shards.len();
+    pool::map_mut(&mut shards, nshards, |s, shard| {
+        let _guard = AbortGuard { shared: &shared };
+        run_shard(&shared, s, shard);
+    });
+
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+
+    // Harvest the oracle: merged metrics for rounds below the stop, the
+    // completion verdict, and the loss/partition fault window.
+    let oracle = shared.oracle.into_inner().expect("oracle lock");
+    let mut metrics = oracle.metrics;
+    let rounds_executed = oracle.rounds_executed;
+    let completion_round = oracle.completion_round;
+    let budget_exhausted = !oracle.early_stop;
+    let mut fault_window = oracle.fault_window;
+    let mut backbone = oracle.backbone;
+
+    // Crash/recovery counts and the crash side of the fault window come
+    // from the builder's per-round logs, clipped to the executed rounds.
+    let server = shared.server.into_inner().expect("context server lock");
+    for (r, log) in server.logs.iter().enumerate().take(rounds_executed) {
+        metrics.crashes += log.crashes.len() as u64;
+        metrics.recoveries += log.recoveries.len() as u64;
+        if !log.crashes.is_empty() {
+            backbone = true;
+            note_fault(&mut fault_window, r as u64);
+        }
+    }
+
+    // Overshoot-crash repair: a node restarted by a crash in a round the
+    // run turned out not to include had (provably) already learned the
+    // whole universe when it entered that round — put it back there.
+    if completion_round.is_some() {
+        let universe_tokens: Vec<TokenId> = universe.iter().collect();
+        for shard in &mut shards {
+            for (j, st) in shard.nodes.iter().enumerate() {
+                if st.crashed_at.is_some_and(|r| r >= rounds_executed) {
+                    let me = NodeId::from_index(shard.base + j);
+                    shard.protocols[j].on_restart(me, &universe_tokens);
+                }
+            }
+        }
+    }
+
+    // Message-log merge in lock-step order (ascending round, then node),
+    // honouring the cap exactly like the lock-step recorder.
+    if cfg.record_messages {
+        let mut cursors = vec![0usize; n];
+        'merge: for r in 0..rounds_executed {
+            for shard in &shards {
+                for (j, st) in shard.nodes.iter().enumerate() {
+                    let c = &mut cursors[shard.base + j];
+                    while *c < st.msgs.len() && st.msgs[*c].round == r {
+                        if metrics.log.len() >= cfg.message_log_cap {
+                            metrics.log_truncated = true;
+                            eprintln!(
+                                "hinet-sim: message log reached RunConfig::message_log_cap \
+                                 ({}); further MessageRecords are dropped — raise the cap or \
+                                 disable record_messages for large runs",
+                                cfg.message_log_cap
+                            );
+                            break 'merge;
+                        }
+                        metrics.log.push(st.msgs[*c].clone());
+                        *c += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Trace replay: emit the buffered events through the real tracer in
+    // exact lock-step order, so event-mode trace bytes match lock-step.
+    if tracing {
+        let durable = faults.durable_tokens;
+        let mut cursors = vec![0usize; n];
+        for r in 0..rounds_executed {
+            tracer.round_start(r as u64);
+            let log = &server.logs[r];
+            for &i in &log.recoveries {
+                tracer.recover(r as u64, i as u64);
+            }
+            for &i in &log.crashes {
+                tracer.crash(r as u64, i as u64, durable);
+            }
+            for &(node, old, new) in &log.reaffs {
+                tracer.reaffiliation(r as u64, node, old, new);
+            }
+            for shard in &shards {
+                for (j, st) in shard.nodes.iter().enumerate() {
+                    let i = shard.base + j;
+                    let c = &mut cursors[i];
+                    if *c < st.evts.len() && st.evts[*c].0 == r {
+                        for e in &st.evts[*c].1 {
+                            replay(tracer, r as u64, i as u64, e);
+                        }
+                        *c += 1;
+                    }
+                }
+            }
+        }
+    }
+    tracer.run_end(rounds_executed as u64, completion_round.is_some());
+    let stalls = shared.stalls.load(Ordering::Relaxed);
+    let depth = shared.transport.max_depth() as u64;
+    if tracing {
+        tracer.note_runtime(stalls, depth);
+    }
+
+    // Wall-clock metrics: throughput over the whole execution, per-token
+    // cover latency from the stamped completion instants.
+    let mut lat: Vec<u64> = universe
+        .iter()
+        .filter_map(|t| {
+            let v = shared.covered_at[t.0 as usize].load(Ordering::Relaxed);
+            (v != u64::MAX).then_some(v)
+        })
+        .collect();
+    lat.sort_unstable();
+    let latency = (!lat.is_empty()).then(|| TokenLatency {
+        covered: lat.len(),
+        total: k,
+        p50_ns: lat[lat.len() / 2],
+        p95_ns: lat[(lat.len() * 95 / 100).min(lat.len() - 1)],
+        max_ns: *lat.last().expect("non-empty"),
+    });
+    let secs = elapsed_ns as f64 / 1e9;
+    let wall = WallClock {
+        elapsed_ns,
+        tokens_per_sec: if secs > 0.0 {
+            metrics.tokens_sent as f64 / secs
+        } else {
+            0.0
+        },
+        latency,
+        reassembly_stalls: stalls,
+        mailbox_depth_max: depth,
+    };
+
+    let outcome = match completion_round {
+        Some(round) => Outcome::Completed { round },
+        None => {
+            let missing = {
+                let mut flat: Vec<&P> = Vec::with_capacity(n);
+                for shard in &shards {
+                    flat.extend(shard.protocols.iter());
+                }
+                missing_tokens(&universe, &flat, k)
+            };
+            match fault_window {
+                Some(window) => Outcome::AssumptionViolated {
+                    window,
+                    def: if backbone { 2 } else { 1 },
+                },
+                None => Outcome::Stalled {
+                    missing_tokens: missing,
+                    budget_exhausted,
+                },
+            }
+        }
+    };
+    RunReport {
+        rounds_executed,
+        completion_round,
+        metrics,
+        k,
+        cost_weights: cfg.cost_weights,
+        outcome,
+        wall,
+    }
+}
+
+/// `k` minus the number of tokens known everywhere (the lock-step stall
+/// accounting, word-for-word).
+fn missing_tokens<P: Protocol>(universe: &TokenSet, protocols: &[&P], k: usize) -> usize {
+    let mut everywhere = universe.clone();
+    for p in protocols {
+        if everywhere.is_empty() {
+            break;
+        }
+        let known = p.known();
+        everywhere = everywhere.iter().filter(|t| known.contains(t)).collect();
+    }
+    k - everywhere.len()
+}
+
+/// The worker loop for one shard: repeatedly sweep the shard's nodes,
+/// stepping each as far as its quorum allows, parking on the shard
+/// doorbell when nothing moved.
+fn run_shard<P: Protocol>(shared: &Shared<'_>, s: usize, shard: &mut Shard<'_, P>) {
+    loop {
+        if shared.abort.load(Ordering::SeqCst) {
+            return;
+        }
+        let epoch = shared.doorbells[s].epoch();
+        let mut progressed = false;
+        let mut all_done = true;
+        for j in 0..shard.nodes.len() {
+            let i = shard.base + j;
+            loop {
+                if shared.abort.load(Ordering::SeqCst) {
+                    return;
+                }
+                if shard.nodes[j].done {
+                    break;
+                }
+                let r = shard.nodes[j].round;
+                if r > shared.stop_after.load(Ordering::SeqCst) {
+                    shard.nodes[j].done = true;
+                    progressed = true;
+                    break;
+                }
+                let ctx = shared.ctx(r);
+                if !shard.nodes[j].sent {
+                    step_send(
+                        shared,
+                        i,
+                        r,
+                        &ctx,
+                        &mut shard.protocols[j],
+                        &mut shard.nodes[j],
+                    );
+                    shard.nodes[j].sent = true;
+                    progressed = true;
+                }
+                let st = &mut shard.nodes[j];
+                if shared.transport.drain(i, &mut st.scratch) > 0 {
+                    for env in st.scratch.drain(..) {
+                        st.buffer.push(env);
+                    }
+                }
+                let quorum = ctx.csr.neighbors(NodeId::from_index(i)).len();
+                if !st.buffer.ready(r, quorum) {
+                    if !st.stalled {
+                        st.stalled = true;
+                        shared.stalls.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+                step_recv(
+                    shared,
+                    i,
+                    r,
+                    &ctx,
+                    &mut shard.protocols[j],
+                    &mut shard.nodes[j],
+                );
+                let st = &mut shard.nodes[j];
+                st.round = r + 1;
+                st.sent = false;
+                st.stalled = false;
+                shared.node_round[i].store(st.round, Ordering::Relaxed);
+                progressed = true;
+            }
+            if !shard.nodes[j].done {
+                all_done = false;
+            }
+        }
+        if all_done {
+            return;
+        }
+        if !progressed {
+            shared.doorbells[s].wait(epoch);
+        }
+    }
+}
+
+/// A node's round-`r` send step: apply this round's crash (if any), run the
+/// protocol's send against the round view, gate every delivery through the
+/// fault plane, enqueue payload envelopes, and flush one end-of-round
+/// marker per neighbour.
+fn step_send<P: Protocol>(
+    shared: &Shared<'_>,
+    i: usize,
+    r: usize,
+    ctx: &RoundCtx,
+    p: &mut P,
+    st: &mut NodeState,
+) {
+    let me = NodeId::from_index(i);
+    if ctx.crashed[i] {
+        let retained: Vec<TokenId> = if shared.faults.durable_tokens {
+            p.known().iter().collect()
+        } else {
+            shared.assignment[i].clone()
+        };
+        p.on_restart(me, &retained);
+        st.crashed_at = Some(r);
+        let inf = shared.universe.is_subset(p.known());
+        st.rep.informed_start += i64::from(inf) - i64::from(st.informed);
+        st.informed = inf;
+    }
+    let neighbors = ctx.csr.neighbors(me);
+    let mut evts: Vec<BufEvt> = Vec::new();
+    if !ctx.down[i] && !p.finished() {
+        let view = LocalView {
+            me,
+            round: r,
+            role: ctx.hierarchy.role(me),
+            cluster: ctx.hierarchy.cluster_of(me),
+            head: ctx.hierarchy.head_of(me),
+            parent: ctx.hierarchy.parent_of(me),
+            neighbors,
+        };
+        let outs = p.send(&view);
+        let role = ctx.hierarchy.role(me);
+        let mut seq = 0u32;
+        for out in outs {
+            if out.payload.is_empty() {
+                continue;
+            }
+            let cost = out.payload.len() as u64;
+            st.rep.tokens += cost;
+            st.rep.packets += 1;
+            st.rep.by_role[role_slot(role)] += cost;
+            if shared.tracing {
+                let bytes = cost * shared.token_bytes + shared.packet_header_bytes;
+                let token = out.payload.first().expect("non-empty payload").0;
+                match out.dest {
+                    Destination::Broadcast => evts.push(BufEvt::Broadcast {
+                        token,
+                        cost,
+                        role: obs_role(role),
+                        bytes,
+                    }),
+                    Destination::Unicast(v) => evts.push(BufEvt::Push {
+                        token,
+                        cost,
+                        role: obs_role(role),
+                        to: v.0 as u64,
+                        bytes,
+                    }),
+                }
+            }
+            if out.retransmit {
+                st.rep.retransmits += 1;
+                if shared.tracing {
+                    let dst = match out.dest {
+                        Destination::Broadcast => None,
+                        Destination::Unicast(v) => Some(v.0 as u64),
+                    };
+                    evts.push(BufEvt::Retransmit { cost, dst });
+                }
+            }
+            match out.dest {
+                Destination::Broadcast => {
+                    if shared.record_messages {
+                        st.msgs.push(MessageRecord {
+                            round: r,
+                            from: me,
+                            to: None,
+                            delivered: true,
+                            tokens: out.payload.to_vec(),
+                        });
+                    }
+                    for &v in neighbors {
+                        if !shared.trivial && gated(shared, r, me, v, ctx, st, &mut evts) {
+                            continue;
+                        }
+                        shared.transport.send(Envelope {
+                            round: r,
+                            from: me,
+                            to: v,
+                            seq,
+                            kind: EnvelopeKind::Payload {
+                                payload: out.payload.clone(),
+                                directed: false,
+                            },
+                        });
+                    }
+                }
+                Destination::Unicast(v) => {
+                    let delivered = ctx.csr.has_edge(me, v);
+                    if shared.record_messages {
+                        st.msgs.push(MessageRecord {
+                            round: r,
+                            from: me,
+                            to: Some(v),
+                            delivered,
+                            tokens: out.payload.to_vec(),
+                        });
+                    }
+                    if delivered {
+                        if !(!shared.trivial && gated(shared, r, me, v, ctx, st, &mut evts)) {
+                            shared.transport.send(Envelope {
+                                round: r,
+                                from: me,
+                                to: v,
+                                seq,
+                                kind: EnvelopeKind::Payload {
+                                    payload: out.payload,
+                                    directed: true,
+                                },
+                            });
+                        }
+                    } else {
+                        st.rep.dropped_unicasts += 1;
+                    }
+                }
+            }
+            seq += 1;
+        }
+    }
+    if shared.tracing && !evts.is_empty() {
+        st.evts.push((r, evts));
+    }
+    // End-of-round markers: every node — down, finished or silent — tells
+    // each round-r neighbour it is done sending, so receiver quorums close.
+    for &v in neighbors {
+        shared.transport.send(Envelope {
+            round: r,
+            from: me,
+            to: v,
+            seq: u32::MAX,
+            kind: EnvelopeKind::RoundDone,
+        });
+    }
+}
+
+/// Fault-plane delivery gate (the lock-step `faulted_delivery`, buffered):
+/// `true` when the `from → to` delivery is lost this round. Deliveries to
+/// crashed receivers are lost silently — the crash event already explains
+/// them.
+fn gated(
+    shared: &Shared<'_>,
+    r: usize,
+    from: NodeId,
+    to: NodeId,
+    ctx: &RoundCtx,
+    st: &mut NodeState,
+    evts: &mut Vec<BufEvt>,
+) -> bool {
+    if ctx.down[to.index()] {
+        return true;
+    }
+    let kind = if shared.faults.partitioned(r, from.index(), to.index()) {
+        FaultKind::Partition
+    } else if shared.faults.drops_message(r, from.index(), to.index()) {
+        FaultKind::Loss
+    } else {
+        return false;
+    };
+    if kind == FaultKind::Partition {
+        st.rep.partition = true;
+    }
+    st.rep.faults += 1;
+    if shared.tracing {
+        evts.push(BufEvt::Fault {
+            to: to.0 as u64,
+            kind,
+        });
+    }
+    true
+}
+
+/// A node's round-`r` receive step: release the reassembled inbox, run the
+/// protocol's receive (unless the node is down — its inbox is lost), track
+/// informed/finished transitions and the per-token latency cover, and
+/// submit the round report to the oracle.
+fn step_recv<P: Protocol>(
+    shared: &Shared<'_>,
+    i: usize,
+    r: usize,
+    ctx: &RoundCtx,
+    p: &mut P,
+    st: &mut NodeState,
+) {
+    let me = NodeId::from_index(i);
+    let inbox = st.buffer.take(r);
+    if !ctx.down[i] {
+        let view = LocalView {
+            me,
+            round: r,
+            role: ctx.hierarchy.role(me),
+            cluster: ctx.hierarchy.cluster_of(me),
+            head: ctx.hierarchy.head_of(me),
+            parent: ctx.hierarchy.parent_of(me),
+            neighbors: ctx.csr.neighbors(me),
+        };
+        p.receive(&view, &inbox);
+        if !st.informed && !inbox.is_empty() && shared.universe.is_subset(p.known()) {
+            st.informed = true;
+            st.rep.informed_end += 1;
+        }
+        // Latency cover: word-diff the protocol's known set against the
+        // node's ever-learned set; each genuinely new token contributes
+        // one node to its cover, stamping its completion instant when the
+        // cover reaches n.
+        let known_words = p.known().words();
+        for (w, &kw) in known_words.iter().enumerate() {
+            let mut fresh = kw & !st.learned.words().get(w).copied().unwrap_or(0);
+            while fresh != 0 {
+                let b = fresh.trailing_zeros();
+                fresh &= fresh - 1;
+                let t = TokenId((w * 64) as u64 + u64::from(b));
+                st.learned.insert(t);
+                let c = shared.cover[t.0 as usize].fetch_add(1, Ordering::SeqCst) + 1;
+                if c == shared.n {
+                    shared.covered_at[t.0 as usize]
+                        .store(shared.start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    let fin = p.finished();
+    st.rep.finished += i64::from(fin) - i64::from(st.finished);
+    st.finished = fin;
+
+    let rep = std::mem::take(&mut st.rep);
+    let stop = {
+        let mut oracle = shared.oracle.lock().expect("oracle lock");
+        oracle.report(r, rep)
+    };
+    if let Some(stop_round) = stop {
+        shared.stop_after.fetch_min(stop_round, Ordering::SeqCst);
+        shared.ring_all();
+    }
+}
+
+/// Emit one buffered event through the tracer.
+fn replay(tracer: &mut Tracer, r: u64, node: u64, e: &BufEvt) {
+    match *e {
+        BufEvt::Broadcast {
+            token,
+            cost,
+            role,
+            bytes,
+        } => tracer.head_broadcast(r, node, token, cost, role, bytes),
+        BufEvt::Push {
+            token,
+            cost,
+            role,
+            to,
+            bytes,
+        } => tracer.token_push(r, node, token, cost, role, to, bytes),
+        BufEvt::Retransmit { cost, dst } => tracer.retransmit(r, node, cost, dst),
+        BufEvt::Fault { to, kind } => tracer.fault_injected(r, node, Some(to), kind),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, ExecMode, RunConfig};
+    use crate::protocol::{Incoming, Outgoing};
+    use crate::token::round_robin_assignment;
+    use hinet_cluster::ctvg::{CtvgTrace, CtvgTraceProvider};
+    use hinet_cluster::hierarchy::single_cluster;
+    use hinet_graph::trace::TvgTrace;
+    use hinet_rt::obs::ObsConfig;
+
+    /// The plain flooding protocol from the engine tests: broadcast
+    /// everything known, union everything heard.
+    struct Flood {
+        ta: TokenSet,
+    }
+
+    impl Flood {
+        fn new() -> Self {
+            Flood {
+                ta: TokenSet::new(),
+            }
+        }
+    }
+
+    impl Protocol for Flood {
+        fn on_start(&mut self, _me: NodeId, initial: &[TokenId]) {
+            self.ta.extend(initial.iter().copied());
+        }
+        fn send(&mut self, _view: &LocalView<'_>) -> Vec<Outgoing> {
+            if self.ta.is_empty() {
+                vec![]
+            } else {
+                vec![Outgoing::broadcast_set(&self.ta)]
+            }
+        }
+        fn receive(&mut self, _view: &LocalView<'_>, inbox: &[Incoming]) {
+            for m in inbox {
+                m.payload.union_into(&mut self.ta);
+            }
+        }
+        fn known(&self) -> &TokenSet {
+            &self.ta
+        }
+        fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+            self.ta.clear();
+            self.on_start(me, retained);
+        }
+    }
+
+    fn star_provider(n: usize, rounds: usize) -> CtvgTraceProvider {
+        let g = Arc::new(Graph::star(n));
+        let h = Arc::new(single_cluster(n, NodeId(0)));
+        let t = TvgTrace::new((0..rounds).map(|_| Arc::clone(&g)).collect());
+        CtvgTraceProvider::new(CtvgTrace::new(
+            t,
+            (0..rounds).map(|_| Arc::clone(&h)).collect(),
+        ))
+    }
+
+    /// Run the same scenario in both modes and assert the dissemination
+    /// result (completion round, token sets) and the paper metrics match.
+    fn assert_equivalent(n: usize, faults: FaultPlan, threads: usize) {
+        let assignment = round_robin_assignment(n, n);
+        let mut lp: Vec<Flood> = (0..n).map(|_| Flood::new()).collect();
+        let mut provider = star_provider(n, 64);
+        let lock = Engine::new(RunConfig::new().max_rounds(32).faults(faults.clone())).run(
+            &mut provider,
+            &mut lp,
+            &assignment,
+        );
+
+        let mut ep: Vec<Flood> = (0..n).map(|_| Flood::new()).collect();
+        let mut provider = star_provider(n, 64);
+        let event = Engine::new(
+            RunConfig::new()
+                .max_rounds(32)
+                .faults(faults)
+                .threads(threads)
+                .mode(ExecMode::Event),
+        )
+        .run(&mut provider, &mut ep, &assignment);
+
+        assert_eq!(event.completion_round, lock.completion_round);
+        assert_eq!(event.rounds_executed, lock.rounds_executed);
+        assert_eq!(event.outcome, lock.outcome);
+        assert_eq!(event.metrics.tokens_sent, lock.metrics.tokens_sent);
+        assert_eq!(event.metrics.packets_sent, lock.metrics.packets_sent);
+        assert_eq!(event.metrics.tokens_by_role, lock.metrics.tokens_by_role);
+        assert_eq!(event.metrics.faults_injected, lock.metrics.faults_injected);
+        assert_eq!(event.metrics.crashes, lock.metrics.crashes);
+        assert_eq!(event.metrics.recoveries, lock.metrics.recoveries);
+        for (i, (l, e)) in lp.iter().zip(ep.iter()).enumerate() {
+            let lv: Vec<_> = l.known().iter().collect();
+            let ev: Vec<_> = e.known().iter().collect();
+            assert_eq!(ev, lv, "node {i} final token set diverged");
+        }
+    }
+
+    #[test]
+    fn event_matches_lockstep_on_star() {
+        for threads in [1, 2, 4] {
+            assert_equivalent(5, FaultPlan::none(), threads);
+        }
+    }
+
+    #[test]
+    fn event_matches_lockstep_under_loss() {
+        for threads in [1, 3] {
+            assert_equivalent(6, FaultPlan::new(7).with_loss_ppm(200_000), threads);
+        }
+    }
+
+    #[test]
+    fn event_matches_lockstep_under_crash_mid_run() {
+        let plan = FaultPlan::new(11).with_crash_at(1, 2).with_down_rounds(2);
+        for threads in [1, 4] {
+            assert_equivalent(6, plan.clone(), threads);
+        }
+    }
+
+    #[test]
+    fn event_trace_matches_lockstep_after_header() {
+        let n = 5;
+        let assignment = round_robin_assignment(n, n);
+        let trace = |mode: ExecMode| {
+            let mut tracer = Tracer::new(ObsConfig::full());
+            let mut protocols: Vec<Flood> = (0..n).map(|_| Flood::new()).collect();
+            let mut provider = star_provider(n, 32);
+            let report = Engine::new(
+                RunConfig::new()
+                    .max_rounds(16)
+                    .mode(mode)
+                    .threads(2)
+                    .tracer(&mut tracer),
+            )
+            .run(&mut provider, &mut protocols, &assignment);
+            assert!(report.completed());
+            tracer.to_jsonl()
+        };
+        let lock = trace(ExecMode::Lockstep);
+        let event = trace(ExecMode::Event);
+        // Headers differ (mode meta stamp, runtime counters); every event
+        // line after them must be byte-identical.
+        let lock_events: Vec<&str> = lock.lines().skip(1).collect();
+        let event_events: Vec<&str> = event.lines().skip(1).collect();
+        assert_eq!(event_events, lock_events);
+        let event_header = event.lines().next().unwrap();
+        let lock_header = lock.lines().next().unwrap();
+        assert!(event_header.contains("event"), "mode meta stamp missing");
+        assert!(
+            !lock_header.contains("event"),
+            "lock-step header must not change"
+        );
+    }
+
+    #[test]
+    fn event_reports_wall_clock_metrics() {
+        let n = 5;
+        let assignment = round_robin_assignment(n, n);
+        let mut protocols: Vec<Flood> = (0..n).map(|_| Flood::new()).collect();
+        let mut provider = star_provider(n, 32);
+        let report = Engine::new(RunConfig::new().max_rounds(16).mode(ExecMode::Event)).run(
+            &mut provider,
+            &mut protocols,
+            &assignment,
+        );
+        assert!(report.completed());
+        let lat = report.wall.latency.expect("event mode tracks latency");
+        assert_eq!(lat.covered, lat.total, "completed run covers every token");
+        assert_eq!(lat.total, n);
+        assert!(lat.p50_ns <= lat.p95_ns && lat.p95_ns <= lat.max_ns);
+        assert!(report.wall.elapsed_ns > 0);
+        assert!(report.wall.tokens_per_sec > 0.0);
+    }
+
+    #[test]
+    fn lockstep_wall_clock_is_throughput_only() {
+        let n = 4;
+        let assignment = round_robin_assignment(n, n);
+        let mut protocols: Vec<Flood> = (0..n).map(|_| Flood::new()).collect();
+        let mut provider = star_provider(n, 16);
+        let report = Engine::with_defaults().run(&mut provider, &mut protocols, &assignment);
+        assert!(report.completed());
+        assert!(report.wall.elapsed_ns > 0);
+        assert!(report.wall.latency.is_none());
+        assert_eq!(report.wall.reassembly_stalls, 0);
+        assert_eq!(report.wall.mailbox_depth_max, 0);
+    }
+}

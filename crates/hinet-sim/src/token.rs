@@ -86,6 +86,13 @@ impl TokenSet {
         self.words.get(i).copied().unwrap_or(0)
     }
 
+    /// The raw bitset words, for word-parallel diffing against another
+    /// set without allocating.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Insert `t`; returns `true` iff it was not already present.
     pub fn insert(&mut self, t: TokenId) -> bool {
         let (w, b) = (t.0 as usize / 64, t.0 % 64);

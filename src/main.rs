@@ -86,7 +86,8 @@ USAGE:
             [--alpha A] [--l L] [--theta TH] [--seed S]
             [--loss P] [--crash-rate P] [--crash-at R:U,..]
             [--target-heads] [--fault-seed S] [--retransmit]
-            [--durable-tokens] [--trace] [--trace-out FILE]
+            [--durable-tokens] [--mode lockstep|event]
+            [--trace] [--trace-out FILE]
   hinet trace [scenario flags as for run] [--in FILE] [--events]
             [--summary] [--out FILE] [--filter KIND] [--stability]
             [--sample N]
@@ -157,6 +158,7 @@ const RUN_FLAGS: &[FlagSpec] = &[
         false,
         "accumulated tokens survive crashes",
     ),
+    flag("mode", true, "execution mode, lockstep|event [lockstep]"),
     flag("trace", false, "record a hinet-trace/v1 JSONL artifact"),
     flag(
         "trace-out",
@@ -213,6 +215,7 @@ const TRACE_FLAGS: &[FlagSpec] = &[
         false,
         "accumulated tokens survive crashes",
     ),
+    flag("mode", true, "execution mode, lockstep|event [lockstep]"),
     flag(
         "in",
         true,
@@ -477,6 +480,28 @@ fn print_report(sc: &Scenario, label: &str, report: &RunReport) {
         println!(
             "faults: {} dropped deliveries, {} crashes, {} recoveries, {} retransmits",
             m.faults_injected, m.crashes, m.recoveries, m.retransmits
+        );
+    }
+    let w = &report.wall;
+    println!(
+        "wall clock: {:.3} ms  throughput: {:.0} tokens/sec",
+        w.elapsed_ns as f64 / 1e6,
+        w.tokens_per_sec,
+    );
+    if let Some(lat) = &w.latency {
+        println!(
+            "token latency: p50 {:.3} ms  p95 {:.3} ms  max {:.3} ms  ({}/{} covered)",
+            lat.p50_ns as f64 / 1e6,
+            lat.p95_ns as f64 / 1e6,
+            lat.max_ns as f64 / 1e6,
+            lat.covered,
+            lat.total,
+        );
+    }
+    if w.reassembly_stalls + w.mailbox_depth_max > 0 {
+        println!(
+            "event runtime: {} reassembly stalls, mailbox depth high-water {}",
+            w.reassembly_stalls, w.mailbox_depth_max,
         );
     }
 }

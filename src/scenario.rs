@@ -28,7 +28,7 @@ use hinet_graph::generators::{
 use hinet_graph::trace::TopologyProvider;
 use hinet_rt::flags::FlagSet;
 use hinet_rt::obs::{ParsedTrace, Tracer};
-use hinet_sim::engine::{RunConfig, RunReport};
+use hinet_sim::engine::{ExecMode, RunConfig, RunReport};
 use hinet_sim::fault::{FaultPlan, Partition};
 use hinet_sim::token::round_robin_assignment;
 use std::path::Path;
@@ -92,6 +92,9 @@ pub struct Scenario {
     /// Rounds a crashed node stays down before restarting
     /// (`--down-rounds`, minimum and default 1).
     pub down_rounds: usize,
+    /// Execution mode (`--mode`): deterministic lock-step rounds
+    /// (default) or the event-driven mailbox runtime.
+    pub mode: ExecMode,
 }
 
 /// Parse a `--crash-at` spec: comma-separated `round:node` pairs, e.g.
@@ -277,6 +280,7 @@ impl Scenario {
             durable_tokens: false,
             partitions: vec![],
             down_rounds: 1,
+            mode: ExecMode::Lockstep,
         }
     }
 
@@ -354,6 +358,10 @@ impl Scenario {
             durable_tokens: flags.has("durable-tokens") || base.durable_tokens,
             partitions,
             down_rounds: flags.parsed("down-rounds", base.down_rounds)?,
+            mode: match flags.get("mode") {
+                Some(raw) => raw.parse()?,
+                None => base.mode,
+            },
         };
         sc.validate()?;
         Ok(sc)
@@ -436,6 +444,13 @@ impl Scenario {
                     .into(),
             );
         }
+        if self.mode == ExecMode::Event && self.algorithm == "rlnc" {
+            return Err(
+                "--mode event only applies to round-engine algorithms; rlnc runs the coded \
+                 executor outside the engine"
+                    .into(),
+            );
+        }
         Ok(())
     }
 
@@ -510,6 +525,12 @@ impl Scenario {
             durable_tokens: opt_num("durable_tokens")? != 0,
             partitions,
             down_rounds,
+            // Stamped by the engine's event path, absent on lock-step
+            // traces (which stay byte-identical to older artifacts).
+            mode: match trace.meta_get("mode") {
+                Some(raw) => raw.parse()?,
+                None => ExecMode::Lockstep,
+            },
         })
     }
 
@@ -564,7 +585,10 @@ impl Scenario {
     }
 
     /// The hierarchy-carrying dynamics provider for round-engine runs.
-    pub fn provider(&self, kind: &AlgorithmKind) -> Result<Box<dyn HierarchyProvider>, String> {
+    pub fn provider(
+        &self,
+        kind: &AlgorithmKind,
+    ) -> Result<Box<dyn HierarchyProvider + Send>, String> {
         let (n, l, theta, seed) = (self.n, self.l, self.theta, self.seed);
         Ok(match self.dynamics.as_str() {
             "hinet" => {
@@ -711,6 +735,7 @@ impl Scenario {
                 .max_rounds(self.budget)
                 .faults(faults)
                 .retransmit(self.retransmit)
+                .mode(self.mode)
                 .tracer(tracer),
         );
         Ok(ScenarioReport::Engine(report))
@@ -765,6 +790,7 @@ const OPTIONAL_KEYS: &[&str] = &[
     "durable_tokens",
     "partitions",
     "down_rounds",
+    "mode",
     "expect_outcome",
 ];
 
@@ -822,6 +848,9 @@ impl ScenarioFile {
         }
         if sc.down_rounds != 1 {
             out.push_str(&format!("down_rounds = {}\n", sc.down_rounds));
+        }
+        if sc.mode != ExecMode::Lockstep {
+            out.push_str(&format!("mode = {}\n", sc.mode));
         }
         if let Some(expect) = &self.expect {
             out.push_str(&format!("expect_outcome = {expect}\n"));
@@ -927,6 +956,12 @@ impl ScenarioFile {
                     .map_err(|e| format!("scenario file key 'down_rounds': {e}"))?,
                 None => 1,
             },
+            mode: match get("mode") {
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|e| format!("scenario file key 'mode': {e}"))?,
+                None => ExecMode::Lockstep,
+            },
         };
         scenario.validate()?;
         Ok(ScenarioFile {
@@ -984,6 +1019,7 @@ mod tests {
             durable_tokens: false,
             partitions: vec![],
             down_rounds: 1,
+            mode: ExecMode::Lockstep,
         }
     }
 

@@ -51,6 +51,7 @@ fn scenario(algorithm: &str, dynamics: &str, n: usize, k: usize, seed: u64) -> S
         durable_tokens: false,
         partitions: vec![],
         down_rounds: 1,
+        mode: hinet_sim::ExecMode::Lockstep,
     }
 }
 
