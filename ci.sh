@@ -192,3 +192,59 @@ echo "fuzz smoke: OK"
     exit 1
 }
 echo "corpus replay: OK"
+
+# Streaming-verifier gate: on an archived corpus scenario the batch
+# (--stability) and one-pass streaming (--stability-stream) verifiers must
+# emit identical stability_window event streams — any divergence between
+# the two verifier families fails the build (the artifacts differ only in
+# the streaming path's gauge meta, hence --ignore meta).
+rm -rf target/ci-stream
+mkdir -p target/ci-stream
+for sc in tests/corpus/*.scenario; do
+    stem=$(basename "$sc" .scenario)
+    ./target/release/hinet trace --scenario "$sc" --stability \
+        --out "target/ci-stream/$stem.batch.jsonl" >/dev/null
+    ./target/release/hinet trace --scenario "$sc" --stability-stream \
+        --out "target/ci-stream/$stem.stream.jsonl" >/dev/null
+    grep -q 'stability_window' "target/ci-stream/$stem.stream.jsonl" || {
+        echo "stream gate: $stem streamed no stability_window events" >&2
+        exit 1
+    }
+    ./target/release/hinet trace --diff "target/ci-stream/$stem.batch.jsonl" \
+        "target/ci-stream/$stem.stream.jsonl" --ignore meta >/dev/null || {
+        echo "stream gate: $stem: streaming verdicts diverged from batch" >&2
+        ./target/release/hinet trace --diff "target/ci-stream/$stem.batch.jsonl" \
+            "target/ci-stream/$stem.stream.jsonl" --ignore meta >&2 || true
+        exit 1
+    }
+done
+# Long-horizon constant-memory smoke: n=20k with a full-run partition (so
+# the run exhausts its budget) at two horizons. The streaming verifier's
+# retained state must not grow with the horizon — its peak gauge at 512
+# rounds must stay within 50% of the 128-round peak.
+for budget in 128 512; do
+    ./target/release/hinet trace --algorithm klo-flood --dynamics hinet \
+        --n 20000 --k 2 --theta 30 --seed 9 --budget "$budget" \
+        --partition "0:$budget:1" --sample 100000 --stability-stream \
+        --out "target/ci-stream/long$budget.jsonl" >/dev/null
+done
+peak128=$(grep -o '"stability_stream_peak_bytes":"[0-9]*"' \
+    target/ci-stream/long128.jsonl | grep -o '[0-9]*')
+peak512=$(grep -o '"stability_stream_peak_bytes":"[0-9]*"' \
+    target/ci-stream/long512.jsonl | grep -o '[0-9]*')
+test -n "$peak128" && test -n "$peak512" || {
+    echo "stream gate: long-horizon runs stamped no peak gauge" >&2
+    exit 1
+}
+if [ $((peak512 * 2)) -gt $((peak128 * 3)) ]; then
+    echo "stream gate: peak state grew with the horizon ($peak128 -> $peak512 bytes)" >&2
+    exit 1
+fi
+# The batch-vs-streaming wall-clock sweep must emit its JSON artifact and
+# gate against itself.
+./target/release/hinet bench --filter sweep_verify --sample-size 5 --budget-ms 50 \
+    --json --out-dir target/ci-stream >/dev/null
+test -s target/ci-stream/BENCH_sweep_verify.json
+./target/release/hinet bench --filter sweep_verify --sample-size 5 --budget-ms 50 \
+    --baseline target/ci-stream/BENCH_sweep_verify.json --max-regress 10000 >/dev/null
+echo "stream gate: OK"

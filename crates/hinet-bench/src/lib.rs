@@ -81,6 +81,11 @@ pub fn suites() -> Vec<Suite> {
             run: suites::sweep_scale::bench,
         },
         Suite {
+            name: "sweep_verify",
+            about: "batch vs streaming stability verification at growing horizons",
+            run: suites::sweep_verify::bench,
+        },
+        Suite {
             name: "headline",
             about: "E10 — the headline reduction grid (analytic cost model)",
             run: suites::headline::bench,
@@ -157,9 +162,10 @@ mod tests {
 
     /// The registry covers the twelve ported criterion targets (DESIGN.md
     /// §4's artifact list) plus the fault-plane degradation sweep, the
-    /// engine scale gate and the event-runtime crossover sweep.
+    /// engine scale gate, the event-runtime crossover sweep and the
+    /// batch-vs-streaming verification sweep.
     #[test]
     fn registry_has_every_suite() {
-        assert_eq!(suites().len(), 15);
+        assert_eq!(suites().len(), 16);
     }
 }

@@ -1,4 +1,4 @@
-//! The fifteen benchmark suites, one module per retired criterion target.
+//! The sixteen benchmark suites, one module per retired criterion target.
 //! Register new suites in [`crate::suites()`].
 
 pub mod ablation_remark1;
@@ -14,5 +14,6 @@ pub mod sweep_l;
 pub mod sweep_loss;
 pub mod sweep_n;
 pub mod sweep_scale;
+pub mod sweep_verify;
 pub mod table2_models;
 pub mod table3_simulated;

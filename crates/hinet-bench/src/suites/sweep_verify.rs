@@ -1,0 +1,61 @@
+//! Bench: batch window recompute vs one-pass streaming verification at
+//! growing horizon lengths. The batch side materialises the full
+//! `CtvgTrace` and re-derives every aligned window from scratch
+//! (`trace_stability_windows`); the streaming side feeds the same
+//! provider one round at a time through a `StabilityStream`. The
+//! `--baseline` gate tracks the crossover as horizons grow.
+
+use crate::small_params;
+use hinet_analysis::scenarios::heads_for_members;
+use hinet_cluster::ctvg::{CtvgTrace, HierarchyProvider};
+use hinet_cluster::generators::{HiNetConfig, HiNetGen};
+use hinet_cluster::stability::stream::StabilityStream;
+use hinet_cluster::stability::trace_stability_windows;
+use hinet_graph::TopologyProvider;
+use hinet_rt::bench::{Bench, BenchmarkId};
+use hinet_rt::obs::Tracer;
+use std::hint::black_box;
+
+pub fn bench(c: &mut Bench) {
+    let p = small_params();
+    let n = p.n0 as usize;
+    let (t, l) = (6usize, p.l as usize);
+    let gen = || {
+        HiNetGen::new(HiNetConfig {
+            n,
+            num_heads: heads_for_members(&p),
+            theta: p.theta as usize,
+            l,
+            t,
+            reaffil_prob: 0.1,
+            rotate_heads: true,
+            noise_edges: n / 5,
+            seed: 7,
+        })
+    };
+    let mut group = c.benchmark_group("sweep_verify");
+    group.sample_size(10);
+    for &rounds in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("batch", rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                let mut provider = gen();
+                let trace = CtvgTrace::capture(&mut provider, rounds);
+                let mut tracer = Tracer::disabled();
+                black_box(trace_stability_windows(&trace, t, l, &mut tracer))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stream", rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                let mut provider = gen();
+                let mut stream = StabilityStream::new(t, l);
+                for round in 0..rounds {
+                    let g = provider.graph_at(round);
+                    let h = provider.hierarchy_at(round);
+                    black_box(stream.push(&g, &h));
+                }
+                black_box(stream.finish().1)
+            })
+        });
+    }
+    group.finish();
+}

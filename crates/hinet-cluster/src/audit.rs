@@ -6,15 +6,20 @@
 //! `stability_audit` example and the CLI `audit` subcommand print.
 
 use crate::ctvg::CtvgTrace;
+use crate::hierarchy::Hierarchy;
 use crate::reaffiliation::{churn_stats, ChurnStats};
+use crate::stability::stream::StabilityStream;
 use crate::stability::{
     is_head_set_forever_stable, max_hierarchy_stability_sliding, max_hinet_t, min_hinet_l,
 };
-use hinet_graph::metrics::{trace_stats, TraceStats};
+use hinet_graph::csr::CsrGraph;
+use hinet_graph::graph::{Graph, NodeId};
+use hinet_graph::metrics::{snapshot_stats, trace_stats, TraceStats};
 use hinet_graph::verify::{is_always_connected, max_interval_connectivity};
+use std::sync::Arc;
 
 /// The full audit result.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StabilityReport {
     /// Whether every snapshot is connected (1-interval connectivity).
     pub always_connected: bool,
@@ -101,6 +106,250 @@ impl StabilityReport {
     }
 }
 
+/// One-pass streaming equivalent of [`audit`]: push rounds as they are
+/// produced and get the **same** [`StabilityReport`] without materialising
+/// a [`CtvgTrace`].
+///
+/// Built on [`StabilityStream`] (in spectrum mode, configured at `t = 1`,
+/// so `min_l` and `max_hinet_t` fall out of the stream summary) plus
+/// streaming mirrors of the flat-connectivity, churn and topology passes.
+/// The flat T-interval answer uses a per-round bottleneck: with each
+/// surviving edge's *age* (rounds of continuous presence, off the stream's
+/// present-since map) the largest age threshold at which the snapshot is
+/// spanned equals the longest window ending this round whose intersection
+/// is connected — `max_flat_t` is the minimum of those bottlenecks over
+/// rounds they actually constrain.
+///
+/// Retained state is `O(n + m)` — independent of the horizon; see
+/// [`StreamingAudit::peak_state_bytes`].
+///
+/// # Panics
+/// [`push`](Self::push) panics (with [`audit`]'s message) if a round's
+/// hierarchy fails validation; [`finish`](Self::finish) expects at least
+/// one pushed round, like `audit` on a non-empty trace.
+pub struct StreamingAudit {
+    stream: StabilityStream,
+    round: usize,
+    always_connected: bool,
+    flat_dead: bool,
+    flat_min: Option<usize>,
+    ever_head: Vec<bool>,
+    max_concurrent_heads: usize,
+    member_rounds: usize,
+    reaff: Vec<usize>,
+    head_set_changes: usize,
+    prev_h: Option<Arc<Hierarchy>>,
+    sum_edges: f64,
+    sum_density: f64,
+    sum_clustering: f64,
+    churn_total: usize,
+    persistence_sum: f64,
+    persistence_count: usize,
+    prev_g: Option<Arc<Graph>>,
+}
+
+impl Default for StreamingAudit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingAudit {
+    /// Start an empty streaming audit.
+    pub fn new() -> Self {
+        StreamingAudit {
+            stream: StabilityStream::new(1, 0).with_spectrum(),
+            round: 0,
+            always_connected: true,
+            flat_dead: false,
+            flat_min: None,
+            ever_head: Vec::new(),
+            max_concurrent_heads: 0,
+            member_rounds: 0,
+            reaff: Vec::new(),
+            head_set_changes: 0,
+            prev_h: None,
+            sum_edges: 0.0,
+            sum_density: 0.0,
+            sum_clustering: 0.0,
+            churn_total: 0,
+            persistence_sum: 0.0,
+            persistence_count: 0,
+            prev_g: None,
+        }
+    }
+
+    /// Consume one round of the dynamics.
+    pub fn push(&mut self, g: &Arc<Graph>, h: &Arc<Hierarchy>) {
+        let round = self.round;
+        if let Err(e) = h.validate(g) {
+            panic!("cannot audit an invalid CTVG: round {round}: {e}");
+        }
+        self.stream.push(g, h);
+
+        // Flat-network baselines.
+        self.always_connected &= CsrGraph::from(&**g).is_connected();
+        let a = flat_bottleneck(g.n(), self.stream.edge_ages(), round);
+        if a == 0 {
+            self.flat_dead = true;
+        } else if a < round + 1 {
+            self.flat_min = Some(self.flat_min.map_or(a, |m| m.min(a)));
+        }
+
+        // Churn statistics (mirrors `reaffiliation::churn_stats`).
+        let n = g.n();
+        if self.ever_head.len() < n {
+            self.ever_head.resize(n, false);
+            self.reaff.resize(n, 0);
+        }
+        self.max_concurrent_heads = self.max_concurrent_heads.max(h.heads().len());
+        for &u in h.heads() {
+            self.ever_head[u.index()] = true;
+        }
+        self.member_rounds += h.member_count();
+        if let Some(prev) = &self.prev_h {
+            if prev.heads() != h.heads() {
+                self.head_set_changes += 1;
+            }
+            for i in 0..n {
+                let u = NodeId::from_index(i);
+                if !h.is_head(u) && prev.cluster_of(u) != h.cluster_of(u) {
+                    self.reaff[i] += 1;
+                }
+            }
+        }
+
+        // Topology dynamics (mirrors `metrics::trace_stats`).
+        let s = snapshot_stats(g);
+        self.sum_edges += s.m as f64;
+        self.sum_density += s.density;
+        self.sum_clustering += s.clustering_coefficient;
+        if let Some(prev) = &self.prev_g {
+            self.churn_total += prev.edge_distance(g);
+            if prev.m() != 0 {
+                let kept = prev.intersect(g).m();
+                self.persistence_sum += kept as f64 / prev.m() as f64;
+                self.persistence_count += 1;
+            }
+        }
+
+        self.prev_h = Some(Arc::clone(h));
+        self.prev_g = Some(Arc::clone(g));
+        self.round = round + 1;
+    }
+
+    /// Rounds consumed so far.
+    pub fn rounds(&self) -> usize {
+        self.round
+    }
+
+    /// Deterministic high-water estimate of retained state, in bytes (the
+    /// inner stream's peak plus this pass's own `O(n)` accumulators).
+    pub fn peak_state_bytes(&self) -> usize {
+        self.stream.peak_state_bytes()
+            + std::mem::size_of::<Self>()
+            + self.ever_head.len()
+            + self.reaff.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Summarise into the same [`StabilityReport`] the batch [`audit`]
+    /// computes from a materialised trace.
+    pub fn finish(self) -> StabilityReport {
+        let rounds = self.round;
+        let (_, sr) = self.stream.finish();
+        let min_l = sr.min_hinet_l;
+        let distinct_heads = self.ever_head.iter().filter(|&&b| b).count();
+        let non_heads = self.ever_head.len() - distinct_heads;
+        let total_reaffiliations: usize = self.reaff.iter().sum();
+        let mean_edges = self.sum_edges / rounds as f64;
+        let mean_churn = if rounds < 2 {
+            0.0
+        } else {
+            self.churn_total as f64 / (rounds - 1) as f64
+        };
+        StabilityReport {
+            always_connected: self.always_connected,
+            max_flat_t: if self.flat_dead {
+                None
+            } else {
+                Some(self.flat_min.unwrap_or(rounds))
+            },
+            min_l,
+            max_hinet_t: min_l.and_then(|l| sr.max_hinet_t(l)),
+            max_sliding_hierarchy_t: sr.max_sliding_hierarchy_t,
+            heads_forever_stable: sr.heads_forever_stable,
+            churn: ChurnStats {
+                distinct_heads,
+                max_concurrent_heads: self.max_concurrent_heads,
+                mean_members: self.member_rounds as f64 / rounds as f64,
+                mean_reaffiliations: if non_heads == 0 {
+                    0.0
+                } else {
+                    total_reaffiliations as f64 / non_heads as f64
+                },
+                total_reaffiliations,
+                head_set_changes: self.head_set_changes,
+            },
+            topology: TraceStats {
+                rounds,
+                mean_edges,
+                mean_density: self.sum_density / rounds as f64,
+                mean_clustering: self.sum_clustering / rounds as f64,
+                mean_churn,
+                relative_churn: if mean_edges == 0.0 {
+                    0.0
+                } else {
+                    mean_churn / mean_edges
+                },
+                edge_persistence: if self.persistence_count == 0 {
+                    1.0
+                } else {
+                    self.persistence_sum / self.persistence_count as f64
+                },
+            },
+        }
+    }
+}
+
+/// Largest age threshold `a` such that the edges continuously present for
+/// the last `a` rounds span a connected graph on all `n` nodes at round
+/// `f` (ages off the stream's present-since map) — `0` when even the full
+/// snapshot is disconnected, `f + 1` when the round is unconstrained.
+fn flat_bottleneck(
+    n: usize,
+    ages: &std::collections::BTreeMap<(u32, u32), u32>,
+    f: usize,
+) -> usize {
+    if n <= 1 {
+        return f + 1;
+    }
+    let mut edges: Vec<(usize, u32, u32)> = ages
+        .iter()
+        .map(|(&(u, v), &ps)| (f - ps as usize + 1, u, v))
+        .collect();
+    edges.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut components = n;
+    for (age, u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+            components -= 1;
+            if components == 1 {
+                return age;
+            }
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +396,58 @@ mod tests {
         for needle in ["connectivity:", "hierarchy:", "churn:", "topology:", "n_m"] {
             assert!(text.contains(needle), "missing '{needle}'");
         }
+    }
+
+    #[test]
+    fn streaming_audit_matches_batch_exactly() {
+        // Same report, field for field (floats included — both sides
+        // accumulate in the same order), across rotation and stability
+        // regimes and horizon lengths that are not multiples of t.
+        for (t, rotate, seed) in [(4, true, 1), (3, false, 2), (2, true, 3), (5, true, 7)] {
+            let trace = constructed(t, rotate, seed);
+            let batch = audit(&trace);
+            let mut sa = StreamingAudit::new();
+            for (g, h) in trace.iter() {
+                sa.push(g, h);
+            }
+            assert!(sa.peak_state_bytes() > 0);
+            assert_eq!(sa.rounds(), trace.len());
+            assert_eq!(sa.finish(), batch, "t={t} rotate={rotate} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn streaming_audit_matches_batch_on_disconnected_rounds() {
+        use crate::hierarchy::{ClusterId, Role};
+        use hinet_graph::trace::TvgTrace;
+        // Two valid clusters that lose their interconnection in the middle
+        // round: max_flat_t and min_l must be None on both sides.
+        let c0 = Some(ClusterId(NodeId(0)));
+        let c2 = Some(ClusterId(NodeId(2)));
+        let h = Arc::new(Hierarchy::new(
+            vec![Role::Head, Role::Member, Role::Head, Role::Member],
+            vec![c0, c0, c2, c2],
+        ));
+        let good = Arc::new(Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]));
+        let split = Arc::new(Graph::from_edges(4, [(0, 1), (2, 3)]));
+        let t = TvgTrace::new(vec![Arc::clone(&good), split, good]);
+        let trace = CtvgTrace::new(t, vec![Arc::clone(&h), Arc::clone(&h), h]);
+        let batch = audit(&trace);
+        let mut sa = StreamingAudit::new();
+        for (g, hh) in trace.iter() {
+            sa.push(g, hh);
+        }
+        assert_eq!(sa.finish(), batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot audit an invalid CTVG")]
+    fn streaming_audit_rejects_invalid_round() {
+        use crate::hierarchy::single_cluster;
+        let g = Arc::new(Graph::path(4));
+        let h = Arc::new(single_cluster(4, NodeId(0)));
+        let mut sa = StreamingAudit::new();
+        sa.push(&g, &h);
     }
 
     #[test]

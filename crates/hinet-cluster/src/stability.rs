@@ -1,15 +1,34 @@
 //! Verifiers for the paper's stability definitions (Definitions 2–8).
 //!
-//! Windowing convention: Algorithm 1 runs in phases aligned to round
-//! `0, T, 2T, …`, and the paper's stability quantifiers (`∀ i, j ∈ [0,
-//! T−1]`) describe one such window. We therefore verify **aligned** windows:
-//! a trace satisfies a T-property if every window `[wT, (w+1)T)` (including
-//! a trailing partial window) satisfies it. Helpers that check one explicit
-//! window are exposed too, so callers can perform sliding-window analyses.
+//! # Windowing contract
+//!
+//! Algorithm 1 runs in phases aligned to round `0, T, 2T, …`, and the
+//! paper's stability quantifiers (`∀ i, j ∈ [0, T−1]`) describe one such
+//! window. The two verifier families in this module differ **only** in how
+//! they place windows, and every implementation (batch and the streaming
+//! [`stream`] module) honours the same contract:
+//!
+//! * **Aligned** verifiers (`is_*_t_stable`, [`is_t_l_hinet`],
+//!   [`trace_stability_windows`], [`max_hinet_t`], [`min_hinet_l`]) check
+//!   the windows `[wT, min((w+1)T, len))`. A trailing partial window —
+//!   when the trace length is not a multiple of `T` — **is checked**, not
+//!   dropped: the paper's predicate constrains every phase an algorithm
+//!   can start, including one the trace cuts short. Aligned verifiers
+//!   accept any `t ≥ 1`, even `t > len` (one partial window).
+//! * **Sliding** verifiers (`is_*_t_stable_sliding`,
+//!   [`max_hierarchy_stability_sliding`]) check every offset `[s, s+T)`
+//!   with `s ≤ len − T` — full windows only, and they require
+//!   `1 ≤ t ≤ len`. Strictly stronger than aligned: a change on an
+//!   aligned boundary breaks a sliding window but no aligned one.
 //!
 //! The implication lattice of Fig. 2 — Def 8 ⇒ Def 4 ⇒ (Def 2 ∧ Def 3),
 //! Def 8 ⇒ Def 7 ⇒ (Def 5 ∧ Def 6) — is exercised by this module's tests
-//! and by property tests at the workspace level (experiment E4).
+//! and by property tests at the workspace level (experiment E4);
+//! `tests/prop_stream.rs` additionally pins the streaming verdicts to the
+//! batch ones pointwise.
+
+/// One-pass streaming verification (constant memory per round).
+pub mod stream;
 
 use crate::ctvg::CtvgTrace;
 use crate::hierarchy::{ClusterId, Hierarchy};
@@ -76,7 +95,8 @@ pub fn l_hop_in_window(trace: &CtvgTrace, start: usize, len: usize, l: usize) ->
     }
 }
 
-/// Iterate aligned windows `[wT, min((w+1)T, len))` of a trace.
+/// Iterate aligned windows `[wT, min((w+1)T, len))` of a trace — including
+/// the trailing partial window (see the module-level windowing contract).
 fn aligned_windows(trace_len: usize, t: usize) -> impl Iterator<Item = (usize, usize)> {
     (0..trace_len.div_ceil(t)).map(move |w| {
         let start = w * t;
@@ -127,7 +147,10 @@ pub fn is_head_set_forever_stable(trace: &CtvgTrace) -> bool {
 /// Definitions traced per window: 2 (head set), 4 (hierarchy structure),
 /// 5 (head connectivity), 6 (L-hop ≤ `l`), 7 (5 ∧ 6), and 8 (4 ∧ 7).
 /// Definition 3 is per-cluster rather than per-window and is omitted.
-/// Returns the number of windows in which **Definition 8** held.
+/// The trailing partial window is traced like any other (module-level
+/// windowing contract); the streaming [`stream::StabilityStream`] emits a
+/// byte-identical event sequence. Returns the number of windows in which
+/// **Definition 8** held.
 pub fn trace_stability_windows(
     trace: &CtvgTrace,
     t: usize,
@@ -170,12 +193,17 @@ pub fn trace_stability_windows(
 /// aligned windows tolerate changes at their boundaries. The aligned form
 /// is what phase-based algorithms need; the sliding form is the honest
 /// answer to "how stable is this trace, full stop".
+///
+/// # Panics
+/// Panics unless `1 ≤ t ≤ trace.len()` — sliding windows are always full,
+/// unlike the aligned family's trailing partial window.
 pub fn is_head_set_t_stable_sliding(trace: &CtvgTrace, t: usize) -> bool {
     assert!(t >= 1 && t <= trace.len());
     (0..=trace.len() - t).all(|s| head_set_stable_in_window(trace, s, t))
 }
 
-/// Sliding-window variant of Definition 4.
+/// Sliding-window variant of Definition 4 (full windows only; panics
+/// unless `1 ≤ t ≤ trace.len()`).
 pub fn is_hierarchy_t_stable_sliding(trace: &CtvgTrace, t: usize) -> bool {
     assert!(t >= 1 && t <= trace.len());
     (0..=trace.len() - t).all(|s| hierarchy_stable_in_window(trace, s, t))
@@ -364,6 +392,44 @@ mod tests {
         // Length-5 trace with t=2: windows [0,2), [2,4), [4,5).
         let trace = constant_trace(5);
         assert!(is_t_l_hinet(&trace, 2, 2));
+    }
+
+    #[test]
+    fn violation_only_in_trailing_partial_window_is_caught() {
+        // Length 5 with t = 3: windows [0,3) and the partial [3,5). The
+        // head set changes only at round 4 — inside the partial window —
+        // so dropping it would wrongly certify the trace (regression for
+        // the module-level windowing contract, mirrored by the streaming
+        // verifier in `stream`).
+        let g = Arc::new(Graph::complete(4));
+        let h1 = Arc::new(single_cluster(4, nid(0)));
+        let h2 = Arc::new(single_cluster(4, nid(1)));
+        let hs = vec![
+            Arc::clone(&h1),
+            Arc::clone(&h1),
+            Arc::clone(&h1),
+            Arc::clone(&h1),
+            h2,
+        ];
+        let t = TvgTrace::new((0..5).map(|_| Arc::clone(&g)).collect());
+        let trace = CtvgTrace::new(t, hs);
+        assert!(!is_head_set_t_stable(&trace, 3));
+        assert!(!is_hierarchy_t_stable(&trace, 3));
+        assert!(!is_t_l_hinet(&trace, 3, 1));
+        // t = 4 still works: the change round (4) sits on its boundary.
+        assert_eq!(max_hinet_t(&trace, 1), Some(4));
+
+        // The streaming verifier agrees verdict-for-verdict.
+        let mut s = stream::StabilityStream::new(3, 1).with_spectrum();
+        let mut verdicts = s.push_chunk(trace.iter());
+        let (last, report) = s.finish();
+        verdicts.extend(last);
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts[0].def8);
+        assert!(!verdicts[1].def2 && !verdicts[1].def8);
+        assert_eq!(report.max_hinet_t(1), Some(4));
+        let v = report.violation.unwrap();
+        assert_eq!((v.def, v.window_start, v.round), (2, 3, 4));
     }
 
     #[test]

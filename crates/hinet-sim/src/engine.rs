@@ -194,6 +194,19 @@ pub struct RunConfig<'t> {
     /// produce identical dissemination results; [`ExecMode::Event`] runs
     /// the mailbox message plane and fills the wall-clock latency metrics.
     pub mode: ExecMode,
+    /// Verify the (T, L)-HiNet assumption **online** while the run
+    /// executes: `Some((t, l))` feeds every round's *effective* topology
+    /// and hierarchy (post crash re-election) through a
+    /// [`hinet_cluster::stability::stream::StabilityStream`] with the
+    /// connectivity certificate enabled. Window verdicts are emitted as
+    /// `stability_window` trace events; an incomplete run whose stream
+    /// observed a definition violation reports
+    /// [`Outcome::AssumptionViolated`] with the paper definition that
+    /// broke and the exact round it broke (instead of the coarse
+    /// fault-window heuristic), and the stream summary lands in
+    /// [`RunReport::stability`]. Lock-step only: [`ExecMode::Event`] runs
+    /// ignore it (callers gate the combination — see `Scenario`).
+    pub stability_oracle: Option<(usize, usize)>,
 }
 
 impl Default for RunConfig<'_> {
@@ -211,6 +224,7 @@ impl Default for RunConfig<'_> {
             threads: 0,
             tracer: None,
             mode: ExecMode::Lockstep,
+            stability_oracle: None,
         }
     }
 }
@@ -230,6 +244,7 @@ impl fmt::Debug for RunConfig<'_> {
             .field("threads", &self.threads)
             .field("tracer", &self.tracer.as_ref().map(|t| t.enabled()))
             .field("mode", &self.mode)
+            .field("stability_oracle", &self.stability_oracle)
             .finish()
     }
 }
@@ -309,6 +324,13 @@ impl<'t> RunConfig<'t> {
         self
     }
 
+    /// Enable or disable the runtime (T, L)-HiNet oracle (see
+    /// [`RunConfig::stability_oracle`]).
+    pub fn stability_oracle(mut self, oracle: Option<(usize, usize)>) -> Self {
+        self.stability_oracle = oracle;
+        self
+    }
+
     /// Attach an observability sink for the run.
     pub fn tracer<'u>(self, tracer: &'u mut Tracer) -> RunConfig<'u>
     where
@@ -327,6 +349,7 @@ impl<'t> RunConfig<'t> {
             threads: self.threads,
             tracer: Some(tracer),
             mode: self.mode,
+            stability_oracle: self.stability_oracle,
         }
     }
 }
@@ -465,10 +488,17 @@ pub enum Outcome {
     /// assumptions — the failure is attributable to injected faults, not
     /// to the protocol.
     AssumptionViolated {
-        /// `(first, last)` round in which a fault fired.
+        /// `(first, last)` round in which a fault fired — or, when the
+        /// runtime oracle attributed the failure
+        /// ([`RunConfig::stability_oracle`]), the violating window's first
+        /// round and the exact round the definition broke.
         window: (u64, u64),
-        /// Which assumption broke: `1` = per-round delivery (message loss
+        /// Which assumption broke. Without the oracle this is the coarse
+        /// fault-class heuristic: `1` = per-round delivery (message loss
         /// only), `2` = backbone stability (crashes or partitions fired).
+        /// With the oracle it is the smallest violated paper definition
+        /// (2 = head set, 4 = hierarchy structure, 5 = head connectivity,
+        /// 6 = L-hop bound).
         def: u8,
     },
 }
@@ -519,6 +549,10 @@ pub struct RunReport {
     /// Wall-clock metrics (throughput always; per-token latency and the
     /// mailbox/reassembly counters in [`ExecMode::Event`] runs).
     pub wall: WallClock,
+    /// End-of-stream summary of the runtime (T, L)-HiNet oracle — present
+    /// iff the run was configured with [`RunConfig::stability_oracle`]
+    /// and executed at least one round.
+    pub stability: Option<hinet_cluster::stability::stream::StreamReport>,
 }
 
 impl RunReport {
@@ -709,8 +743,14 @@ impl<'t> Engine<'t> {
                 cost_weights: cfg.cost_weights,
                 outcome: Outcome::Completed { round: 0 },
                 wall: lockstep_wall(start, 0),
+                stability: None,
             };
         }
+        // Runtime (T, L)-HiNet oracle: certificate mode pins violations to
+        // the exact round the assumption broke.
+        let mut oracle = cfg.stability_oracle.map(|(t, l)| {
+            hinet_cluster::stability::stream::StabilityStream::new(t, l).with_certificate()
+        });
 
         let mut warned_log_cap = false;
         for round in 0..cfg.max_rounds {
@@ -804,6 +844,14 @@ impl<'t> Engine<'t> {
                     }
                 }
                 arenas.prev_heads = heads;
+            }
+
+            // The oracle sees the round exactly as the protocols do: the
+            // effective hierarchy, after any crash re-election.
+            if let Some(stream) = oracle.as_mut() {
+                if let Some(verdict) = stream.push(&graph, &hierarchy) {
+                    verdict.emit_into(tracer);
+                }
             }
 
             let informed_at_start = informed_count;
@@ -1027,6 +1075,13 @@ impl<'t> Engine<'t> {
             }
         }
 
+        let stability = oracle.map(|stream| {
+            let (last, report) = stream.finish();
+            if let Some(verdict) = last {
+                verdict.emit_into(tracer);
+            }
+            report
+        });
         let outcome = match completion_round {
             Some(round) => Outcome::Completed { round },
             None => {
@@ -1042,12 +1097,19 @@ impl<'t> Engine<'t> {
                     everywhere = everywhere.iter().filter(|t| known.contains(t)).collect();
                 }
                 let missing_tokens = k - everywhere.len();
-                match fault_window {
-                    Some(window) => Outcome::AssumptionViolated {
+                // The oracle's attribution (exact definition, exact round)
+                // outranks the coarse fault-window heuristic.
+                let oracle_violation = stability.as_ref().and_then(|s| s.violation);
+                match (oracle_violation, fault_window) {
+                    (Some(v), _) => Outcome::AssumptionViolated {
+                        window: (v.window_start as u64, v.round as u64),
+                        def: v.def,
+                    },
+                    (None, Some(window)) => Outcome::AssumptionViolated {
                         window,
                         def: if backbone_fault { 2 } else { 1 },
                     },
-                    None => Outcome::Stalled {
+                    (None, None) => Outcome::Stalled {
                         missing_tokens,
                         budget_exhausted,
                     },
@@ -1064,6 +1126,7 @@ impl<'t> Engine<'t> {
             cost_weights: cfg.cost_weights,
             outcome,
             wall,
+            stability,
         }
     }
 }
@@ -1665,5 +1728,62 @@ mod tests {
             "partitions violate Definition 2 (backbone stability), got {:?}",
             report.outcome
         );
+    }
+
+    #[test]
+    fn stability_oracle_pins_a_head_crash_to_the_exact_round() {
+        use crate::fault::FaultPlan;
+
+        let mut provider = star_provider(4, 6);
+        let mut protocols: Vec<Flood> = (0..4).map(|_| Flood::new()).collect();
+        let assignment = round_robin_assignment(4, 4);
+        // Crash the hub (the sole head) in round 1 for the rest of the run:
+        // re-election changes the head set mid-window, and the leaves can no
+        // longer exchange tokens, so the run stalls.
+        let faults = FaultPlan::new(0).with_crash_at(1, 0).with_down_rounds(100);
+        let cfg = RunConfig::new()
+            .max_rounds(6)
+            .faults(faults)
+            .stability_oracle(Some((6, 1)));
+        let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
+        assert!(!report.completed());
+        // The oracle's attribution replaces the coarse fault-window heuristic
+        // (which would have reported the whole window (1, 5)).
+        assert_eq!(
+            report.outcome,
+            Outcome::AssumptionViolated {
+                window: (0, 1),
+                def: 2
+            },
+            "the oracle names the exact round the head set changed"
+        );
+        let stability = report.stability.expect("oracle was configured");
+        assert_eq!(stability.rounds, 6);
+        assert_eq!(
+            stability.violation,
+            Some(hinet_cluster::stability::stream::Violation {
+                def: 2,
+                window_start: 0,
+                round: 1
+            })
+        );
+        assert_eq!(stability.hinet_windows, 0);
+    }
+
+    #[test]
+    fn stability_oracle_is_quiet_on_a_clean_run() {
+        let mut provider = star_provider(4, 10);
+        let mut protocols: Vec<Flood> = (0..4).map(|_| Flood::new()).collect();
+        let assignment = round_robin_assignment(4, 4);
+        let cfg = RunConfig::new().stability_oracle(Some((2, 1)));
+        let report = Engine::new(cfg).run(&mut provider, &mut protocols, &assignment);
+        assert!(report.completed());
+        let stability = report.stability.expect("oracle was configured");
+        assert_eq!(stability.violation, None);
+        assert_eq!(
+            stability.windows, stability.hinet_windows,
+            "a static star is (T, L)-HiNet for every window"
+        );
+        assert!(stability.rounds >= 1);
     }
 }

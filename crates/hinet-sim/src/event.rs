@@ -557,6 +557,7 @@ pub(crate) fn run<P: Protocol + Send>(
             cost_weights: cfg.cost_weights,
             outcome: Outcome::Completed { round: 0 },
             wall: wall_degenerate(),
+            stability: None,
         };
     }
     if cfg.max_rounds == 0 {
@@ -574,6 +575,7 @@ pub(crate) fn run<P: Protocol + Send>(
                 budget_exhausted: true,
             },
             wall: wall_degenerate(),
+            stability: None,
         };
     }
 
@@ -845,6 +847,7 @@ pub(crate) fn run<P: Protocol + Send>(
         cost_weights: cfg.cost_weights,
         outcome,
         wall,
+        stability: None,
     }
 }
 

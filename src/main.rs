@@ -61,9 +61,11 @@
 //! ignored.
 
 use hinet::analysis::experiments::all_experiments;
+use hinet::cluster::audit::StreamingAudit;
 use hinet::cluster::clustering::ClusteringKind;
 use hinet::cluster::ctvg::{CtvgTrace, FlatProvider, HierarchyProvider};
 use hinet::cluster::generators::{ClusteredMobilityGen, HiNetConfig, HiNetGen};
+use hinet::cluster::stability::stream::StabilityStream;
 use hinet::cluster::stability::trace_stability_windows;
 use hinet::graph::generators::{
     BackboneKind, EdgeMarkovianGen, ManhattanConfig, ManhattanGen, OneIntervalGen,
@@ -87,13 +89,13 @@ USAGE:
             [--loss P] [--crash-rate P] [--crash-at R:U,..]
             [--target-heads] [--fault-seed S] [--retransmit]
             [--durable-tokens] [--mode lockstep|event]
-            [--trace] [--trace-out FILE]
+            [--stability-stream] [--trace] [--trace-out FILE]
   hinet trace [scenario flags as for run] [--in FILE] [--events]
             [--summary] [--out FILE] [--filter KIND] [--stability]
-            [--sample N]
+            [--stability-stream] [--sample N]
   hinet trace --diff A [B] [--json] [--ignore TIERS]
             [--max-divergences N] [--context N] [--update-golden]
-  hinet audit [--dynamics D] [--n N] [--rounds R] [--seed S]
+  hinet audit [--dynamics D] [--n N] [--rounds R] [--seed S] [--stream]
   hinet fuzz [--seed S] [--cases N] [--scenario FILE] [--out DIR]
             [--max-offenders N] [--no-archive]
   hinet fuzz --replay PATH          re-check an archived scenario corpus
@@ -159,6 +161,11 @@ const RUN_FLAGS: &[FlagSpec] = &[
         "accumulated tokens survive crashes",
     ),
     flag("mode", true, "execution mode, lockstep|event [lockstep]"),
+    flag(
+        "stability-stream",
+        false,
+        "run the in-engine (T, L)-HiNet oracle (lockstep only)",
+    ),
     flag("trace", false, "record a hinet-trace/v1 JSONL artifact"),
     flag(
         "trace-out",
@@ -231,6 +238,11 @@ const TRACE_FLAGS: &[FlagSpec] = &[
         "verify Defs 2-8 per aligned window and trace the verdicts",
     ),
     flag(
+        "stability-stream",
+        false,
+        "like --stability, via the one-pass streaming verifier",
+    ),
+    flag(
         "sample",
         true,
         "record one in N data events (counters stay exact)",
@@ -268,6 +280,11 @@ const AUDIT_FLAGS: &[FlagSpec] = &[
     flag("n", true, "nodes [60]"),
     flag("rounds", true, "trace length [36]"),
     flag("seed", true, "RNG seed [42]"),
+    flag(
+        "stream",
+        false,
+        "one-pass streaming audit (constant memory, identical report)",
+    ),
 ];
 
 const FUZZ_FLAGS: &[FlagSpec] = &[
@@ -560,10 +577,24 @@ fn cmd_run(flags: &FlagSet) -> ExitCode {
         if want_trace {
             stream_trace(out_path, &mut tracer)?;
         }
-        let report = sc.run_traced(&mut tracer)?;
+        let report = sc.run_traced_with_oracle(&mut tracer, flags.has("stability-stream"))?;
         match &report {
             ScenarioReport::Engine(r) => {
                 print_report(&sc, sc.kind()?.label(), r);
+                if let Some(s) = &r.stability {
+                    match s.violation {
+                        Some(v) => println!(
+                            "stability oracle: VIOLATED Def {} at round {} (window starting {})",
+                            v.def, v.round, v.window_start
+                        ),
+                        None => println!(
+                            "stability oracle: {}/{} windows (T, L)-HiNet  min L*={}",
+                            s.hinet_windows,
+                            s.windows,
+                            s.min_hinet_l.map_or("-".into(), |l| l.to_string()),
+                        ),
+                    }
+                }
             }
             ScenarioReport::Rlnc(r) => {
                 println!(
@@ -657,9 +688,18 @@ fn cmd_trace(pos: &[String], flags: &FlagSet) -> ExitCode {
     // Mode 2: run the scenario with tracing on.
     let run = || -> Result<(Scenario, Tracer, ScenarioReport), String> {
         let sc = Scenario::from_flags(flags)?;
-        if flags.has("stability") && sc.algorithm == "rlnc" {
+        let stability_wanted = flags.has("stability");
+        let stream_wanted = flags.has("stability-stream");
+        if (stability_wanted || stream_wanted) && sc.algorithm == "rlnc" {
             return Err(
                 "--stability is not supported for rlnc (no cluster hierarchy to verify)".into(),
+            );
+        }
+        if stability_wanted && stream_wanted {
+            return Err(
+                "--stability and --stability-stream are alternative verifiers; pick one \
+                 (their stability_window event streams are identical)"
+                    .into(),
             );
         }
         let mut tracer = match flags.get("sample") {
@@ -674,12 +714,33 @@ fn cmd_trace(pos: &[String], flags: &FlagSet) -> ExitCode {
             }
         }
         let report = sc.run_traced(&mut tracer)?;
-        if flags.has("stability") {
+        if stability_wanted {
             // Providers are deterministic in the scenario seed, so a fresh
             // one replays the run's dynamics for post-hoc verification.
             let mut replay = sc.provider(&sc.kind()?)?;
             let trace = CtvgTrace::capture(replay.as_mut(), report.rounds_executed().max(1));
             trace_stability_windows(&trace, sc.t, sc.l, &mut tracer);
+        }
+        if stream_wanted {
+            // Same replay, but one round at a time through the streaming
+            // verifier: no materialised trace, constant memory per round.
+            let mut replay = sc.provider(&sc.kind()?)?;
+            let mut stream = StabilityStream::new(sc.t, sc.l);
+            for round in 0..report.rounds_executed().max(1) {
+                let g = replay.graph_at(round);
+                let h = replay.hierarchy_at(round);
+                if let Some(verdict) = stream.push(&g, &h) {
+                    verdict.emit_into(&mut tracer);
+                }
+            }
+            let (last, sr) = stream.finish();
+            if let Some(verdict) = last {
+                verdict.emit_into(&mut tracer);
+            }
+            tracer.meta(
+                "stability_stream_peak_bytes",
+                sr.peak_state_bytes.to_string(),
+            );
         }
         Ok((sc, tracer, report))
     };
@@ -851,9 +912,23 @@ fn cmd_audit(flags: &FlagSet) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let trace = CtvgTrace::capture(provider.as_mut(), rounds);
     println!("stability audit: dynamics={dynamics} n={n} rounds={rounds} seed={seed}\n");
-    println!("{}", audit(&trace).to_text());
+    if flags.has("stream") {
+        // One pass over the provider, never materialising the trace: the
+        // report is bit-identical to the batch audit (see audit.rs tests).
+        let mut streaming = StreamingAudit::new();
+        for round in 0..rounds {
+            let g = provider.graph_at(round);
+            let h = provider.hierarchy_at(round);
+            streaming.push(&g, &h);
+        }
+        let peak = streaming.peak_state_bytes();
+        println!("{}", streaming.finish().to_text());
+        println!("streaming state peak: {peak} bytes");
+    } else {
+        let trace = CtvgTrace::capture(provider.as_mut(), rounds);
+        println!("{}", audit(&trace).to_text());
+    }
     ExitCode::SUCCESS
 }
 

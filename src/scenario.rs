@@ -709,6 +709,38 @@ impl Scenario {
     /// coded executor for `rlnc`. All runs use the default round-robin
     /// token assignment and [`hinet_sim::CostWeights::default`].
     pub fn run_traced(&self, tracer: &mut Tracer) -> Result<ScenarioReport, String> {
+        self.run_traced_with_oracle(tracer, false)
+    }
+
+    /// [`Scenario::run_traced`] with the runtime (T, L)-HiNet oracle
+    /// toggled on (`--stability-stream`): the engine feeds every round's
+    /// effective topology and hierarchy through a
+    /// [`hinet_cluster::stability::stream::StabilityStream`] at the
+    /// scenario's own `(T, L)`, emitting `stability_window` events and
+    /// attributing incomplete runs to the exact violated definition and
+    /// round. The oracle is lock-step only: it is rejected for `rlnc`
+    /// (which runs outside the round engine) and for `--mode event`
+    /// (whose rounds are reassembled post-hoc, not observed live).
+    pub fn run_traced_with_oracle(
+        &self,
+        tracer: &mut Tracer,
+        oracle: bool,
+    ) -> Result<ScenarioReport, String> {
+        if oracle && self.algorithm == "rlnc" {
+            return Err(
+                "--stability-stream only applies to round-engine algorithms; rlnc runs the \
+                 coded executor outside the round engine"
+                    .into(),
+            );
+        }
+        if oracle && self.mode == ExecMode::Event {
+            return Err(
+                "--stability-stream requires lock-step execution; --mode event reassembles \
+                 rounds post-hoc, so verify the trace with `hinet trace --stability-stream` \
+                 instead"
+                    .into(),
+            );
+        }
         self.stamp_meta(tracer);
         let assignment = round_robin_assignment(self.n, self.k);
         let faults = self.fault_plan();
@@ -727,6 +759,14 @@ impl Scenario {
         }
         let kind = self.kind()?;
         let mut provider = self.provider(&kind)?;
+        // The oracle checks the (T, L) the dynamics actually promise: the
+        // full-exchange family runs on per-round (T = 1) hierarchies (see
+        // [`Scenario::provider`]), everything else on the phase length.
+        let oracle_t = if matches!(kind, AlgorithmKind::HiNetFullExchange { .. }) {
+            1
+        } else {
+            self.t
+        };
         let report = run_algorithm(
             &kind,
             provider.as_mut(),
@@ -736,6 +776,7 @@ impl Scenario {
                 .faults(faults)
                 .retransmit(self.retransmit)
                 .mode(self.mode)
+                .stability_oracle(oracle.then_some((oracle_t, self.l)))
                 .tracer(tracer),
         );
         Ok(ScenarioReport::Engine(report))
