@@ -120,6 +120,47 @@ cmp -s target/ci-chaos/lossy1.jsonl target/ci-chaos/lossy2.jsonl || {
 }
 echo "chaos smoke: OK"
 
+# Delivery-plane smoke: the adversarial delivery plane (delay, duplication,
+# reorder) must replay byte-for-byte under the same --fault-seed and report
+# its counters; the generalised reliability layer must complete a chaotic
+# lossy event-mode run with the armed watchdog staying quiet (a watchdog
+# halt exits 1); and the sweep_chaos suite must emit its JSON artifact and
+# gate against itself.
+rm -rf target/ci-delivery
+mkdir -p target/ci-delivery
+for i in 1 2; do
+    ./target/release/hinet run --algorithm alg2 --n 24 --k 3 --seed 7 \
+        --delay 0.05 --max-delay 3 --dup 0.03 --reorder --fault-seed 2 \
+        --trace-out "target/ci-delivery/chaos$i.jsonl" \
+        >"target/ci-delivery/chaos$i.txt"
+done
+cmp -s target/ci-delivery/chaos1.jsonl target/ci-delivery/chaos2.jsonl || {
+    echo "delivery smoke: the same --fault-seed produced different chaos traces" >&2
+    exit 1
+}
+grep -q 'delivery plane:' target/ci-delivery/chaos1.txt || {
+    echo "delivery smoke: chaos run reported no delivery-plane counters" >&2
+    exit 1
+}
+./target/release/hinet run --algorithm klo-flood --n 32 --k 4 --seed 5 \
+    --mode event --loss 0.05 --delay 0.03 --max-delay 3 --reliable \
+    --stall-rounds 64 --fault-seed 3 --budget 96 \
+    >target/ci-delivery/reliable.txt || {
+    echo "delivery smoke: chaotic reliable event-mode run failed (watchdog halt?)" >&2
+    cat target/ci-delivery/reliable.txt >&2
+    exit 1
+}
+grep -q 'completed: true' target/ci-delivery/reliable.txt || {
+    echo "delivery smoke: reliability layer did not complete the chaotic run" >&2
+    exit 1
+}
+./target/release/hinet bench --filter sweep_chaos --sample-size 5 --budget-ms 50 \
+    --json --out-dir target/ci-delivery >/dev/null
+test -s target/ci-delivery/BENCH_sweep_chaos.json
+./target/release/hinet bench --filter sweep_chaos --sample-size 5 --budget-ms 50 \
+    --baseline target/ci-delivery/BENCH_sweep_chaos.json --max-regress 10000 >/dev/null
+echo "delivery smoke: OK"
+
 # Event-runtime smoke: a seeded event-mode run must produce the same
 # dissemination result as the lock-step engine — identical trace behaviour
 # (the headers differ only by the `mode` meta stamp and runtime gauges,

@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn filter_selects_by_substring() {
         assert_eq!(select(Some("sweep_n")).len(), 1);
-        assert_eq!(select(Some("sweep")).len(), 9);
+        assert_eq!(select(Some("sweep")).len(), 10);
         assert_eq!(select(Some("nope")).len(), 0);
         assert_eq!(select(None).len(), suites().len());
     }

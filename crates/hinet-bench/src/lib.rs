@@ -76,6 +76,11 @@ pub fn suites() -> Vec<Suite> {
             run: suites::sweep_async::bench,
         },
         Suite {
+            name: "sweep_chaos",
+            about: "adversarial delivery plane — delay/dup/reorder rolls ± reliability layer",
+            run: suites::sweep_chaos::bench,
+        },
+        Suite {
             name: "sweep_scale",
             about: "engine scale — packed bitsets at n=10^6, k=10^4 (HINET_SCALE_N/K shrink)",
             run: suites::sweep_scale::bench,
@@ -162,10 +167,11 @@ mod tests {
 
     /// The registry covers the twelve ported criterion targets (DESIGN.md
     /// §4's artifact list) plus the fault-plane degradation sweep, the
-    /// engine scale gate, the event-runtime crossover sweep and the
-    /// batch-vs-streaming verification sweep.
+    /// engine scale gate, the event-runtime crossover sweep, the
+    /// batch-vs-streaming verification sweep and the adversarial
+    /// delivery-plane sweep.
     #[test]
     fn registry_has_every_suite() {
-        assert_eq!(suites().len(), 16);
+        assert_eq!(suites().len(), 17);
     }
 }

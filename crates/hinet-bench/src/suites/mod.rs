@@ -1,4 +1,4 @@
-//! The sixteen benchmark suites, one module per retired criterion target.
+//! The seventeen benchmark suites, one module per retired criterion target.
 //! Register new suites in [`crate::suites()`].
 
 pub mod ablation_remark1;
@@ -8,6 +8,7 @@ pub mod headline;
 pub mod substrates;
 pub mod sweep_alpha;
 pub mod sweep_async;
+pub mod sweep_chaos;
 pub mod sweep_churn;
 pub mod sweep_k;
 pub mod sweep_l;

@@ -1,0 +1,85 @@
+//! Bench: the adversarial delivery plane — per-delivery delay/duplication
+//! hash rolls, inbox reordering, and the ack/timeout/backoff reliability
+//! layer recovering through them — against the trivial-plan fast path the
+//! `--baseline` gate protects (a clean run must not pay for the machinery).
+
+use crate::small_params;
+use hinet_analysis::scenarios::heads_for_members;
+use hinet_cluster::generators::{HiNetConfig, HiNetGen};
+use hinet_core::runner::{run_algorithm, AlgorithmKind};
+use hinet_rt::bench::{Bench, BenchmarkId};
+use hinet_sim::engine::{ExecMode, RunConfig};
+use hinet_sim::fault::FaultPlan;
+use hinet_sim::token::round_robin_assignment;
+use std::hint::black_box;
+
+pub fn bench(c: &mut Bench) {
+    let p = small_params();
+    let n = p.n0 as usize;
+    let budget = 3 * n;
+    let mut group = c.benchmark_group("sweep_chaos");
+    group.sample_size(10);
+    // Each point is (label, plan builder, reliability layer, mode). The
+    // clean point is the zero-pathology reference; "chaos" pays the
+    // delay/dup/reorder rolls alone; the reliable points add loss so the
+    // recovery path (acks on markers, timer retransmits, backoff) runs in
+    // earnest in both execution modes.
+    type PlanFn = fn(u64) -> FaultPlan;
+    let clean: PlanFn = FaultPlan::new;
+    let chaos: PlanFn = |seed| {
+        FaultPlan::new(seed)
+            .with_delay_ppm(30_000)
+            .with_max_delay(3)
+            .with_dup_ppm(20_000)
+            .with_reorder(true)
+    };
+    let chaos_lossy: PlanFn = |seed| {
+        FaultPlan::new(seed)
+            .with_loss_ppm(50_000)
+            .with_delay_ppm(30_000)
+            .with_max_delay(3)
+            .with_dup_ppm(20_000)
+            .with_reorder(true)
+    };
+    let points: &[(&str, PlanFn, bool, ExecMode)] = &[
+        ("alg2_clean", clean, false, ExecMode::Lockstep),
+        ("alg2_chaos", chaos, false, ExecMode::Lockstep),
+        ("alg2_chaos_reliable", chaos_lossy, true, ExecMode::Lockstep),
+        (
+            "alg2_chaos_reliable_event",
+            chaos_lossy,
+            true,
+            ExecMode::Event,
+        ),
+    ];
+    for (label, plan, reliable, mode) in points {
+        group.bench_with_input(BenchmarkId::new(*label, n), plan, |b, plan| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut provider = HiNetGen::new(HiNetConfig {
+                    n,
+                    num_heads: heads_for_members(&p),
+                    theta: p.theta as usize,
+                    l: p.l as usize,
+                    t: 1,
+                    reaffil_prob: 0.1,
+                    rotate_heads: true,
+                    noise_edges: n / 5,
+                    seed,
+                });
+                let assignment = round_robin_assignment(n, p.k as usize);
+                black_box(run_algorithm(
+                    &AlgorithmKind::HiNetFullExchange { rounds: budget },
+                    &mut provider,
+                    &assignment,
+                    RunConfig::new()
+                        .faults(plan(seed))
+                        .reliable(*reliable)
+                        .mode(*mode),
+                ))
+            })
+        });
+    }
+    group.finish();
+}

@@ -22,6 +22,7 @@ use hinet_graph::rng::stream_rng;
 use hinet_graph::trace::TopologyProvider;
 use hinet_rt::obs::{FaultKind, Role, Tracer};
 use hinet_sim::engine::{CostWeights, RunConfig};
+use hinet_sim::reliable::{ReceiverLedger, ReliableConfig, SenderWindow};
 use hinet_sim::token::TokenId;
 
 /// Outcome of an RLNC run.
@@ -33,8 +34,11 @@ pub struct RlncReport {
     /// Rounds executed.
     pub rounds_executed: usize,
     /// Coded packets transmitted (= token-equivalents in the paper's
-    /// metric: one payload per packet).
+    /// metric: one payload per packet), timer retransmissions included.
     pub packets_sent: u64,
+    /// Reliability-layer timer retransmissions ([`RunConfig::reliable`]),
+    /// already included in `packets_sent`.
+    pub retransmits: u64,
     /// Token universe size `k`.
     pub k: usize,
 }
@@ -79,7 +83,17 @@ impl RlncReport {
 ///   the fault plane, so a trivial plan is byte-identical to a plain run.
 ///   RLNC is flat, so `target_heads` never matches a hazard crash here;
 ///   scheduled [`hinet_sim::fault::FaultPlan::with_crash_at`] entries
-///   still fire.
+///   still fire. The delivery pathologies apply too: a delayed packet
+///   ([`hinet_sim::fault::FaultPlan::with_delay_ppm`]) is inserted at its
+///   matured round (lost if the receiver is down then), a duplicated one
+///   is a GF(2) no-op (counted, never double-inserted), and reorder
+///   shuffles each receiver's per-round insert order (a span-preserving
+///   permutation).
+/// * **reliability** ([`RunConfig::reliable`]) — each delivery registers
+///   in a per-sender [`SenderWindow`]; unacked packets retransmit on the
+///   backed-off timer (each re-send pays one packet), receivers dedup by
+///   reliable id, and acks apply at the round barrier exactly like the
+///   lock-step engine. Active only alongside a non-trivial fault plan.
 pub fn run_rlnc(
     provider: &mut dyn TopologyProvider,
     assignment: &[Vec<TokenId>],
@@ -128,15 +142,32 @@ pub fn run_rlnc(
             completion_round: Some(0),
             rounds_executed: 0,
             packets_sent: 0,
+            retransmits: 0,
             k,
         };
     }
 
     let trivial = faults.is_trivial();
+    let reliable = cfg.reliable && !trivial;
     let mut down_until = vec![0usize; n];
     let mut was_down = vec![false; n];
+    // Delayed packets held for their matured round, per receiver:
+    // `(due round, sender, rid, packet)`.
+    let mut delayed: Vec<Vec<(usize, usize, u64, Gf2Vec)>> = vec![Vec::new(); n];
+    let mut plane: Option<(Vec<SenderWindow<Gf2Vec>>, Vec<ReceiverLedger>)> = reliable.then(|| {
+        let windows = (0..n)
+            .map(|u| {
+                // Same per-sender jitter seed derivation as the engine.
+                let s = faults.seed ^ (u as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                SenderWindow::new(s, ReliableConfig::default())
+            })
+            .collect();
+        (windows, (0..n).map(|_| ReceiverLedger::new()).collect())
+    });
 
     let mut packets_sent = 0u64;
+    let mut retransmits = 0u64;
+    let mut dups_discarded = 0u64;
     let mut completion_round = None;
     let mut rounds_executed = 0;
     for round in 0..max_rounds {
@@ -169,6 +200,73 @@ pub fn run_rlnc(
                 }
             }
         }
+        // Per-receiver insert lists for the round: matured delayed packets
+        // first, then timer retransmissions, then fresh deliveries —
+        // applied after the send phase so every send combination is drawn
+        // from the pre-round bases.
+        let mut incoming: Vec<Vec<Gf2Vec>> = vec![Vec::new(); n];
+        if !trivial && faults.delay_ppm > 0 {
+            for v in 0..n {
+                let held = std::mem::take(&mut delayed[v]);
+                for (due, from, rid, pkt) in held {
+                    if due > round {
+                        delayed[v].push((due, from, rid, pkt));
+                        continue;
+                    }
+                    if round < down_until[v] {
+                        continue; // matured into a down receiver: lost
+                    }
+                    if let Some((_, ledgers)) = plane.as_mut() {
+                        if !ledgers[v].accept(from, rid) {
+                            dups_discarded += 1;
+                            continue;
+                        }
+                    }
+                    incoming[v].push(pkt);
+                }
+            }
+        }
+        // Reliability-timer retransmissions: full packet cost, original
+        // rid (receiver ledgers dedup), no delay/dup re-roll — only the
+        // loss gates apply.
+        if let Some((windows, ledgers)) = plane.as_mut() {
+            for u in 0..n {
+                if !trivial && round < down_until[u] {
+                    continue;
+                }
+                let me = NodeId::from_index(u);
+                for rt in windows[u].due(round) {
+                    let v = rt.to;
+                    if !graph.neighbors(me).contains(&NodeId::from_index(v)) {
+                        continue; // no edge this round; the timer re-fires
+                    }
+                    packets_sent += 1;
+                    retransmits += 1;
+                    tracer.retransmit_timeout(round as u64, u as u64, v as u64, rt.attempt);
+                    if round < down_until[v] {
+                        continue;
+                    }
+                    if !trivial {
+                        let kind = if faults.partitioned(round, u, v) {
+                            Some(FaultKind::Partition)
+                        } else if faults.drops_message(round, u, v) {
+                            Some(FaultKind::Loss)
+                        } else {
+                            None
+                        };
+                        if let Some(kind) = kind {
+                            tracer.fault_injected(round as u64, u as u64, Some(v as u64), kind);
+                            continue;
+                        }
+                    }
+                    if ledgers[v].accept(u, rt.rid) {
+                        incoming[v].push(rt.item);
+                    } else {
+                        dups_discarded += 1;
+                    }
+                }
+            }
+        }
         // Send phase: simultaneous, so collect first.
         let outgoing: Vec<Option<Gf2Vec>> = (0..n)
             .map(|u| {
@@ -187,6 +285,12 @@ pub fn run_rlnc(
                 tracer.head_broadcast(round as u64, u as u64, pivot, 1, Role::Member, packet_bytes);
             }
             for &v in graph.neighbors(NodeId::from_index(u)) {
+                // Register before any gate, so a lost delivery still
+                // retransmits on timer.
+                let rid = match plane.as_mut() {
+                    Some((windows, _)) => windows[u].register(v.index(), pkt.clone(), round),
+                    None => 0,
+                };
                 if !trivial {
                     if round < down_until[v.index()] {
                         continue; // deliveries to crashed nodes are lost
@@ -202,8 +306,44 @@ pub fn run_rlnc(
                         tracer.fault_injected(round as u64, u as u64, Some(v.0 as u64), kind);
                         continue;
                     }
+                    let d = faults.delay_of(round, u, v.index(), 0);
+                    if d > 0 {
+                        tracer.delayed(round as u64, u as u64, v.0 as u64, d as u64);
+                        delayed[v.index()].push((round + d, u, rid, pkt.clone()));
+                        continue;
+                    }
+                    if faults.duplicates(round, u, v.index(), 0) {
+                        // A duplicate insert is a GF(2) no-op: counted as
+                        // injected and immediately discarded.
+                        tracer.duplicated(round as u64, u as u64, v.0 as u64);
+                        dups_discarded += 1;
+                    }
                 }
-                bases[v.index()].insert(pkt.clone());
+                if let Some((_, ledgers)) = plane.as_mut() {
+                    if !ledgers[v.index()].accept(u, rid) {
+                        dups_discarded += 1;
+                        continue;
+                    }
+                }
+                incoming[v.index()].push(pkt.clone());
+            }
+        }
+        // Apply the round's inserts; reorder shuffles each receiver's
+        // insert order (the GF(2) span is permutation-invariant, so this
+        // exercises the pathology without changing what decodes).
+        for (v, mut pkts) in incoming.into_iter().enumerate() {
+            if !trivial && faults.reorder {
+                faults.shuffle(round, v, &mut pkts);
+            }
+            for pkt in pkts {
+                bases[v].insert(pkt);
+            }
+        }
+        // Omniscient round-barrier ack sync, exactly like the lock-step
+        // engine: every sender learns each receiver's cumulative ack.
+        if let Some((windows, ledgers)) = plane.as_mut() {
+            for (u, w) in windows.iter_mut().enumerate() {
+                w.sync_acks(|to| ledgers[to].cum(u));
             }
         }
         rounds_executed = round + 1;
@@ -213,11 +353,15 @@ pub fn run_rlnc(
         }
     }
 
+    if tracer.enabled() && dups_discarded > 0 {
+        tracer.note_dedup(dups_discarded);
+    }
     tracer.run_end(rounds_executed as u64, completion_round.is_some());
     RlncReport {
         completion_round,
         rounds_executed,
         packets_sent,
+        retransmits,
         k,
     }
 }
@@ -327,6 +471,7 @@ mod tests {
             completion_round: Some(3),
             rounds_executed: 3,
             packets_sent: 10,
+            retransmits: 0,
             k: 16,
         };
         let w = CostWeights {

@@ -218,6 +218,39 @@ pub enum Event {
         /// Unicast target, `None` for broadcasts.
         dst: Option<u64>,
     },
+    /// The fault plane held a delivery back: the envelope matures into the
+    /// receiver's inbox `rounds` rounds later instead of this round.
+    Delayed {
+        /// Sending node id.
+        node: u64,
+        /// The delayed delivery's receiver.
+        dst: u64,
+        /// How many rounds the envelope is held.
+        rounds: u64,
+    },
+    /// The fault plane duplicated a delivery; the receive plane discards
+    /// the copy, so duplication never double-counts tokens or bytes.
+    Duplicated {
+        /// Sending node id.
+        node: u64,
+        /// The duplicated delivery's receiver.
+        dst: u64,
+    },
+    /// The reliability layer's backoff timer re-sent an unacked envelope.
+    RetransmitTimeout {
+        /// Sending node id.
+        node: u64,
+        /// The link's receiver.
+        dst: u64,
+        /// Retransmission attempt (1 = first re-send).
+        attempt: u64,
+    },
+    /// The stall watchdog snapshotted a node that had made no quorum
+    /// progress when it halted the run (round = the node's frontier).
+    StallProbe {
+        /// The stalled node.
+        node: u64,
+    },
     /// The run finished.
     RunEnd {
         /// Rounds executed.
@@ -241,6 +274,10 @@ impl Event {
             Event::Crash { .. } => "crash",
             Event::Recover { .. } => "recover",
             Event::Retransmit { .. } => "retransmit",
+            Event::Delayed { .. } => "delayed",
+            Event::Duplicated { .. } => "duplicated",
+            Event::RetransmitTimeout { .. } => "retransmit_timeout",
+            Event::StallProbe { .. } => "stall_probe",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -254,6 +291,9 @@ impl Event {
                 | Event::HeadBroadcast { .. }
                 | Event::FaultInjected { .. }
                 | Event::Retransmit { .. }
+                | Event::Delayed { .. }
+                | Event::Duplicated { .. }
+                | Event::RetransmitTimeout { .. }
         )
     }
 }
@@ -385,6 +425,21 @@ pub struct Counters {
     /// Event-mode: high-water mark of any single mailbox's queued
     /// envelope count.
     pub mailbox_depth_max: u64,
+    /// Deliveries held back by the fault plane's delay knob.
+    ///
+    /// The adversarial-delivery counters below are serialised only when
+    /// nonzero, so chaos-free artifacts stay byte-identical to older ones.
+    pub delays_injected: u64,
+    /// Envelope duplications injected by the fault plane.
+    pub duplicates_injected: u64,
+    /// Reliability-layer timer retransmissions sent.
+    pub retransmit_timeouts: u64,
+    /// Stall-watchdog per-node snapshots taken when a run halted.
+    pub stall_probes: u64,
+    /// Duplicate envelopes discarded by the receive plane (a gauge fed via
+    /// [`Tracer::note_dedup`], like the event-runtime gauges — it has no
+    /// event of its own).
+    pub dups_discarded: u64,
 }
 
 /// A power-of-two-bucket histogram (bucket `i` counts values `v` with
@@ -662,6 +717,10 @@ impl Tracer {
             Event::Crash { .. } => self.counters.crashes += 1,
             Event::Recover { .. } => self.counters.recoveries += 1,
             Event::Retransmit { .. } => self.counters.retransmits += 1,
+            Event::Delayed { .. } => self.counters.delays_injected += 1,
+            Event::Duplicated { .. } => self.counters.duplicates_injected += 1,
+            Event::RetransmitTimeout { .. } => self.counters.retransmit_timeouts += 1,
+            Event::StallProbe { .. } => self.counters.stall_probes += 1,
             Event::StabilityWindow { .. } | Event::RunEnd { .. } => {}
         }
         let record = if event.is_data() {
@@ -786,6 +845,45 @@ impl Tracer {
     /// Emit [`Event::Retransmit`].
     pub fn retransmit(&mut self, round: u64, node: u64, count: u64, dst: Option<u64>) {
         self.emit(round, Event::Retransmit { node, count, dst });
+    }
+
+    /// Emit [`Event::Delayed`].
+    pub fn delayed(&mut self, round: u64, node: u64, dst: u64, rounds: u64) {
+        self.emit(round, Event::Delayed { node, dst, rounds });
+    }
+
+    /// Emit [`Event::Duplicated`].
+    pub fn duplicated(&mut self, round: u64, node: u64, dst: u64) {
+        self.emit(round, Event::Duplicated { node, dst });
+    }
+
+    /// Emit [`Event::RetransmitTimeout`]. `attempt` counts from 1 for the
+    /// first timer re-send.
+    pub fn retransmit_timeout(&mut self, round: u64, node: u64, dst: u64, attempt: u32) {
+        self.emit(
+            round,
+            Event::RetransmitTimeout {
+                node,
+                dst,
+                attempt: u64::from(attempt),
+            },
+        );
+    }
+
+    /// Emit [`Event::StallProbe`] at the stalled node's frontier round.
+    pub fn stall_probe(&mut self, frontier: u64, node: u64) {
+        self.emit(frontier, Event::StallProbe { node });
+    }
+
+    /// Record the receive plane's duplicate-discard gauge into the
+    /// counters. Like [`Tracer::note_runtime`], called once at the end of a
+    /// run; chaos-free runs never call it with a nonzero value, so their
+    /// artifacts are unchanged.
+    pub fn note_dedup(&mut self, dups_discarded: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.counters.dups_discarded = dups_discarded;
     }
 
     /// Emit [`Event::StabilityWindow`].
@@ -965,6 +1063,11 @@ fn counters_json(c: &Counters) -> Json {
         ("retransmits", c.retransmits),
         ("reassembly_stalls", c.reassembly_stalls),
         ("mailbox_depth_max", c.mailbox_depth_max),
+        ("delays_injected", c.delays_injected),
+        ("duplicates_injected", c.duplicates_injected),
+        ("retransmit_timeouts", c.retransmit_timeouts),
+        ("stall_probes", c.stall_probes),
+        ("dups_discarded", c.dups_discarded),
     ] {
         if v > 0 {
             fields.push((name.into(), Json::Num(v as f64)));
@@ -1063,6 +1166,23 @@ fn event_json(te: &TraceEvent) -> Json {
             fields.push(("count".into(), Json::Num(*count as f64)));
             fields.push(("dst".into(), opt_num(*dst)));
         }
+        Event::Delayed { node, dst, rounds } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+            fields.push(("dst".into(), Json::Num(*dst as f64)));
+            fields.push(("rounds".into(), Json::Num(*rounds as f64)));
+        }
+        Event::Duplicated { node, dst } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+            fields.push(("dst".into(), Json::Num(*dst as f64)));
+        }
+        Event::RetransmitTimeout { node, dst, attempt } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+            fields.push(("dst".into(), Json::Num(*dst as f64)));
+            fields.push(("attempt".into(), Json::Num(*attempt as f64)));
+        }
+        Event::StallProbe { node } => {
+            fields.push(("node".into(), Json::Num(*node as f64)));
+        }
         Event::RunEnd { rounds, completed } => {
             fields.push(("rounds".into(), Json::Num(*rounds as f64)));
             fields.push(("completed".into(), Json::Bool(*completed)));
@@ -1157,6 +1277,11 @@ impl ParsedTrace {
             retransmits: opt_counter(c, "retransmits"),
             reassembly_stalls: opt_counter(c, "reassembly_stalls"),
             mailbox_depth_max: opt_counter(c, "mailbox_depth_max"),
+            delays_injected: opt_counter(c, "delays_injected"),
+            duplicates_injected: opt_counter(c, "duplicates_injected"),
+            retransmit_timeouts: opt_counter(c, "retransmit_timeouts"),
+            stall_probes: opt_counter(c, "stall_probes"),
+            dups_discarded: opt_counter(c, "dups_discarded"),
         };
         let dropped = header
             .get("dropped")
@@ -1194,18 +1319,19 @@ impl ParsedTrace {
 
     /// Recompute the counters from the recorded event stream.
     ///
-    /// `bytes_sent` and the event-runtime gauges (`reassembly_stalls`,
-    /// `mailbox_depth_max`) are copied from the header — events carry
-    /// neither byte costs nor scheduler state, so they cannot be
-    /// recounted. For a complete trace ([`ParsedTrace::is_complete`])
-    /// every other field must equal the header's counters; a mismatch
-    /// means the artifact was truncated or hand-edited (the golden-corpus
-    /// hygiene gate).
+    /// `bytes_sent`, the event-runtime gauges (`reassembly_stalls`,
+    /// `mailbox_depth_max`) and the dedup gauge (`dups_discarded`) are
+    /// copied from the header — events carry neither byte costs nor
+    /// scheduler/receive-plane state, so they cannot be recounted. For a
+    /// complete trace ([`ParsedTrace::is_complete`]) every other field must
+    /// equal the header's counters; a mismatch means the artifact was
+    /// truncated or hand-edited (the golden-corpus hygiene gate).
     pub fn recount_events(&self) -> Counters {
         let mut c = Counters {
             bytes_sent: self.counters.bytes_sent,
             reassembly_stalls: self.counters.reassembly_stalls,
             mailbox_depth_max: self.counters.mailbox_depth_max,
+            dups_discarded: self.counters.dups_discarded,
             ..Counters::default()
         };
         for te in &self.events {
@@ -1222,6 +1348,10 @@ impl ParsedTrace {
                 Event::Crash { .. } => c.crashes += 1,
                 Event::Recover { .. } => c.recoveries += 1,
                 Event::Retransmit { .. } => c.retransmits += 1,
+                Event::Delayed { .. } => c.delays_injected += 1,
+                Event::Duplicated { .. } => c.duplicates_injected += 1,
+                Event::RetransmitTimeout { .. } => c.retransmit_timeouts += 1,
+                Event::StallProbe { .. } => c.stall_probes += 1,
                 Event::StabilityWindow { .. } | Event::RunEnd { .. } => {}
             }
         }
@@ -1306,6 +1436,21 @@ fn parse_event(v: &Json) -> Result<TraceEvent, String> {
             count: num("count")?,
             dst: opt("dst")?,
         },
+        "delayed" => Event::Delayed {
+            node: num("node")?,
+            dst: num("dst")?,
+            rounds: num("rounds")?,
+        },
+        "duplicated" => Event::Duplicated {
+            node: num("node")?,
+            dst: num("dst")?,
+        },
+        "retransmit_timeout" => Event::RetransmitTimeout {
+            node: num("node")?,
+            dst: num("dst")?,
+            attempt: num("attempt")?,
+        },
+        "stall_probe" => Event::StallProbe { node: num("node")? },
         "run_end" => Event::RunEnd {
             rounds: num("rounds")?,
             completed: boolean("completed")?,
@@ -1423,6 +1568,17 @@ impl TraceSummary {
                 "event runtime: {} reassembly stalls, mailbox depth high-water {}\n",
                 c.reassembly_stalls, c.mailbox_depth_max,
             ));
+        }
+        if c.delays_injected + c.duplicates_injected + c.dups_discarded + c.retransmit_timeouts > 0
+        {
+            out.push_str(&format!(
+                "delivery chaos: {} delayed, {} duplicated ({} dups discarded), \
+                 {} timer retransmits\n",
+                c.delays_injected, c.duplicates_injected, c.dups_discarded, c.retransmit_timeouts,
+            ));
+        }
+        if c.stall_probes > 0 {
+            out.push_str(&format!("stall watchdog: {} node probes\n", c.stall_probes));
         }
         if !self.per_phase_rounds.is_empty() {
             out.push_str("rounds per phase:");

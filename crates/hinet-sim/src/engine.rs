@@ -20,7 +20,8 @@
 //! count**.
 
 use crate::fault::FaultPlan;
-use crate::protocol::{Destination, Incoming, LocalView, Outgoing, Protocol};
+use crate::protocol::{Destination, Incoming, LocalView, Outgoing, Payload, Protocol};
+use crate::reliable::{ReceiverLedger, ReliableConfig, SenderWindow};
 use crate::token::{TokenId, TokenSet};
 use hinet_cluster::clustering::{re_elect, GatewayPolicy};
 use hinet_cluster::ctvg::HierarchyProvider;
@@ -182,6 +183,20 @@ pub struct RunConfig<'t> {
     /// (`hinet_core::runner`) so the whole run request still travels as
     /// one config value.
     pub retransmit: bool,
+    /// Enable the protocol-agnostic [`crate::reliable`] ack/timeout/backoff
+    /// layer: every payload delivery is tracked per link, unacked envelopes
+    /// are retransmitted with exponential backoff, and the receive plane
+    /// dedups retransmit duplicates — so any algorithm recovers under loss
+    /// and delay without its own ARQ. Only active alongside a non-trivial
+    /// [`FaultPlan`]; mutually exclusive with [`RunConfig::retransmit`]
+    /// (callers gate the combination — see `Scenario`).
+    pub reliable: bool,
+    /// Stall-watchdog threshold for [`ExecMode::Event`] runs: when no node
+    /// completes a round for roughly this many worker park timeouts, the
+    /// driver stops spinning, snapshots per-node diagnostics into
+    /// [`RunReport::stall`] and reports [`Outcome::Stalled`]. `0` (default)
+    /// disables the watchdog. Lock-step runs ignore it.
+    pub stall_rounds: usize,
     /// Worker threads for the per-node round phases. `0` (default) picks
     /// automatically: sequential below a fixed node-count threshold,
     /// all available cores above. Any value yields identical results and
@@ -221,6 +236,8 @@ impl Default for RunConfig<'_> {
             cost_weights: CostWeights::default(),
             faults: FaultPlan::none(),
             retransmit: false,
+            reliable: false,
+            stall_rounds: 0,
             threads: 0,
             tracer: None,
             mode: ExecMode::Lockstep,
@@ -241,6 +258,8 @@ impl fmt::Debug for RunConfig<'_> {
             .field("cost_weights", &self.cost_weights)
             .field("faults", &self.faults)
             .field("retransmit", &self.retransmit)
+            .field("reliable", &self.reliable)
+            .field("stall_rounds", &self.stall_rounds)
             .field("threads", &self.threads)
             .field("tracer", &self.tracer.as_ref().map(|t| t.enabled()))
             .field("mode", &self.mode)
@@ -311,6 +330,20 @@ impl<'t> RunConfig<'t> {
         self
     }
 
+    /// Enable the generalized ack/timeout/backoff reliability layer (see
+    /// [`RunConfig::reliable`]).
+    pub fn reliable(mut self, reliable: bool) -> Self {
+        self.reliable = reliable;
+        self
+    }
+
+    /// Set the event-mode stall-watchdog threshold (`0` = disabled, see
+    /// [`RunConfig::stall_rounds`]).
+    pub fn stall_rounds(mut self, rounds: usize) -> Self {
+        self.stall_rounds = rounds;
+        self
+    }
+
     /// Set the worker thread count (`0` = automatic).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
@@ -346,6 +379,8 @@ impl<'t> RunConfig<'t> {
             cost_weights: self.cost_weights,
             faults: self.faults,
             retransmit: self.retransmit,
+            reliable: self.reliable,
+            stall_rounds: self.stall_rounds,
             threads: self.threads,
             tracer: Some(tracer),
             mode: self.mode,
@@ -430,6 +465,21 @@ pub struct Metrics {
     pub recoveries: u64,
     /// Messages marked as recovery retransmissions by the protocols.
     pub retransmits: u64,
+    /// Deliveries held back by the fault plane's delay knob
+    /// ([`FaultPlan::delay_of`]) — each counted once at the round the
+    /// envelope was held, not when it matures.
+    pub delays_injected: u64,
+    /// Envelope duplications injected by the fault plane
+    /// ([`FaultPlan::duplicates`]). Every injected duplicate is discarded
+    /// by the receive plane, so this never inflates token/byte counters.
+    pub duplicates_injected: u64,
+    /// Duplicate envelopes discarded by the receive plane — injected
+    /// duplicates plus reliability-layer retransmits that raced an ack.
+    pub dups_discarded: u64,
+    /// Retransmissions fired by the [`crate::reliable`] layer's timers
+    /// (see [`RunConfig::reliable`]); disjoint from
+    /// [`Metrics::retransmits`], which counts protocol-level ARQ.
+    pub retransmit_timeouts: u64,
     /// Optional per-round series (see [`RunConfig::record_rounds`]).
     pub rounds: Vec<RoundMetrics>,
     /// Optional full message log (see [`RunConfig::record_messages`]).
@@ -553,6 +603,41 @@ pub struct RunReport {
     /// iff the run was configured with [`RunConfig::stability_oracle`]
     /// and executed at least one round.
     pub stability: Option<hinet_cluster::stability::stream::StreamReport>,
+    /// Stall-watchdog diagnostics — present iff the event-mode watchdog
+    /// ([`RunConfig::stall_rounds`]) halted the run.
+    pub stall: Option<StallDiag>,
+}
+
+/// Per-node snapshot taken when the stall watchdog halts an event-mode
+/// run: where the node's round frontier stopped and what it was waiting
+/// for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeStall {
+    /// The stalled node.
+    pub node: NodeId,
+    /// The round the node was trying to assemble when the run halted (its
+    /// progress frontier).
+    pub frontier: usize,
+    /// Neighbors whose round marker the node's quorum was still missing at
+    /// the frontier round.
+    pub missing: Vec<NodeId>,
+    /// Age in rounds of the node's oldest unacked reliability-layer
+    /// envelope (`None` when the reliable layer is off or everything the
+    /// node sent was acked).
+    pub oldest_unacked: Option<usize>,
+}
+
+/// Structured diagnostics attached to [`RunReport::stall`] when the
+/// event-mode watchdog fires ([`Outcome::Stalled`] with no quorum progress
+/// for [`RunConfig::stall_rounds`] probe periods).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StallDiag {
+    /// One entry per node that had not finished when the watchdog fired,
+    /// sorted by node id.
+    pub nodes: Vec<NodeStall>,
+    /// `(first, last)` round in which any fault fired before the halt, if
+    /// one did — attribution context for the stall.
+    pub fault_window: Option<(u64, u64)>,
 }
 
 impl RunReport {
@@ -744,6 +829,7 @@ impl<'t> Engine<'t> {
                 outcome: Outcome::Completed { round: 0 },
                 wall: lockstep_wall(start, 0),
                 stability: None,
+                stall: None,
             };
         }
         // Runtime (T, L)-HiNet oracle: certificate mode pins violations to
@@ -751,6 +837,32 @@ impl<'t> Engine<'t> {
         let mut oracle = cfg.stability_oracle.map(|(t, l)| {
             hinet_cluster::stability::stream::StabilityStream::new(t, l).with_certificate()
         });
+
+        // Adversarial delivery plane (lock-step side): envelopes held back
+        // by the delay knob mature into the receiver's inbox at a later
+        // round (`(due_round, rid, message)` per receiver), and the optional
+        // reliability layer keeps one sender window plus one receiver
+        // ledger per node so backoff timers re-send whatever loss or delay
+        // swallowed. All of this state exists only for non-trivial plans —
+        // the clean path allocates nothing and stays byte-identical.
+        let mut delayed: Vec<Vec<(usize, u64, Incoming)>> = if !trivial {
+            vec![Vec::new(); n]
+        } else {
+            Vec::new()
+        };
+        let mut plane: Option<(Vec<SenderWindow<(Payload, bool)>>, Vec<ReceiverLedger>)> =
+            (cfg.reliable && !trivial).then(|| {
+                let senders = (0..n)
+                    .map(|i| {
+                        // Per-node jitter seed, derived from the fault seed
+                        // so `--fault-seed` replays the timers too.
+                        let seed = faults.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        SenderWindow::new(seed, ReliableConfig::default())
+                    })
+                    .collect();
+                let receivers = (0..n).map(|_| ReceiverLedger::new()).collect();
+                (senders, receivers)
+            });
 
         let mut warned_log_cap = false;
         for round in 0..cfg.max_rounds {
@@ -863,6 +975,36 @@ impl<'t> Engine<'t> {
                 inbox.clear();
             }
 
+            // Mature delayed envelopes first: they land ahead of round-`r`
+            // fresh deliveries, mirroring the event runtime's
+            // flush-held-then-send order. A delivery maturing while its
+            // receiver is down is lost, exactly like a fresh one — the
+            // reliability layer (if on) recovers it by timer.
+            if !trivial && faults.delay_ppm > 0 {
+                for v in 0..n {
+                    if delayed[v].is_empty() {
+                        continue;
+                    }
+                    let entries = std::mem::take(&mut delayed[v]);
+                    for (due, rid, msg) in entries {
+                        if due > round {
+                            delayed[v].push((due, rid, msg));
+                            continue;
+                        }
+                        if arenas.is_down(round, v) {
+                            continue;
+                        }
+                        if let Some((_, receivers)) = plane.as_mut() {
+                            if !receivers[v].accept(msg.from.index(), rid) {
+                                metrics.dups_discarded += 1;
+                                continue;
+                            }
+                        }
+                        inboxes[v].push(msg);
+                    }
+                }
+            }
+
             // Send phase: every live node computes its messages against its
             // own view — node-independent, so it fans out over the pool.
             let outs: Vec<Vec<Outgoing>> = {
@@ -891,10 +1033,67 @@ impl<'t> Engine<'t> {
             // identical whatever the send phase's thread count was.
             for (i, node_outs) in outs.into_iter().enumerate() {
                 let me = NodeId::from_index(i);
+                // Reliability-layer retransmits flush before the node's
+                // fresh sends (the event runtime's step order). A link
+                // absent from this round's topology leaves the entry
+                // pending — the timer simply fires again later.
+                if let Some((senders, receivers)) = plane.as_mut() {
+                    if !arenas.is_down(round, i) {
+                        for rt in senders[i].due(round) {
+                            let v = NodeId::from_index(rt.to);
+                            if !csr.has_edge(me, v) {
+                                continue;
+                            }
+                            let (payload, directed) = rt.item;
+                            let cost = payload.len() as u64;
+                            round_tokens += cost;
+                            round_packets += 1;
+                            metrics.tokens_by_role[role_slot(hierarchy.role(me))] += cost;
+                            metrics.retransmit_timeouts += 1;
+                            tracer.retransmit_timeout(
+                                round as u64,
+                                me.0 as u64,
+                                v.0 as u64,
+                                rt.attempt,
+                            );
+                            if faulted_delivery(
+                                &faults,
+                                round,
+                                me,
+                                v,
+                                &mut metrics,
+                                &mut fault_window,
+                                &mut backbone_fault,
+                                &arenas.down_until,
+                                tracer,
+                            ) {
+                                continue;
+                            }
+                            // Retransmits skip the delay/dup rolls: the
+                            // envelope took its chaos at first send; the
+                            // timer exists to outlast it.
+                            if receivers[v.index()].accept(i, rt.rid) {
+                                inboxes[v.index()].push(Incoming {
+                                    from: me,
+                                    directed,
+                                    payload,
+                                });
+                            } else {
+                                metrics.dups_discarded += 1;
+                            }
+                        }
+                    }
+                }
+                // Per-(sender, round) envelope sequence — the delay/dup
+                // hash key component, numbered exactly like the event
+                // runtime's outgoing envelopes.
+                let mut next_seq: u32 = 0;
                 for out in node_outs {
                     if out.payload.is_empty() {
                         continue;
                     }
+                    let seq = next_seq;
+                    next_seq += 1;
                     let cost = out.payload.len() as u64;
                     round_tokens += cost;
                     round_packets += 1;
@@ -951,6 +1150,14 @@ impl<'t> Engine<'t> {
                                 );
                             }
                             for &v in csr.neighbors(me) {
+                                let rid = match plane.as_mut() {
+                                    Some((senders, _)) => senders[i].register(
+                                        v.index(),
+                                        (out.payload.clone(), false),
+                                        round,
+                                    ),
+                                    None => 0,
+                                };
                                 if !trivial
                                     && faulted_delivery(
                                         &faults,
@@ -965,6 +1172,45 @@ impl<'t> Engine<'t> {
                                     )
                                 {
                                     continue;
+                                }
+                                if !trivial {
+                                    let d = faults.delay_of(round, i, v.index(), seq);
+                                    if d > 0 {
+                                        metrics.delays_injected += 1;
+                                        tracer.delayed(
+                                            round as u64,
+                                            me.0 as u64,
+                                            v.0 as u64,
+                                            d as u64,
+                                        );
+                                        delayed[v.index()].push((
+                                            round + d,
+                                            rid,
+                                            Incoming {
+                                                from: me,
+                                                directed: false,
+                                                payload: out.payload.clone(),
+                                            },
+                                        ));
+                                        continue;
+                                    }
+                                    if faults.duplicates(round, i, v.index(), seq) {
+                                        // Lock-step models injection plus the
+                                        // receive plane's immediate discard
+                                        // (token monotonicity makes the copy a
+                                        // no-op); the event runtime actually
+                                        // sends twice and dedups in the
+                                        // RoundBuffer.
+                                        metrics.duplicates_injected += 1;
+                                        metrics.dups_discarded += 1;
+                                        tracer.duplicated(round as u64, me.0 as u64, v.0 as u64);
+                                    }
+                                }
+                                if let Some((_, receivers)) = plane.as_mut() {
+                                    if !receivers[v.index()].accept(i, rid) {
+                                        metrics.dups_discarded += 1;
+                                        continue;
+                                    }
                                 }
                                 inboxes[v.index()].push(Incoming {
                                     from: me,
@@ -990,6 +1236,14 @@ impl<'t> Engine<'t> {
                                 );
                             }
                             if delivered {
+                                let rid = match plane.as_mut() {
+                                    Some((senders, _)) => senders[i].register(
+                                        v.index(),
+                                        (out.payload.clone(), true),
+                                        round,
+                                    ),
+                                    None => 0,
+                                };
                                 if !trivial
                                     && faulted_delivery(
                                         &faults,
@@ -1005,6 +1259,39 @@ impl<'t> Engine<'t> {
                                 {
                                     continue;
                                 }
+                                if !trivial {
+                                    let d = faults.delay_of(round, i, v.index(), seq);
+                                    if d > 0 {
+                                        metrics.delays_injected += 1;
+                                        tracer.delayed(
+                                            round as u64,
+                                            me.0 as u64,
+                                            v.0 as u64,
+                                            d as u64,
+                                        );
+                                        delayed[v.index()].push((
+                                            round + d,
+                                            rid,
+                                            Incoming {
+                                                from: me,
+                                                directed: true,
+                                                payload: out.payload,
+                                            },
+                                        ));
+                                        continue;
+                                    }
+                                    if faults.duplicates(round, i, v.index(), seq) {
+                                        metrics.duplicates_injected += 1;
+                                        metrics.dups_discarded += 1;
+                                        tracer.duplicated(round as u64, me.0 as u64, v.0 as u64);
+                                    }
+                                }
+                                if let Some((_, receivers)) = plane.as_mut() {
+                                    if !receivers[v.index()].accept(i, rid) {
+                                        metrics.dups_discarded += 1;
+                                        continue;
+                                    }
+                                }
                                 inboxes[v.index()].push(Incoming {
                                     from: me,
                                     directed: true,
@@ -1015,6 +1302,24 @@ impl<'t> Engine<'t> {
                             }
                         }
                     }
+                }
+            }
+
+            // The round barrier makes every receiver's ledger consultable
+            // at once, so acks apply omnisciently here — the same value the
+            // event runtime's piggybacked markers would deliver one round
+            // later.
+            if let Some((senders, receivers)) = plane.as_mut() {
+                for (i, s) in senders.iter_mut().enumerate() {
+                    s.sync_acks(|to| receivers[to].cum(i));
+                }
+            }
+
+            // Within-round inbox permutation: reorder is adversarial but
+            // pure, keyed on `(fault_seed, round, receiver)`.
+            if !trivial && faults.reorder {
+                for (i, inbox) in inboxes.iter_mut().enumerate() {
+                    faults.shuffle(round, i, inbox);
                 }
             }
 
@@ -1068,8 +1373,15 @@ impl<'t> Engine<'t> {
                     break;
                 }
             }
-            // All protocols locally finished and nothing further can change.
-            if protocols.iter().all(|p| p.finished()) {
+            // All protocols locally finished and nothing further can
+            // change — unless the delivery plane still holds envelopes in
+            // flight (delayed or unacked), which can inform nodes after
+            // every protocol quiesced.
+            let plane_in_flight = delayed.iter().map(Vec::len).sum::<usize>()
+                + plane
+                    .as_ref()
+                    .map_or(0, |(s, _)| s.iter().map(SenderWindow::in_flight).sum());
+            if protocols.iter().all(|p| p.finished()) && plane_in_flight == 0 {
                 budget_exhausted = false;
                 break;
             }
@@ -1127,6 +1439,7 @@ impl<'t> Engine<'t> {
             outcome,
             wall,
             stability,
+            stall: None,
         }
     }
 }

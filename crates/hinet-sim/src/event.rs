@@ -32,11 +32,12 @@
 //! event-runtime counters).
 
 use crate::engine::{
-    note_fault, obs_role, resolve_event_threads, role_slot, MessageRecord, Metrics, Outcome,
-    RoundMetrics, RunConfig, RunReport, TokenLatency, WallClock,
+    note_fault, obs_role, resolve_event_threads, role_slot, MessageRecord, Metrics, NodeStall,
+    Outcome, RoundMetrics, RunConfig, RunReport, StallDiag, TokenLatency, WallClock,
 };
 use crate::fault::FaultPlan;
-use crate::protocol::{Destination, LocalView, Protocol};
+use crate::protocol::{Destination, LocalView, Payload, Protocol};
+use crate::reliable::{ReceiverLedger, ReliableConfig, SenderWindow};
 use crate::token::{TokenId, TokenSet};
 use crate::transport::{ChannelTransport, Envelope, EnvelopeKind, RoundBuffer, Transport};
 use hinet_cluster::clustering::{re_elect, GatewayPolicy};
@@ -195,9 +196,18 @@ struct NodeReport {
     faults: u64,
     partition: bool,
     retransmits: u64,
+    delays: u64,
+    dups_injected: u64,
+    dups_discarded: u64,
+    rt_timeouts: u64,
     informed_start: i64,
     informed_end: i64,
     finished: i64,
+    /// Net change in this node's delivery-plane in-flight count (held
+    /// delayed envelopes + unacked reliability-window entries) over the
+    /// round — the oracle must not declare all-finished while envelopes
+    /// that could still inform someone are in the air.
+    inflight: i64,
 }
 
 /// Oracle bookkeeping for one not-yet-decided round.
@@ -225,6 +235,11 @@ struct Oracle {
     pending: BTreeMap<usize, PendingRound>,
     record_rounds: bool,
     stop_on_completion: bool,
+    /// Running total of delivery-plane in-flight envelopes (held delayed
+    /// envelopes + unacked reliability-window entries) across all nodes,
+    /// folded from the per-round deltas. All-finished does not stop the
+    /// run while this is non-zero.
+    inflight: i64,
 }
 
 impl Oracle {
@@ -242,9 +257,14 @@ impl Oracle {
         pr.agg.faults += rep.faults;
         pr.agg.partition |= rep.partition;
         pr.agg.retransmits += rep.retransmits;
+        pr.agg.delays += rep.delays;
+        pr.agg.dups_injected += rep.dups_injected;
+        pr.agg.dups_discarded += rep.dups_discarded;
+        pr.agg.rt_timeouts += rep.rt_timeouts;
         pr.agg.informed_start += rep.informed_start;
         pr.agg.informed_end += rep.informed_end;
         pr.agg.finished += rep.finished;
+        pr.agg.inflight += rep.inflight;
 
         let mut stop = None;
         while !self.stopped {
@@ -271,6 +291,11 @@ impl Oracle {
             m.dropped_unicasts += a.dropped_unicasts;
             m.faults_injected += a.faults;
             m.retransmits += a.retransmits;
+            m.delays_injected += a.delays;
+            m.duplicates_injected += a.dups_injected;
+            m.dups_discarded += a.dups_discarded;
+            m.retransmit_timeouts += a.rt_timeouts;
+            self.inflight += a.inflight;
             if a.faults > 0 {
                 note_fault(&mut self.fault_window, r as u64);
             }
@@ -291,7 +316,7 @@ impl Oracle {
                     stop = Some(r);
                 }
             }
-            if !self.stopped && self.finished == self.n {
+            if !self.stopped && self.finished == self.n && self.inflight == 0 {
                 self.stopped = true;
                 self.early_stop = true;
                 stop = Some(r);
@@ -366,6 +391,28 @@ enum BufEvt {
         to: u64,
         kind: FaultKind,
     },
+    Delayed {
+        to: u64,
+        rounds: u64,
+    },
+    Duplicated {
+        to: u64,
+    },
+    RetransmitTimeout {
+        to: u64,
+        attempt: u32,
+    },
+}
+
+/// An outgoing envelope the fault plane delayed: it is held at the sender
+/// and flushed (with its original `rid`) during the sender's `release`
+/// round send step, landing in the receiver's `release`-round inbox.
+struct HeldEnvelope {
+    release: usize,
+    to: NodeId,
+    rid: u64,
+    payload: Payload,
+    directed: bool,
 }
 
 /// Per-node runtime state owned by its shard.
@@ -384,6 +431,18 @@ struct NodeState {
     rep: NodeReport,
     /// Last round in which this node applied a crash restart.
     crashed_at: Option<usize>,
+    /// Outgoing envelopes the fault plane delayed, awaiting their release
+    /// round.
+    held: Vec<HeldEnvelope>,
+    /// Reliability sender window — `Some` only when the run is reliable;
+    /// carries every unacked envelope and its retransmit timer.
+    window: Option<SenderWindow<(Payload, bool)>>,
+    /// Reliability receiver ledger: per-sender cumulative-ack state and
+    /// rid-level dedup for retransmitted envelopes.
+    ledger: ReceiverLedger,
+    /// In-flight count (held + window) at the end of the last receive
+    /// step, so each round reports a delta to the oracle.
+    last_inflight: i64,
     /// Buffered trace events, `(round, events)` ascending.
     evts: Vec<(usize, Vec<BufEvt>)>,
     /// Buffered message records (rounds ascending).
@@ -404,6 +463,10 @@ impl NodeState {
             learned: TokenSet::new(),
             rep: NodeReport::default(),
             crashed_at: None,
+            held: Vec::new(),
+            window: None,
+            ledger: ReceiverLedger::new(),
+            last_inflight: 0,
             evts: Vec::new(),
             msgs: Vec::new(),
         }
@@ -440,6 +503,49 @@ struct Shared<'a> {
     record_messages: bool,
     token_bytes: u64,
     packet_header_bytes: u64,
+    /// Reliability layer active: acks ride on round markers, unacked
+    /// envelopes retransmit on timer (only with a non-trivial fault plan).
+    reliable: bool,
+    /// Stall watchdog — `Some` when `RunConfig::stall_rounds > 0`.
+    watchdog: Option<Mutex<Watchdog>>,
+    /// No-progress window before the watchdog fires.
+    stall_window: Duration,
+    /// Progress epoch: bumped on every completed receive step; the
+    /// watchdog re-arms whenever it moves.
+    progress: AtomicU64,
+    /// Set by the watchdog: workers snapshot stall diagnostics and exit.
+    halted: AtomicBool,
+    /// Per-node stall diagnostics, recorded by the workers after a halt.
+    stall_info: Mutex<Vec<NodeStall>>,
+}
+
+/// Stall watchdog state: armed with a deadline one full no-progress window
+/// in the future; any quorum progress (a completed receive step anywhere)
+/// re-arms it. Probed by workers about to park, so it costs nothing while
+/// the run is moving.
+struct Watchdog {
+    last_epoch: u64,
+    deadline: Instant,
+}
+
+impl Watchdog {
+    fn new(now: Instant, window: Duration) -> Watchdog {
+        Watchdog {
+            last_epoch: 0,
+            deadline: now + window,
+        }
+    }
+
+    /// Probe with the current progress epoch: `true` when no progress has
+    /// been observed for a full window.
+    fn probe(&mut self, epoch: u64, now: Instant, window: Duration) -> bool {
+        if epoch != self.last_epoch {
+            self.last_epoch = epoch;
+            self.deadline = now + window;
+            return false;
+        }
+        now >= self.deadline
+    }
 }
 
 impl Shared<'_> {
@@ -558,6 +664,7 @@ pub(crate) fn run<P: Protocol + Send>(
             outcome: Outcome::Completed { round: 0 },
             wall: wall_degenerate(),
             stability: None,
+            stall: None,
         };
     }
     if cfg.max_rounds == 0 {
@@ -576,6 +683,7 @@ pub(crate) fn run<P: Protocol + Send>(
             },
             wall: wall_degenerate(),
             stability: None,
+            stall: None,
         };
     }
 
@@ -622,6 +730,7 @@ pub(crate) fn run<P: Protocol + Send>(
             pending: BTreeMap::new(),
             record_rounds: cfg.record_rounds,
             stop_on_completion: cfg.stop_on_completion,
+            inflight: 0,
         }),
         transport,
         doorbells: Arc::clone(&doorbells),
@@ -641,6 +750,15 @@ pub(crate) fn run<P: Protocol + Send>(
         record_messages: cfg.record_messages,
         token_bytes: cfg.cost_weights.token_bytes,
         packet_header_bytes: cfg.cost_weights.packet_header_bytes,
+        reliable: cfg.reliable && !trivial,
+        watchdog: (cfg.stall_rounds > 0).then(|| {
+            let window = PARK_TIMEOUT * cfg.stall_rounds as u32;
+            Mutex::new(Watchdog::new(Instant::now(), window))
+        }),
+        stall_window: PARK_TIMEOUT * cfg.stall_rounds.max(1) as u32,
+        progress: AtomicU64::new(0),
+        halted: AtomicBool::new(false),
+        stall_info: Mutex::new(Vec::new()),
     };
     // Tokens fully known at the start are covered at t = 0.
     for t in &universe {
@@ -660,11 +778,17 @@ pub(crate) fn run<P: Protocol + Send>(
             let take = shard_size.min(rest.len());
             let (chunk, tail) = rest.split_at_mut(take);
             let mut nodes = Vec::with_capacity(take);
-            for p in chunk.iter() {
+            for (j, p) in chunk.iter().enumerate() {
                 let mut st = NodeState::new();
                 st.learned = p.known().clone();
                 st.informed = universe.is_subset(p.known());
                 st.finished = p.finished();
+                if shared.reliable {
+                    // Same per-sender jitter seed derivation as lock-step.
+                    let seed =
+                        faults.seed ^ ((base + j) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    st.window = Some(SenderWindow::new(seed, ReliableConfig::default()));
+                }
                 nodes.push(st);
             }
             shards.push(Shard {
@@ -706,6 +830,19 @@ pub(crate) fn run<P: Protocol + Send>(
             note_fault(&mut fault_window, r as u64);
         }
     }
+
+    // Stall-watchdog diagnostics: when the watchdog halted the run short
+    // of completion, the workers' per-node snapshots become the report's
+    // structured stall diagnosis (frontier rounds, missing quorum senders,
+    // oldest unacked envelope ages) plus the fault window for attribution.
+    let halted = shared.halted.load(Ordering::SeqCst);
+    let mut stall_nodes = shared.stall_info.into_inner().expect("stall info lock");
+    stall_nodes.sort_by_key(|s| s.node.index());
+    let stall =
+        (halted && completion_round.is_none() && !stall_nodes.is_empty()).then(|| StallDiag {
+            nodes: stall_nodes,
+            fault_window,
+        });
 
     // Overshoot-crash repair: a node restarted by a crash in a round the
     // run turned out not to include had (provably) already learned the
@@ -780,11 +917,19 @@ pub(crate) fn run<P: Protocol + Send>(
             }
         }
     }
+    if tracing {
+        if let Some(d) = &stall {
+            for ns in &d.nodes {
+                tracer.stall_probe(ns.frontier as u64, ns.node.0 as u64);
+            }
+        }
+    }
     tracer.run_end(rounds_executed as u64, completion_round.is_some());
     let stalls = shared.stalls.load(Ordering::Relaxed);
     let depth = shared.transport.max_depth() as u64;
     if tracing {
         tracer.note_runtime(stalls, depth);
+        tracer.note_dedup(metrics.dups_discarded);
     }
 
     // Wall-clock metrics: throughput over the whole execution, per-token
@@ -827,15 +972,25 @@ pub(crate) fn run<P: Protocol + Send>(
                 }
                 missing_tokens(&universe, &flat, k)
             };
-            match fault_window {
-                Some(window) => Outcome::AssumptionViolated {
-                    window,
-                    def: if backbone { 2 } else { 1 },
-                },
-                None => Outcome::Stalled {
+            if stall.is_some() {
+                // The watchdog halted the run: report the stall with its
+                // structured diagnosis regardless of injected faults (the
+                // diagnosis carries the fault window for attribution).
+                Outcome::Stalled {
                     missing_tokens: missing,
-                    budget_exhausted,
-                },
+                    budget_exhausted: false,
+                }
+            } else {
+                match fault_window {
+                    Some(window) => Outcome::AssumptionViolated {
+                        window,
+                        def: if backbone { 2 } else { 1 },
+                    },
+                    None => Outcome::Stalled {
+                        missing_tokens: missing,
+                        budget_exhausted,
+                    },
+                }
             }
         }
     };
@@ -848,6 +1003,7 @@ pub(crate) fn run<P: Protocol + Send>(
         outcome,
         wall,
         stability: None,
+        stall,
     }
 }
 
@@ -871,6 +1027,10 @@ fn missing_tokens<P: Protocol>(universe: &TokenSet, protocols: &[&P], k: usize) 
 fn run_shard<P: Protocol>(shared: &Shared<'_>, s: usize, shard: &mut Shard<'_, P>) {
     loop {
         if shared.abort.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.halted.load(Ordering::SeqCst) {
+            record_stall(shared, shard);
             return;
         }
         let epoch = shared.doorbells[s].epoch();
@@ -941,8 +1101,52 @@ fn run_shard<P: Protocol>(shared: &Shared<'_>, s: usize, shard: &mut Shard<'_, P
             return;
         }
         if !progressed {
+            // Probe the stall watchdog before parking: if no receive step
+            // completed anywhere for a full window, halt the run and let
+            // every worker snapshot its stall diagnostics.
+            if let Some(wd) = &shared.watchdog {
+                let epoch_now = shared.progress.load(Ordering::Relaxed);
+                let fire = wd.lock().expect("watchdog lock").probe(
+                    epoch_now,
+                    Instant::now(),
+                    shared.stall_window,
+                );
+                if fire {
+                    shared.halted.store(true, Ordering::SeqCst);
+                    shared.ring_all();
+                    continue;
+                }
+            }
             shared.doorbells[s].wait(epoch);
         }
+    }
+}
+
+/// Snapshot this shard's unfinished nodes into the shared stall
+/// diagnostics: each node's round frontier, the neighbours whose round
+/// markers it is still waiting for, and the age of its oldest unacked
+/// reliability-window envelope.
+fn record_stall<P: Protocol>(shared: &Shared<'_>, shard: &Shard<'_, P>) {
+    let mut info = shared.stall_info.lock().expect("stall info lock");
+    for (j, st) in shard.nodes.iter().enumerate() {
+        if st.done {
+            continue;
+        }
+        let me = NodeId::from_index(shard.base + j);
+        let r = st.round;
+        let ctx = shared.ctx(r);
+        let missing = st.buffer.missing_markers(r, ctx.csr.neighbors(me));
+        let oldest_unacked = st
+            .window
+            .as_ref()
+            .and_then(|w| w.oldest_unacked())
+            .map(|registered| r.saturating_sub(registered));
+        info.push(NodeStall {
+            node: me,
+            frontier: r,
+            missing,
+            oldest_unacked,
+        });
     }
 }
 
@@ -973,18 +1177,93 @@ fn step_send<P: Protocol>(
     }
     let neighbors = ctx.csr.neighbors(me);
     let mut evts: Vec<BufEvt> = Vec::new();
+    let role = ctx.hierarchy.role(me);
+    // Delivery-plane flushes (timer retransmits, matured delayed
+    // envelopes) take seq numbers descending from just below the marker
+    // sentinel: fresh protocol sends keep the lock-step 0.. numbering (so
+    // their delay/dup hash keys match lock-step), and the buffer's
+    // `(from, seq)` sort stays collision-free.
+    let mut flush_seq = u32::MAX - 1;
+    if !ctx.down[i] {
+        // Reliability-window timer retransmits: a re-send pays full token
+        // cost, keeps its original rid (receiver ledgers dedup), and skips
+        // the delay/dup rolls — only the loss gate applies.
+        let due = match st.window.as_mut() {
+            Some(w) => w.due(r),
+            None => Vec::new(),
+        };
+        for rt in due {
+            let v = NodeId::from_index(rt.to);
+            if !ctx.csr.has_edge(me, v) {
+                continue; // no edge this round; the timer re-fires later
+            }
+            let (payload, directed) = rt.item;
+            let cost = payload.len() as u64;
+            st.rep.tokens += cost;
+            st.rep.packets += 1;
+            st.rep.by_role[role_slot(role)] += cost;
+            st.rep.rt_timeouts += 1;
+            if shared.tracing {
+                evts.push(BufEvt::RetransmitTimeout {
+                    to: v.0 as u64,
+                    attempt: rt.attempt,
+                });
+            }
+            if !shared.trivial && gated(shared, r, me, v, ctx, st, &mut evts) {
+                continue;
+            }
+            shared.transport.send(Envelope {
+                round: r,
+                from: me,
+                to: v,
+                seq: flush_seq,
+                kind: EnvelopeKind::Payload {
+                    payload,
+                    directed,
+                    rid: rt.rid,
+                },
+            });
+            flush_seq -= 1;
+        }
+        // Matured delayed envelopes land in the receiver's current-round
+        // inbox; a receiver down at maturity loses them (the reliability
+        // layer, when on, recovers by timer).
+        if !st.held.is_empty() {
+            let held = std::mem::take(&mut st.held);
+            for h in held {
+                if h.release > r || !ctx.csr.has_edge(me, h.to) {
+                    st.held.push(h);
+                    continue;
+                }
+                if ctx.down[h.to.index()] {
+                    continue;
+                }
+                shared.transport.send(Envelope {
+                    round: r,
+                    from: me,
+                    to: h.to,
+                    seq: flush_seq,
+                    kind: EnvelopeKind::Payload {
+                        payload: h.payload,
+                        directed: h.directed,
+                        rid: h.rid,
+                    },
+                });
+                flush_seq -= 1;
+            }
+        }
+    }
     if !ctx.down[i] && !p.finished() {
         let view = LocalView {
             me,
             round: r,
-            role: ctx.hierarchy.role(me),
+            role,
             cluster: ctx.hierarchy.cluster_of(me),
             head: ctx.hierarchy.head_of(me),
             parent: ctx.hierarchy.parent_of(me),
             neighbors,
         };
         let outs = p.send(&view);
-        let role = ctx.hierarchy.role(me);
         let mut seq = 0u32;
         for out in outs {
             if out.payload.is_empty() {
@@ -1035,19 +1314,18 @@ fn step_send<P: Protocol>(
                         });
                     }
                     for &v in neighbors {
-                        if !shared.trivial && gated(shared, r, me, v, ctx, st, &mut evts) {
-                            continue;
-                        }
-                        shared.transport.send(Envelope {
-                            round: r,
-                            from: me,
-                            to: v,
+                        deliver(
+                            shared,
+                            r,
+                            me,
+                            v,
+                            ctx,
+                            st,
+                            &mut evts,
+                            &out.payload,
+                            false,
                             seq,
-                            kind: EnvelopeKind::Payload {
-                                payload: out.payload.clone(),
-                                directed: false,
-                            },
-                        });
+                        );
                     }
                 }
                 Destination::Unicast(v) => {
@@ -1062,18 +1340,18 @@ fn step_send<P: Protocol>(
                         });
                     }
                     if delivered {
-                        if !(!shared.trivial && gated(shared, r, me, v, ctx, st, &mut evts)) {
-                            shared.transport.send(Envelope {
-                                round: r,
-                                from: me,
-                                to: v,
-                                seq,
-                                kind: EnvelopeKind::Payload {
-                                    payload: out.payload,
-                                    directed: true,
-                                },
-                            });
-                        }
+                        deliver(
+                            shared,
+                            r,
+                            me,
+                            v,
+                            ctx,
+                            st,
+                            &mut evts,
+                            &out.payload,
+                            true,
+                            seq,
+                        );
                     } else {
                         st.rep.dropped_unicasts += 1;
                     }
@@ -1087,13 +1365,20 @@ fn step_send<P: Protocol>(
     }
     // End-of-round markers: every node — down, finished or silent — tells
     // each round-r neighbour it is done sending, so receiver quorums close.
+    // When the reliability layer is on, each marker piggybacks the sender's
+    // cumulative ack for the envelopes that neighbour has sent it.
     for &v in neighbors {
+        let ack = if shared.reliable {
+            st.ledger.cum(v.index())
+        } else {
+            0
+        };
         shared.transport.send(Envelope {
             round: r,
             from: me,
             to: v,
             seq: u32::MAX,
-            kind: EnvelopeKind::RoundDone,
+            kind: EnvelopeKind::RoundDone { ack },
         });
     }
 }
@@ -1134,6 +1419,73 @@ fn gated(
     true
 }
 
+/// One fresh protocol-send delivery `from → to`: register it with the
+/// reliability window (before the loss gate, so lost envelopes still
+/// retransmit), roll the fault plane's loss / delay / duplication
+/// decisions, and either hold the envelope for its release round or
+/// enqueue it (twice, when duplicated — the receiver buffer's `(from,
+/// seq)` dedup discards and counts the copy).
+#[allow(clippy::too_many_arguments)]
+fn deliver(
+    shared: &Shared<'_>,
+    r: usize,
+    me: NodeId,
+    v: NodeId,
+    ctx: &RoundCtx,
+    st: &mut NodeState,
+    evts: &mut Vec<BufEvt>,
+    payload: &Payload,
+    directed: bool,
+    seq: u32,
+) {
+    let rid = match st.window.as_mut() {
+        Some(w) => w.register(v.index(), (payload.clone(), directed), r),
+        None => 0,
+    };
+    if !shared.trivial && gated(shared, r, me, v, ctx, st, evts) {
+        return;
+    }
+    if !shared.trivial {
+        let d = shared.faults.delay_of(r, me.index(), v.index(), seq);
+        if d > 0 {
+            st.rep.delays += 1;
+            if shared.tracing {
+                evts.push(BufEvt::Delayed {
+                    to: v.0 as u64,
+                    rounds: d as u64,
+                });
+            }
+            st.held.push(HeldEnvelope {
+                release: r + d,
+                to: v,
+                rid,
+                payload: payload.clone(),
+                directed,
+            });
+            return;
+        }
+    }
+    let envelope = || Envelope {
+        round: r,
+        from: me,
+        to: v,
+        seq,
+        kind: EnvelopeKind::Payload {
+            payload: payload.clone(),
+            directed,
+            rid,
+        },
+    };
+    shared.transport.send(envelope());
+    if !shared.trivial && shared.faults.duplicates(r, me.index(), v.index(), seq) {
+        st.rep.dups_injected += 1;
+        if shared.tracing {
+            evts.push(BufEvt::Duplicated { to: v.0 as u64 });
+        }
+        shared.transport.send(envelope());
+    }
+}
+
 /// A node's round-`r` receive step: release the reassembled inbox, run the
 /// protocol's receive (unless the node is down — its inbox is lost), track
 /// informed/finished transitions and the per-token latency cover, and
@@ -1147,8 +1499,35 @@ fn step_recv<P: Protocol>(
     st: &mut NodeState,
 ) {
     let me = NodeId::from_index(i);
-    let inbox = st.buffer.take(r);
+    let taken = st.buffer.take_round(r);
+    st.rep.dups_discarded += taken.dups_discarded;
+    let mut inbox = taken.inbox;
     if !ctx.down[i] {
+        if shared.reliable {
+            // Acks ride on the neighbours' round markers: release every
+            // envelope this node sent them that they now acknowledge.
+            if let Some(w) = st.window.as_mut() {
+                for &(from, ack) in &taken.acks {
+                    w.ack(from.index(), ack);
+                }
+            }
+            // Rid-level dedup: the buffer's `(from, seq)` dedup cannot see
+            // a timer retransmit of an envelope that also arrived late —
+            // the receiver ledger can.
+            let rids = taken.rids;
+            let mut keep = Vec::with_capacity(inbox.len());
+            for (msg, rid) in inbox.into_iter().zip(rids) {
+                if st.ledger.accept(msg.from.index(), rid) {
+                    keep.push(msg);
+                } else {
+                    st.rep.dups_discarded += 1;
+                }
+            }
+            inbox = keep;
+        }
+        if !shared.trivial && shared.faults.reorder {
+            shared.faults.shuffle(r, i, &mut inbox);
+        }
         let view = LocalView {
             me,
             round: r,
@@ -1186,6 +1565,10 @@ fn step_recv<P: Protocol>(
     let fin = p.finished();
     st.rep.finished += i64::from(fin) - i64::from(st.finished);
     st.finished = fin;
+    let inflight_now =
+        st.held.len() as i64 + st.window.as_ref().map_or(0, |w| w.in_flight() as i64);
+    st.rep.inflight = inflight_now - st.last_inflight;
+    st.last_inflight = inflight_now;
 
     let rep = std::mem::take(&mut st.rep);
     let stop = {
@@ -1195,6 +1578,9 @@ fn step_recv<P: Protocol>(
     if let Some(stop_round) = stop {
         shared.stop_after.fetch_min(stop_round, Ordering::SeqCst);
         shared.ring_all();
+    }
+    if shared.watchdog.is_some() {
+        shared.progress.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -1216,6 +1602,11 @@ fn replay(tracer: &mut Tracer, r: u64, node: u64, e: &BufEvt) {
         } => tracer.token_push(r, node, token, cost, role, to, bytes),
         BufEvt::Retransmit { cost, dst } => tracer.retransmit(r, node, cost, dst),
         BufEvt::Fault { to, kind } => tracer.fault_injected(r, node, Some(to), kind),
+        BufEvt::Delayed { to, rounds } => tracer.delayed(r, node, to, rounds),
+        BufEvt::Duplicated { to } => tracer.duplicated(r, node, to),
+        BufEvt::RetransmitTimeout { to, attempt } => {
+            tracer.retransmit_timeout(r, node, to, attempt)
+        }
     }
 }
 
@@ -1393,6 +1784,155 @@ mod tests {
         assert!(lat.p50_ns <= lat.p95_ns && lat.p95_ns <= lat.max_ns);
         assert!(report.wall.elapsed_ns > 0);
         assert!(report.wall.tokens_per_sec > 0.0);
+    }
+
+    /// Flood whose send step naps first: a stand-in for a wedged or
+    /// pathologically slow protocol, giving the armed watchdog a genuine
+    /// no-progress window to catch (the fault plane alone cannot wedge the
+    /// driver — end-of-round markers always flow).
+    struct NappingFlood {
+        inner: Flood,
+        nap: Duration,
+    }
+
+    impl NappingFlood {
+        fn new(nap: Duration) -> Self {
+            NappingFlood {
+                inner: Flood::new(),
+                nap,
+            }
+        }
+    }
+
+    impl Protocol for NappingFlood {
+        fn on_start(&mut self, me: NodeId, initial: &[TokenId]) {
+            self.inner.on_start(me, initial);
+        }
+        fn send(&mut self, view: &LocalView<'_>) -> Vec<Outgoing> {
+            if !self.nap.is_zero() {
+                std::thread::sleep(self.nap);
+            }
+            self.inner.send(view)
+        }
+        fn receive(&mut self, view: &LocalView<'_>, inbox: &[Incoming]) {
+            self.inner.receive(view, inbox);
+        }
+        fn known(&self) -> &TokenSet {
+            self.inner.known()
+        }
+        fn on_restart(&mut self, me: NodeId, retained: &[TokenId]) {
+            self.inner.on_restart(me, retained);
+        }
+    }
+
+    #[test]
+    fn watchdog_probe_rearms_on_progress_and_fires_after_a_quiet_window() {
+        let t0 = Instant::now();
+        let window = Duration::from_millis(10);
+        let mut wd = Watchdog::new(t0, window);
+        // A new epoch re-arms the deadline, however late the probe lands.
+        assert!(!wd.probe(1, t0 + window * 3, window));
+        // Same epoch inside the re-armed window: quiet, but not a stall yet.
+        assert!(!wd.probe(1, t0 + window * 3 + Duration::from_millis(1), window));
+        // Same epoch a full window after the last progress: fire.
+        assert!(wd.probe(1, t0 + window * 4, window));
+        // A run that never makes any progress fires off the initial arming.
+        let mut cold = Watchdog::new(t0, window);
+        assert!(cold.probe(0, t0 + window, window));
+    }
+
+    #[test]
+    fn watchdog_halts_a_wedged_run_with_structured_diagnostics() {
+        let n = 2;
+        let assignment = round_robin_assignment(n, n);
+        // Node 1 naps for many watchdog windows inside every send step, so
+        // node 0 parks on a quorum that makes no progress for far longer
+        // than the armed window.
+        let mut protocols = vec![
+            NappingFlood::new(Duration::ZERO),
+            NappingFlood::new(Duration::from_millis(250)),
+        ];
+        let mut provider = star_provider(n, 64);
+        let report = Engine::new(
+            RunConfig::new()
+                .max_rounds(32)
+                .threads(2)
+                .mode(ExecMode::Event)
+                .stall_rounds(1),
+        )
+        .run(&mut provider, &mut protocols, &assignment);
+
+        assert!(report.completion_round.is_none());
+        assert!(
+            matches!(
+                report.outcome,
+                Outcome::Stalled {
+                    budget_exhausted: false,
+                    ..
+                }
+            ),
+            "watchdog halt must report a non-budget stall, got {:?}",
+            report.outcome
+        );
+        let diag = report.stall.expect("watchdog halt carries diagnostics");
+        assert!(!diag.nodes.is_empty());
+        // Snapshots are sorted by node id and stay inside the run's bounds.
+        for pair in diag.nodes.windows(2) {
+            assert!(pair[0].node.index() < pair[1].node.index());
+        }
+        for ns in &diag.nodes {
+            assert!(ns.node.index() < n);
+            assert!(ns.frontier < 32);
+            assert!(ns.missing.iter().all(|m| m.index() < n));
+        }
+        // At least one stalled node names the neighbour whose round marker
+        // never arrived — that is the diagnostic the watchdog exists for.
+        assert!(
+            diag.nodes.iter().any(|ns| !ns.missing.is_empty()),
+            "some node must be short of quorum: {:?}",
+            diag.nodes
+        );
+        assert_eq!(diag.fault_window, None, "no faults were injected");
+    }
+
+    #[test]
+    fn armed_watchdog_stays_quiet_through_chaotic_reliable_run() {
+        let n = 6;
+        let assignment = round_robin_assignment(n, n);
+        let mut protocols: Vec<Flood> = (0..n).map(|_| Flood::new()).collect();
+        let mut provider = star_provider(n, 96);
+        let faults = FaultPlan::new(23)
+            .with_loss_ppm(150_000)
+            .with_delay_ppm(100_000)
+            .with_max_delay(2)
+            .with_dup_ppm(100_000)
+            .with_reorder(true);
+        let report = Engine::new(
+            RunConfig::new()
+                .max_rounds(64)
+                .threads(3)
+                .mode(ExecMode::Event)
+                .faults(faults)
+                .reliable(true)
+                .stall_rounds(32),
+        )
+        .run(&mut provider, &mut protocols, &assignment);
+        assert!(
+            report.completed(),
+            "reliability layer must finish the chaotic run: {:?}",
+            report.outcome
+        );
+        assert!(
+            report.stall.is_none(),
+            "a progressing run must never trip the watchdog"
+        );
+        let m = &report.metrics;
+        assert!(m.delays_injected > 0, "delay plan must have fired");
+        assert!(m.duplicates_injected > 0, "dup plan must have fired");
+        // The discard gauge counts every duplicate the receivers reject —
+        // plan-injected copies and redundant timer retransmits alike — so
+        // under chaos it must have fired, and nothing was double-counted.
+        assert!(m.dups_discarded > 0, "receivers must have discarded dups");
     }
 
     #[test]

@@ -24,6 +24,15 @@
 //!   worst case for the (T, L)-HiNet backbone.
 //! * **Partitions** — [`Partition`] windows cut every link between two id
 //!   ranges for a span of rounds.
+//! * **Delay** — each surviving delivery is independently held back for
+//!   `1..=max_delay` rounds with probability [`FaultPlan::delay_ppm`]; the
+//!   held rounds are part of the hash stream, so replays are exact.
+//! * **Duplication** — each surviving delivery is independently cloned with
+//!   probability [`FaultPlan::dup_ppm`]; the receive plane deduplicates and
+//!   counts the discards.
+//! * **Reorder** — when [`FaultPlan::reorder`] is set, every node's
+//!   per-round inbox is permuted by a seeded Fisher–Yates shuffle before
+//!   the protocol sees it.
 //!
 //! ```
 //! use hinet_sim::fault::FaultPlan;
@@ -43,6 +52,9 @@ use hinet_rt::rng::mix;
 /// decorrelated even for the same `(round, node)` arguments.
 const TAG_LOSS: u64 = 0x4c4f_5353; // "LOSS"
 const TAG_CRASH: u64 = 0x4352_5348; // "CRSH"
+const TAG_DELAY: u64 = 0x444c_4159; // "DLAY"
+const TAG_DUP: u64 = 0x4455_5053; // "DUPS"
+const TAG_ORDER: u64 = 0x4f52_4452; // "ORDR"
 
 /// One parts-per-million unit of the `u64` hash space. Probabilities are
 /// compared as `hash < ppm * PPM_UNIT`, which is exact for every ppm value
@@ -96,6 +108,20 @@ pub struct FaultPlan {
     pub durable_tokens: bool,
     /// Partition windows.
     pub partitions: Vec<Partition>,
+    /// Per-delivery delay probability in parts per million: a delayed
+    /// delivery is held for `1..=max_delay` rounds instead of arriving in
+    /// the round it was sent.
+    pub delay_ppm: u32,
+    /// Upper bound (inclusive, in rounds, minimum 1) on how long a delayed
+    /// delivery is held.
+    pub max_delay: usize,
+    /// Per-delivery duplication probability in parts per million: a
+    /// duplicated delivery arrives twice and the receive plane discards the
+    /// clone.
+    pub dup_ppm: u32,
+    /// Permute every node's per-round inbox with a seeded shuffle before
+    /// the protocol receives it.
+    pub reorder: bool,
 }
 
 impl Default for FaultPlan {
@@ -116,6 +142,10 @@ impl FaultPlan {
             target_heads: false,
             durable_tokens: false,
             partitions: Vec::new(),
+            delay_ppm: 0,
+            max_delay: 1,
+            dup_ppm: 0,
+            reorder: false,
         }
     }
 
@@ -170,6 +200,30 @@ impl FaultPlan {
         self
     }
 
+    /// Set the per-delivery delay probability in parts per million.
+    pub fn with_delay_ppm(mut self, ppm: u32) -> Self {
+        self.delay_ppm = ppm;
+        self
+    }
+
+    /// Set the maximum delivery delay in rounds (clamped to ≥ 1).
+    pub fn with_max_delay(mut self, rounds: usize) -> Self {
+        self.max_delay = rounds.max(1);
+        self
+    }
+
+    /// Set the per-delivery duplication probability in parts per million.
+    pub fn with_dup_ppm(mut self, ppm: u32) -> Self {
+        self.dup_ppm = ppm;
+        self
+    }
+
+    /// Enable (or disable) seeded inbox reordering.
+    pub fn with_reorder(mut self, reorder: bool) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
     /// Whether this plan can never inject a fault — the engine skips all
     /// fault bookkeeping for trivial plans, so they are bit-identical to
     /// running without a plan.
@@ -178,6 +232,9 @@ impl FaultPlan {
             && self.crash_ppm == 0
             && self.crash_at.is_empty()
             && self.partitions.is_empty()
+            && self.delay_ppm == 0
+            && self.dup_ppm == 0
+            && !self.reorder
     }
 
     /// Whether the `(from, to)` link is severed by a partition in `round`.
@@ -220,6 +277,70 @@ impl FaultPlan {
         }
         let h = mix(self.seed, mix(TAG_CRASH, mix(round as u64, node as u64)));
         h < u64::from(self.crash_ppm) * PPM_UNIT
+    }
+
+    /// How many rounds the delivery `from → to` (the `seq`-th payload of
+    /// that sender in `round`) is held back: `0` means it arrives on time,
+    /// otherwise a value in `1..=max_delay`. Pure function of the plan and
+    /// its arguments.
+    pub fn delay_of(&self, round: usize, from: usize, to: usize, seq: u32) -> usize {
+        if self.delay_ppm == 0 {
+            return 0;
+        }
+        let h = mix(
+            self.seed,
+            mix(
+                TAG_DELAY,
+                mix(
+                    round as u64,
+                    mix(from as u64, mix(to as u64, u64::from(seq))),
+                ),
+            ),
+        );
+        if self.delay_ppm < 1_000_000 && h >= u64::from(self.delay_ppm) * PPM_UNIT {
+            return 0;
+        }
+        // Derive the held-rounds count from a second mix so the fire/skip
+        // decision and the duration are decorrelated.
+        1 + (mix(h, TAG_DELAY) % self.max_delay as u64) as usize
+    }
+
+    /// Whether the delivery `from → to` (the `seq`-th payload of that
+    /// sender in `round`) is duplicated in flight. Pure function of the
+    /// plan and its arguments.
+    pub fn duplicates(&self, round: usize, from: usize, to: usize, seq: u32) -> bool {
+        if self.dup_ppm == 0 {
+            return false;
+        }
+        if self.dup_ppm >= 1_000_000 {
+            return true;
+        }
+        let h = mix(
+            self.seed,
+            mix(
+                TAG_DUP,
+                mix(
+                    round as u64,
+                    mix(from as u64, mix(to as u64, u64::from(seq))),
+                ),
+            ),
+        );
+        h < u64::from(self.dup_ppm) * PPM_UNIT
+    }
+
+    /// Permute `items` (node `node`'s inbox for `round`) with the seeded
+    /// reorder stream — a Fisher–Yates shuffle whose swaps are pure hash
+    /// decisions, so the same `(seed, round, node)` always yields the same
+    /// permutation. No-op unless [`FaultPlan::reorder`] is set.
+    pub fn shuffle<T>(&self, round: usize, node: usize, items: &mut [T]) {
+        if !self.reorder || items.len() < 2 {
+            return;
+        }
+        let key = mix(self.seed, mix(TAG_ORDER, mix(round as u64, node as u64)));
+        for i in (1..items.len()).rev() {
+            let j = (mix(key, i as u64) % (i as u64 + 1)) as usize;
+            items.swap(i, j);
+        }
     }
 }
 
@@ -335,5 +456,102 @@ mod tests {
     fn down_rounds_clamped_to_one() {
         assert_eq!(FaultPlan::new(0).with_down_rounds(0).down_rounds, 1);
         assert_eq!(FaultPlan::new(0).with_down_rounds(4).down_rounds, 4);
+    }
+
+    #[test]
+    fn delay_dup_reorder_make_a_plan_non_trivial() {
+        assert!(FaultPlan::none().is_trivial());
+        assert!(!FaultPlan::new(0).with_delay_ppm(1).is_trivial());
+        assert!(!FaultPlan::new(0).with_dup_ppm(1).is_trivial());
+        assert!(!FaultPlan::new(0).with_reorder(true).is_trivial());
+        // max_delay alone changes nothing: no delay stream to stretch.
+        assert!(FaultPlan::new(0).with_max_delay(5).is_trivial());
+    }
+
+    #[test]
+    fn delay_is_pure_bounded_and_seed_dependent() {
+        let a = FaultPlan::new(1).with_delay_ppm(500_000).with_max_delay(3);
+        let b = FaultPlan::new(1).with_delay_ppm(500_000).with_max_delay(3);
+        let c = FaultPlan::new(9).with_delay_ppm(500_000).with_max_delay(3);
+        let mut fired = false;
+        let mut differs = false;
+        for r in 0..200 {
+            let d = a.delay_of(r, 0, 1, 0);
+            assert_eq!(d, b.delay_of(r, 0, 1, 0), "delay stream must be pure");
+            assert!(d <= 3, "delay {d} exceeds max_delay");
+            fired |= d > 0;
+            differs |= d != c.delay_of(r, 0, 1, 0);
+        }
+        assert!(fired, "50% delay must fire somewhere in 200 rounds");
+        assert!(differs, "different seeds must give different delays");
+    }
+
+    #[test]
+    fn delay_ppm_extremes_are_exact() {
+        let always = FaultPlan::new(2)
+            .with_delay_ppm(1_000_000)
+            .with_max_delay(2);
+        let never = FaultPlan::new(2).with_max_delay(2);
+        for r in 0..100 {
+            let d = always.delay_of(r, 3, 4, 1);
+            assert!((1..=2).contains(&d), "ppm 1e6 must always delay");
+            assert_eq!(never.delay_of(r, 3, 4, 1), 0);
+        }
+    }
+
+    #[test]
+    fn delay_max_delay_one_holds_exactly_one_round() {
+        let plan = FaultPlan::new(7).with_delay_ppm(1_000_000);
+        for r in 0..50 {
+            assert_eq!(plan.delay_of(r, 0, 1, 0), 1);
+        }
+    }
+
+    #[test]
+    fn duplication_is_pure_and_distinct_per_seq() {
+        let plan = FaultPlan::new(4).with_dup_ppm(500_000);
+        let mut fired = false;
+        let mut seq_differs = false;
+        for r in 0..200 {
+            assert_eq!(plan.duplicates(r, 0, 1, 0), plan.duplicates(r, 0, 1, 0));
+            fired |= plan.duplicates(r, 0, 1, 0);
+            seq_differs |= plan.duplicates(r, 0, 1, 0) != plan.duplicates(r, 0, 1, 1);
+        }
+        assert!(fired);
+        assert!(seq_differs, "seq must be part of the dup key");
+        assert!(FaultPlan::new(4)
+            .with_dup_ppm(1_000_000)
+            .duplicates(0, 0, 1, 0));
+        assert!(!FaultPlan::new(4).duplicates(0, 0, 1, 0));
+    }
+
+    #[test]
+    fn shuffle_is_a_pure_permutation_and_gated_on_reorder() {
+        let plan = FaultPlan::new(3).with_reorder(true);
+        let mut a: Vec<u32> = (0..16).collect();
+        let mut b = a.clone();
+        plan.shuffle(5, 2, &mut a);
+        plan.shuffle(5, 2, &mut b);
+        assert_eq!(a, b, "same key must give the same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..16).collect::<Vec<u32>>(),
+            "must be a permutation"
+        );
+        assert_ne!(
+            a, sorted,
+            "16 elements all fixed is astronomically unlikely"
+        );
+
+        let mut c: Vec<u32> = (0..16).collect();
+        plan.shuffle(6, 2, &mut c);
+        assert_ne!(a, c, "round must be part of the shuffle key");
+
+        let off = FaultPlan::new(3);
+        let mut d: Vec<u32> = (0..16).collect();
+        off.shuffle(5, 2, &mut d);
+        assert_eq!(d, (0..16).collect::<Vec<u32>>(), "reorder off is a no-op");
     }
 }

@@ -30,9 +30,13 @@
 //! Every execution mode is [`engine::RunConfig`] state on that one entry
 //! point: the [`fault`] module's deterministic, seeded fault-injection
 //! plane ([`fault::FaultPlan`] — message loss, crash/restart schedules and
-//! hazard rates, head-targeted crashes, partition windows) rides in via
-//! [`engine::RunConfig::faults`], so degraded runs replay exactly and
-//! report a structured [`engine::Outcome`] instead of a bare bool; and
+//! hazard rates, head-targeted crashes, partition windows, plus the
+//! adversarial delivery pathologies: per-message delay, duplication and
+//! inbox reorder) rides in via [`engine::RunConfig::faults`], so degraded
+//! runs replay exactly and report a structured [`engine::Outcome`] instead
+//! of a bare bool; the [`reliable`] ack/timeout/backoff layer
+//! ([`engine::RunConfig::reliable`]) lets every algorithm recover under
+//! loss and delay through one code path; and
 //! per-round visibility comes from handing the config a
 //! [`hinet_rt::obs::Tracer`] via [`engine::RunConfig::tracer`], which
 //! streams typed [`hinet_rt::obs`] events (round starts, token pushes,
@@ -47,12 +51,13 @@ pub mod engine;
 mod event;
 pub mod fault;
 pub mod protocol;
+pub mod reliable;
 pub mod token;
 pub mod transport;
 
 pub use engine::{
-    CostWeights, Engine, ExecMode, MessageRecord, Metrics, Outcome, RoundMetrics, RunConfig,
-    RunReport, TokenLatency, WallClock,
+    CostWeights, Engine, ExecMode, MessageRecord, Metrics, NodeStall, Outcome, RoundMetrics,
+    RunConfig, RunReport, StallDiag, TokenLatency, WallClock,
 };
 pub use fault::{FaultPlan, Partition};
 pub use protocol::{Incoming, LocalView, Outgoing, Protocol};

@@ -39,14 +39,26 @@ pub enum EnvelopeKind {
         /// Whether the payload travelled as a unicast (directed) rather
         /// than a broadcast — preserved into [`Incoming::directed`].
         directed: bool,
+        /// Per-link reliable delivery id (monotone per `(sender, receiver)`
+        /// link, reused verbatim on retransmission) — the key the
+        /// [`crate::reliable`] layer acks and dedups on. Always 0 when the
+        /// reliability layer is off.
+        rid: u64,
     },
     /// End-of-round marker: the sender has emitted everything it will send
     /// for this round. One marker per `(sender, neighbour, round)`; the
     /// receiver's quorum for the round is met when its marker count
     /// reaches its round degree. Markers model the synchronous round
-    /// structure itself, so the fault plane never drops them — losses and
-    /// partitions intercept payload envelopes only.
-    RoundDone,
+    /// structure itself, so the fault plane never drops, delays or
+    /// duplicates them — delivery pathologies intercept payload envelopes
+    /// only.
+    RoundDone {
+        /// Piggybacked cumulative ack for the *reverse* direction of this
+        /// link: every reliable id `< ack` sent by the marker's receiver to
+        /// the marker's sender has been accepted. Always 0 when the
+        /// reliability layer is off.
+        ack: u64,
+    },
 }
 
 /// One message in flight: a `(round, sender)`-tagged unit of delivery.
@@ -84,10 +96,13 @@ pub type Notifier = Arc<dyn Fn(usize) + Send + Sync>;
 ///   is what the [`RoundBuffer`] undoes;
 /// * after an envelope becomes drainable the registered [`Notifier`] is
 ///   invoked with the destination node, so a parked worker can wake;
-/// * the transport never drops, duplicates or reorders-within-link — loss
-///   and partition faults are injected by the engine *before* `send` (the
-///   fault-interception point), so fault semantics are identical in both
-///   execution modes.
+/// * the transport itself never drops, duplicates or reorders-within-link —
+///   loss/partition/delay/duplication faults are injected by the engine
+///   *around* `send` (dropped envelopes are never sent, delayed ones are
+///   held at the sender and re-sent later, duplicated ones are sent twice),
+///   so fault semantics are identical in both execution modes and the
+///   receive plane ([`RoundBuffer`]) defensively deduplicates whatever a
+///   real backend might replay.
 pub trait Transport: Send + Sync {
     /// Queue `env` for its destination node.
     fn send(&self, env: Envelope);
@@ -160,10 +175,26 @@ impl Transport for ChannelTransport {
 #[derive(Debug, Default)]
 struct Slot {
     /// Payload envelopes received for the round, in arrival order:
-    /// `(from, seq, payload, directed)`.
-    msgs: Vec<(NodeId, u32, Payload, bool)>,
-    /// [`EnvelopeKind::RoundDone`] markers received for the round.
-    done: usize,
+    /// `(from, seq, rid, payload, directed)`.
+    msgs: Vec<(NodeId, u32, u64, Payload, bool)>,
+    /// [`EnvelopeKind::RoundDone`] markers received for the round, with
+    /// their piggybacked reverse-direction acks.
+    markers: Vec<(NodeId, u64)>,
+}
+
+/// Everything [`RoundBuffer::take_round`] releases for one round.
+#[derive(Debug, Default)]
+pub struct TakenRound {
+    /// The reassembled inbox in canonical lock-step order.
+    pub inbox: Vec<Incoming>,
+    /// Reliable delivery ids, parallel to `inbox` (all 0 when the
+    /// reliability layer is off).
+    pub rids: Vec<u64>,
+    /// `(marker sender, piggybacked cumulative ack)` per round-done marker,
+    /// sorted by sender id.
+    pub acks: Vec<(NodeId, u64)>,
+    /// Duplicate `(round, sender, seq)` payloads discarded from this round.
+    pub dups_discarded: u64,
 }
 
 /// Per-node round reassembly: buckets out-of-order envelopes by round and
@@ -185,6 +216,7 @@ struct Slot {
 ///     kind: EnvelopeKind::Payload {
 ///         payload: Payload::One(TokenId(7)),
 ///         directed: false,
+///         rid: 0,
 ///     },
 /// });
 /// assert!(!buf.ready(0, 1));
@@ -194,7 +226,7 @@ struct Slot {
 ///     from: NodeId(2),
 ///     to: NodeId(0),
 ///     seq: 0,
-///     kind: EnvelopeKind::RoundDone,
+///     kind: EnvelopeKind::RoundDone { ack: 0 },
 /// });
 /// assert!(buf.ready(0, 1));
 /// assert!(buf.take(0).is_empty());
@@ -203,6 +235,7 @@ struct Slot {
 #[derive(Debug, Default)]
 pub struct RoundBuffer {
     slots: BTreeMap<usize, Slot>,
+    dups_discarded: u64,
 }
 
 impl RoundBuffer {
@@ -215,10 +248,14 @@ impl RoundBuffer {
     pub fn push(&mut self, env: Envelope) {
         let slot = self.slots.entry(env.round).or_default();
         match env.kind {
-            EnvelopeKind::Payload { payload, directed } => {
-                slot.msgs.push((env.from, env.seq, payload, directed));
+            EnvelopeKind::Payload {
+                payload,
+                directed,
+                rid,
+            } => {
+                slot.msgs.push((env.from, env.seq, rid, payload, directed));
             }
-            EnvelopeKind::RoundDone => slot.done += 1,
+            EnvelopeKind::RoundDone { ack } => slot.markers.push((env.from, ack)),
         }
     }
 
@@ -230,26 +267,77 @@ impl RoundBuffer {
             || self
                 .slots
                 .get(&round)
-                .is_some_and(|slot| slot.done >= quorum)
+                .is_some_and(|slot| slot.markers.len() >= quorum)
     }
 
     /// Release round `round`'s inbox, sorted into the canonical lock-step
     /// order (ascending sender id, then per-sender emission order), and
     /// drop the slot. Rounds are taken at most once.
+    ///
+    /// The buffer does not trust `(sender, seq)` uniqueness: a transport
+    /// replay or an injected duplication fault can deliver the same
+    /// envelope twice, so duplicates are discarded here (first arrival
+    /// wins) and counted exactly in [`TakenRound::dups_discarded`] /
+    /// [`RoundBuffer::dups_discarded`].
     pub fn take(&mut self, round: usize) -> Vec<Incoming> {
+        self.take_round(round).inbox
+    }
+
+    /// [`RoundBuffer::take`] plus the reliability-plane side channels: the
+    /// per-payload reliable ids and the acks piggybacked on the round's
+    /// markers.
+    pub fn take_round(&mut self, round: usize) -> TakenRound {
         let Some(mut slot) = self.slots.remove(&round) else {
-            return Vec::new();
+            return TakenRound::default();
         };
         slot.msgs
-            .sort_by_key(|&(from, seq, _, _)| (from.index(), seq));
+            .sort_by_key(|&(from, seq, _, _, _)| (from.index(), seq));
+        let before = slot.msgs.len();
         slot.msgs
+            .dedup_by_key(|&mut (from, seq, _, _, _)| (from, seq));
+        let dups = (before - slot.msgs.len()) as u64;
+        self.dups_discarded += dups;
+        let mut rids = Vec::with_capacity(slot.msgs.len());
+        let inbox = slot
+            .msgs
             .into_iter()
-            .map(|(from, _, payload, directed)| Incoming {
-                from,
-                directed,
-                payload,
+            .map(|(from, _, rid, payload, directed)| {
+                rids.push(rid);
+                Incoming {
+                    from,
+                    directed,
+                    payload,
+                }
             })
-            .collect()
+            .collect();
+        let mut acks = slot.markers;
+        acks.sort_by_key(|&(from, _)| from.index());
+        TakenRound {
+            inbox,
+            rids,
+            acks,
+            dups_discarded: dups,
+        }
+    }
+
+    /// Total duplicate payloads this buffer has discarded across all taken
+    /// rounds (the `dups_discarded` observability gauge).
+    pub fn dups_discarded(&self) -> u64 {
+        self.dups_discarded
+    }
+
+    /// The subset of `neighbors` whose round-`round` marker has not arrived
+    /// yet — the senders blocking this node's quorum (stall-watchdog
+    /// diagnostics).
+    pub fn missing_markers(&self, round: usize, neighbors: &[NodeId]) -> Vec<NodeId> {
+        match self.slots.get(&round) {
+            None => neighbors.to_vec(),
+            Some(slot) => neighbors
+                .iter()
+                .copied()
+                .filter(|v| !slot.markers.iter().any(|&(from, _)| from == *v))
+                .collect(),
+        }
     }
 
     /// Number of rounds currently buffered (complete or partial).
@@ -272,6 +360,7 @@ mod tests {
             kind: EnvelopeKind::Payload {
                 payload: Payload::One(TokenId(token)),
                 directed: false,
+                rid: 0,
             },
         }
     }
@@ -282,7 +371,7 @@ mod tests {
             from: NodeId::from_index(from),
             to: NodeId(0),
             seq: u32::MAX,
-            kind: EnvelopeKind::RoundDone,
+            kind: EnvelopeKind::RoundDone { ack: 0 },
         }
     }
 
@@ -331,6 +420,78 @@ mod tests {
         let later = buf.take(1);
         assert_eq!(later.len(), 1);
         assert_eq!(later[0].payload.first(), Some(TokenId(5)));
+    }
+
+    #[test]
+    fn duplicate_sender_seq_pairs_are_discarded_and_counted() {
+        let mut buf = RoundBuffer::new();
+        buf.push(payload_env(0, 1, 0, 10));
+        buf.push(payload_env(0, 1, 0, 10)); // exact duplicate
+        buf.push(payload_env(0, 1, 1, 11));
+        buf.push(payload_env(0, 2, 0, 20));
+        buf.push(payload_env(0, 2, 0, 20)); // duplicated twice more
+        buf.push(payload_env(0, 2, 0, 20));
+        buf.push(done_env(0, 1));
+        buf.push(done_env(0, 2));
+        let taken = buf.take_round(0);
+        let tokens: Vec<u64> = taken
+            .inbox
+            .iter()
+            .map(|m| m.payload.first().unwrap().0)
+            .collect();
+        assert_eq!(tokens, vec![10, 11, 20], "first arrival wins, order kept");
+        assert_eq!(taken.dups_discarded, 3);
+        assert_eq!(buf.dups_discarded(), 3, "buffer accumulates across takes");
+        let mut buf2 = RoundBuffer::new();
+        buf2.push(payload_env(1, 0, 0, 1));
+        buf2.push(done_env(1, 0));
+        assert_eq!(buf2.take_round(1).dups_discarded, 0);
+    }
+
+    #[test]
+    fn take_round_surfaces_rids_and_sorted_marker_acks() {
+        let mut buf = RoundBuffer::new();
+        let mut env = payload_env(0, 2, 0, 20);
+        if let EnvelopeKind::Payload { rid, .. } = &mut env.kind {
+            *rid = 7;
+        }
+        buf.push(env);
+        buf.push(Envelope {
+            round: 0,
+            from: NodeId(2),
+            to: NodeId(0),
+            seq: u32::MAX,
+            kind: EnvelopeKind::RoundDone { ack: 4 },
+        });
+        buf.push(Envelope {
+            round: 0,
+            from: NodeId(1),
+            to: NodeId(0),
+            seq: u32::MAX,
+            kind: EnvelopeKind::RoundDone { ack: 9 },
+        });
+        let taken = buf.take_round(0);
+        assert_eq!(taken.rids, vec![7]);
+        assert_eq!(taken.acks, vec![(NodeId(1), 9), (NodeId(2), 4)]);
+    }
+
+    #[test]
+    fn missing_markers_names_the_blocking_senders() {
+        let mut buf = RoundBuffer::new();
+        let neighbors = [NodeId(1), NodeId(2), NodeId(3)];
+        assert_eq!(
+            buf.missing_markers(0, &neighbors),
+            neighbors.to_vec(),
+            "empty slot: everyone is missing"
+        );
+        buf.push(done_env(0, 2));
+        assert_eq!(
+            buf.missing_markers(0, &neighbors),
+            vec![NodeId(1), NodeId(3)]
+        );
+        buf.push(done_env(0, 1));
+        buf.push(done_env(0, 3));
+        assert!(buf.missing_markers(0, &neighbors).is_empty());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! The golden-trace gate pins *known* scenarios; this module hunts for
 //! unknown ones. Starting from a base [`Scenario`], [`fuzz`] applies
 //! seeded mutations — node count, `(k, α, L, θ)` parameters, fault rates,
-//! crash schedules, partition windows, head targeting, round budget —
+//! crash schedules, partition windows, head targeting, round budget,
+//! delivery pathologies (delay, duplication, reorder) and the generalised
+//! reliability layer —
 //! executes each mutant through the ordinary [`Scenario::run_traced`]
 //! path, and classifies the result against a bound oracle
 //! ([`analytic_bound`]: the paper's Theorem 1–4 round counts) plus the
@@ -387,6 +389,8 @@ pub fn fuzz(cfg: &FuzzConfig) -> Result<FuzzReport, String> {
 /// regime so mutation can also *remove* faults).
 const LOSS_MENU: &[u32] = &[0, 20_000, 50_000, 100_000, 250_000, 500_000];
 const CRASH_MENU: &[u32] = &[0, 5_000, 20_000, 100_000];
+const DELAY_MENU: &[u32] = &[0, 20_000, 50_000, 150_000];
+const DUP_MENU: &[u32] = &[0, 10_000, 50_000, 150_000];
 
 /// Scheduled faults (crash rounds, partition starts) are drawn from this
 /// many opening rounds so they land while the run is still in flight —
@@ -413,7 +417,7 @@ pub fn mutate(base: &Scenario, rng: &mut Xoshiro256StarStar) -> Scenario {
 
 /// One mutation operator, chosen and parameterised by the seeded stream.
 fn mutate_op(sc: &mut Scenario, rng: &mut Xoshiro256StarStar) {
-    match rng.random_range(0usize..16) {
+    match rng.random_range(0usize..21) {
         0 => sc.n = rng.random_range(8usize..=40),
         1 => sc.k = rng.random_range(1usize..=6),
         2 => sc.alpha = rng.random_range(1usize..=4),
@@ -459,7 +463,27 @@ fn mutate_op(sc: &mut Scenario, rng: &mut Xoshiro256StarStar) {
             }
         }
         14 => sc.down_rounds = rng.random_range(1usize..=4),
-        _ => sc.budget = rng.random_range(2usize..=4 * sc.n + 4 * sc.t),
+        15 => sc.budget = rng.random_range(2usize..=4 * sc.n + 4 * sc.t),
+        16 => {
+            sc.delay_ppm = *DELAY_MENU.choose(rng).unwrap();
+            if sc.delay_ppm > 0 && sc.max_delay == 1 {
+                sc.max_delay = rng.random_range(1usize..=4);
+            }
+        }
+        17 => {
+            sc.max_delay = rng.random_range(1usize..=4);
+            if sc.max_delay > 1 && sc.delay_ppm == 0 {
+                sc.delay_ppm = 20_000;
+            }
+        }
+        18 => sc.dup_ppm = *DUP_MENU.choose(rng).unwrap(),
+        19 => sc.reorder = !sc.reorder,
+        _ => {
+            sc.reliable = !sc.reliable;
+            if sc.reliable && sc.loss_ppm == 0 && sc.delay_ppm == 0 {
+                sc.loss_ppm = 20_000;
+            }
+        }
     }
 }
 
@@ -473,6 +497,18 @@ fn normalise(sc: &mut Scenario) {
     sc.crash_at.retain(|&(_, node)| node < n);
     sc.partitions.retain(|p| p.cut >= 1 && p.cut < n);
     sc.budget = sc.budget.max(1);
+    sc.max_delay = sc.max_delay.max(1);
+    if sc.delay_ppm == 0 {
+        sc.max_delay = 1;
+    }
+    if sc.reliable {
+        // The generalised layer supersedes the HiNet-only ARQ wrapper and
+        // needs a pathology to recover from.
+        sc.retransmit = false;
+        if sc.loss_ppm == 0 && sc.delay_ppm == 0 {
+            sc.reliable = false;
+        }
+    }
 }
 
 /// Greedily minimise an offending scenario toward `base` while preserving
@@ -538,6 +574,9 @@ fn shrink_candidates(cur: &Scenario, base: &Scenario) -> Vec<Scenario> {
     numeric!(loss_ppm, u32);
     numeric!(crash_ppm, u32);
     numeric!(down_rounds, usize);
+    numeric!(delay_ppm, u32);
+    numeric!(max_delay, usize);
+    numeric!(dup_ppm, u32);
     numeric!(budget, usize);
 
     // Schedules: drop one entry at a time.
@@ -565,6 +604,8 @@ fn shrink_candidates(cur: &Scenario, base: &Scenario) -> Vec<Scenario> {
         |sc: &mut Scenario, b: &Scenario| sc.target_heads = b.target_heads,
         |sc: &mut Scenario, b: &Scenario| sc.retransmit = b.retransmit,
         |sc: &mut Scenario, b: &Scenario| sc.durable_tokens = b.durable_tokens,
+        |sc: &mut Scenario, b: &Scenario| sc.reorder = b.reorder,
+        |sc: &mut Scenario, b: &Scenario| sc.reliable = b.reliable,
     ] {
         let mut cand = cur.clone();
         reset(&mut cand, base);

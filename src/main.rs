@@ -37,6 +37,12 @@
 //! --fault-seed S     fault decision seed                           [0]
 //! --retransmit       HiNet algorithms recover via retransmission
 //! --durable-tokens   accumulated tokens survive crashes
+//! --delay P          per-delivery delay probability (fraction)     [0]
+//! --max-delay N      max rounds a delayed delivery is held         [1]
+//! --dup P            per-delivery duplication probability          [0]
+//! --reorder          seeded per-round inbox reordering
+//! --reliable         generalised ack/timeout/backoff recovery layer
+//! --stall-rounds N   event-mode stall watchdog threshold (0 = off) [0]
 //! ```
 //!
 //! `hinet run` additionally accepts `--trace` (record a `hinet-trace/v1`
@@ -88,7 +94,9 @@ USAGE:
             [--alpha A] [--l L] [--theta TH] [--seed S]
             [--loss P] [--crash-rate P] [--crash-at R:U,..]
             [--target-heads] [--fault-seed S] [--retransmit]
-            [--durable-tokens] [--mode lockstep|event]
+            [--durable-tokens] [--delay P] [--max-delay N] [--dup P]
+            [--reorder] [--reliable] [--stall-rounds N]
+            [--mode lockstep|event]
             [--stability-stream] [--trace] [--trace-out FILE]
   hinet trace [scenario flags as for run] [--in FILE] [--events]
             [--summary] [--out FILE] [--filter KIND] [--stability]
@@ -160,6 +168,32 @@ const RUN_FLAGS: &[FlagSpec] = &[
         false,
         "accumulated tokens survive crashes",
     ),
+    flag(
+        "delay",
+        true,
+        "per-delivery delay probability, fraction [0]",
+    ),
+    flag(
+        "max-delay",
+        true,
+        "max rounds a delayed delivery is held [1]",
+    ),
+    flag(
+        "dup",
+        true,
+        "per-delivery duplication probability, fraction [0]",
+    ),
+    flag("reorder", false, "seeded per-round inbox reordering"),
+    flag(
+        "reliable",
+        false,
+        "generalised ack/timeout/backoff recovery layer",
+    ),
+    flag(
+        "stall-rounds",
+        true,
+        "event-mode stall watchdog threshold, 0 = off [0]",
+    ),
     flag("mode", true, "execution mode, lockstep|event [lockstep]"),
     flag(
         "stability-stream",
@@ -221,6 +255,32 @@ const TRACE_FLAGS: &[FlagSpec] = &[
         "durable-tokens",
         false,
         "accumulated tokens survive crashes",
+    ),
+    flag(
+        "delay",
+        true,
+        "per-delivery delay probability, fraction [0]",
+    ),
+    flag(
+        "max-delay",
+        true,
+        "max rounds a delayed delivery is held [1]",
+    ),
+    flag(
+        "dup",
+        true,
+        "per-delivery duplication probability, fraction [0]",
+    ),
+    flag("reorder", false, "seeded per-round inbox reordering"),
+    flag(
+        "reliable",
+        false,
+        "generalised ack/timeout/backoff recovery layer",
+    ),
+    flag(
+        "stall-rounds",
+        true,
+        "event-mode stall watchdog threshold, 0 = off [0]",
     ),
     flag("mode", true, "execution mode, lockstep|event [lockstep]"),
     flag(
@@ -499,6 +559,13 @@ fn print_report(sc: &Scenario, label: &str, report: &RunReport) {
             m.faults_injected, m.crashes, m.recoveries, m.retransmits
         );
     }
+    if m.delays_injected + m.duplicates_injected + m.dups_discarded + m.retransmit_timeouts > 0 {
+        println!(
+            "delivery plane: {} delayed, {} duplicated, {} duplicates discarded, \
+             {} retransmit timeouts",
+            m.delays_injected, m.duplicates_injected, m.dups_discarded, m.retransmit_timeouts
+        );
+    }
     let w = &report.wall;
     println!(
         "wall clock: {:.3} ms  throughput: {:.0} tokens/sec",
@@ -519,6 +586,40 @@ fn print_report(sc: &Scenario, label: &str, report: &RunReport) {
         println!(
             "event runtime: {} reassembly stalls, mailbox depth high-water {}",
             w.reassembly_stalls, w.mailbox_depth_max,
+        );
+    }
+}
+
+/// Print the stall watchdog's per-node diagnostics: each stalled node's
+/// round frontier, the neighbours whose round markers its quorum was still
+/// missing, and the age of its oldest unacked reliability-layer envelope.
+fn print_stall_diag(diag: &hinet::sim::engine::StallDiag) {
+    println!(
+        "stall watchdog: halted with {} node(s) short of quorum",
+        diag.nodes.len()
+    );
+    if let Some((first, last)) = diag.fault_window {
+        println!("  faults fired between rounds {first} and {last}");
+    }
+    for ns in &diag.nodes {
+        let missing = if ns.missing.is_empty() {
+            "none".to_string()
+        } else {
+            ns.missing
+                .iter()
+                .map(|v| v.index().to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let unacked = ns
+            .oldest_unacked
+            .map_or("-".into(), |age| format!("{age} round(s)"));
+        println!(
+            "  node {}: frontier round {}, missing markers from [{}], oldest unacked {}",
+            ns.node.index(),
+            ns.frontier,
+            missing,
+            unacked
         );
     }
 }
@@ -566,7 +667,9 @@ fn finish_trace(path: &str, tracer: &mut Tracer) -> Result<(), String> {
 
 fn cmd_run(flags: &FlagSet) -> ExitCode {
     let want_trace = flags.has("trace") || flags.get("trace-out").is_some();
-    let run = || -> Result<(), String> {
+    // Returns whether the stall watchdog halted the run (exit 1, so
+    // scripted chaos gates can distinguish a stall from a usage error).
+    let run = || -> Result<bool, String> {
         let sc = Scenario::from_flags(flags)?;
         let mut tracer = if want_trace {
             Tracer::new(ObsConfig::full())
@@ -578,9 +681,14 @@ fn cmd_run(flags: &FlagSet) -> ExitCode {
             stream_trace(out_path, &mut tracer)?;
         }
         let report = sc.run_traced_with_oracle(&mut tracer, flags.has("stability-stream"))?;
+        let mut stalled = false;
         match &report {
             ScenarioReport::Engine(r) => {
                 print_report(&sc, sc.kind()?.label(), r);
+                if let Some(diag) = &r.stall {
+                    print_stall_diag(diag);
+                    stalled = true;
+                }
                 if let Some(s) = &r.stability {
                     match s.violation {
                         Some(v) => println!(
@@ -612,10 +720,11 @@ fn cmd_run(flags: &FlagSet) -> ExitCode {
         if want_trace {
             finish_trace(out_path, &mut tracer)?;
         }
-        Ok(())
+        Ok(stalled)
     };
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
         Err(e) => {
             eprintln!("{e}");
             ExitCode::from(2)
@@ -774,6 +883,11 @@ fn cmd_trace(pos: &[String], flags: &FlagSet) -> ExitCode {
     }
     if summary_wanted || (!events_wanted && flags.get("out").is_none()) {
         print_summary(&TraceSummary::from_tracer(&tracer), report.engine());
+    }
+    // Same exit contract as `hinet run`: a watchdog halt is exit 1.
+    if let Some(diag) = report.engine().and_then(|r| r.stall.as_ref()) {
+        print_stall_diag(diag);
+        return ExitCode::from(1);
     }
     ExitCode::SUCCESS
 }

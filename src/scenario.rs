@@ -92,6 +92,32 @@ pub struct Scenario {
     /// Rounds a crashed node stays down before restarting
     /// (`--down-rounds`, minimum and default 1).
     pub down_rounds: usize,
+    /// Per-delivery delay probability in parts per million (`--delay`,
+    /// fraction, ×10⁶; 0 disables). A delayed delivery is held and
+    /// re-injected up to `max_delay` rounds later.
+    pub delay_ppm: u32,
+    /// Upper bound in rounds on how long a delayed delivery is held
+    /// (`--max-delay`, minimum and default 1); only meaningful with a
+    /// nonzero `--delay`.
+    pub max_delay: usize,
+    /// Per-delivery duplication probability in parts per million
+    /// (`--dup`, fraction, ×10⁶; 0 disables). The receive plane discards
+    /// the clone and counts it in `dups_discarded`.
+    pub dup_ppm: u32,
+    /// Permute every node's per-round inbox with a seeded shuffle before
+    /// the protocol receives it (`--reorder`).
+    pub reorder: bool,
+    /// Run the protocol-agnostic ack/timeout/backoff reliability layer
+    /// (`--reliable`): per-link cumulative acks, retransmit timers with
+    /// exponential backoff and a bounded in-flight window. Unlike the
+    /// HiNet-only `--retransmit` wrapper it applies to every algorithm,
+    /// including `rlnc`.
+    pub reliable: bool,
+    /// Stall-watchdog threshold for event-mode runs (`--stall-rounds`):
+    /// when no node completes a round for roughly this many park windows
+    /// the run halts with [`hinet_sim::engine::Outcome::Stalled`] and
+    /// per-node frontier diagnostics. `0` (default) disables it.
+    pub stall_rounds: usize,
     /// Execution mode (`--mode`): deterministic lock-step rounds
     /// (default) or the event-driven mailbox runtime.
     pub mode: ExecMode,
@@ -280,6 +306,12 @@ impl Scenario {
             durable_tokens: false,
             partitions: vec![],
             down_rounds: 1,
+            delay_ppm: 0,
+            max_delay: 1,
+            dup_ppm: 0,
+            reorder: false,
+            reliable: false,
+            stall_rounds: 0,
             mode: ExecMode::Lockstep,
         }
     }
@@ -326,6 +358,14 @@ impl Scenario {
             Some(_) => fraction_to_ppm("crash-rate", flags.parsed("crash-rate", 0.0f64)?)?,
             None => base.crash_ppm,
         };
+        let delay_ppm = match flags.get("delay") {
+            Some(_) => fraction_to_ppm("delay", flags.parsed("delay", 0.0f64)?)?,
+            None => base.delay_ppm,
+        };
+        let dup_ppm = match flags.get("dup") {
+            Some(_) => fraction_to_ppm("dup", flags.parsed("dup", 0.0f64)?)?,
+            None => base.dup_ppm,
+        };
         let crash_at = match flags.get("crash-at") {
             Some(spec) => parse_crash_spec(spec)?,
             None => base.crash_at,
@@ -358,6 +398,12 @@ impl Scenario {
             durable_tokens: flags.has("durable-tokens") || base.durable_tokens,
             partitions,
             down_rounds: flags.parsed("down-rounds", base.down_rounds)?,
+            delay_ppm,
+            max_delay: flags.parsed("max-delay", base.max_delay)?,
+            dup_ppm,
+            reorder: flags.has("reorder") || base.reorder,
+            reliable: flags.has("reliable") || base.reliable,
+            stall_rounds: flags.parsed("stall-rounds", base.stall_rounds)?,
             mode: match flags.get("mode") {
                 Some(raw) => raw.parse()?,
                 None => base.mode,
@@ -393,6 +439,21 @@ impl Scenario {
         }
         if self.budget == 0 {
             return Err("--budget must be at least 1".into());
+        }
+        if self.dynamics == "hinet" {
+            // Mirror HiNetGen's feasibility assert: the generator derives
+            // θ/2 cluster heads and needs (heads-1)·(L-1) distinct gateway
+            // nodes to stitch the L-hop backbone between them.
+            let heads = (self.theta / 2).clamp(1, self.theta);
+            let gateways = heads.saturating_sub(1) * (self.l - 1);
+            if heads + gateways > self.n {
+                return Err(format!(
+                    "hinet dynamics derives {heads} cluster heads from --theta {} and an \
+                     L={} backbone needs {gateways} gateway nodes between them — n={} is \
+                     too small; raise --n or lower --theta/--l",
+                    self.theta, self.l, self.n
+                ));
+            }
         }
         if self.down_rounds == 0 {
             return Err("--down-rounds must be at least 1".into());
@@ -451,6 +512,31 @@ impl Scenario {
                     .into(),
             );
         }
+        if self.max_delay == 0 {
+            return Err("--max-delay must be at least 1 round".into());
+        }
+        if self.max_delay != 1 && self.delay_ppm == 0 {
+            return Err(
+                "--max-delay only matters when deliveries can be delayed; add --delay".into(),
+            );
+        }
+        if self.reliable && self.retransmit {
+            return Err(
+                "--reliable and --retransmit are alternative recovery layers; pick one".into(),
+            );
+        }
+        if self.reliable && self.loss_ppm == 0 && self.delay_ppm == 0 {
+            return Err(
+                "--reliable only matters when deliveries can be lost or delayed; add --loss or \
+                 --delay"
+                    .into(),
+            );
+        }
+        if self.stall_rounds > 0 && self.mode != ExecMode::Event {
+            return Err(
+                "--stall-rounds arms the event-driver watchdog and needs --mode event".into(),
+            );
+        }
         Ok(())
     }
 
@@ -503,6 +589,12 @@ impl Scenario {
                 .map_err(|e| format!("trace meta 'down_rounds': {e}"))?,
             None => 1,
         };
+        let max_delay = match trace.meta_get("max_delay") {
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("trace meta 'max_delay': {e}"))?,
+            None => 1,
+        };
         Ok(Scenario {
             n,
             k,
@@ -525,6 +617,12 @@ impl Scenario {
             durable_tokens: opt_num("durable_tokens")? != 0,
             partitions,
             down_rounds,
+            delay_ppm: opt_num("delay_ppm")? as u32,
+            max_delay,
+            dup_ppm: opt_num("dup_ppm")? as u32,
+            reorder: opt_num("reorder")? != 0,
+            reliable: opt_num("reliable")? != 0,
+            stall_rounds: opt_num("stall_rounds")? as usize,
             // Stamped by the engine's event path, absent on lock-step
             // traces (which stay byte-identical to older artifacts).
             mode: match trace.meta_get("mode") {
@@ -544,7 +642,11 @@ impl Scenario {
             .with_crash_ppm(self.crash_ppm)
             .with_target_heads(self.target_heads)
             .with_durable_tokens(self.durable_tokens)
-            .with_down_rounds(self.down_rounds);
+            .with_down_rounds(self.down_rounds)
+            .with_delay_ppm(self.delay_ppm)
+            .with_max_delay(self.max_delay)
+            .with_dup_ppm(self.dup_ppm)
+            .with_reorder(self.reorder);
         for &(round, node) in &self.crash_at {
             plan = plan.with_crash_at(round, node);
         }
@@ -699,6 +801,24 @@ impl Scenario {
         if self.down_rounds != 1 {
             tracer.meta("down_rounds", self.down_rounds.to_string());
         }
+        if self.delay_ppm > 0 {
+            tracer.meta("delay_ppm", self.delay_ppm.to_string());
+        }
+        if self.max_delay != 1 {
+            tracer.meta("max_delay", self.max_delay.to_string());
+        }
+        if self.dup_ppm > 0 {
+            tracer.meta("dup_ppm", self.dup_ppm.to_string());
+        }
+        if self.reorder {
+            tracer.meta("reorder", "1");
+        }
+        if self.reliable {
+            tracer.meta("reliable", "1");
+        }
+        if self.stall_rounds != 0 {
+            tracer.meta("stall_rounds", self.stall_rounds.to_string());
+        }
         if self.budget != self.derived_budget() {
             tracer.meta("budget", self.budget.to_string());
         }
@@ -753,6 +873,7 @@ impl Scenario {
                 RunConfig::new()
                     .max_rounds(self.budget)
                     .faults(faults)
+                    .reliable(self.reliable)
                     .tracer(tracer),
             );
             return Ok(ScenarioReport::Rlnc(report));
@@ -775,6 +896,8 @@ impl Scenario {
                 .max_rounds(self.budget)
                 .faults(faults)
                 .retransmit(self.retransmit)
+                .reliable(self.reliable)
+                .stall_rounds(self.stall_rounds)
                 .mode(self.mode)
                 .stability_oracle(oracle.then_some((oracle_t, self.l)))
                 .tracer(tracer),
@@ -831,6 +954,12 @@ const OPTIONAL_KEYS: &[&str] = &[
     "durable_tokens",
     "partitions",
     "down_rounds",
+    "delay_ppm",
+    "max_delay",
+    "dup_ppm",
+    "reorder",
+    "reliable",
+    "stall_rounds",
     "mode",
     "expect_outcome",
 ];
@@ -889,6 +1018,24 @@ impl ScenarioFile {
         }
         if sc.down_rounds != 1 {
             out.push_str(&format!("down_rounds = {}\n", sc.down_rounds));
+        }
+        if sc.delay_ppm > 0 {
+            out.push_str(&format!("delay_ppm = {}\n", sc.delay_ppm));
+        }
+        if sc.max_delay != 1 {
+            out.push_str(&format!("max_delay = {}\n", sc.max_delay));
+        }
+        if sc.dup_ppm > 0 {
+            out.push_str(&format!("dup_ppm = {}\n", sc.dup_ppm));
+        }
+        if sc.reorder {
+            out.push_str("reorder = true\n");
+        }
+        if sc.reliable {
+            out.push_str("reliable = true\n");
+        }
+        if sc.stall_rounds != 0 {
+            out.push_str(&format!("stall_rounds = {}\n", sc.stall_rounds));
         }
         if sc.mode != ExecMode::Lockstep {
             out.push_str(&format!("mode = {}\n", sc.mode));
@@ -997,6 +1144,17 @@ impl ScenarioFile {
                     .map_err(|e| format!("scenario file key 'down_rounds': {e}"))?,
                 None => 1,
             },
+            delay_ppm: opt_u64("delay_ppm")? as u32,
+            max_delay: match get("max_delay") {
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|e| format!("scenario file key 'max_delay': {e}"))?,
+                None => 1,
+            },
+            dup_ppm: opt_u64("dup_ppm")? as u32,
+            reorder: boolean("reorder")?,
+            reliable: boolean("reliable")?,
+            stall_rounds: opt_u64("stall_rounds")? as usize,
             mode: match get("mode") {
                 Some(raw) => raw
                     .parse()
@@ -1060,6 +1218,12 @@ mod tests {
             durable_tokens: false,
             partitions: vec![],
             down_rounds: 1,
+            delay_ppm: 0,
+            max_delay: 1,
+            dup_ppm: 0,
+            reorder: false,
+            reliable: false,
+            stall_rounds: 0,
             mode: ExecMode::Lockstep,
         }
     }
@@ -1122,6 +1286,10 @@ mod tests {
         sc.fault_seed = 3;
         sc.retransmit = true;
         sc.crash_at = vec![(3, 0), (7, 12)];
+        sc.delay_ppm = 20_000;
+        sc.max_delay = 3;
+        sc.dup_ppm = 10_000;
+        sc.reorder = true;
         sc.budget = 8 * 20; // loss voids the theorem bounds
         let mut tracer = Tracer::new(ObsConfig::full());
         sc.run_traced(&mut tracer).unwrap();
@@ -1129,6 +1297,10 @@ mod tests {
         assert_eq!(parsed.meta_get("loss_ppm"), Some("50000"));
         assert_eq!(parsed.meta_get("crash_at"), Some("3:0,7:12"));
         assert_eq!(parsed.meta_get("retransmit"), Some("1"));
+        assert_eq!(parsed.meta_get("delay_ppm"), Some("20000"));
+        assert_eq!(parsed.meta_get("max_delay"), Some("3"));
+        assert_eq!(parsed.meta_get("dup_ppm"), Some("10000"));
+        assert_eq!(parsed.meta_get("reorder"), Some("1"));
         let rebuilt = Scenario::from_meta(&parsed).unwrap();
         assert_eq!(rebuilt, sc, "non-default budget must round-trip via meta");
 
@@ -1147,6 +1319,12 @@ mod tests {
             "durable_tokens",
             "partitions",
             "down_rounds",
+            "delay_ppm",
+            "max_delay",
+            "dup_ppm",
+            "reorder",
+            "reliable",
+            "stall_rounds",
             "budget",
         ] {
             assert_eq!(parsed.meta_get(key), None, "{key} must not be stamped");
@@ -1230,6 +1408,15 @@ mod tests {
         assert_rejects(|sc| sc.k = 0, "--k");
         assert_rejects(|sc| sc.alpha = 0, "--alpha");
         assert_rejects(|sc| sc.theta = 21, "--theta");
+        // Feasible θ but an infeasible head/backbone combination: 8 heads
+        // with L=3 need 14 gateways, and 8 + 14 > n = 20.
+        assert_rejects(
+            |sc| {
+                sc.theta = 16;
+                sc.l = 3;
+            },
+            "gateway",
+        );
         assert_rejects(|sc| sc.budget = 0, "--budget");
         assert_rejects(|sc| sc.crash_at = vec![(3, 99)], "out of range");
         assert_rejects(
@@ -1263,6 +1450,30 @@ mod tests {
         );
         assert_rejects(|sc| sc.algorithm = "magic".into(), "unknown algorithm");
         assert_rejects(|sc| sc.dynamics = "mystery".into(), "unknown dynamics");
+        // Delivery-plane and reliability flag conflicts.
+        assert_rejects(|sc| sc.max_delay = 0, "--max-delay");
+        assert_rejects(|sc| sc.max_delay = 3, "add --delay");
+        assert_rejects(
+            |sc| {
+                sc.loss_ppm = 50_000;
+                sc.reliable = true;
+                sc.retransmit = true;
+            },
+            "pick one",
+        );
+        assert_rejects(|sc| sc.reliable = true, "add --loss or --delay");
+        assert_rejects(|sc| sc.stall_rounds = 8, "--mode event");
+        // The valid chaos combinations pass.
+        let mut sc = small("alg2", "hinet");
+        sc.delay_ppm = 20_000;
+        sc.max_delay = 3;
+        sc.dup_ppm = 10_000;
+        sc.reorder = true;
+        sc.reliable = true;
+        assert!(sc.validate().is_ok());
+        sc.mode = ExecMode::Event;
+        sc.stall_rounds = 64;
+        assert!(sc.validate().is_ok());
     }
 
     #[test]
@@ -1285,6 +1496,10 @@ mod tests {
             cut: 10,
         }];
         sc.down_rounds = 3;
+        sc.delay_ppm = 20_000;
+        sc.max_delay = 4;
+        sc.dup_ppm = 5_000;
+        sc.reorder = true;
         sc.budget = 500;
         let full = ScenarioFile {
             scenario: sc,
@@ -1369,6 +1584,30 @@ mod tests {
         assert!(completed, "alg2 + retransmit must heal 10% loss");
         let (_, b) = run();
         assert_eq!(a, b, "same fault seed, same trace bytes");
+    }
+
+    #[test]
+    fn chaotic_scenario_with_reliable_layer_completes_reproducibly() {
+        let mut sc = small("klo-flood", "flat-1");
+        sc.loss_ppm = 50_000;
+        sc.delay_ppm = 30_000;
+        sc.max_delay = 3;
+        sc.dup_ppm = 20_000;
+        sc.reorder = true;
+        sc.reliable = true;
+        sc.fault_seed = 7;
+        sc.budget = 8 * 20;
+        let run = || {
+            let mut tracer = Tracer::new(ObsConfig::full());
+            let report = sc.run_traced(&mut tracer).unwrap();
+            (report.completed(), tracer.to_jsonl())
+        };
+        let (completed, a) = run();
+        assert!(completed, "reliable layer must heal loss + delay + dup");
+        let (_, b) = run();
+        assert_eq!(a, b, "same fault seed, same trace bytes");
+        let parsed = ParsedTrace::parse_jsonl(&a).unwrap();
+        assert_eq!(Scenario::from_meta(&parsed).unwrap(), sc);
     }
 
     #[test]

@@ -109,6 +109,50 @@ fn run_rlnc_on_manhattan_completes() {
     assert!(text.contains("coded packets"));
 }
 
+/// The adversarial delivery plane end to end: delay, duplication and
+/// reordering with the reliability layer recovering every loss, the armed
+/// watchdog staying quiet, and the delivery-plane counters surfacing in
+/// the report.
+#[test]
+fn run_chaos_with_reliability_completes_and_reports_delivery_plane() {
+    let out = hinet()
+        .args([
+            "run",
+            "--algorithm",
+            "klo-flood",
+            "--n",
+            "24",
+            "--k",
+            "4",
+            "--seed",
+            "5",
+            "--mode",
+            "event",
+            "--loss",
+            "0.05",
+            "--delay",
+            "0.03",
+            "--max-delay",
+            "3",
+            "--dup",
+            "0.02",
+            "--reorder",
+            "--reliable",
+            "--stall-rounds",
+            "64",
+            "--fault-seed",
+            "7",
+            "--budget",
+            "400",
+        ])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("completed: true"), "{text}");
+    assert!(text.contains("delivery plane:"), "{text}");
+}
+
 #[test]
 fn run_rejects_unknown_algorithm() {
     let out = hinet()
@@ -557,6 +601,16 @@ fn run_rejects_nonsense_scenario_flag_combinations() {
         (&["--budget", "0"], "--budget"),
         (&["--loss", "1.5"], "--loss"),
         (&["--dynamics", "teleport"], "unknown dynamics"),
+        (&["--delay", "2.0"], "--delay"),
+        (&["--dup", "1.5"], "--dup"),
+        (&["--max-delay", "0"], "--max-delay"),
+        (&["--max-delay", "3"], "add --delay"),
+        (
+            &["--loss", "0.05", "--reliable", "--retransmit"],
+            "pick one",
+        ),
+        (&["--reliable"], "add --loss or --delay"),
+        (&["--stall-rounds", "8"], "--mode event"),
     ];
     for (args, needle) in cases {
         let out = hinet().arg("run").args(*args).output().unwrap();

@@ -107,6 +107,10 @@ fn obs_fingerprint(tracer: &hinet::rt::obs::Tracer) -> u64 {
             Event::Crash { node, .. } => mix(8, node),
             Event::Recover { node } => mix(9, node),
             Event::Retransmit { node, count, .. } => mix(10, mix(node, count)),
+            Event::Delayed { node, dst, .. } => mix(11, mix(node, dst)),
+            Event::Duplicated { node, dst } => mix(12, mix(node, dst)),
+            Event::RetransmitTimeout { node, dst, .. } => mix(13, mix(node, dst)),
+            Event::StallProbe { node } => mix(14, node),
         };
         h = mix(h, mix(te.round, ordinal));
     }

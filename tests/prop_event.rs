@@ -43,6 +43,12 @@ fn scenario(algorithm: &str, dynamics: &str, n: usize, k: usize, seed: u64) -> S
         durable_tokens: false,
         partitions: vec![],
         down_rounds: 1,
+        delay_ppm: 0,
+        max_delay: 1,
+        dup_ppm: 0,
+        reorder: false,
+        reliable: false,
+        stall_rounds: 0,
         mode: ExecMode::Lockstep,
     }
 }
@@ -167,6 +173,7 @@ fn round_buffer_releases_lockstep_order_under_any_arrival_permutation() {
                                 s as u64,
                             )),
                             directed: false,
+                            rid: 0,
                         },
                     },
                     Envelope {
@@ -179,6 +186,7 @@ fn round_buffer_releases_lockstep_order_under_any_arrival_permutation() {
                                 (s + senders) as u64,
                             )),
                             directed: true,
+                            rid: 0,
                         },
                     },
                     Envelope {
@@ -186,7 +194,7 @@ fn round_buffer_releases_lockstep_order_under_any_arrival_permutation() {
                         from,
                         to: NodeId::from_index(senders),
                         seq: u32::MAX,
-                        kind: EnvelopeKind::RoundDone,
+                        kind: EnvelopeKind::RoundDone { ack: 0 },
                     },
                 ]
             })
@@ -201,7 +209,7 @@ fn round_buffer_releases_lockstep_order_under_any_arrival_permutation() {
         for env in &envelopes {
             // Quorum gating depends only on end-of-round markers received.
             assert_eq!(buf.ready(round, senders), markers == senders);
-            if matches!(env.kind, EnvelopeKind::RoundDone) {
+            if matches!(env.kind, EnvelopeKind::RoundDone { .. }) {
                 markers += 1;
             }
             buf.push(env.clone());

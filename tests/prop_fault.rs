@@ -45,6 +45,12 @@ fn scenario(algorithm: &str, dynamics: &str, n: usize, k: usize, seed: u64) -> S
         durable_tokens: false,
         partitions: vec![],
         down_rounds: 1,
+        delay_ppm: 0,
+        max_delay: 1,
+        dup_ppm: 0,
+        reorder: false,
+        reliable: false,
+        stall_rounds: 0,
         mode: hinet_sim::ExecMode::Lockstep,
     }
 }

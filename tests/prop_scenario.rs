@@ -38,6 +38,13 @@ const SCENARIO_FLAGS: &[FlagSpec] = &[
     flag("fault-seed", true, ""),
     flag("retransmit", false, ""),
     flag("durable-tokens", false, ""),
+    flag("delay", true, ""),
+    flag("max-delay", true, ""),
+    flag("dup", true, ""),
+    flag("reorder", false, ""),
+    flag("reliable", false, ""),
+    flag("stall-rounds", true, ""),
+    flag("mode", true, ""),
 ];
 
 /// A named non-trivial fault plan, as extra CLI arguments.
@@ -56,6 +63,34 @@ const FAULT_COMBOS: &[(&str, &[&str])] = &[
     ),
     ("scheduled", &["--crash-at", "2:0,5:3", "--durable-tokens"]),
     ("partition", &["--partition", "0:6:4,9:12:7"]),
+    (
+        "chaos",
+        &[
+            "--delay",
+            "0.03",
+            "--max-delay",
+            "3",
+            "--dup",
+            "0.02",
+            "--reorder",
+            "--fault-seed",
+            "5",
+        ],
+    ),
+    (
+        "reliable",
+        &[
+            "--loss",
+            "0.05",
+            "--delay",
+            "0.02",
+            "--max-delay",
+            "2",
+            "--reliable",
+            "--fault-seed",
+            "9",
+        ],
+    ),
     (
         "everything",
         &[
@@ -112,8 +147,10 @@ fn from_flags_stamp_meta_from_meta_is_the_identity() {
         args.extend(["--seed".to_string(), seed.to_string()]);
         args.extend(fault_args.iter().map(|s| s.to_string()));
         // The ARQ wrapper only exists for the HiNet algorithms; everywhere
-        // else the flag is (correctly) rejected, so only add it there.
-        if RETRANSMIT_ALGORITHMS.contains(&algorithm) {
+        // else the flag is (correctly) rejected, so only add it there —
+        // and never alongside the generalised --reliable layer, which it
+        // conflicts with.
+        if RETRANSMIT_ALGORITHMS.contains(&algorithm) && !fault_args.contains(&"--reliable") {
             args.push("--retransmit".to_string());
         }
         let sc = scenario_from_args(&args);
